@@ -1,0 +1,144 @@
+"""Benchmarks: the beyond-the-paper ablation studies (DESIGN.md §4).
+
+Each ablation regenerates one extension table. Shape expectations are
+deliberately loose — these studies chart design-choice sensitivity, not
+paper claims — but every run must produce finite, ordered output and
+respect basic physics (e.g. governors that ignore power violate more).
+"""
+
+from repro.experiments.ablations import (
+    run_client_scaling,
+    run_governor_comparison,
+    run_loss_ablation,
+    run_participation,
+    run_temperature_sensitivity,
+    run_thermal_ablation,
+    run_weighted_averaging,
+)
+
+
+def test_ablation_client_scaling(benchmark, config, save_result):
+    result = benchmark.pedantic(
+        run_client_scaling,
+        args=(config,),
+        kwargs=dict(client_counts=(2, 4)),
+        iterations=1,
+        rounds=1,
+    )
+    save_result("ablation_clients", result.format())
+    assert len(result.rows) == 2
+    assert all(-1.0 <= reward <= 1.0 for _, reward in result.rows)
+
+
+def test_ablation_weighted_averaging(config, benchmark, save_result):
+    result = benchmark.pedantic(
+        run_weighted_averaging, args=(config,), iterations=1, rounds=1
+    )
+    save_result("ablation_weighted", result.format())
+    rewards = dict(result.rows)
+    assert set(rewards) == {"unweighted (paper)", "weighted 3:1"}
+
+
+def test_ablation_participation(config, benchmark, save_result):
+    result = benchmark.pedantic(
+        run_participation,
+        args=(config,),
+        kwargs=dict(fractions=(1.0, 0.5), num_clients=4),
+        iterations=1,
+        rounds=1,
+    )
+    save_result("ablation_participation", result.format())
+    assert len(result.rows) == 2
+
+
+def test_ablation_temperature(config, benchmark, save_result):
+    result = benchmark.pedantic(
+        run_temperature_sensitivity, args=(config,), iterations=1, rounds=1
+    )
+    save_result("ablation_temperature", result.format())
+    assert len(result.rows) == 3
+
+
+def test_ablation_loss(config, benchmark, save_result):
+    result = benchmark.pedantic(
+        run_loss_ablation, args=(config,), iterations=1, rounds=1
+    )
+    save_result("ablation_loss", result.format())
+    assert {label for label, _ in result.rows} == {"Huber (paper)", "MSE"}
+
+
+def test_ablation_governors(config, benchmark, save_result):
+    result = benchmark.pedantic(
+        run_governor_comparison, args=(config,), iterations=1, rounds=1
+    )
+    save_result("ablation_governors", result.format())
+
+    # Physics: power-oblivious governors violate on compute-bound apps.
+    assert result.metric("performance", "violations") > 0.5
+    assert result.metric("ondemand", "violations") > 0.5
+    # powersave is safe but slow.
+    assert result.metric("powersave", "violations") == 0.0
+    assert result.metric("powersave", "ips") < result.metric("powercap", "ips")
+    # The learned policy beats every governor on the Eq. 4 reward.
+    governor_rewards = [
+        result.metric(name, "reward")
+        for name in ("performance", "powersave", "ondemand", "powercap")
+    ]
+    assert result.metric("federated (ours)", "reward") > max(governor_rewards)
+
+
+def test_ablation_async(config, benchmark, save_result):
+    from repro.experiments.ablations import run_async_comparison
+
+    result = benchmark.pedantic(
+        run_async_comparison, args=(config,), iterations=1, rounds=1
+    )
+    save_result("ablation_async", result.format())
+    rewards = dict(result.rows)
+    assert set(rewards) == {"synchronous (paper)", "asynchronous (FedAsync)"}
+    # Both arms learn a usable policy.
+    assert all(reward > 0.2 for reward in rewards.values())
+
+
+def test_ablation_replay(config, benchmark, save_result):
+    from repro.experiments.ablations import run_prioritized_replay
+
+    result = benchmark.pedantic(
+        run_prioritized_replay, args=(config,), iterations=1, rounds=1
+    )
+    save_result("ablation_replay", result.format())
+    rewards = dict(result.rows)
+    assert set(rewards) == {"uniform (paper)", "prioritized"}
+
+
+def test_ablation_transition(config, benchmark, save_result):
+    from repro.experiments.ablations import run_transition_overhead
+
+    result = benchmark.pedantic(
+        run_transition_overhead, args=(config,), iterations=1, rounds=1
+    )
+    save_result("ablation_transition", result.format())
+    assert len(result.rows) == 2
+    assert all(0.0 <= row[3] <= 1.0 for row in result.rows)
+
+
+def test_ablation_hetero_budget(config, benchmark, save_result):
+    from repro.experiments.ablations import run_heterogeneous_budgets
+
+    result = benchmark.pedantic(
+        run_heterogeneous_budgets, args=(config,), iterations=1, rounds=1
+    )
+    save_result("ablation_hetero_budget", result.format())
+    assert len(result.rows) == 4
+    # Every arm keeps violations bounded — the policy respects whatever
+    # budget its reward encodes.
+    assert all(row[4] < 0.5 for row in result.rows)
+
+
+def test_ablation_thermal(config, benchmark, save_result):
+    result = benchmark.pedantic(
+        run_thermal_ablation, args=(config,), iterations=1, rounds=1
+    )
+    save_result("ablation_thermal", result.format())
+    assert 0.0 <= result.violation_rate_without <= 1.0
+    assert 0.0 <= result.violation_rate_with <= 1.0

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 2 (the Eq. 4 reward landscape)."""
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_reward_landscape(benchmark, config, save_result):
+    result = benchmark.pedantic(
+        run_fig2,
+        kwargs=dict(
+            power_limit_w=config.power_limit_w, offset_w=config.power_offset_w
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    save_result("fig2", result.format())
+
+    # Shape checks mirroring the published figure: below the constraint
+    # the curves are ordered by frequency; every curve hits -1 beyond
+    # P_crit + 2*k_offset.
+    below_index = next(
+        i for i, p in enumerate(result.power_grid_w) if p <= config.power_limit_w
+    )
+    rewards_below = [
+        result.rewards_by_level[level][below_index] for level in range(15)
+    ]
+    assert all(b > a for a, b in zip(rewards_below, rewards_below[1:]))
+    assert rewards_below[-1] == pytest.approx(1.0)
+
+    floor_index = len(result.power_grid_w) - 1
+    assert result.power_grid_w[floor_index] > config.power_limit_w + 2 * config.power_offset_w
+    for level in range(15):
+        assert result.rewards_by_level[level][floor_index] == -1.0

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 4 (frequency selection, scenario 2).
+
+Paper shape: the mis-generalising local-only policy (trained on
+memory-bound ocean/radix) selects substantially higher frequencies than
+the federated policy, which is what drives its power violations.
+"""
+
+from statistics import fmean
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_frequency_selection(benchmark, config, save_result):
+    result = benchmark.pedantic(
+        run_fig4, args=(config,), kwargs=dict(scenario=2), iterations=1, rounds=1
+    )
+    save_result("fig4", result.format())
+
+    federated = result.curve("federated")
+    local_a = result.curve("local-only device-A")
+    local_b = result.curve("local-only device-B")
+
+    # The ocean/radix-trained policy picks higher frequencies than the
+    # federated one — the Fig. 4 signature (late rounds, converged).
+    late = slice(len(federated.mean_mhz) // 2, None)
+    assert fmean(local_b.mean_mhz[late]) > fmean(federated.mean_mhz[late])
+
+    # And higher than the compute-trained local policy.
+    assert fmean(local_b.mean_mhz[late]) > fmean(local_a.mean_mhz[late])
+
+    # All selections stay inside the Jetson Nano range.
+    for curve in result.curves:
+        assert all(102.0 <= f <= 1479.0 for f in curve.mean_mhz)

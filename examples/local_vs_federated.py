@@ -1,0 +1,77 @@
+"""The paper's core result: why local-only training fails (Fig. 3/4).
+
+Device B trains only on memory-bound applications (ocean, radix) that
+never violate the 0.6 W budget — even at 1479 MHz. Its locally learned
+policy therefore believes the top frequency is always optimal, and
+misfires badly on the ten unseen applications. The federated policy,
+averaged with device A's compute-bound experience, stays safe on both.
+
+This example reproduces that mechanism end to end and prints the
+frequency-selection statistics that expose it.
+
+Run:  python examples/local_vs_federated.py
+"""
+
+from repro import (
+    FederatedPowerControlConfig,
+    scenario_applications,
+    train_federated,
+    train_local_only,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    config = FederatedPowerControlConfig(seed=2025).scaled(
+        rounds=30, steps_per_round=100
+    )
+    assignments = scenario_applications(2)
+
+    print("Scenario 2 (Table II):")
+    for device, apps in assignments.items():
+        print(f"  {device} trains on: {', '.join(apps)}")
+    print()
+
+    local = train_local_only(assignments, config)
+    federated = train_federated(assignments, config)
+
+    rows = []
+    for device in assignments:
+        rows.append(
+            [
+                f"local-only {device}",
+                local.eval_series(device)[-1],
+                local.eval_series(device, "frequency_mean_hz")[-1] / 1e6,
+                local.eval_series(device, "power_mean_w")[-1],
+                local.eval_series(device, "violation_rate")[-1],
+            ]
+        )
+    for device in assignments:
+        rows.append(
+            [
+                f"federated {device}",
+                federated.eval_series(device)[-1],
+                federated.eval_series(device, "frequency_mean_hz")[-1] / 1e6,
+                federated.eval_series(device, "power_mean_w")[-1],
+                federated.eval_series(device, "violation_rate")[-1],
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "final reward", "mean f [MHz]", "power [W]", "violations"],
+            rows,
+            title="Final-round evaluation over all 12 SPLASH-2 applications",
+        )
+    )
+
+    worst = min(assignments, key=lambda d: local.eval_series(d)[-1])
+    print(
+        f"\nThe local-only policy of {worst} 'stands out negatively' "
+        f"(paper, Section IV-A): trained only on power-safe memory-bound "
+        f"apps, it selects high frequencies everywhere and violates the "
+        f"constraint on compute-bound workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Hardening the federated link: compression and differential privacy.
+
+The paper's privacy argument is structural — raw power/counter traces
+never leave the device — and its communication cost (2.8 kB/transfer)
+is called negligible. This example shows the two knobs the library adds
+on top of that baseline:
+
+* ``QuantizedInt8Codec`` — 4x smaller transfers via affine int8
+  quantisation;
+* ``DPGaussianCodec`` — clipping + Gaussian noise on uploads, pushing
+  the structural privacy towards differential privacy.
+
+It trains the same scenario three times (plain / compressed / DP) and
+compares converged reward and bytes on the wire.
+
+Run:  python examples/privacy_and_compression.py
+"""
+
+from repro import FederatedPowerControlConfig, scenario_applications, train_federated
+from repro.federated.codecs import DPGaussianCodec, QuantizedInt8Codec
+from repro.utils.tables import format_table
+
+
+def tail_reward(result, rounds=3):
+    return result.mean_metric("reward_mean", last_rounds=rounds)
+
+
+def main() -> None:
+    config = FederatedPowerControlConfig(seed=2025).scaled(
+        rounds=25, steps_per_round=100
+    )
+    assignments = scenario_applications(2)
+
+    plain = train_federated(assignments, config)
+    compressed = train_federated(
+        assignments, config, codec=QuantizedInt8Codec()
+    )
+    private = train_federated(
+        assignments, config,
+        client_codec=DPGaussianCodec(noise_std=0.02, seed=7),
+    )
+
+    rows = [
+        [
+            "float32 (paper)",
+            tail_reward(plain),
+            plain.communication_bytes / 1e3,
+            "raw parameters",
+        ],
+        [
+            "int8 quantised",
+            tail_reward(compressed),
+            compressed.communication_bytes / 1e3,
+            "~4x smaller transfers",
+        ],
+        [
+            "DP-Gaussian uploads",
+            tail_reward(private),
+            private.communication_bytes / 1e3,
+            "clip + noise towards DP",
+        ],
+    ]
+    print(
+        format_table(
+            ["link configuration", "final reward", "total comm [kB]", "note"],
+            rows,
+            title="Federated link hardening (scenario 2)",
+        )
+    )
+    print(
+        "\nTakeaway: int8 compression is essentially free in policy quality;"
+        "\nmoderate DP noise costs a little reward — the price of stronger"
+        "\nprivacy than the paper's structural guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro — Federated RL for power-efficient DVFS on edge devices.
+
+A from-scratch reproduction of Dietrich et al., "Federated
+Reinforcement Learning for Optimizing the Power Efficiency of Edge
+Devices" (DATE 2025): neural contextual-bandit DVFS controllers on
+simulated Jetson-Nano-class devices, collaboratively trained with
+federated averaging, evaluated against local-only training and the
+tabular Profit+CollabPolicy state of the art.
+
+Quick start::
+
+    from repro import (
+        FederatedPowerControlConfig, scenario_applications, train_federated,
+    )
+
+    config = FederatedPowerControlConfig().scaled(rounds=25)
+    result = train_federated(scenario_applications(2), config)
+    print(result.eval_series("device-A"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+paper-vs-reproduction numbers.
+"""
+
+from repro.control import (
+    ControlSession,
+    NeuralPowerController,
+    PowerController,
+    ProfitController,
+    build_neural_controller,
+    build_profit_controller,
+)
+from repro.errors import (
+    ConfigurationError,
+    FederationError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+)
+from repro.experiments import (
+    FederatedPowerControlConfig,
+    SCENARIOS,
+    TrainingResult,
+    scenario_applications,
+    six_app_split,
+    train_collab_profit,
+    train_federated,
+    train_local_only,
+)
+from repro.federated import (
+    FederatedClient,
+    FederatedServer,
+    InMemoryTransport,
+    federated_average,
+    run_federated_training,
+)
+from repro.rl import (
+    NeuralBanditAgent,
+    PowerEfficiencyReward,
+    ReplayBuffer,
+    TabularBanditAgent,
+)
+from repro.sim import (
+    DeviceEnvironment,
+    EdgeDevice,
+    JETSON_NANO_OPP_TABLE,
+    SimulatedProcessor,
+    build_default_device,
+    splash2_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "ControlSession",
+    "DeviceEnvironment",
+    "EdgeDevice",
+    "FederatedClient",
+    "FederatedPowerControlConfig",
+    "FederatedServer",
+    "FederationError",
+    "InMemoryTransport",
+    "JETSON_NANO_OPP_TABLE",
+    "NeuralBanditAgent",
+    "NeuralPowerController",
+    "PolicyError",
+    "PowerController",
+    "PowerEfficiencyReward",
+    "ProfitController",
+    "ReplayBuffer",
+    "ReproError",
+    "SCENARIOS",
+    "SimulatedProcessor",
+    "SimulationError",
+    "TabularBanditAgent",
+    "TrainingResult",
+    "__version__",
+    "build_default_device",
+    "build_neural_controller",
+    "build_profit_controller",
+    "federated_average",
+    "run_federated_training",
+    "scenario_applications",
+    "six_app_split",
+    "splash2_suite",
+    "train_collab_profit",
+    "train_federated",
+    "train_local_only",
+]

@@ -1,0 +1,27 @@
+"""Offline analysis tools.
+
+Utilities the paper's evaluation implies but never formalises:
+
+* :mod:`repro.analysis.oracle` — the model-based oracle DVFS policy
+  (the best static or per-phase V/f level under the power constraint,
+  computable exactly because the simulator's physics are known) and
+  per-application *regret* of a learned policy against it.
+* :mod:`repro.analysis.convergence` — plateau detection and stability
+  statistics for per-round reward curves (quantifies the paper's
+  "almost constant ... starting from early rounds").
+"""
+
+from repro.analysis.convergence import plateau_round, tail_stability
+from repro.analysis.oracle import (
+    OracleAnalyzer,
+    OracleDecision,
+    build_default_oracle,
+)
+
+__all__ = [
+    "OracleAnalyzer",
+    "OracleDecision",
+    "build_default_oracle",
+    "plateau_round",
+    "tail_stability",
+]

@@ -1,0 +1,55 @@
+"""Convergence statistics for per-round reward curves.
+
+Quantifies the paper's qualitative Fig. 3 observations — "almost
+constant at just below 0.5 starting from early rounds" — as two
+numbers: the plateau round (how early) and the tail stability (how
+constant).
+"""
+
+from __future__ import annotations
+
+from statistics import fmean, pstdev
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def plateau_round(
+    series: Sequence[float], tolerance: float = 0.05, window: int = 3
+) -> int:
+    """First index from which the curve stays near its final level.
+
+    "Near" means every subsequent ``window``-smoothed value lies within
+    ``tolerance`` of the mean of the final ``window`` values. Returns
+    ``len(series) - 1`` if the curve never settles.
+    """
+    if not series:
+        raise ConfigurationError("series must be non-empty")
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+    if window <= 0 or window > len(series):
+        raise ConfigurationError(
+            f"window must be in [1, {len(series)}], got {window}"
+        )
+    final_level = fmean(series[-window:])
+    smoothed = [
+        fmean(series[max(0, i - window + 1) : i + 1]) for i in range(len(series))
+    ]
+    for start in range(len(series)):
+        if all(abs(v - final_level) <= tolerance for v in smoothed[start:]):
+            return start
+    return len(series) - 1
+
+
+def tail_stability(series: Sequence[float], fraction: float = 0.25) -> float:
+    """Standard deviation over the trailing ``fraction`` of the curve.
+
+    Small values mean the policy's evaluation reward has stopped moving
+    (the paper's "almost constant").
+    """
+    if not series:
+        raise ConfigurationError("series must be non-empty")
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+    tail_length = max(1, int(len(series) * fraction))
+    return pstdev(series[-tail_length:]) if tail_length > 1 else 0.0

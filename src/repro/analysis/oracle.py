@@ -1,0 +1,164 @@
+"""Model-based oracle DVFS policies and policy regret.
+
+Because the simulator's performance and power models are analytic, the
+*true* optimal V/f level for any workload phase under the Eq. 4 reward
+is computable exactly — something impossible on real hardware. Two
+oracles are provided:
+
+* the **static oracle**: the single level maximising the
+  time-weighted expected reward over an application's whole phase mix
+  (what a perfect per-application table would choose);
+* the **phase oracle**: the best level per phase (what a perfect
+  phase-adaptive controller would choose; an upper bound for any
+  policy acting on per-interval counters).
+
+The gap between a learned policy's achieved evaluation reward and the
+oracle's expected reward is its *regret* — the quality metric used by
+the ``regret`` experiment to quantify how close the federated policy
+gets to the achievable optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.rl.rewards import PowerEfficiencyReward
+from repro.sim.opp import OPPTable
+from repro.sim.perf_model import PerformanceModel
+from repro.sim.power_model import PowerModel
+from repro.sim.workload import ApplicationModel, Phase
+
+
+@dataclass(frozen=True)
+class OracleDecision:
+    """The oracle's choice for one application (or phase)."""
+
+    application: str
+    level: int
+    frequency_hz: float
+    expected_power_w: float
+    expected_reward: float
+    expected_ips: float
+
+
+class OracleAnalyzer:
+    """Exact expected metrics per (phase, level) from the models."""
+
+    def __init__(
+        self,
+        opp_table: OPPTable,
+        performance_model: PerformanceModel,
+        power_model: PowerModel,
+        reward: PowerEfficiencyReward,
+    ) -> None:
+        self.opp_table = opp_table
+        self.performance_model = performance_model
+        self.power_model = power_model
+        self.reward = reward
+
+    def phase_metrics(self, phase: Phase, level: int):
+        """(power, ips, reward) of running ``phase`` at ``level``."""
+        op = self.opp_table[level]
+        perf = self.performance_model.evaluate(phase, op.frequency_hz)
+        power = self.power_model.total_power(op, phase.activity, perf.duty)
+        reward = self.reward(op.frequency_hz, power)
+        return power, perf.ips, reward
+
+    def application_metrics(self, application: ApplicationModel, level: int):
+        """Time-weighted (power, ips, reward) over the app's phase mix.
+
+        Weighting is by wall-clock time share: a phase's contribution is
+        proportional to the time spent in it at this level, exactly as
+        per-interval control samples would average out.
+        """
+        total_time = 0.0
+        energy = 0.0
+        reward_time = 0.0
+        for phase in application.phases:
+            power, ips, reward = self.phase_metrics(phase, level)
+            phase_time = phase.instructions / ips
+            total_time += phase_time
+            energy += power * phase_time
+            reward_time += reward * phase_time
+        ips = application.total_instructions / total_time
+        return energy / total_time, ips, reward_time / total_time
+
+    def static_oracle(self, application: ApplicationModel) -> OracleDecision:
+        """The single best level for the whole application."""
+        best: Optional[OracleDecision] = None
+        for level in range(self.opp_table.num_levels):
+            power, ips, reward = self.application_metrics(application, level)
+            if best is None or reward > best.expected_reward:
+                best = OracleDecision(
+                    application=application.name,
+                    level=level,
+                    frequency_hz=self.opp_table[level].frequency_hz,
+                    expected_power_w=power,
+                    expected_reward=reward,
+                    expected_ips=ips,
+                )
+        return best
+
+    def phase_oracle(self, application: ApplicationModel) -> Dict[str, OracleDecision]:
+        """The best level for each phase individually."""
+        decisions: Dict[str, OracleDecision] = {}
+        for phase in application.phases:
+            best: Optional[OracleDecision] = None
+            for level in range(self.opp_table.num_levels):
+                power, ips, reward = self.phase_metrics(phase, level)
+                if best is None or reward > best.expected_reward:
+                    best = OracleDecision(
+                        application=f"{application.name}/{phase.name}",
+                        level=level,
+                        frequency_hz=self.opp_table[level].frequency_hz,
+                        expected_power_w=power,
+                        expected_reward=reward,
+                        expected_ips=ips,
+                    )
+            decisions[phase.name] = best
+        return decisions
+
+    def phase_oracle_reward(self, application: ApplicationModel) -> float:
+        """Time-weighted expected reward of the per-phase oracle —
+        the upper bound for any counter-driven controller."""
+        decisions = self.phase_oracle(application)
+        total_time = 0.0
+        reward_time = 0.0
+        for phase in application.phases:
+            decision = decisions[phase.name]
+            _, ips, reward = self.phase_metrics(phase, decision.level)
+            phase_time = phase.instructions / ips
+            total_time += phase_time
+            reward_time += reward * phase_time
+        return reward_time / total_time
+
+    def regret(
+        self, application: ApplicationModel, achieved_reward: float,
+        per_phase: bool = True,
+    ) -> float:
+        """Oracle reward minus achieved reward (>= 0 for any policy,
+        up to simulator noise)."""
+        if per_phase:
+            oracle = self.phase_oracle_reward(application)
+        else:
+            oracle = self.static_oracle(application).expected_reward
+        return oracle - achieved_reward
+
+
+def build_default_oracle(
+    power_limit_w: float = 0.6, offset_w: float = 0.05
+) -> OracleAnalyzer:
+    """Oracle over the default Jetson-Nano models (the experiment setup)."""
+    from repro.sim.opp import JETSON_NANO_OPP_TABLE
+
+    return OracleAnalyzer(
+        opp_table=JETSON_NANO_OPP_TABLE,
+        performance_model=PerformanceModel(),
+        power_model=PowerModel(),
+        reward=PowerEfficiencyReward(
+            max_frequency_hz=JETSON_NANO_OPP_TABLE.max_frequency_hz,
+            power_limit_w=power_limit_w,
+            offset_w=offset_w,
+        ),
+    )

@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+``repro-power list`` shows the experiment catalogue;
+``repro-power run <id> [--full] [--seed N]`` executes one experiment
+and prints its table/series output. ``--full`` uses the paper's
+100-round schedule; the default is the fast smoke schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    paper_config,
+    smoke_config,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-power",
+        description=(
+            "Federated reinforcement learning for power-efficient DVFS "
+            "(DATE 2025 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", help="experiment id (see `list`)")
+    run_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full 100-round schedule (slower)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=2025, help="root random seed"
+    )
+    run_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=0,
+        help="override the number of federated rounds (0 keeps the preset)",
+    )
+    run_parser.add_argument(
+        "--steps",
+        type=int,
+        default=0,
+        help="override the steps per round (0 keeps the preset)",
+    )
+    run_parser.add_argument(
+        "--output",
+        type=str,
+        default="",
+        help="also write the experiment output to this file",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="run a set of experiments and write one file each to a directory",
+    )
+    report_parser.add_argument(
+        "output_dir", help="directory for the generated artefacts"
+    )
+    report_parser.add_argument(
+        "--experiments",
+        nargs="*",
+        default=[],
+        help="experiment ids to include (default: every paper artefact)",
+    )
+    report_parser.add_argument(
+        "--full", action="store_true", help="use the paper's full schedule"
+    )
+    report_parser.add_argument(
+        "--seed", type=int, default=2025, help="root random seed"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # Piping into `head` and friends closes stdout early; that is
+        # not an error worth a traceback.
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
+    if args.command == "list":
+        print(list_experiments())
+        return 0
+    if args.command == "report":
+        return _run_report(args)
+    spec = get_experiment(args.experiment_id)
+    config = paper_config(args.seed) if args.full else smoke_config(args.seed)
+    if args.rounds or args.steps:
+        config = config.scaled(
+            rounds=args.rounds or config.num_rounds,
+            steps_per_round=args.steps or config.steps_per_round,
+        )
+    output = spec.runner(config)
+    print(output)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+    return 0
+
+
+def _run_report(args) -> int:
+    """Run the selected experiments, one output file per artefact."""
+    import pathlib
+
+    config = paper_config(args.seed) if args.full else smoke_config(args.seed)
+    experiment_ids = args.experiments or [
+        spec.experiment_id
+        for spec in EXPERIMENTS.values()
+        if spec.paper_artifact != "extension"
+    ]
+    output_dir = pathlib.Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in experiment_ids:
+        spec = get_experiment(experiment_id)
+        print(f"running {experiment_id} ({spec.paper_artifact}) ...")
+        text = spec.runner(config)
+        path = output_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"  -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

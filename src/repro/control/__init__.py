@@ -1,0 +1,52 @@
+"""Power controllers.
+
+Everything that can drive the DVFS knob of a
+:class:`~repro.sim.device.DeviceEnvironment` lives here behind one
+interface (:class:`~repro.control.base.PowerController`):
+
+* :class:`~repro.control.neural.NeuralPowerController` — the paper's
+  contribution (Algorithm 1 wired to the Eq. 4 reward).
+* :class:`~repro.control.profit.ProfitController` and
+  :class:`~repro.control.profit.CollabProfitController` — the tabular
+  state-of-the-art baseline and its collaborative extension.
+* :mod:`~repro.control.governors` — non-learning OS-style governors
+  for context (performance, powersave, userspace, ondemand, and a
+  reactive power-capping governor).
+
+:class:`~repro.control.runtime.ControlSession` drives any controller
+through the observe → act → reward loop, records traces, and measures
+the controller's own decision latency for the overhead analysis.
+"""
+
+from repro.control.base import PowerController
+from repro.control.governors import (
+    ConservativeGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowerCapGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+)
+from repro.control.neural import NeuralPowerController, build_neural_controller
+from repro.control.profit import (
+    CollabProfitController,
+    ProfitController,
+    build_profit_controller,
+)
+from repro.control.runtime import ControlSession
+
+__all__ = [
+    "CollabProfitController",
+    "ConservativeGovernor",
+    "ControlSession",
+    "NeuralPowerController",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowerCapGovernor",
+    "PowerController",
+    "PowersaveGovernor",
+    "ProfitController",
+    "UserspaceGovernor",
+    "build_neural_controller",
+    "build_profit_controller",
+]

@@ -1,0 +1,56 @@
+"""The power-controller interface.
+
+Every controller — learning or not — implements the same three-phase
+protocol per control interval, mirroring the loop of Algorithm 1:
+
+1. :meth:`PowerController.select_action` — choose a V/f level from the
+   last observed processor snapshot (exploring if training).
+2. The caller applies the action and runs one interval, producing the
+   *next* snapshot.
+3. :meth:`PowerController.compute_reward` scores that next snapshot and
+   :meth:`PowerController.learn` feeds the ``(s_t, a_t, r_t)`` triple
+   back into the learner (a no-op for governors).
+
+Keeping the loop outside the controller lets one driver
+(:class:`~repro.control.runtime.ControlSession`) serve training,
+evaluation and every baseline identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.sim.processor import ProcessorSnapshot
+
+
+class PowerController(ABC):
+    """Abstract DVFS decision-maker."""
+
+    #: Human-readable controller name for traces and result tables.
+    name: str = "controller"
+
+    @abstractmethod
+    def select_action(self, snapshot: ProcessorSnapshot, explore: bool = True) -> int:
+        """Choose the V/f index for the next interval.
+
+        ``explore=False`` requests pure exploitation (the evaluation
+        protocol of Section IV-A).
+        """
+
+    @abstractmethod
+    def compute_reward(self, snapshot: ProcessorSnapshot) -> float:
+        """Score the interval that just completed under this action."""
+
+    def learn(
+        self, snapshot: ProcessorSnapshot, action: int, reward: float
+    ) -> None:
+        """Consume the ``(state, action, reward)`` feedback.
+
+        ``snapshot`` is the observation *before* the action (``s_t``).
+        Non-learning controllers inherit this no-op.
+        """
+
+    @property
+    def is_learning(self) -> bool:
+        """Whether :meth:`learn` does anything (False for governors)."""
+        return type(self).learn is not PowerController.learn

@@ -1,0 +1,195 @@
+"""Non-learning OS-style frequency governors.
+
+The paper motivates learned control by noting that "the frequency
+controllers implemented in modern operating systems mostly ignore
+application-specific characteristics" (Section I). These
+baselines make that concrete for the governor-comparison ablation:
+
+* ``performance`` / ``powersave`` / ``userspace`` — the classic static
+  Linux cpufreq policies.
+* ``ondemand`` — load-driven stepping. Our single-core workload never
+  idles, so its sampled load is saturated and it ramps to the maximum
+  level, exactly as Linux's ondemand does on a busy core — and exactly
+  why it blows through a 0.6 W budget on compute-dense phases.
+* :class:`PowerCapGovernor` — a reactive feedback capper (in the
+  spirit of RAPL-style limiting): step down when measured power
+  exceeds the budget, step up when there is headroom. The strongest
+  non-learning baseline, but purely reactive — it cannot anticipate
+  workload phases the way the learned policies do.
+
+All governors score intervals with the paper's Eq. 4 reward so traces
+remain comparable with the learned controllers.
+"""
+
+from __future__ import annotations
+
+from repro.control.base import PowerController
+from repro.rl.rewards import PowerEfficiencyReward
+from repro.sim.opp import OPPTable
+from repro.sim.processor import ProcessorSnapshot
+from repro.utils.validation import require_in_range, require_positive
+
+
+class _GovernorBase(PowerController):
+    """Shared reward plumbing for governors."""
+
+    def __init__(self, opp_table: OPPTable, power_limit_w: float = 0.6) -> None:
+        self.opp_table = opp_table
+        self._reward = PowerEfficiencyReward(
+            max_frequency_hz=opp_table.max_frequency_hz,
+            power_limit_w=power_limit_w,
+        )
+
+    def compute_reward(self, snapshot: ProcessorSnapshot) -> float:
+        return self._reward(snapshot.frequency_hz, snapshot.power_w)
+
+
+class PerformanceGovernor(_GovernorBase):
+    """Always the highest V/f level."""
+
+    name = "performance"
+
+    def select_action(self, snapshot: ProcessorSnapshot, explore: bool = True) -> int:
+        return self.opp_table.num_levels - 1
+
+
+class PowersaveGovernor(_GovernorBase):
+    """Always the lowest V/f level."""
+
+    name = "powersave"
+
+    def select_action(self, snapshot: ProcessorSnapshot, explore: bool = True) -> int:
+        return 0
+
+
+class UserspaceGovernor(_GovernorBase):
+    """A fixed, user-chosen V/f level."""
+
+    name = "userspace"
+
+    def __init__(
+        self, opp_table: OPPTable, level: int, power_limit_w: float = 0.6
+    ) -> None:
+        super().__init__(opp_table, power_limit_w)
+        opp_table[level]  # validates
+        self.level = level
+
+    def select_action(self, snapshot: ProcessorSnapshot, explore: bool = True) -> int:
+        return self.level
+
+
+class OndemandGovernor(_GovernorBase):
+    """Load-driven stepping (Linux ondemand).
+
+    Load is the busy fraction of the sampling window. The simulated
+    core executes instructions every cycle it is not memory-stalled and
+    never idles, so load is pinned at 1.0; the governor consequently
+    jumps to the top level and stays there (``up_threshold`` exceeded),
+    demonstrating the power-obliviousness of utilisation-based DVFS.
+    """
+
+    name = "ondemand"
+
+    def __init__(
+        self,
+        opp_table: OPPTable,
+        power_limit_w: float = 0.6,
+        up_threshold: float = 0.8,
+        down_step: int = 1,
+    ) -> None:
+        super().__init__(opp_table, power_limit_w)
+        self.up_threshold = require_in_range("up_threshold", up_threshold, 0.0, 1.0)
+        if down_step < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(f"down_step must be >= 1, got {down_step}")
+        self.down_step = down_step
+        self._level = 0
+
+    @staticmethod
+    def _load(snapshot: ProcessorSnapshot) -> float:
+        # The core retired instructions throughout the interval: busy.
+        return 1.0 if snapshot.instructions > 0 else 0.0
+
+    def select_action(self, snapshot: ProcessorSnapshot, explore: bool = True) -> int:
+        load = self._load(snapshot)
+        if load > self.up_threshold:
+            self._level = self.opp_table.num_levels - 1
+        else:
+            self._level = max(0, self._level - self.down_step)
+        return self._level
+
+
+class ConservativeGovernor(_GovernorBase):
+    """Gradual load-driven stepping (Linux conservative).
+
+    Like ``ondemand`` but moves one step at a time instead of jumping
+    to the maximum. On our never-idle workload it still ramps to the
+    top level — just linearly over ``K`` intervals — so it, too, ends
+    up violating the budget on compute-dense phases; the ramp merely
+    delays the violation.
+    """
+
+    name = "conservative"
+
+    def __init__(
+        self,
+        opp_table: OPPTable,
+        power_limit_w: float = 0.6,
+        up_threshold: float = 0.8,
+        down_threshold: float = 0.2,
+        step: int = 1,
+    ) -> None:
+        super().__init__(opp_table, power_limit_w)
+        self.up_threshold = require_in_range("up_threshold", up_threshold, 0.0, 1.0)
+        self.down_threshold = require_in_range(
+            "down_threshold", down_threshold, 0.0, up_threshold
+        )
+        if step < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(f"step must be >= 1, got {step}")
+        self.step = step
+        self._level = 0
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def select_action(self, snapshot: ProcessorSnapshot, explore: bool = True) -> int:
+        load = 1.0 if snapshot.instructions > 0 else 0.0
+        if load > self.up_threshold:
+            self._level = min(self.opp_table.num_levels - 1, self._level + self.step)
+        elif load < self.down_threshold:
+            self._level = max(0, self._level - self.step)
+        return self._level
+
+
+class PowerCapGovernor(_GovernorBase):
+    """Reactive power capping: step against the measured power error."""
+
+    name = "powercap"
+
+    def __init__(
+        self,
+        opp_table: OPPTable,
+        power_limit_w: float = 0.6,
+        headroom_w: float = 0.05,
+        start_level: int = 0,
+    ) -> None:
+        super().__init__(opp_table, power_limit_w)
+        self.power_limit_w = require_positive("power_limit_w", power_limit_w)
+        self.headroom_w = require_positive("headroom_w", headroom_w)
+        opp_table[start_level]  # validates
+        self._level = start_level
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def select_action(self, snapshot: ProcessorSnapshot, explore: bool = True) -> int:
+        if snapshot.power_w > self.power_limit_w:
+            self._level = max(0, self._level - 1)
+        elif snapshot.power_w < self.power_limit_w - self.headroom_w:
+            self._level = min(self.opp_table.num_levels - 1, self._level + 1)
+        return self._level

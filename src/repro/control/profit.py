@@ -1,0 +1,142 @@
+"""The *Profit* baseline controller and its collaborative extension.
+
+*Profit* (Chen et al. [6], as configured in Section IV-B) is a
+table-based RL power controller: state ``(f, P, IPC, MPKI)``
+discretised into bins, reward equal to the achieved IPS below the
+power constraint and ``-5 * |P_crit - P|`` above it, epsilon-greedy
+exploration decaying to 0.01, learning rate 0.1.
+
+*CollabPolicy* (Tian et al. [11]) adds multi-device collaboration: each
+device also holds a copy of a global per-state policy
+``(pi*, r_bar, n)`` merged by the server
+(:class:`~repro.federated.collab.CollabPolicyServer`). When exploiting,
+the device uses whichever of local/global promises the higher average
+reward for the current state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.control.base import PowerController
+from repro.federated.collab import GlobalPolicyEntry
+from repro.rl.discretize import StateDiscretizer
+from repro.rl.rewards import ProfitReward
+from repro.rl.tabular_agent import StateStatistics, TabularBanditAgent
+from repro.sim.opp import OPPTable
+from repro.sim.processor import ProcessorSnapshot
+from repro.utils.rng import SeedLike, as_generator, spawn_generator
+
+
+class ProfitController(PowerController):
+    """Single-device table-based power controller (Profit [6])."""
+
+    name = "profit"
+
+    def __init__(
+        self,
+        agent: TabularBanditAgent,
+        discretizer: StateDiscretizer,
+        reward: ProfitReward,
+    ) -> None:
+        self.agent = agent
+        self.discretizer = discretizer
+        self.reward = reward
+
+    def select_action(self, snapshot: ProcessorSnapshot, explore: bool = True) -> int:
+        key = self.discretizer.key(snapshot)
+        if explore:
+            return self.agent.act(key)
+        return self.agent.act_greedy(key)
+
+    def compute_reward(self, snapshot: ProcessorSnapshot) -> float:
+        return self.reward(snapshot.ips, snapshot.power_w)
+
+    def learn(self, snapshot: ProcessorSnapshot, action: int, reward: float) -> None:
+        self.agent.observe(self.discretizer.key(snapshot), action, reward)
+
+    def digest(self) -> Dict[Hashable, StateStatistics]:
+        """Per-state statistics for CollabPolicy aggregation.
+
+        Only the digest leaves the device — like the neural system,
+        no raw samples are shared.
+        """
+        return {
+            key: self.agent.state_statistics(key)
+            for key in self.agent.visited_states()
+        }
+
+
+class CollabProfitController(ProfitController):
+    """Profit + the CollabPolicy global table (the paper's SOTA baseline).
+
+    Exploitation consults the local value table when its average reward
+    for the current state beats the global entry's, and the global best
+    action otherwise; exploration stays epsilon-greedy on the local
+    table.
+    """
+
+    name = "profit-collab"
+
+    def __init__(
+        self,
+        agent: TabularBanditAgent,
+        discretizer: StateDiscretizer,
+        reward: ProfitReward,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(agent, discretizer, reward)
+        self._rng = as_generator(seed)
+        self._global_table: Dict[Hashable, GlobalPolicyEntry] = {}
+
+    def install_global_table(
+        self, table: Dict[Hashable, GlobalPolicyEntry]
+    ) -> None:
+        """Receive the server's merged global policy for the next round."""
+        self._global_table = dict(table)
+
+    @property
+    def global_table_size(self) -> int:
+        return len(self._global_table)
+
+    def select_action(self, snapshot: ProcessorSnapshot, explore: bool = True) -> int:
+        key = self.discretizer.key(snapshot)
+        if explore and self._rng.random() < self.agent.epsilon:
+            return int(self._rng.integers(0, self.agent.num_actions))
+        return self._exploit(key)
+
+    def _exploit(self, key: Hashable) -> int:
+        local_stats = self.agent.state_statistics(key)
+        global_entry = self._global_table.get(key)
+        if global_entry is None:
+            return self.agent.act_greedy(key)
+        if local_stats is not None and (
+            local_stats.average_reward >= global_entry.average_reward
+        ):
+            return self.agent.act_greedy(key)
+        return global_entry.best_action
+
+
+def build_profit_controller(
+    opp_table: OPPTable,
+    power_limit_w: float = 0.6,
+    learning_rate: float = 0.1,
+    collaborative: bool = False,
+    epsilon_schedule=None,
+    seed: SeedLike = None,
+) -> ProfitController:
+    """Assemble a Profit controller with the Section IV-B configuration."""
+    root = as_generator(seed)
+    agent = TabularBanditAgent(
+        num_actions=opp_table.num_levels,
+        learning_rate=learning_rate,
+        epsilon_schedule=epsilon_schedule,
+        seed=spawn_generator(root, 0),
+    )
+    discretizer = StateDiscretizer(num_frequency_levels=opp_table.num_levels)
+    reward = ProfitReward(power_limit_w=power_limit_w)
+    if collaborative:
+        return CollabProfitController(
+            agent, discretizer, reward, seed=spawn_generator(root, 1)
+        )
+    return ProfitController(agent, discretizer, reward)

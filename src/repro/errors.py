@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch every failure raised by this package with a single ``except``
+clause while still being able to distinguish configuration problems from
+runtime simulation or federation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent configuration was supplied.
+
+    Raised eagerly at object construction time so that misconfiguration
+    surfaces where it was introduced rather than deep inside a training
+    loop.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The device simulator was driven into an invalid state.
+
+    Examples: stepping a processor with no workload loaded, or requesting
+    a frequency level outside the operating-performance-point table.
+    """
+
+
+class FederationError(ReproError, RuntimeError):
+    """A federated-learning round could not be completed.
+
+    Examples: aggregating models with mismatched parameter shapes, or a
+    transport receiving a message for an unknown client.
+    """
+
+
+class PolicyError(ReproError, RuntimeError):
+    """An RL policy or agent was used incorrectly.
+
+    Examples: sampling an action from an agent whose network outputs do
+    not match the action-space size, or updating with an empty batch.
+    """

@@ -1,0 +1,175 @@
+"""Evaluation protocol (Section IV-A).
+
+"After each training round, we evaluate the policies on each device
+using [the] evaluation applications. During evaluation, the policies
+are not updated and the agents consistently exploit the action with the
+highest predicted reward."
+
+Each evaluation pins one application on the device (no schedule
+switching), runs a fixed number of greedy control intervals, and
+summarises the paper's metrics: reward, power, IPS, execution time of
+one full application run (total instructions / mean IPS), and the
+frequency-selection statistics that Fig. 4 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean, pstdev
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.control.base import PowerController
+from repro.control.runtime import ControlSession
+from repro.errors import ConfigurationError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.sim.device import DeviceEnvironment, build_default_device
+from repro.sim.workload import ApplicationModel
+from repro.utils.rng import generator_from_root
+
+
+@dataclass(frozen=True)
+class AppEvaluation:
+    """Greedy-policy metrics for one application on one device."""
+
+    device: str
+    application: str
+    round_index: int
+    reward_mean: float
+    power_mean_w: float
+    ips_mean: float
+    exec_time_s: float
+    frequency_mean_hz: float
+    frequency_std_hz: float
+    violation_rate: float
+
+
+@dataclass(frozen=True)
+class RoundEvaluation:
+    """All per-app evaluations of one federated round."""
+
+    round_index: int
+    evaluations: List[AppEvaluation]
+
+    def device_mean(self, device: str, metric: str = "reward_mean") -> float:
+        values = [
+            getattr(e, metric) for e in self.evaluations if e.device == device
+        ]
+        if not values:
+            raise ConfigurationError(f"no evaluations for device {device!r}")
+        return fmean(values)
+
+    def overall_mean(self, metric: str = "reward_mean") -> float:
+        if not self.evaluations:
+            raise ConfigurationError("round has no evaluations")
+        return fmean(getattr(e, metric) for e in self.evaluations)
+
+    def for_application(self, application: str) -> List[AppEvaluation]:
+        return [e for e in self.evaluations if e.application == application]
+
+
+class PolicyEvaluator:
+    """Reusable per-device evaluation environments.
+
+    A fresh device (same OPP table and noise configuration, its own
+    RNG streams) is built per logical device name so evaluation never
+    perturbs the training environment's workload position or RNG state
+    — the simulated analogue of running the evaluation pass between
+    training rounds on the real board.
+    """
+
+    def __init__(
+        self,
+        device_names: Sequence[str],
+        config: FederatedPowerControlConfig,
+        applications: Union[Sequence[str], Mapping[str, ApplicationModel]],
+        seed_path: int = 900,
+    ) -> None:
+        if not device_names:
+            raise ConfigurationError("need at least one device to evaluate on")
+        if not applications:
+            raise ConfigurationError("need at least one evaluation application")
+        self.config = config
+        if isinstance(applications, Mapping):
+            self.applications = tuple(applications)
+            custom_models: Dict[str, ApplicationModel] = dict(applications)
+        else:
+            self.applications = tuple(applications)
+            custom_models = {}
+        self._environments: Dict[str, DeviceEnvironment] = {}
+        for index, name in enumerate(device_names):
+            device = build_default_device(
+                name,
+                list(self.applications),
+                seed=generator_from_root(config.seed, seed_path, index),
+                mean_dwell_steps=config.mean_dwell_steps,
+                power_noise_std_w=config.power_noise_std_w,
+                counter_noise_relative_std=config.counter_noise_relative_std,
+                workload_jitter=config.workload_jitter,
+                applications=dict(custom_models) if custom_models else None,
+            )
+            self._environments[name] = DeviceEnvironment(
+                device,
+                control_interval_s=config.control_interval_s,
+                schedule_switching=False,
+            )
+
+    def evaluate(
+        self,
+        controllers: Dict[str, PowerController],
+        round_index: int,
+    ) -> RoundEvaluation:
+        """Evaluate each device's controller on every application."""
+        evaluations: List[AppEvaluation] = []
+        for device_name, controller in controllers.items():
+            if device_name not in self._environments:
+                raise ConfigurationError(
+                    f"no evaluation environment for device {device_name!r}"
+                )
+            environment = self._environments[device_name]
+            for application in self.applications:
+                evaluations.append(
+                    self._evaluate_single(
+                        environment, controller, device_name, application, round_index
+                    )
+                )
+        return RoundEvaluation(round_index=round_index, evaluations=evaluations)
+
+    def _evaluate_single(
+        self,
+        environment: DeviceEnvironment,
+        controller: PowerController,
+        device_name: str,
+        application: str,
+        round_index: int,
+    ) -> AppEvaluation:
+        session = ControlSession(environment, controller)
+        session.start(application)
+        records = session.run_steps(
+            self.config.eval_steps_per_app,
+            round_index=round_index,
+            train=False,
+            record=False,
+        )
+        rewards = [r.reward for r in records]
+        powers = [r.power_w for r in records]
+        ips_values = [r.ips for r in records]
+        frequencies = [r.frequency_hz for r in records]
+        mean_ips = fmean(ips_values)
+        total_instructions = environment.device.application(
+            application
+        ).total_instructions
+        violations = sum(
+            1 for p in powers if p > self.config.power_limit_w
+        ) / len(powers)
+        return AppEvaluation(
+            device=device_name,
+            application=application,
+            round_index=round_index,
+            reward_mean=fmean(rewards),
+            power_mean_w=fmean(powers),
+            ips_mean=mean_ips,
+            exec_time_s=total_instructions / mean_ips,
+            frequency_mean_hz=fmean(frequencies),
+            frequency_std_hz=pstdev(frequencies),
+            violation_rate=violations,
+        )

@@ -1,0 +1,81 @@
+"""Fig. 2 — the reward-signal landscape.
+
+Reproduces the paper's visualisation of Eq. (4): for each of the
+processor's 15 frequency levels, the reward as a function of measured
+power for ``P_crit = 0.6 W`` and ``k_offset = 0.05 W``. Below the
+constraint each level's reward is its normalised frequency; the bands
+above the constraint collapse all levels onto the same penalty ramp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.rl.rewards import PowerEfficiencyReward
+from repro.sim.opp import JETSON_NANO_OPP_TABLE, OPPTable
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Reward curves per frequency level over a power grid."""
+
+    power_grid_w: List[float]
+    rewards_by_level: Dict[int, List[float]]
+    frequencies_mhz: Dict[int, float]
+    power_limit_w: float
+    offset_w: float
+
+    def format(self) -> str:
+        """The landscape as a table: one row per power value, one
+        column per (subsampled) frequency level."""
+        level_indices = sorted(self.rewards_by_level)
+        shown = level_indices[:: max(1, len(level_indices) // 5)]
+        if level_indices[-1] not in shown:
+            shown.append(level_indices[-1])
+        headers = ["P [W]"] + [f"f={self.frequencies_mhz[i]:.0f}MHz" for i in shown]
+        rows = []
+        for row_index, power in enumerate(self.power_grid_w):
+            rows.append(
+                [power]
+                + [self.rewards_by_level[i][row_index] for i in shown]
+            )
+        title = (
+            f"Fig. 2 — reward distribution, P_crit={self.power_limit_w} W, "
+            f"k_offset={self.offset_w} W"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def run_fig2(
+    opp_table: OPPTable = JETSON_NANO_OPP_TABLE,
+    power_limit_w: float = 0.6,
+    offset_w: float = 0.05,
+    power_min_w: float = 0.3,
+    power_max_w: float = 0.8,
+    num_points: int = 26,
+) -> Fig2Result:
+    """Sweep Eq. (4) over power for every frequency level."""
+    reward = PowerEfficiencyReward(
+        max_frequency_hz=opp_table.max_frequency_hz,
+        power_limit_w=power_limit_w,
+        offset_w=offset_w,
+    )
+    power_grid = np.linspace(power_min_w, power_max_w, num_points)
+    rewards_by_level: Dict[int, List[float]] = {}
+    frequencies_mhz: Dict[int, float] = {}
+    for point in opp_table:
+        rewards_by_level[point.index] = [
+            reward(point.frequency_hz, float(p)) for p in power_grid
+        ]
+        frequencies_mhz[point.index] = point.frequency_hz / 1e6
+    return Fig2Result(
+        power_grid_w=[float(p) for p in power_grid],
+        rewards_by_level=rewards_by_level,
+        frequencies_mhz=frequencies_mhz,
+        power_limit_w=power_limit_w,
+        offset_w=offset_w,
+    )

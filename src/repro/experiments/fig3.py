@@ -1,0 +1,138 @@
+"""Fig. 3 — local-only vs federated evaluation reward per round.
+
+For each Table II scenario this harness trains (a) one federated policy
+across both devices and (b) two local-only policies, then reports each
+policy's mean greedy-evaluation reward per round over all twelve
+applications. The paper's headline from this figure: local-only falls
+short of federated by 57 % on average, and in every scenario one
+local-only policy "stands out negatively".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean
+from typing import Dict, List
+
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.scenarios import SCENARIOS, scenario_applications
+from repro.experiments.training import (
+    TrainingResult,
+    train_federated,
+    train_local_only,
+)
+from repro.utils.ascii_plot import line_plot
+from repro.utils.tables import format_series, format_table
+
+
+@dataclass(frozen=True)
+class ScenarioCurves:
+    """Per-round evaluation reward curves for one scenario."""
+
+    scenario: int
+    local_series: Dict[str, List[float]]
+    federated_series: Dict[str, List[float]]
+    local_result: TrainingResult
+    federated_result: TrainingResult
+
+    def local_mean(self) -> float:
+        return fmean(v for series in self.local_series.values() for v in series)
+
+    def federated_mean(self) -> float:
+        return fmean(v for series in self.federated_series.values() for v in series)
+
+    def worst_local_device(self) -> str:
+        """The local policy that "stands out negatively"."""
+        return min(self.local_series, key=lambda d: fmean(self.local_series[d]))
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """All scenarios' curves plus the headline comparison."""
+
+    curves: List[ScenarioCurves]
+
+    def local_shortfall_percent(self) -> float:
+        """How far local-only falls short of federated (paper: 57 %)."""
+        federated = fmean(c.federated_mean() for c in self.curves)
+        local = fmean(c.local_mean() for c in self.curves)
+        return 100.0 * (federated - local) / abs(federated)
+
+    def format(self) -> str:
+        sections = ["Fig. 3 — evaluation reward per round (greedy policy)"]
+        summary_rows = []
+        for curve in self.curves:
+            for device, series in sorted(curve.local_series.items()):
+                sections.append(
+                    format_series(
+                        f"scenario {curve.scenario} local-only {device}", series
+                    )
+                )
+            for device, series in sorted(curve.federated_series.items()):
+                sections.append(
+                    format_series(
+                        f"scenario {curve.scenario} federated {device}", series
+                    )
+                )
+            plot_series = {
+                f"local {device}": series
+                for device, series in sorted(curve.local_series.items())
+            }
+            plot_series["federated"] = [
+                fmean(values)
+                for values in zip(*curve.federated_series.values())
+            ]
+            sections.append(
+                line_plot(
+                    plot_series,
+                    title=f"scenario {curve.scenario}: evaluation reward per round",
+                    y_min=-1.0,
+                    y_max=1.0,
+                )
+            )
+            summary_rows.append(
+                [
+                    curve.scenario,
+                    curve.local_mean(),
+                    curve.federated_mean(),
+                    curve.worst_local_device(),
+                ]
+            )
+        sections.append(
+            format_table(
+                ["scenario", "local mean", "federated mean", "worst local"],
+                summary_rows,
+                title="Summary",
+            )
+        )
+        sections.append(
+            f"Local-only shortfall vs federated: "
+            f"{self.local_shortfall_percent():.0f} % (paper: 57 %)"
+        )
+        return "\n\n".join(sections)
+
+
+def run_fig3(
+    config: FederatedPowerControlConfig,
+    scenarios: List[int] = None,
+) -> Fig3Result:
+    """Train and evaluate every scenario in both settings."""
+    curves: List[ScenarioCurves] = []
+    for scenario in scenarios or sorted(SCENARIOS):
+        assignments = scenario_applications(scenario)
+        federated = train_federated(assignments, config)
+        local = train_local_only(assignments, config)
+        curves.append(
+            ScenarioCurves(
+                scenario=scenario,
+                local_series={
+                    device: local.eval_series(device) for device in assignments
+                },
+                federated_series={
+                    device: federated.eval_series(device) for device in assignments
+                },
+                local_result=local,
+                federated_result=federated,
+            )
+        )
+    return Fig3Result(curves=curves)

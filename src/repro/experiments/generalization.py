@@ -1,0 +1,106 @@
+"""Generalisation to never-seen workloads (extension).
+
+The paper evaluates on the twelve SPLASH-2 applications, all of which
+at least one federated device saw during training (Fig. 5 setting).
+The sharper question for deployment — the introduction's "even for
+unseen applications" claim — is how the policy behaves on workloads
+*no* device ever executed. This experiment trains the federated policy
+on the six-app split, then evaluates it greedily on (a) the twelve
+training-distribution apps and (b) a suite of randomly generated
+synthetic applications spanning the compute/memory spectrum, and
+compares reward, power and violation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.evaluation import PolicyEvaluator
+from repro.experiments.scenarios import six_app_split
+from repro.experiments.training import train_federated
+from repro.sim.generator import random_application_suite
+from repro.sim.workload import SPLASH2_APPLICATION_NAMES
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class GeneralizationResult:
+    """Seen-suite vs unseen-suite evaluation of one trained policy."""
+
+    seen_reward: float
+    seen_power_w: float
+    seen_violations: float
+    unseen_reward: float
+    unseen_power_w: float
+    unseen_violations: float
+    per_unseen_app: List[Tuple[str, float, float]]
+    power_limit_w: float
+
+    def reward_gap(self) -> float:
+        """How much reward generalisation costs (seen minus unseen)."""
+        return self.seen_reward - self.unseen_reward
+
+    def unseen_stays_safe(self, tolerance: float = 0.10) -> bool:
+        """Average power under the budget and violations bounded."""
+        return (
+            self.unseen_power_w <= self.power_limit_w
+            and self.unseen_violations <= tolerance
+        )
+
+    def format(self) -> str:
+        summary = format_table(
+            ["suite", "reward", "power [W]", "violations"],
+            [
+                ["SPLASH-2 (training distribution)", self.seen_reward,
+                 self.seen_power_w, self.seen_violations],
+                ["synthetic (never seen)", self.unseen_reward,
+                 self.unseen_power_w, self.unseen_violations],
+            ],
+            title="Generalisation — trained policy on unseen workloads",
+        )
+        detail = format_table(
+            ["unseen application", "reward", "power [W]"],
+            [list(row) for row in self.per_unseen_app],
+            title="Per-application detail (synthetic suite)",
+        )
+        gap = (
+            f"Generalisation gap: {self.reward_gap():+.3f} reward; "
+            f"unseen suite stays power-safe: {self.unseen_stays_safe()}"
+        )
+        return f"{summary}\n\n{detail}\n{gap}"
+
+
+def run_generalization(
+    config: FederatedPowerControlConfig, num_unseen: int = 8
+) -> GeneralizationResult:
+    """Train on SPLASH-2, evaluate on random synthetic applications."""
+    federated = train_federated(six_app_split(), config)
+    controller = federated.controllers[next(iter(federated.controllers))]
+
+    seen_evaluator = PolicyEvaluator(
+        ["generalization-eval"], config, SPLASH2_APPLICATION_NAMES, seed_path=870
+    )
+    unseen_suite = random_application_suite(num_unseen, seed=config.seed + 1)
+    unseen_evaluator = PolicyEvaluator(
+        ["generalization-eval"], config, unseen_suite, seed_path=871
+    )
+
+    seen = seen_evaluator.evaluate({"generalization-eval": controller}, 0)
+    unseen = unseen_evaluator.evaluate({"generalization-eval": controller}, 0)
+
+    per_unseen = [
+        (e.application, e.reward_mean, e.power_mean_w)
+        for e in sorted(unseen.evaluations, key=lambda e: e.application)
+    ]
+    return GeneralizationResult(
+        seen_reward=seen.overall_mean("reward_mean"),
+        seen_power_w=seen.overall_mean("power_mean_w"),
+        seen_violations=seen.overall_mean("violation_rate"),
+        unseen_reward=unseen.overall_mean("reward_mean"),
+        unseen_power_w=unseen.overall_mean("power_mean_w"),
+        unseen_violations=unseen.overall_mean("violation_rate"),
+        per_unseen_app=per_unseen,
+        power_limit_w=config.power_limit_w,
+    )

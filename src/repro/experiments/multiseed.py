@@ -1,0 +1,120 @@
+"""Multi-seed statistics for the headline comparison.
+
+The paper reports one training run per configuration. A single run of
+an RL system can be lucky or unlucky, so this experiment repeats the
+scenario-2 federated-vs-local comparison across several root seeds and
+reports mean ± standard deviation of the key metrics — establishing
+that the paper's qualitative claim is robust to the random seed, not an
+artifact of one roll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from statistics import fmean, pstdev
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.scenarios import scenario_applications
+from repro.experiments.training import train_federated, train_local_only
+from repro.utils.tables import format_table
+
+#: Reported metrics: (short label, TrainingResult metric name).
+_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("reward", "reward_mean"),
+    ("power", "power_mean_w"),
+    ("violations", "violation_rate"),
+)
+
+
+@dataclass(frozen=True)
+class SeedStatistics:
+    """Mean and spread of one metric for one system across seeds."""
+
+    system: str
+    metric: str
+    mean: float
+    std: float
+    values: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class MultiSeedResult:
+    scenario: int
+    seeds: Tuple[int, ...]
+    statistics: List[SeedStatistics]
+
+    def get(self, system: str, metric: str) -> SeedStatistics:
+        for stat in self.statistics:
+            if stat.system == system and stat.metric == metric:
+                return stat
+        raise KeyError((system, metric))
+
+    def federated_wins_every_seed(self) -> bool:
+        """True if federated reward beats local-only at every seed."""
+        federated = self.get("federated", "reward").values
+        local = self.get("local-only", "reward").values
+        return all(f > l for f, l in zip(federated, local))
+
+    def format(self) -> str:
+        rows = [
+            [stat.system, stat.metric, stat.mean, stat.std]
+            for stat in self.statistics
+        ]
+        table = format_table(
+            ["system", "metric", "mean", "std"],
+            rows,
+            title=(
+                f"Multi-seed robustness — scenario {self.scenario}, "
+                f"{len(self.seeds)} seeds (converged rounds)"
+            ),
+        )
+        verdict = (
+            f"Federated beats local-only on reward at every seed: "
+            f"{self.federated_wins_every_seed()}"
+        )
+        return f"{table}\n{verdict}"
+
+
+def run_multiseed(
+    config: FederatedPowerControlConfig,
+    seeds: Sequence[int] = (1, 2, 3),
+    scenario: int = 2,
+    last_rounds: int = 3,
+) -> MultiSeedResult:
+    """Repeat federated and local-only training across ``seeds``."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+
+    assignments = scenario_applications(scenario)
+    collected: Dict[Tuple[str, str], List[float]] = {
+        (system, label): []
+        for system in ("federated", "local-only")
+        for label, _ in _METRICS
+    }
+    for seed in seeds:
+        seeded = replace(config, seed=seed)
+        runs = {
+            "federated": train_federated(assignments, seeded),
+            "local-only": train_local_only(assignments, seeded),
+        }
+        for system, result in runs.items():
+            for label, metric in _METRICS:
+                collected[(system, label)].append(
+                    result.mean_metric(metric, last_rounds=last_rounds)
+                )
+
+    statistics = [
+        SeedStatistics(
+            system=system,
+            metric=label,
+            mean=fmean(values),
+            std=pstdev(values) if len(values) > 1 else 0.0,
+            values=tuple(values),
+        )
+        for (system, label), values in collected.items()
+    ]
+    return MultiSeedResult(
+        scenario=scenario, seeds=tuple(seeds), statistics=statistics
+    )

@@ -1,0 +1,297 @@
+"""Experiment registry: one runnable per paper artefact and ablation.
+
+Maps stable experiment ids (the ones DESIGN.md and the benchmarks use)
+to runner callables. Every runner takes a
+:class:`~repro.experiments.config.FederatedPowerControlConfig` and
+returns printable text, so the CLI, the benchmarks and EXPERIMENTS.md
+all share one code path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.experiments.ablations import (
+    run_async_comparison,
+    run_client_scaling,
+    run_compression,
+    run_heterogeneous_budgets,
+    run_multicore,
+    run_prioritized_replay,
+    run_privacy_noise,
+    run_transition_overhead,
+    run_governor_comparison,
+    run_loss_ablation,
+    run_participation,
+    run_temperature_sensitivity,
+    run_thermal_ablation,
+    run_weighted_averaging,
+)
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.adaptation import run_adaptation
+from repro.experiments.generalization import run_generalization
+from repro.experiments.multiseed import run_multiseed
+from repro.experiments.overhead import run_overhead
+from repro.experiments.regret import run_regret
+from repro.experiments.sweep import run_learning_rate_sweep
+from repro.experiments.table3 import run_table3
+from repro.utils.tables import format_table
+
+#: Environment variable that switches benchmarks to the full paper scale.
+FULL_SCALE_ENV = "REPRO_FULL_SCALE"
+
+
+def paper_config(seed: int = 2025) -> FederatedPowerControlConfig:
+    """The exact Table-I configuration (100 rounds x 100 steps)."""
+    return FederatedPowerControlConfig(seed=seed)
+
+
+def smoke_config(seed: int = 2025) -> FederatedPowerControlConfig:
+    """A proportionally scaled-down schedule for fast benchmark runs.
+
+    25 rounds x 100 steps with the exploration horizon rescaled, every
+    5th round evaluated with 8 greedy steps per application — the full
+    pipeline end to end in roughly a second per training run.
+    """
+    config = FederatedPowerControlConfig(seed=seed).scaled(
+        rounds=25, steps_per_round=100
+    )
+    return replace(config, eval_every_rounds=5, eval_steps_per_app=8)
+
+
+def active_config(seed: int = 2025) -> FederatedPowerControlConfig:
+    """Paper scale when ``REPRO_FULL_SCALE`` is set, smoke scale otherwise."""
+    if os.environ.get(FULL_SCALE_ENV):
+        return replace(paper_config(seed), eval_every_rounds=2)
+    return smoke_config(seed)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment."""
+
+    experiment_id: str
+    description: str
+    paper_artifact: str
+    runner: Callable[[FederatedPowerControlConfig], str]
+
+
+def _table1_runner(config: FederatedPowerControlConfig) -> str:
+    return format_table(
+        ["Parameter", "Value"],
+        [[name, value] for name, value in config.as_table_rows()],
+        title="Table I — parameters of the federated power control",
+    )
+
+
+def _table2_runner(config: FederatedPowerControlConfig) -> str:
+    from repro.experiments.scenarios import SCENARIOS
+
+    rows = []
+    for scenario, assignment in sorted(SCENARIOS.items()):
+        for device, apps in sorted(assignment.items()):
+            rows.append([scenario, device, ", ".join(apps)])
+    return format_table(
+        ["Scenario", "Device", "Training applications"],
+        rows,
+        title="Table II — disjunct training sets",
+    )
+
+
+_SPECS: List[ExperimentSpec] = [
+    ExperimentSpec(
+        "table1",
+        "Hyper-parameters of the technique",
+        "Table I",
+        _table1_runner,
+    ),
+    ExperimentSpec(
+        "table2",
+        "Training-application assignment per scenario",
+        "Table II",
+        _table2_runner,
+    ),
+    ExperimentSpec(
+        "fig2",
+        "Reward-signal landscape over power and frequency",
+        "Fig. 2",
+        lambda config: run_fig2(
+            power_limit_w=config.power_limit_w, offset_w=config.power_offset_w
+        ).format(),
+    ),
+    ExperimentSpec(
+        "fig3",
+        "Local-only vs federated evaluation reward per round",
+        "Fig. 3",
+        lambda config: run_fig3(config).format(),
+    ),
+    ExperimentSpec(
+        "fig4",
+        "Frequency-selection statistics, scenario 2",
+        "Fig. 4",
+        lambda config: run_fig4(config).format(),
+    ),
+    ExperimentSpec(
+        "table3",
+        "Ours vs Profit+CollabPolicy, scenario averages",
+        "Table III",
+        lambda config: run_table3(config).format(),
+    ),
+    ExperimentSpec(
+        "fig5",
+        "Per-application comparison, six training apps per device",
+        "Fig. 5",
+        lambda config: run_fig5(config).format(),
+    ),
+    ExperimentSpec(
+        "overhead",
+        "Controller latency, communication and storage overhead",
+        "Section IV-C",
+        lambda config: run_overhead(config).format(),
+    ),
+    ExperimentSpec(
+        "adaptation",
+        "Recovery after an unannounced workload shift",
+        "extension",
+        lambda config: run_adaptation(config).format(),
+    ),
+    ExperimentSpec(
+        "generalization",
+        "Trained policy on randomly generated unseen workloads",
+        "extension",
+        lambda config: run_generalization(config).format(),
+    ),
+    ExperimentSpec(
+        "multiseed",
+        "Federated vs local-only across random seeds (mean +/- std)",
+        "extension",
+        lambda config: run_multiseed(config).format(),
+    ),
+    ExperimentSpec(
+        "sweep_lr",
+        "Learning-rate sweep around the Table-I value",
+        "extension",
+        lambda config: run_learning_rate_sweep(config).format(),
+    ),
+    ExperimentSpec(
+        "regret",
+        "Per-application regret of the federated policy vs the exact oracle",
+        "extension",
+        lambda config: run_regret(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_clients",
+        "Federated reward vs number of devices",
+        "extension",
+        lambda config: run_client_scaling(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_weighted",
+        "Unweighted vs weighted federated averaging",
+        "extension",
+        lambda config: run_weighted_averaging(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_participation",
+        "Full vs partial client participation",
+        "extension",
+        lambda config: run_participation(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_temperature",
+        "Sensitivity to the softmax-temperature decay",
+        "extension",
+        lambda config: run_temperature_sensitivity(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_loss",
+        "Huber vs MSE training loss",
+        "extension",
+        lambda config: run_loss_ablation(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_governors",
+        "Learned policy vs OS governors",
+        "extension",
+        lambda config: run_governor_comparison(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_privacy",
+        "DP-noise on uploads: privacy/utility trade-off",
+        "extension",
+        lambda config: run_privacy_noise(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_multicore",
+        "One controller for the four-core shared-clock cluster",
+        "extension",
+        lambda config: run_multicore(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_async",
+        "Synchronous (paper) vs staleness-aware async aggregation",
+        "extension",
+        lambda config: run_async_comparison(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_replay",
+        "Uniform vs prioritised experience replay",
+        "extension",
+        lambda config: run_prioritized_replay(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_transition",
+        "Cost of non-zero DVFS transition overhead",
+        "extension",
+        lambda config: run_transition_overhead(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_hetero_budget",
+        "Shared vs per-device power budgets under one averaged policy",
+        "extension",
+        lambda config: run_heterogeneous_budgets(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_compression",
+        "Float32 vs int8-quantised model exchange",
+        "extension",
+        lambda config: run_compression(config).format(),
+    ),
+    ExperimentSpec(
+        "ablation_thermal",
+        "Cost of neglecting thermal-leakage coupling",
+        "extension",
+        lambda config: run_thermal_ablation(config).format(),
+    ),
+]
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec for spec in _SPECS
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up a registered experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def list_experiments() -> str:
+    """A formatted catalogue of every registered experiment."""
+    rows = [
+        [spec.experiment_id, spec.paper_artifact, spec.description]
+        for spec in _SPECS
+    ]
+    return format_table(["id", "artifact", "description"], rows,
+                        title="Registered experiments")

@@ -1,0 +1,51 @@
+"""Training-application assignments (Table II and the Fig. 5 split).
+
+Each scenario gives every device a *disjunct* two-application training
+set; evaluation always covers all twelve SPLASH-2 applications. The
+six-application split of Section IV-B assigns half the suite to each
+device so that "every application used in the evaluation has been seen
+during training by one of the two devices".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.workload import SPLASH2_APPLICATION_NAMES
+
+DEVICE_A = "device-A"
+DEVICE_B = "device-B"
+
+#: Table II — applications per device for the three scenarios.
+SCENARIOS: Dict[int, Dict[str, Tuple[str, str]]] = {
+    1: {DEVICE_A: ("fft", "lu"), DEVICE_B: ("raytrace", "volrend")},
+    2: {DEVICE_A: ("water-ns", "water-sp"), DEVICE_B: ("ocean", "radix")},
+    3: {DEVICE_A: ("fmm", "radiosity"), DEVICE_B: ("barnes", "cholesky")},
+}
+
+
+def scenario_applications(scenario: int) -> Dict[str, Tuple[str, ...]]:
+    """Per-device training applications for a Table II scenario."""
+    if scenario not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario {scenario}; available: {sorted(SCENARIOS)}"
+        )
+    return {device: tuple(apps) for device, apps in SCENARIOS[scenario].items()}
+
+
+def six_app_split() -> Dict[str, Tuple[str, ...]]:
+    """The Fig. 5 split: six training applications per device.
+
+    Applications alternate between devices in suite order, so each
+    device sees a mix of compute- and memory-bound workloads and all
+    twelve are covered.
+    """
+    device_a = tuple(SPLASH2_APPLICATION_NAMES[0::2])
+    device_b = tuple(SPLASH2_APPLICATION_NAMES[1::2])
+    return {DEVICE_A: device_a, DEVICE_B: device_b}
+
+
+def evaluation_applications() -> Tuple[str, ...]:
+    """All twelve applications, the paper's evaluation set."""
+    return tuple(SPLASH2_APPLICATION_NAMES)

@@ -1,0 +1,92 @@
+"""Generic hyper-parameter sweep utility.
+
+Table I fixes one operating point in a large hyper-parameter space;
+:func:`sweep_config_field` retrains the federated system while varying
+any single :class:`FederatedPowerControlConfig` field and tabulates the
+converged evaluation metrics, so a user adopting the library on a new
+platform can re-tune systematically instead of trusting the paper's
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.scenarios import scenario_applications
+from repro.experiments.training import train_federated
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Converged metrics at one setting of the swept field."""
+
+    value: object
+    reward: float
+    power_w: float
+    violation_rate: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    field: str
+    points: List[SweepPoint]
+
+    def best(self) -> SweepPoint:
+        """The setting with the highest converged reward."""
+        return max(self.points, key=lambda p: p.reward)
+
+    def format(self) -> str:
+        return format_table(
+            [self.field, "reward", "power [W]", "violations"],
+            [
+                [point.value, point.reward, point.power_w, point.violation_rate]
+                for point in self.points
+            ],
+            title=f"Sweep over {self.field} (federated, converged rounds)",
+        )
+
+
+def sweep_config_field(
+    config: FederatedPowerControlConfig,
+    field: str,
+    values: Sequence[object],
+    scenario: int = 2,
+    assignments: Optional[Dict[str, Tuple[str, ...]]] = None,
+    last_rounds: int = 3,
+) -> SweepResult:
+    """Retrain federated power control for each setting of ``field``."""
+    if not values:
+        raise ConfigurationError("values must be non-empty")
+    if not hasattr(config, field):
+        raise ConfigurationError(
+            f"{field!r} is not a FederatedPowerControlConfig field"
+        )
+    workloads = assignments or scenario_applications(scenario)
+    points: List[SweepPoint] = []
+    for value in values:
+        varied = replace(config, **{field: value})
+        result = train_federated(workloads, varied)
+        points.append(
+            SweepPoint(
+                value=value,
+                reward=result.mean_metric("reward_mean", last_rounds=last_rounds),
+                power_w=result.mean_metric("power_mean_w", last_rounds=last_rounds),
+                violation_rate=result.mean_metric(
+                    "violation_rate", last_rounds=last_rounds
+                ),
+            )
+        )
+    return SweepResult(field=field, points=points)
+
+
+def run_learning_rate_sweep(
+    config: FederatedPowerControlConfig,
+    values: Sequence[float] = (0.001, 0.005, 0.02),
+) -> SweepResult:
+    """The registry's demo sweep: the Adam learning rate around the
+    paper's 0.005."""
+    return sweep_config_field(config, "learning_rate", values)

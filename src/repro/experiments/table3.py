@@ -1,0 +1,129 @@
+"""Table III — comparison with the state of the art.
+
+Trains our federated power control and the Profit+CollabPolicy baseline
+on each Table II scenario and reports the evaluation averages of the
+three externally measurable metrics — execution time (latency view),
+IPS (throughput view) and power — averaged over all three scenarios,
+exactly as the paper's Table III does. Reward signals are *not*
+compared directly because the two techniques optimise differently
+scaled rewards (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean
+from typing import Dict, List
+
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.scenarios import SCENARIOS, scenario_applications
+from repro.experiments.training import (
+    TrainingResult,
+    train_collab_profit,
+    train_federated,
+)
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Scenario-averaged metrics for both techniques."""
+
+    ours_exec_time_s: float
+    ours_ips: float
+    ours_power_w: float
+    baseline_exec_time_s: float
+    baseline_ips: float
+    baseline_power_w: float
+    per_scenario: Dict[int, Dict[str, TrainingResult]]
+    power_limit_w: float
+
+    def exec_time_reduction_percent(self) -> float:
+        """Paper: ours reduces execution time by 20 %."""
+        return 100.0 * (
+            (self.baseline_exec_time_s - self.ours_exec_time_s)
+            / self.baseline_exec_time_s
+        )
+
+    def ips_increase_percent(self) -> float:
+        """Paper: ours increases IPS by 17 %."""
+        return 100.0 * (self.ours_ips - self.baseline_ips) / self.baseline_ips
+
+    def power_increase_percent(self) -> float:
+        """Paper: ours runs 9 % closer to the constraint."""
+        return 100.0 * (self.ours_power_w - self.baseline_power_w) / self.baseline_power_w
+
+    def both_respect_constraint(self) -> bool:
+        """Both techniques keep *average* power below P_crit."""
+        return (
+            self.ours_power_w <= self.power_limit_w
+            and self.baseline_power_w <= self.power_limit_w
+        )
+
+    def format(self) -> str:
+        rows = [
+            [
+                "Exec. Time [s]",
+                self.ours_exec_time_s,
+                self.baseline_exec_time_s,
+                f"{-self.exec_time_reduction_percent():+.0f} %",
+            ],
+            [
+                "IPS [x10^6]",
+                self.ours_ips / 1e6,
+                self.baseline_ips / 1e6,
+                f"{self.ips_increase_percent():+.0f} %",
+            ],
+            [
+                "Power [W]",
+                self.ours_power_w,
+                self.baseline_power_w,
+                f"{self.power_increase_percent():+.0f} %",
+            ],
+        ]
+        table = format_table(
+            ["Category", "Ours", "Profit+CollabPolicy", "Ours vs SOTA"],
+            rows,
+            title="Table III — comparison with the state of the art "
+            "(average over the three scenarios)",
+        )
+        constraint = (
+            f"Both below P_crit={self.power_limit_w} W: "
+            f"{self.both_respect_constraint()}"
+        )
+        return f"{table}\n{constraint}"
+
+
+def run_table3(
+    config: FederatedPowerControlConfig,
+    scenarios: List[int] = None,
+    last_rounds: int = None,
+) -> Table3Result:
+    """Train both techniques per scenario and average the metrics.
+
+    ``last_rounds`` restricts the average to the trailing rounds
+    (converged policies); ``None`` averages every evaluation round as
+    the paper does.
+    """
+    per_scenario: Dict[int, Dict[str, TrainingResult]] = {}
+    ours_metrics = {"exec_time_s": [], "ips_mean": [], "power_mean_w": []}
+    base_metrics = {"exec_time_s": [], "ips_mean": [], "power_mean_w": []}
+    for scenario in scenarios or sorted(SCENARIOS):
+        assignments = scenario_applications(scenario)
+        ours = train_federated(assignments, config)
+        baseline = train_collab_profit(assignments, config)
+        per_scenario[scenario] = {"ours": ours, "baseline": baseline}
+        for metric in ours_metrics:
+            ours_metrics[metric].append(ours.mean_metric(metric, last_rounds))
+            base_metrics[metric].append(baseline.mean_metric(metric, last_rounds))
+
+    return Table3Result(
+        ours_exec_time_s=fmean(ours_metrics["exec_time_s"]),
+        ours_ips=fmean(ours_metrics["ips_mean"]),
+        ours_power_w=fmean(ours_metrics["power_mean_w"]),
+        baseline_exec_time_s=fmean(base_metrics["exec_time_s"]),
+        baseline_ips=fmean(base_metrics["ips_mean"]),
+        baseline_power_w=fmean(base_metrics["power_mean_w"]),
+        per_scenario=per_scenario,
+        power_limit_w=config.power_limit_w,
+    )

@@ -1,0 +1,360 @@
+"""Training drivers for the three compared systems.
+
+* :func:`train_federated` — the paper's technique: Algorithm 1 on every
+  device, Algorithm 2 across them, evaluation of the aggregated global
+  policy after each round.
+* :func:`train_local_only` — the same agents with no collaboration
+  (the Section IV-A baseline).
+* :func:`train_collab_profit` — Profit + CollabPolicy, the tabular
+  state-of-the-art baseline of Section IV-B.
+
+All three produce a :class:`TrainingResult` with per-round evaluations,
+so every figure/table module consumes one uniform structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control.base import PowerController
+from repro.control.neural import NeuralPowerController, build_neural_controller
+from repro.control.profit import CollabProfitController, build_profit_controller
+from repro.control.runtime import ControlSession
+from repro.errors import ConfigurationError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.evaluation import PolicyEvaluator, RoundEvaluation
+from repro.experiments.scenarios import evaluation_applications
+from repro.federated.client import FederatedClient
+from repro.federated.collab import CollabPolicyServer
+from repro.federated.orchestrator import run_federated_training
+from repro.federated.server import FederatedServer
+from repro.federated.transport import InMemoryTransport
+from repro.rl.schedules import ExponentialDecaySchedule
+from repro.sim.device import DeviceEnvironment, build_default_device
+from repro.sim.trace import TraceRecorder
+from repro.utils.rng import generator_from_root
+
+#: Bytes per CollabPolicy digest entry on the wire (4 x 4-byte key
+#: fields + 1-byte action + 4-byte reward + 4-byte count).
+_COLLAB_ENTRY_BYTES = 25
+
+
+@dataclass
+class TrainingResult:
+    """Everything a figure or table needs from one training run."""
+
+    name: str
+    assignments: Dict[str, Tuple[str, ...]]
+    controllers: Dict[str, PowerController]
+    round_evaluations: List[RoundEvaluation] = field(default_factory=list)
+    train_trace: TraceRecorder = field(default_factory=TraceRecorder)
+    communication_bytes: int = 0
+    mean_decision_latency_s: float = 0.0
+
+    @property
+    def device_names(self) -> List[str]:
+        return list(self.assignments)
+
+    def eval_series(self, device: str, metric: str = "reward_mean") -> List[float]:
+        """Per-round series of a device's mean evaluation metric."""
+        return [re.device_mean(device, metric) for re in self.round_evaluations]
+
+    def mean_metric(self, metric: str, last_rounds: Optional[int] = None) -> float:
+        """Mean of a metric over all devices/apps and (trailing) rounds."""
+        rounds = self.round_evaluations
+        if last_rounds is not None:
+            rounds = rounds[-last_rounds:]
+        if not rounds:
+            raise ConfigurationError(f"run {self.name!r} recorded no evaluations")
+        return fmean(re.overall_mean(metric) for re in rounds)
+
+    def per_application_mean(self, metric: str) -> Dict[str, float]:
+        """Mean of a metric per application across devices and rounds
+        ("the average for each application in all evaluation rounds",
+        Fig. 5)."""
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for round_eval in self.round_evaluations:
+            for evaluation in round_eval.evaluations:
+                app = evaluation.application
+                sums[app] = sums.get(app, 0.0) + getattr(evaluation, metric)
+                counts[app] = counts.get(app, 0) + 1
+        if not sums:
+            raise ConfigurationError(f"run {self.name!r} recorded no evaluations")
+        return {app: sums[app] / counts[app] for app in sums}
+
+
+def _build_training_environments(
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+) -> Dict[str, DeviceEnvironment]:
+    environments: Dict[str, DeviceEnvironment] = {}
+    for index, (device_name, apps) in enumerate(assignments.items()):
+        device = build_default_device(
+            device_name,
+            list(apps),
+            seed=generator_from_root(config.seed, 1, index),
+            mean_dwell_steps=config.mean_dwell_steps,
+            power_noise_std_w=config.power_noise_std_w,
+            counter_noise_relative_std=config.counter_noise_relative_std,
+            workload_jitter=config.workload_jitter,
+        )
+        environments[device_name] = DeviceEnvironment(
+            device, control_interval_s=config.control_interval_s
+        )
+    return environments
+
+
+def _temperature_schedule(config: FederatedPowerControlConfig) -> ExponentialDecaySchedule:
+    return ExponentialDecaySchedule(
+        initial=config.max_temperature,
+        rate=config.temperature_decay,
+        minimum=config.min_temperature,
+    )
+
+
+def _build_neural_controllers(
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    environments: Dict[str, DeviceEnvironment],
+) -> Dict[str, NeuralPowerController]:
+    controllers: Dict[str, NeuralPowerController] = {}
+    for index, device_name in enumerate(assignments):
+        opp_table = environments[device_name].device.opp_table
+        controllers[device_name] = build_neural_controller(
+            opp_table,
+            power_limit_w=config.power_limit_w,
+            offset_w=config.power_offset_w,
+            learning_rate=config.learning_rate,
+            hidden_layers=config.hidden_layers,
+            batch_size=config.batch_size,
+            update_interval=config.update_interval,
+            replay_capacity=config.replay_capacity,
+            temperature_schedule=_temperature_schedule(config),
+            seed=generator_from_root(config.seed, 2, index),
+        )
+    return controllers
+
+
+def _check_assignments(assignments: Dict[str, Tuple[str, ...]]) -> None:
+    if len(assignments) < 1:
+        raise ConfigurationError("need at least one device")
+    for device, apps in assignments.items():
+        if not apps:
+            raise ConfigurationError(f"device {device!r} has no training apps")
+
+
+def train_federated(
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_applications: Optional[Sequence[str]] = None,
+    participation_fraction: float = 1.0,
+    aggregation_weights: Optional[Dict[str, float]] = None,
+    codec=None,
+    client_codec=None,
+) -> TrainingResult:
+    """Run the paper's federated power control (Algorithms 1 + 2).
+
+    After each aggregation, the *global* policy is evaluated greedily
+    on every device across the evaluation application set. ``codec``
+    selects the model wire format for both endpoints (default: the
+    paper's float32; pass
+    :class:`repro.federated.codecs.QuantizedInt8Codec` for the
+    compression ablation). ``client_codec`` overrides the codec on the
+    clients only — e.g. a
+    :class:`repro.federated.codecs.DPGaussianCodec` that perturbs
+    uploads while broadcasts stay clean.
+    """
+    _check_assignments(assignments)
+    environments = _build_training_environments(assignments, config)
+    controllers = _build_neural_controllers(assignments, config, environments)
+    trace = TraceRecorder()
+    sessions = {
+        name: ControlSession(environments[name], controllers[name], trace=trace)
+        for name in assignments
+    }
+
+    transport = InMemoryTransport()
+    clients = [
+        FederatedClient(
+            name,
+            controllers[name].agent,
+            transport,
+            codec=client_codec if client_codec is not None else codec,
+        )
+        for name in assignments
+    ]
+    # The initial global model comes from a dedicated seed path so it is
+    # identical regardless of how many clients participate.
+    global_init = build_neural_controller(
+        next(iter(environments.values())).device.opp_table,
+        hidden_layers=config.hidden_layers,
+        seed=generator_from_root(config.seed, 3),
+    )
+    server = FederatedServer(
+        global_init.agent.get_parameters(), list(assignments), transport, codec=codec
+    )
+
+    eval_apps = tuple(eval_applications or evaluation_applications())
+    evaluator = PolicyEvaluator(list(assignments), config, eval_apps)
+    eval_controller = build_neural_controller(
+        next(iter(environments.values())).device.opp_table,
+        power_limit_w=config.power_limit_w,
+        offset_w=config.power_offset_w,
+        hidden_layers=config.hidden_layers,
+        seed=generator_from_root(config.seed, 4),
+    )
+    result = TrainingResult(
+        name="federated", assignments=dict(assignments), controllers=controllers
+    )
+
+    def trainer_for(device_name: str):
+        session = sessions[device_name]
+
+        def train(round_index: int) -> None:
+            session.run_steps(
+                config.steps_per_round, round_index=round_index, train=True
+            )
+
+        return train
+
+    def on_round_end(round_index: int, fed_server: FederatedServer) -> None:
+        if (round_index + 1) % config.eval_every_rounds != 0:
+            return
+        eval_controller.agent.set_parameters(fed_server.global_parameters)
+        result.round_evaluations.append(
+            evaluator.evaluate(
+                {name: eval_controller for name in assignments}, round_index
+            )
+        )
+
+    run_result = run_federated_training(
+        server,
+        clients,
+        {name: trainer_for(name) for name in assignments},
+        num_rounds=config.num_rounds,
+        on_round_end=on_round_end,
+        participation_fraction=participation_fraction,
+        aggregation_weights=aggregation_weights,
+        seed=generator_from_root(config.seed, 5),
+    )
+
+    result.train_trace = trace
+    result.communication_bytes = run_result.total_bytes_communicated
+    result.mean_decision_latency_s = fmean(
+        session.mean_decision_latency_s() for session in sessions.values()
+    )
+    return result
+
+
+def train_local_only(
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_applications: Optional[Sequence[str]] = None,
+) -> TrainingResult:
+    """Train the identical agents with no collaboration.
+
+    Each device's own policy is evaluated after every round — the
+    left-hand columns of Fig. 3.
+    """
+    _check_assignments(assignments)
+    environments = _build_training_environments(assignments, config)
+    controllers = _build_neural_controllers(assignments, config, environments)
+    trace = TraceRecorder()
+    sessions = {
+        name: ControlSession(environments[name], controllers[name], trace=trace)
+        for name in assignments
+    }
+    eval_apps = tuple(eval_applications or evaluation_applications())
+    evaluator = PolicyEvaluator(list(assignments), config, eval_apps)
+    result = TrainingResult(
+        name="local-only", assignments=dict(assignments), controllers=controllers
+    )
+
+    for round_index in range(config.num_rounds):
+        for session in sessions.values():
+            session.run_steps(
+                config.steps_per_round, round_index=round_index, train=True
+            )
+        if (round_index + 1) % config.eval_every_rounds == 0:
+            result.round_evaluations.append(
+                evaluator.evaluate(dict(controllers), round_index)
+            )
+
+    result.train_trace = trace
+    result.communication_bytes = 0
+    result.mean_decision_latency_s = fmean(
+        session.mean_decision_latency_s() for session in sessions.values()
+    )
+    return result
+
+
+def train_collab_profit(
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_applications: Optional[Sequence[str]] = None,
+) -> TrainingResult:
+    """Train the Profit+CollabPolicy baseline (Section IV-B).
+
+    Each round: local epsilon-greedy table learning, digest upload,
+    visit-count-weighted merge on the server, global-table download.
+    Communication bytes are accounted per digest/table entry.
+    """
+    _check_assignments(assignments)
+    environments = _build_training_environments(assignments, config)
+    controllers: Dict[str, CollabProfitController] = {}
+    for index, device_name in enumerate(assignments):
+        controller = build_profit_controller(
+            environments[device_name].device.opp_table,
+            power_limit_w=config.power_limit_w,
+            collaborative=True,
+            epsilon_schedule=ExponentialDecaySchedule(
+                initial=1.0, rate=config.temperature_decay, minimum=0.01
+            ),
+            seed=generator_from_root(config.seed, 6, index),
+        )
+        assert isinstance(controller, CollabProfitController)
+        controllers[device_name] = controller
+
+    trace = TraceRecorder()
+    sessions = {
+        name: ControlSession(environments[name], controllers[name], trace=trace)
+        for name in assignments
+    }
+    collab_server = CollabPolicyServer()
+    eval_apps = tuple(eval_applications or evaluation_applications())
+    evaluator = PolicyEvaluator(list(assignments), config, eval_apps)
+    result = TrainingResult(
+        name="profit-collab",
+        assignments=dict(assignments),
+        controllers=dict(controllers),
+    )
+    communication_bytes = 0
+
+    for round_index in range(config.num_rounds):
+        digests = []
+        for name in assignments:
+            sessions[name].run_steps(
+                config.steps_per_round, round_index=round_index, train=True
+            )
+            digest = controllers[name].digest()
+            digests.append(digest)
+            communication_bytes += len(digest) * _COLLAB_ENTRY_BYTES  # upload
+        collab_server.aggregate(digests)
+        global_table = collab_server.global_table()
+        for name in assignments:
+            controllers[name].install_global_table(global_table)
+            communication_bytes += len(global_table) * _COLLAB_ENTRY_BYTES  # download
+        if (round_index + 1) % config.eval_every_rounds == 0:
+            result.round_evaluations.append(
+                evaluator.evaluate(dict(controllers), round_index)
+            )
+
+    result.train_trace = trace
+    result.communication_bytes = communication_bytes
+    result.mean_decision_latency_s = fmean(
+        session.mean_decision_latency_s() for session in sessions.values()
+    )
+    return result

@@ -1,0 +1,44 @@
+"""Federated-learning layer.
+
+Implements the paper's collaborative training system (Algorithm 2):
+a synchronous, unweighted federated-averaging loop between ``N``
+device-resident power controllers and one aggregation server. Only
+model parameters cross device boundaries — the replay buffers (the raw
+performance-counter and power traces) never leave the clients, which is
+the privacy property motivating the work.
+
+Also hosts the *CollabPolicy* baseline aggregation [11]: per-state
+``(best action, average reward, visit count)`` sharing for the tabular
+Profit controller.
+"""
+
+from repro.federated.async_server import (
+    AsynchronousFederatedClient,
+    AsynchronousFederatedServer,
+    run_async_federated_training,
+)
+from repro.federated.averaging import federated_average
+from repro.federated.client import FederatedClient
+from repro.federated.codecs import DPGaussianCodec, Float32Codec, QuantizedInt8Codec
+from repro.federated.collab import CollabPolicyServer, GlobalPolicyEntry
+from repro.federated.orchestrator import FederatedRunResult, run_federated_training
+from repro.federated.server import FederatedServer
+from repro.federated.transport import InMemoryTransport, Message
+
+__all__ = [
+    "AsynchronousFederatedClient",
+    "AsynchronousFederatedServer",
+    "CollabPolicyServer",
+    "DPGaussianCodec",
+    "FederatedClient",
+    "FederatedRunResult",
+    "FederatedServer",
+    "Float32Codec",
+    "GlobalPolicyEntry",
+    "InMemoryTransport",
+    "Message",
+    "QuantizedInt8Codec",
+    "federated_average",
+    "run_async_federated_training",
+    "run_federated_training",
+]

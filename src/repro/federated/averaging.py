@@ -1,0 +1,74 @@
+"""Federated averaging (McMahan et al., 2017).
+
+The paper's aggregation is synchronous and *unweighted*: every client
+contributes equally (Section III-B, Algorithm 2 line 8:
+``theta_{r+1} = 1/N * sum(theta_r^n)``). A weighted variant is provided
+for the ablation that weights clients by local sample counts — the
+original FedAvg formulation — to quantify what the paper's
+simplification costs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FederationError
+
+
+def federated_average(
+    parameter_sets: Sequence[Sequence[np.ndarray]],
+    weights: Optional[Sequence[float]] = None,
+) -> List[np.ndarray]:
+    """Element-wise (weighted) mean of several models' parameters.
+
+    Parameters
+    ----------
+    parameter_sets:
+        One parameter list per client; all lists must align in length
+        and per-array shape.
+    weights:
+        Optional non-negative client weights; ``None`` gives the
+        paper's unweighted mean. Weights are normalised internally.
+    """
+    if not parameter_sets:
+        raise FederationError("cannot average zero parameter sets")
+    reference = parameter_sets[0]
+    for client_index, params in enumerate(parameter_sets):
+        if len(params) != len(reference):
+            raise FederationError(
+                f"client {client_index} has {len(params)} arrays, "
+                f"expected {len(reference)}"
+            )
+        for array_index, (array, ref) in enumerate(zip(params, reference)):
+            if np.shape(array) != np.shape(ref):
+                raise FederationError(
+                    f"client {client_index} array {array_index} has shape "
+                    f"{np.shape(array)}, expected {np.shape(ref)}"
+                )
+
+    if weights is None:
+        normalized = np.full(len(parameter_sets), 1.0 / len(parameter_sets))
+    else:
+        if len(weights) != len(parameter_sets):
+            raise FederationError(
+                f"{len(weights)} weights for {len(parameter_sets)} clients"
+            )
+        weight_array = np.asarray(weights, dtype=np.float64)
+        if np.any(weight_array < 0):
+            raise FederationError("weights must be non-negative")
+        total = weight_array.sum()
+        if total <= 0:
+            raise FederationError("weights must not all be zero")
+        normalized = weight_array / total
+
+    averaged: List[np.ndarray] = []
+    for array_index in range(len(reference)):
+        accumulator = np.zeros_like(np.asarray(reference[array_index], dtype=np.float64))
+        for client_index, params in enumerate(parameter_sets):
+            accumulator += normalized[client_index] * np.asarray(
+                params[array_index], dtype=np.float64
+            )
+        averaged.append(accumulator)
+    return averaged

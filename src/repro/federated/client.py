@@ -1,0 +1,88 @@
+"""The device-side federated client (Algorithm 2, client side).
+
+A thin shim between a learning agent and the transport: it installs the
+broadcast global model into the agent at the start of a round and ships
+the locally optimised parameters back at the end. Crucially it exposes
+*no* path for raw samples — only :meth:`send_local` exists, and it
+serialises parameters exclusively. The replay buffer stays inside the
+agent on the device, which is the privacy argument of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FederationError
+from repro.federated.codecs import Float32Codec
+from repro.federated.server import GLOBAL_MODEL_KIND, LOCAL_MODEL_KIND
+from repro.federated.transport import InMemoryTransport, Message
+from repro.rl.agent import NeuralBanditAgent
+
+
+class FederatedClient:
+    """One participating device's communication endpoint."""
+
+    def __init__(
+        self,
+        client_id: str,
+        agent: NeuralBanditAgent,
+        transport: InMemoryTransport,
+        server_id: str = "server",
+        codec=None,
+    ) -> None:
+        self.client_id = client_id
+        self.agent = agent
+        self.transport = transport
+        self.server_id = server_id
+        self.codec = codec if codec is not None else Float32Codec()
+        self._rounds_received = 0
+        self._rounds_sent = 0
+
+    @property
+    def rounds_received(self) -> int:
+        return self._rounds_received
+
+    @property
+    def rounds_sent(self) -> int:
+        return self._rounds_sent
+
+    def receive_global(self) -> int:
+        """Install the most recent broadcast global model.
+
+        Returns the round index of the installed model. Installs reset
+        the agent's optimiser state (the moments belonged to a
+        different trajectory).
+        """
+        messages = [
+            m
+            for m in self.transport.receive_all(self.client_id)
+            if m.kind == GLOBAL_MODEL_KIND
+        ]
+        if not messages:
+            raise FederationError(
+                f"client {self.client_id!r} has no pending global model"
+            )
+        latest = messages[-1]
+        shapes = self.agent.network.parameter_shapes()
+        self.agent.set_parameters(
+            self.codec.decode(latest.payload, shapes), reset_optimizer=True
+        )
+        self._rounds_received += 1
+        return latest.round_index
+
+    def send_local(self, round_index: int) -> int:
+        """Ship the locally optimised model to the server.
+
+        Returns the payload size in bytes (the paper's 2.8 kB per
+        transfer for the Table-I network).
+        """
+        payload = self.codec.encode(self.agent.get_parameters())
+        self.transport.send(
+            Message(
+                sender=self.client_id,
+                recipient=self.server_id,
+                kind=LOCAL_MODEL_KIND,
+                payload=payload,
+                round_index=round_index,
+            )
+        )
+        self._rounds_sent += 1
+        return len(payload)

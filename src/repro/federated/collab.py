@@ -1,0 +1,110 @@
+"""CollabPolicy: the tabular knowledge-sharing baseline [11].
+
+The state-of-the-art comparison of Section IV-B extends the *Profit*
+controller with the collaboration scheme of Tian et al.: instead of
+model parameters, devices share a compact per-state policy digest
+``(pi*(s), r_bar(s), n(s))`` — best action, average observed reward and
+visit count. The server merges digests per state, weighting each
+client's report by its visit count, and redistributes the global table.
+
+On the device, the Profit controller consults the *local* value table
+when its average reward for the current state beats the global entry,
+and the global best action otherwise (implemented in
+:class:`repro.control.profit.CollabProfitController`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import FederationError
+from repro.rl.tabular_agent import StateStatistics
+
+
+@dataclass(frozen=True)
+class GlobalPolicyEntry:
+    """Aggregated knowledge about one discretised state."""
+
+    best_action: int
+    average_reward: float
+    visit_count: int
+
+
+class CollabPolicyServer:
+    """Merges per-state digests from all devices into a global policy."""
+
+    def __init__(self) -> None:
+        self._table: Dict[Hashable, GlobalPolicyEntry] = {}
+        self._rounds_aggregated = 0
+
+    @property
+    def num_states(self) -> int:
+        return len(self._table)
+
+    @property
+    def rounds_aggregated(self) -> int:
+        return self._rounds_aggregated
+
+    def lookup(self, state_key: Hashable) -> Optional[GlobalPolicyEntry]:
+        """The global entry for a state, or ``None`` if never reported."""
+        return self._table.get(state_key)
+
+    def global_table(self) -> Dict[Hashable, GlobalPolicyEntry]:
+        """A copy of the full global policy (what gets broadcast)."""
+        return dict(self._table)
+
+    def aggregate(
+        self, client_reports: Sequence[Mapping[Hashable, StateStatistics]]
+    ) -> None:
+        """Fold one round of client digests into the global table.
+
+        Per state: the existing global entry (if any) participates as a
+        prior report, average rewards combine weighted by visit counts,
+        and the global best action is taken from the report with the
+        highest average reward — the most successful experience wins.
+        """
+        if not client_reports:
+            raise FederationError("cannot aggregate zero client reports")
+        touched: Dict[Hashable, list] = {}
+        for report in client_reports:
+            for state_key, stats in report.items():
+                if stats.visit_count <= 0:
+                    raise FederationError(
+                        f"digest for state {state_key!r} has non-positive "
+                        f"visit count {stats.visit_count}"
+                    )
+                touched.setdefault(state_key, []).append(stats)
+
+        for state_key, reports in touched.items():
+            existing = self._table.get(state_key)
+            if existing is not None:
+                reports = reports + [
+                    StateStatistics(
+                        best_action=existing.best_action,
+                        average_reward=existing.average_reward,
+                        visit_count=existing.visit_count,
+                    )
+                ]
+            total_visits = sum(r.visit_count for r in reports)
+            average_reward = (
+                sum(r.average_reward * r.visit_count for r in reports) / total_visits
+            )
+            best = max(reports, key=lambda r: r.average_reward)
+            self._table[state_key] = GlobalPolicyEntry(
+                best_action=best.best_action,
+                average_reward=average_reward,
+                visit_count=total_visits,
+            )
+        self._rounds_aggregated += 1
+
+    def table_bytes(self, key_fields: int = 4) -> int:
+        """Wire-format size of the global table.
+
+        Each entry ships ``key_fields`` 4-byte bin indices, a 1-byte
+        action, a 4-byte average reward and a 4-byte visit count —
+        the digest format an embedded implementation would use. Used by
+        the overhead comparison against the 2.8 kB neural payload.
+        """
+        per_entry = 4 * key_fields + 1 + 4 + 4
+        return len(self._table) * per_entry

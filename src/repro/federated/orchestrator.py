@@ -1,0 +1,164 @@
+"""Round orchestration (Algorithm 2).
+
+Drives the full federated loop: broadcast → local training on every
+client → upload → synchronous aggregation, for ``R`` rounds. Local
+training itself is injected as one callable per client (the experiments
+layer supplies a closure that runs Algorithm 1 against that client's
+device environment), which keeps this module free of simulator
+dependencies and lets tests drive the protocol with stub trainers.
+
+``participation_fraction`` extends the paper's always-on setting with
+partial client participation per round (standard in FL practice) for
+the corresponding ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FederationError
+from repro.federated.client import FederatedClient
+from repro.federated.server import FederatedServer
+from repro.utils.rng import SeedLike, as_generator
+
+#: Signature of a per-client local trainer: ``trainer(round_index)``.
+LocalTrainer = Callable[[int], None]
+
+#: Optional end-of-round hook: ``hook(round_index, server)``.
+RoundHook = Callable[[int, FederatedServer], None]
+
+
+@dataclass
+class FederatedRunResult:
+    """Summary of a completed federated training run."""
+
+    rounds_completed: int
+    total_bytes_communicated: int
+    total_messages: int
+    participation_by_round: List[List[str]] = field(default_factory=list)
+    stragglers_by_round: List[List[str]] = field(default_factory=list)
+
+    @property
+    def bytes_per_round(self) -> float:
+        if self.rounds_completed == 0:
+            return 0.0
+        return self.total_bytes_communicated / self.rounds_completed
+
+
+def run_federated_training(
+    server: FederatedServer,
+    clients: Sequence[FederatedClient],
+    trainers: Dict[str, LocalTrainer],
+    num_rounds: int,
+    on_round_end: Optional[RoundHook] = None,
+    participation_fraction: float = 1.0,
+    aggregation_weights: Optional[Dict[str, float]] = None,
+    straggler_policy: str = "abort",
+    seed: SeedLike = None,
+) -> FederatedRunResult:
+    """Run ``num_rounds`` of federated averaging (Algorithm 2).
+
+    Parameters
+    ----------
+    server, clients:
+        The endpoints, already wired to one shared transport.
+    trainers:
+        ``client_id -> callable(round_index)`` performing that client's
+        local optimisation between receive and send.
+    on_round_end:
+        Invoked after each aggregation — the evaluation protocol of
+        Section IV-A ("after each training round, we evaluate the
+        policies") hooks in here.
+    participation_fraction:
+        Fraction of clients drawn uniformly per round (paper: 1.0,
+        "each client participates in all R rounds").
+    aggregation_weights:
+        Optional per-client weights for the weighted-averaging ablation.
+    straggler_policy:
+        What to do when a client's local trainer raises: ``"abort"``
+        (the paper's strict synchronous semantics — the whole run
+        fails) or ``"skip"`` (exclude the failed client from this
+        round's aggregation and continue with the survivors, the
+        fault-tolerance extension). At least one client must survive
+        each round.
+    """
+    if straggler_policy not in ("abort", "skip"):
+        raise ConfigurationError(
+            f'straggler_policy must be "abort" or "skip", got {straggler_policy!r}'
+        )
+    if num_rounds <= 0:
+        raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
+    if not 0.0 < participation_fraction <= 1.0:
+        raise ConfigurationError(
+            f"participation_fraction must be in (0, 1], got {participation_fraction}"
+        )
+    clients_by_id = {client.client_id: client for client in clients}
+    if set(clients_by_id) != set(server.client_ids):
+        raise FederationError(
+            f"client set {sorted(clients_by_id)} does not match the server's "
+            f"{sorted(server.client_ids)}"
+        )
+    missing_trainers = [cid for cid in clients_by_id if cid not in trainers]
+    if missing_trainers:
+        raise FederationError(f"no trainer supplied for clients {missing_trainers}")
+
+    rng = as_generator(seed)
+    bytes_before = server.transport.total_bytes
+    messages_before = server.transport.total_messages
+    participation_log: List[List[str]] = []
+    straggler_log: List[List[str]] = []
+
+    for round_index in range(num_rounds):
+        participating = _draw_participants(
+            server.client_ids, participation_fraction, rng
+        )
+        participation_log.append(list(participating))
+
+        server.broadcast(round_index, recipients=participating)
+        survivors: List[str] = []
+        stragglers: List[str] = []
+        for client_id in participating:
+            client = clients_by_id[client_id]
+            client.receive_global()
+            try:
+                trainers[client_id](round_index)
+            except Exception:
+                if straggler_policy == "abort":
+                    raise
+                stragglers.append(client_id)
+                continue
+            client.send_local(round_index)
+            survivors.append(client_id)
+        straggler_log.append(stragglers)
+        if not survivors:
+            raise FederationError(
+                f"round {round_index}: every participating client failed"
+            )
+        server.aggregate(
+            round_index,
+            expected_clients=survivors,
+            weights=aggregation_weights,
+        )
+        if on_round_end is not None:
+            on_round_end(round_index, server)
+
+    return FederatedRunResult(
+        rounds_completed=num_rounds,
+        total_bytes_communicated=server.transport.total_bytes - bytes_before,
+        total_messages=server.transport.total_messages - messages_before,
+        participation_by_round=participation_log,
+        stragglers_by_round=straggler_log,
+    )
+
+
+def _draw_participants(
+    client_ids: Sequence[str], fraction: float, rng: np.random.Generator
+) -> List[str]:
+    if fraction >= 1.0:
+        return list(client_ids)
+    count = max(1, int(round(fraction * len(client_ids))))
+    chosen = rng.choice(len(client_ids), size=count, replace=False)
+    return [client_ids[i] for i in sorted(chosen)]

@@ -1,0 +1,133 @@
+"""The central aggregation server (Algorithm 2, server side).
+
+Holds the global policy network, broadcasts it to all clients at the
+start of each round, then synchronously waits for every participating
+client's local model and replaces the global model with their
+(unweighted, by default) federated average. Models travel as serialized
+``float32`` payloads through the transport so the server also produces
+honest communication-byte numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FederationError
+from repro.federated.averaging import federated_average
+from repro.federated.codecs import Float32Codec
+from repro.federated.transport import InMemoryTransport, Message
+
+GLOBAL_MODEL_KIND = "global_model"
+LOCAL_MODEL_KIND = "local_model"
+
+
+class FederatedServer:
+    """Synchronous federated-averaging server."""
+
+    def __init__(
+        self,
+        initial_parameters: Sequence[np.ndarray],
+        client_ids: Sequence[str],
+        transport: InMemoryTransport,
+        server_id: str = "server",
+        codec=None,
+    ) -> None:
+        if not client_ids:
+            raise FederationError("a federated server needs at least one client")
+        if len(set(client_ids)) != len(client_ids):
+            raise FederationError(f"duplicate client ids in {list(client_ids)}")
+        self.server_id = server_id
+        self.client_ids: Tuple[str, ...] = tuple(client_ids)
+        self.transport = transport
+        self.codec = codec if codec is not None else Float32Codec()
+        self._global: List[np.ndarray] = [
+            np.array(p, dtype=np.float64, copy=True) for p in initial_parameters
+        ]
+        self._shapes = [p.shape for p in self._global]
+        self._round_count = 0
+
+    @property
+    def global_parameters(self) -> List[np.ndarray]:
+        """Deep copies of the current global model."""
+        return [p.copy() for p in self._global]
+
+    @property
+    def rounds_aggregated(self) -> int:
+        """Completed aggregation rounds."""
+        return self._round_count
+
+    def broadcast(
+        self, round_index: int, recipients: Optional[Sequence[str]] = None
+    ) -> None:
+        """Send the global model to every (participating) client."""
+        payload = self.codec.encode(self._global)
+        for client_id in recipients if recipients is not None else self.client_ids:
+            if client_id not in self.client_ids:
+                raise FederationError(f"unknown client {client_id!r}")
+            self.transport.send(
+                Message(
+                    sender=self.server_id,
+                    recipient=client_id,
+                    kind=GLOBAL_MODEL_KIND,
+                    payload=payload,
+                    round_index=round_index,
+                )
+            )
+
+    def aggregate(
+        self,
+        round_index: int,
+        expected_clients: Optional[Sequence[str]] = None,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> List[np.ndarray]:
+        """Combine the round's local models into the next global model.
+
+        Synchronous semantics: every expected client must have sent a
+        local model for ``round_index``; anything else is an error (the
+        paper's server "waits for all devices"). ``weights`` enables
+        the sample-weighted ablation; the default is the paper's
+        unweighted mean.
+        """
+        expected = tuple(expected_clients) if expected_clients is not None else self.client_ids
+        received: Dict[str, List[np.ndarray]] = {}
+        for message in self.transport.receive_all(self.server_id):
+            if message.kind != LOCAL_MODEL_KIND:
+                raise FederationError(
+                    f"server received unexpected message kind {message.kind!r}"
+                )
+            if message.round_index != round_index:
+                raise FederationError(
+                    f"local model from {message.sender!r} is for round "
+                    f"{message.round_index}, expected {round_index}"
+                )
+            if message.sender in received:
+                raise FederationError(
+                    f"duplicate local model from {message.sender!r}"
+                )
+            received[message.sender] = self.codec.decode(
+                message.payload, self._shapes
+            )
+        missing = [cid for cid in expected if cid not in received]
+        if missing:
+            raise FederationError(
+                f"synchronous aggregation round {round_index} is missing "
+                f"models from {missing}"
+            )
+        unexpected = [cid for cid in received if cid not in expected]
+        if unexpected:
+            raise FederationError(
+                f"received models from non-participating clients {unexpected}"
+            )
+
+        parameter_sets = [received[cid] for cid in expected]
+        weight_list: Optional[List[float]] = None
+        if weights is not None:
+            try:
+                weight_list = [weights[cid] for cid in expected]
+            except KeyError as error:
+                raise FederationError(f"missing weight for client {error}") from None
+        self._global = federated_average(parameter_sets, weight_list)
+        self._round_count += 1
+        return self.global_parameters

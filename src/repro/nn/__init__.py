@@ -1,0 +1,29 @@
+"""Minimal from-scratch neural-network stack (numpy only).
+
+Implements exactly what the paper's power controller needs — a small
+multi-layer perceptron trained as a regression model with gradient
+descent (Section III-A): dense layers, ReLU, Huber/MSE losses, SGD and
+Adam optimisers, and deterministic weight initialisation. Parameters are
+plain ``numpy`` arrays so federated averaging is a direct arithmetic
+mean over them.
+"""
+
+from repro.nn.initializers import he_uniform, xavier_uniform, zeros
+from repro.nn.layers import Identity, Linear, ReLU
+from repro.nn.losses import HuberLoss, MeanSquaredErrorLoss
+from repro.nn.network import MLP
+from repro.nn.optimizers import SGD, Adam
+
+__all__ = [
+    "Adam",
+    "HuberLoss",
+    "Identity",
+    "Linear",
+    "MLP",
+    "MeanSquaredErrorLoss",
+    "ReLU",
+    "SGD",
+    "he_uniform",
+    "xavier_uniform",
+    "zeros",
+]

@@ -1,0 +1,50 @@
+"""Weight initialisation schemes.
+
+Each initialiser takes an output shape and a random generator and
+returns a ``float64`` array. He initialisation is the default for the
+ReLU network of the paper; Xavier is provided for the linear output
+layer and for experimentation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) uniform initialisation, suited to ReLU activations.
+
+    Samples uniformly from ``[-limit, limit]`` with
+    ``limit = sqrt(6 / fan_in)``.
+    """
+    fan_in = _fan_in(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Xavier (Glorot) uniform initialisation, suited to linear layers.
+
+    Samples uniformly from ``[-limit, limit]`` with
+    ``limit = sqrt(6 / (fan_in + fan_out))``.
+    """
+    fan_in = _fan_in(shape)
+    fan_out = shape[-1] if len(shape) >= 2 else shape[0]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    del rng  # deterministic; accepted for interface uniformity
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _fan_in(shape: Tuple[int, ...]) -> int:
+    if not shape:
+        raise ValueError("cannot initialise a zero-dimensional parameter")
+    if len(shape) == 1:
+        return shape[0]
+    return int(np.prod(shape[:-1]))

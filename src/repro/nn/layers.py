@@ -1,0 +1,128 @@
+"""Differentiable layers for the policy network.
+
+Layers follow a simple forward/backward protocol operating on batches
+shaped ``(batch, features)``:
+
+* ``forward(x)`` computes the output and caches whatever the backward
+  pass needs.
+* ``backward(grad_output)`` consumes the gradient of the loss with
+  respect to the layer output, accumulates parameter gradients into
+  ``layer.gradients`` and returns the gradient with respect to the
+  layer input.
+
+Parameters and gradients are exposed as lists of arrays so that the
+optimisers and the federated-averaging code can treat every layer
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.nn.initializers import he_uniform, zeros
+
+
+class Layer:
+    """Base class defining the forward/backward protocol."""
+
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        """Trainable arrays of this layer (empty for activations)."""
+        return []
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        """Accumulated gradients, aligned with :attr:`parameters`."""
+        return []
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_gradients(self) -> None:
+        for grad in self.gradients:
+            grad.fill(0.0)
+
+
+class Linear(Layer):
+    """Fully-connected layer ``y = x @ W + b``.
+
+    Weights are shaped ``(in_features, out_features)``; the bias is a
+    vector of length ``out_features``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        weight_init: Callable[[Tuple[int, ...], np.random.Generator], np.ndarray] = he_uniform,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise PolicyError(
+                f"layer dimensions must be positive, got {in_features}x{out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = weight_init((in_features, out_features), rng)
+        self.bias = zeros((out_features,), rng)
+        self._weight_grad = np.zeros_like(self.weight)
+        self._bias_grad = np.zeros_like(self.bias)
+        self._last_input: Optional[np.ndarray] = None
+
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        return [self.weight, self.bias]
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        return [self._weight_grad, self._bias_grad]
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if inputs.shape[1] != self.in_features:
+            raise PolicyError(
+                f"expected {self.in_features} input features, got {inputs.shape[1]}"
+            )
+        self._last_input = inputs
+        return inputs @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise PolicyError("backward called before forward")
+        grad_output = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        self._weight_grad += self._last_input.T @ grad_output
+        self._bias_grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+
+class ReLU(Layer):
+    """Rectified linear activation, the paper's hidden non-linearity."""
+
+    def __init__(self) -> None:
+        self._last_input: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._last_input = inputs
+        return np.maximum(inputs, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise PolicyError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * (self._last_input > 0.0)
+
+
+class Identity(Layer):
+    """No-op activation for the linear output head."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return np.asarray(inputs, dtype=np.float64)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return np.asarray(grad_output, dtype=np.float64)

@@ -1,0 +1,55 @@
+"""Regression losses with analytic gradients.
+
+The paper trains the policy network as a regression model (Eq. (2))
+using the Huber loss, "which penalizes small errors quadratically and
+larger errors linearly" (Section III-C). Mean squared error is provided
+as the textbook alternative for the loss ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.math import huber_gradient, huber_loss
+
+
+class HuberLoss:
+    """Mean Huber loss over a batch of scalar predictions."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0.0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss across the batch."""
+        residual = self._residual(predictions, targets)
+        return float(np.mean(huber_loss(residual, self.delta)))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """d(mean loss)/d(predictions), same shape as ``predictions``."""
+        residual = self._residual(predictions, targets)
+        return huber_gradient(residual, self.delta) / residual.size
+
+    @staticmethod
+    def _residual(predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape}, "
+                f"targets {targets.shape}"
+            )
+        return predictions - targets
+
+
+class MeanSquaredErrorLoss:
+    """Mean squared error, kept for the loss-function ablation."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        residual = HuberLoss._residual(predictions, targets)
+        return float(np.mean(residual**2))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        residual = HuberLoss._residual(predictions, targets)
+        return 2.0 * residual / residual.size

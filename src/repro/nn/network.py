@@ -1,0 +1,144 @@
+"""Multi-layer perceptron container.
+
+The paper's policy network (Table I) is an MLP with one hidden layer of
+32 ReLU neurons mapping the 5-feature processor state to one expected
+reward per V/f level. :class:`MLP` generalises that to any stack of
+dense layers so the ablation experiments can vary depth and width.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.nn.initializers import he_uniform, xavier_uniform
+from repro.nn.layers import Identity, Layer, Linear, ReLU
+from repro.utils.rng import SeedLike, as_generator
+
+
+class MLP:
+    """Fully-connected network with ReLU hidden activations.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Feature counts from input to output, e.g. ``(5, 32, 15)`` for
+        the paper's network (5 state features, 32 hidden neurons, 15
+        V/f levels).
+    seed:
+        Seed or generator for weight initialisation.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], seed: SeedLike = None) -> None:
+        sizes = [int(s) for s in layer_sizes]
+        if len(sizes) < 2:
+            raise PolicyError(
+                f"an MLP needs at least input and output sizes, got {sizes}"
+            )
+        if any(s <= 0 for s in sizes):
+            raise PolicyError(f"layer sizes must be positive, got {sizes}")
+        rng = as_generator(seed)
+        self.layer_sizes: Tuple[int, ...] = tuple(sizes)
+        self._layers: List[Layer] = []
+        for index, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            is_output = index == len(sizes) - 2
+            init = xavier_uniform if is_output else he_uniform
+            self._layers.append(Linear(fan_in, fan_out, rng, weight_init=init))
+            self._layers.append(Identity() if is_output else ReLU())
+
+    @property
+    def in_features(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.layer_sizes[-1]
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run a batch ``(batch, in_features)`` through the network."""
+        output = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        for layer in self._layers:
+            output = layer.forward(output)
+        return output
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward pass for a single state vector; returns a 1-D array."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 1:
+            raise PolicyError(
+                f"predict expects a single state vector, got shape {inputs.shape}"
+            )
+        return self.forward(inputs[np.newaxis, :])[0]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dLoss/dOutput``; returns ``dLoss/dInput``.
+
+        Parameter gradients accumulate in each layer until
+        :meth:`zero_gradients` is called, enabling gradient-accumulation
+        update schemes.
+        """
+        grad = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        for layer in reversed(self._layers):
+            grad = layer.backward(grad)
+        return grad
+
+    @property
+    def parameters(self) -> List[np.ndarray]:
+        """Live views of every trainable array (optimisers mutate these)."""
+        params: List[np.ndarray] = []
+        for layer in self._layers:
+            params.extend(layer.parameters)
+        return params
+
+    @property
+    def gradients(self) -> List[np.ndarray]:
+        """Accumulated gradients aligned with :attr:`parameters`."""
+        grads: List[np.ndarray] = []
+        for layer in self._layers:
+            grads.extend(layer.gradients)
+        return grads
+
+    def zero_gradients(self) -> None:
+        """Reset all accumulated gradients to zero."""
+        for layer in self._layers:
+            layer.zero_gradients()
+
+    def parameter_shapes(self) -> List[Tuple[int, ...]]:
+        """Shapes of :attr:`parameters`, used for deserialisation."""
+        return [p.shape for p in self.parameters]
+
+    def get_parameters(self) -> List[np.ndarray]:
+        """Deep copies of the parameters (safe to ship to a server)."""
+        return [p.copy() for p in self.parameters]
+
+    def set_parameters(self, new_parameters: Sequence[np.ndarray]) -> None:
+        """Overwrite the network parameters in place.
+
+        The storage identity of each array is preserved so optimiser
+        state and layer references stay valid.
+        """
+        current = self.parameters
+        if len(new_parameters) != len(current):
+            raise PolicyError(
+                f"expected {len(current)} parameter arrays, "
+                f"got {len(new_parameters)}"
+            )
+        for target, source in zip(current, new_parameters):
+            source = np.asarray(source, dtype=np.float64)
+            if target.shape != source.shape:
+                raise PolicyError(
+                    f"parameter shape mismatch: {target.shape} vs {source.shape}"
+                )
+            np.copyto(target, source)
+
+    def clone(self, seed: SeedLike = None) -> "MLP":
+        """A new network with the same architecture and copied weights."""
+        other = MLP(self.layer_sizes, seed=as_generator(seed))
+        other.set_parameters(self.get_parameters())
+        return other
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (687 for the paper's network)."""
+        return sum(int(np.prod(p.shape)) for p in self.parameters)

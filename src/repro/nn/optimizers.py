@@ -1,0 +1,114 @@
+"""Gradient-descent optimisers.
+
+Both optimisers mutate the parameter arrays in place so that layers,
+network and federated client all keep referring to the same storage.
+Adam (Kingma & Ba, 2015) is the paper's optimiser (Section III-C); SGD
+is retained for the optimiser ablation and for tests whose expected
+update is easy to compute by hand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.utils.validation import require_in_range, require_positive
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        self.learning_rate = require_positive("learning_rate", learning_rate)
+        self.momentum = require_in_range("momentum", momentum, 0.0, 1.0)
+        self._velocity: List[np.ndarray] = []
+
+    def step(
+        self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
+    ) -> None:
+        """Apply one in-place update ``p -= lr * v`` to every parameter."""
+        _check_aligned(parameters, gradients)
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in parameters]
+        for param, grad, velocity in zip(parameters, gradients, self._velocity):
+            velocity *= self.momentum
+            velocity += grad
+            param -= self.learning_rate * velocity
+
+    def reset(self) -> None:
+        """Drop the momentum state (e.g. after a federated model swap)."""
+        self._velocity = []
+
+
+class Adam:
+    """Adam optimiser with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.005,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.learning_rate = require_positive("learning_rate", learning_rate)
+        self.beta1 = require_in_range("beta1", beta1, 0.0, 1.0, inclusive=False)
+        self.beta2 = require_in_range("beta2", beta2, 0.0, 1.0, inclusive=False)
+        self.epsilon = require_positive("epsilon", epsilon)
+        self._step_count = 0
+        self._first_moment: List[np.ndarray] = []
+        self._second_moment: List[np.ndarray] = []
+
+    @property
+    def step_count(self) -> int:
+        """Number of updates applied so far."""
+        return self._step_count
+
+    def step(
+        self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
+    ) -> None:
+        """Apply one in-place Adam update to every parameter."""
+        _check_aligned(parameters, gradients)
+        if not self._first_moment:
+            self._first_moment = [np.zeros_like(p) for p in parameters]
+            self._second_moment = [np.zeros_like(p) for p in parameters]
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, grad, m, v in zip(
+            parameters, gradients, self._first_moment, self._second_moment
+        ):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        """Drop moment estimates and the step counter.
+
+        Called when the federated client replaces its local model with
+        the freshly-broadcast global model: the old moments describe a
+        different parameter trajectory.
+        """
+        self._step_count = 0
+        self._first_moment = []
+        self._second_moment = []
+
+
+def _check_aligned(
+    parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]
+) -> None:
+    if len(parameters) != len(gradients):
+        raise PolicyError(
+            f"{len(parameters)} parameters but {len(gradients)} gradients"
+        )
+    for index, (param, grad) in enumerate(zip(parameters, gradients)):
+        if param.shape != grad.shape:
+            raise PolicyError(
+                f"parameter {index} has shape {param.shape} but its gradient "
+                f"has shape {grad.shape}"
+            )

@@ -1,0 +1,50 @@
+"""Reinforcement-learning primitives and agents.
+
+The paper frames DVFS control as a *contextual bandit* (footnote 2):
+the effect of a frequency choice is fully visible in the next
+observation, so the agent learns the immediate expected reward
+``mu(s, a, theta)`` per action rather than a long-horizon value. Two
+agents implement that idea:
+
+* :class:`repro.rl.agent.NeuralBanditAgent` — the paper's contribution:
+  an MLP reward model trained with Adam/Huber from a replay buffer,
+  acting through a softmax policy with exponentially decaying
+  temperature (Algorithm 1).
+* :class:`repro.rl.tabular_agent.TabularBanditAgent` — the table-based
+  learner underlying the *Profit* baseline (epsilon-greedy, per-state
+  running updates) operating on discretised states.
+"""
+
+from repro.rl.agent import NeuralBanditAgent
+from repro.rl.discretize import EdgesDiscretizer, StateDiscretizer, UniformDiscretizer
+from repro.rl.policies import EpsilonGreedyPolicy, GreedyPolicy, SoftmaxPolicy
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.rewards import PowerEfficiencyReward, ProfitReward
+from repro.rl.schedules import (
+    ConstantSchedule,
+    ExponentialDecaySchedule,
+    LinearDecaySchedule,
+)
+from repro.rl.state import NUM_STATE_FEATURES, StateNormalizer
+from repro.rl.tabular_agent import StateStatistics, TabularBanditAgent
+
+__all__ = [
+    "ConstantSchedule",
+    "EdgesDiscretizer",
+    "EpsilonGreedyPolicy",
+    "ExponentialDecaySchedule",
+    "GreedyPolicy",
+    "LinearDecaySchedule",
+    "NUM_STATE_FEATURES",
+    "NeuralBanditAgent",
+    "PowerEfficiencyReward",
+    "ProfitReward",
+    "ReplayBuffer",
+    "SoftmaxPolicy",
+    "StateDiscretizer",
+    "StateNormalizer",
+    "StateStatistics",
+    "TabularBanditAgent",
+    "Transition",
+    "UniformDiscretizer",
+]

@@ -1,0 +1,133 @@
+"""State discretisation for the tabular baselines.
+
+Table-based RL (Profit [6], CollabPolicy [11]) cannot generalise across
+continuous features, so states must be binned. The discretisers here
+map a continuous feature onto an integer bin; a
+:class:`StateDiscretizer` composes one discretiser per feature into a
+hashable state key usable as a value-table index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.processor import ProcessorSnapshot
+
+
+class UniformDiscretizer:
+    """Equal-width bins over ``[low, high]`` with saturating ends."""
+
+    def __init__(self, low: float, high: float, bins: int) -> None:
+        if bins <= 0:
+            raise ConfigurationError(f"bins must be positive, got {bins}")
+        if high <= low:
+            raise ConfigurationError(f"invalid interval [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.bins = bins
+
+    @property
+    def num_bins(self) -> int:
+        return self.bins
+
+    def bin(self, value: float) -> int:
+        if value <= self.low:
+            return 0
+        if value >= self.high:
+            return self.bins - 1
+        fraction = (value - self.low) / (self.high - self.low)
+        return min(int(fraction * self.bins), self.bins - 1)
+
+
+class EdgesDiscretizer:
+    """Bins defined by explicit interior edges (for skewed features).
+
+    ``edges = [1, 5, 20]`` yields four bins:
+    ``(-inf, 1), [1, 5), [5, 20), [20, inf)``.
+    """
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        if not edges:
+            raise ConfigurationError("edges must be non-empty")
+        if any(b <= a for a, b in zip(edges, list(edges)[1:])):
+            raise ConfigurationError(f"edges must be strictly increasing, got {edges}")
+        self.edges = list(edges)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.edges) + 1
+
+    def bin(self, value: float) -> int:
+        return int(np.searchsorted(self.edges, value, side="right"))
+
+
+class StateDiscretizer:
+    """The Profit state key ``(f, P, IPC, MPKI)`` (Section IV-B).
+
+    The frequency feature is already discrete (the OPP index); power,
+    IPC and MPKI are binned with scales matched to the simulator's
+    dynamic range. MPKI uses log-spaced edges because its distribution
+    is heavily skewed (compute phases sit near 0, radix near 26).
+    """
+
+    def __init__(
+        self,
+        num_frequency_levels: int,
+        power_bins: int = 8,
+        power_range_w: Tuple[float, float] = (0.0, 1.6),
+        ipc_bins: int = 6,
+        ipc_range: Tuple[float, float] = (0.0, 1.5),
+        mpki_edges: Sequence[float] = (1.0, 3.0, 8.0, 15.0, 25.0),
+    ) -> None:
+        if num_frequency_levels <= 0:
+            raise ConfigurationError(
+                f"num_frequency_levels must be positive, got {num_frequency_levels}"
+            )
+        self.num_frequency_levels = num_frequency_levels
+        self.power = UniformDiscretizer(*power_range_w, power_bins)
+        self.ipc = UniformDiscretizer(*ipc_range, ipc_bins)
+        self.mpki = EdgesDiscretizer(mpki_edges)
+
+    @property
+    def num_states(self) -> int:
+        """Size of the discrete state space (table rows)."""
+        return (
+            self.num_frequency_levels
+            * self.power.num_bins
+            * self.ipc.num_bins
+            * self.mpki.num_bins
+        )
+
+    def key(self, snapshot: ProcessorSnapshot) -> Tuple[int, int, int, int]:
+        """The hashable table index for a processor snapshot."""
+        return (
+            snapshot.frequency_index,
+            self.power.bin(snapshot.power_w),
+            self.ipc.bin(snapshot.ipc),
+            self.mpki.bin(snapshot.mpki),
+        )
+
+    def key_raw(
+        self, frequency_index: int, power_w: float, ipc: float, mpki: float
+    ) -> Tuple[int, int, int, int]:
+        """Key from bare feature values (for tests and tools)."""
+        return (
+            frequency_index,
+            self.power.bin(power_w),
+            self.ipc.bin(ipc),
+            self.mpki.bin(mpki),
+        )
+
+
+def describe_bins(discretizer: StateDiscretizer) -> Dict[str, int]:
+    """Bin counts per feature, for documentation and overhead analysis."""
+    return {
+        "frequency": discretizer.num_frequency_levels,
+        "power": discretizer.power.num_bins,
+        "ipc": discretizer.ipc.num_bins,
+        "mpki": discretizer.mpki.num_bins,
+        "total_states": discretizer.num_states,
+    }

@@ -1,0 +1,76 @@
+"""Action-selection policies.
+
+Policies are stateless strategies turning per-action value estimates
+into a choice; the exploration parameter (temperature or epsilon) is
+passed per call so the owning agent can anneal it with a schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.utils.math import softmax
+from repro.utils.rng import SeedLike, as_generator
+
+
+class SoftmaxPolicy:
+    """Boltzmann exploration over reward estimates (Eq. 3).
+
+    At high temperature the distribution is near uniform (exploration);
+    as the temperature decays it concentrates on the estimated-best
+    V/f level (exploitation).
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = as_generator(seed)
+
+    def probabilities(self, values: np.ndarray, temperature: float) -> np.ndarray:
+        """The action distribution ``pi(a | values, temperature)``."""
+        values = _as_values(values)
+        return softmax(values, temperature)
+
+    def select(self, values: np.ndarray, temperature: float) -> int:
+        """Sample one action from the softmax distribution."""
+        probs = self.probabilities(values, temperature)
+        return int(self._rng.choice(len(probs), p=probs))
+
+
+class EpsilonGreedyPolicy:
+    """Uniform-random exploration with probability epsilon, else argmax.
+
+    The exploration strategy of the Profit baseline (Section IV-B).
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = as_generator(seed)
+
+    def select(self, values: np.ndarray, epsilon: float) -> int:
+        values = _as_values(values)
+        if not 0.0 <= epsilon <= 1.0:
+            raise PolicyError(f"epsilon must be in [0, 1], got {epsilon}")
+        if self._rng.random() < epsilon:
+            return int(self._rng.integers(0, values.shape[0]))
+        return _argmax(values)
+
+
+class GreedyPolicy:
+    """Pure exploitation — used during evaluation rounds, where "the
+    agents consistently exploit the action with the highest predicted
+    reward" (Section IV-A)."""
+
+    def select(self, values: np.ndarray) -> int:
+        return _argmax(_as_values(values))
+
+
+def _as_values(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.shape[0] == 0:
+        raise PolicyError(
+            f"values must be a non-empty 1-D array, got shape {values.shape}"
+        )
+    return values
+
+
+def _argmax(values: np.ndarray) -> int:
+    return int(np.argmax(values))

@@ -1,0 +1,92 @@
+"""Experience replay buffer.
+
+Stores the ``C`` most recent ``(state, action, reward)`` tuples (Lin,
+1992; Table I: capacity 4,000) in a ring. Contextual bandits need no
+next-state, so a transition is exactly the triple of Algorithm 1,
+line 8. The buffer also knows its wire-format storage footprint, which
+reproduces the paper's "replay buffer requires an additional 100 kB"
+overhead figure (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PolicyError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One interaction: state vector, chosen action, observed reward."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO ring of transitions with uniform sampling."""
+
+    def __init__(self, capacity: int, seed: SeedLike = None) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rng = as_generator(seed)
+        self._storage: List[Transition] = []
+        self._next_slot = 0
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def add(self, state: np.ndarray, action: int, reward: float) -> None:
+        """Append a transition, evicting the oldest once at capacity."""
+        state = np.asarray(state, dtype=np.float64)
+        if state.ndim != 1:
+            raise PolicyError(f"state must be 1-D, got shape {state.shape}")
+        transition = Transition(state.copy(), int(action), float(reward))
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._next_slot] = transition
+            self._next_slot = (self._next_slot + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform batch as ``(states, actions, rewards)`` arrays.
+
+        When fewer than ``batch_size`` transitions are stored, samples
+        with replacement from what is available (early training rounds
+        must still produce full batches, per Algorithm 1 line 11).
+        """
+        if batch_size <= 0:
+            raise PolicyError(f"batch_size must be positive, got {batch_size}")
+        if not self._storage:
+            raise PolicyError("cannot sample from an empty replay buffer")
+        replace = len(self._storage) < batch_size
+        indices = self._rng.choice(len(self._storage), size=batch_size, replace=replace)
+        states = np.stack([self._storage[i].state for i in indices])
+        actions = np.array([self._storage[i].action for i in indices], dtype=np.int64)
+        rewards = np.array([self._storage[i].reward for i in indices], dtype=np.float64)
+        return states, actions, rewards
+
+    def storage_bytes(self, state_features: int = 5) -> int:
+        """Wire-format bytes for a full buffer.
+
+        An embedded implementation stores each sample as ``float32``
+        state features, one action byte and a ``float32`` reward:
+        ``capacity * (4 * features + 1 + 4)`` — 100 kB for the paper's
+        capacity of 4,000 with 5 features.
+        """
+        if state_features <= 0:
+            raise ConfigurationError(
+                f"state_features must be positive, got {state_features}"
+            )
+        return self.capacity * (4 * state_features + 1 + 4)
+
+    def clear(self) -> None:
+        """Drop all stored transitions."""
+        self._storage.clear()
+        self._next_slot = 0

@@ -1,0 +1,70 @@
+"""Exploration-parameter schedules.
+
+Both agents anneal their exploration over *global* step counts: the
+softmax temperature of the neural agent (Table I: ``tau_max`` 0.9,
+``tau_decay`` 0.0005, ``tau_min`` 0.01) and the epsilon of the Profit
+baseline. Schedules are pure functions of the step index, so restoring
+an agent at step ``t`` restores its exploration exactly.
+"""
+
+from __future__ import annotations
+
+from repro.utils.math import exponential_decay
+from repro.utils.validation import require_non_negative, require_positive
+
+
+class ExponentialDecaySchedule:
+    """``value(t) = max(minimum, initial * exp(-rate * t))``."""
+
+    def __init__(self, initial: float, rate: float, minimum: float = 0.0) -> None:
+        self.initial = require_positive("initial", initial)
+        self.rate = require_non_negative("rate", rate)
+        self.minimum = require_non_negative("minimum", minimum)
+        if minimum > initial:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"minimum ({minimum}) cannot exceed initial ({initial})"
+            )
+
+    def value(self, step: int) -> float:
+        return exponential_decay(self.initial, self.rate, step, self.minimum)
+
+
+class LinearDecaySchedule:
+    """Linear ramp from ``initial`` to ``minimum`` over ``horizon`` steps."""
+
+    def __init__(self, initial: float, minimum: float, horizon: int) -> None:
+        self.initial = require_positive("initial", initial)
+        self.minimum = require_non_negative("minimum", minimum)
+        if horizon <= 0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        if minimum > initial:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"minimum ({minimum}) cannot exceed initial ({initial})"
+            )
+        self.horizon = horizon
+
+    def value(self, step: int) -> float:
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        if step >= self.horizon:
+            return self.minimum
+        fraction = step / self.horizon
+        return self.initial + (self.minimum - self.initial) * fraction
+
+
+class ConstantSchedule:
+    """A fixed value, handy for evaluation and ablations."""
+
+    def __init__(self, value: float) -> None:
+        self._value = require_non_negative("value", value)
+
+    def value(self, step: int) -> float:
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        return self._value

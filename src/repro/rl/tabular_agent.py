@@ -1,0 +1,130 @@
+"""Table-based contextual bandit (the learner inside *Profit* [6]).
+
+Maintains one row of action-value estimates per discretised state,
+updated with a constant learning rate (0.1, "a typical value for
+table-based approaches", Section IV-B), and explores epsilon-greedily
+with exponential decay to a minimum of 0.01.
+
+Beyond plain Q-values, the agent tracks per-state visit counts and
+reward sums because the *CollabPolicy* aggregation scheme [11]
+exchanges ``(best action, average reward, visit count)`` tuples per
+state (see :mod:`repro.federated.collab`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PolicyError
+from repro.rl.policies import EpsilonGreedyPolicy, GreedyPolicy
+from repro.rl.schedules import ExponentialDecaySchedule
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class StateStatistics:
+    """The per-state tuple CollabPolicy shares: (pi*, r_bar, n)."""
+
+    best_action: int
+    average_reward: float
+    visit_count: int
+
+
+class TabularBanditAgent:
+    """Epsilon-greedy value-table learner over discretised states."""
+
+    def __init__(
+        self,
+        num_actions: int,
+        learning_rate: float = 0.1,
+        epsilon_schedule: Optional[ExponentialDecaySchedule] = None,
+        initial_value: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if num_actions <= 0:
+            raise PolicyError(f"num_actions must be positive, got {num_actions}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise PolicyError(
+                f"learning_rate must be in (0, 1], got {learning_rate}"
+            )
+        self.num_actions = num_actions
+        self.learning_rate = learning_rate
+        self.initial_value = initial_value
+        self.epsilon_schedule = epsilon_schedule or ExponentialDecaySchedule(
+            initial=1.0, rate=0.0005, minimum=0.01
+        )
+        rng = as_generator(seed)
+        self._epsilon_greedy = EpsilonGreedyPolicy(seed=rng)
+        self._greedy = GreedyPolicy()
+        self._table: Dict[Hashable, np.ndarray] = {}
+        self._visits: Dict[Hashable, np.ndarray] = {}
+        self._reward_sum: Dict[Hashable, float] = {}
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count
+
+    @property
+    def epsilon(self) -> float:
+        """Current exploration rate."""
+        return self.epsilon_schedule.value(self._step_count)
+
+    @property
+    def num_known_states(self) -> int:
+        """States with at least one table row allocated."""
+        return len(self._table)
+
+    def values(self, state_key: Hashable) -> np.ndarray:
+        """Action-value row for a state (allocated on first touch)."""
+        if state_key not in self._table:
+            self._table[state_key] = np.full(
+                self.num_actions, self.initial_value, dtype=np.float64
+            )
+            self._visits[state_key] = np.zeros(self.num_actions, dtype=np.int64)
+            self._reward_sum[state_key] = 0.0
+        return self._table[state_key]
+
+    def act(self, state_key: Hashable) -> int:
+        """Epsilon-greedy action at the current (decaying) epsilon."""
+        return self._epsilon_greedy.select(self.values(state_key), self.epsilon)
+
+    def act_greedy(self, state_key: Hashable) -> int:
+        """Exploit the current value estimates."""
+        return self._greedy.select(self.values(state_key))
+
+    def observe(self, state_key: Hashable, action: int, reward: float) -> None:
+        """Running-mean style update ``Q += lr * (r - Q)``."""
+        if not 0 <= action < self.num_actions:
+            raise PolicyError(f"action {action} outside [0, {self.num_actions - 1}]")
+        row = self.values(state_key)
+        row[action] += self.learning_rate * (reward - row[action])
+        self._visits[state_key][action] += 1
+        self._reward_sum[state_key] += reward
+        self._step_count += 1
+
+    def state_statistics(self, state_key: Hashable) -> Optional[StateStatistics]:
+        """The CollabPolicy tuple for one state, or None if unvisited."""
+        if state_key not in self._table:
+            return None
+        visits = int(self._visits[state_key].sum())
+        if visits == 0:
+            return None
+        return StateStatistics(
+            best_action=int(np.argmax(self._table[state_key])),
+            average_reward=self._reward_sum[state_key] / visits,
+            visit_count=visits,
+        )
+
+    def visited_states(self) -> Tuple[Hashable, ...]:
+        """Keys of every state with at least one observation."""
+        return tuple(
+            key for key, visits in self._visits.items() if visits.sum() > 0
+        )
+
+    def table_num_entries(self) -> int:
+        """Allocated Q-entries (rows x actions), for overhead analysis."""
+        return len(self._table) * self.num_actions

@@ -1,0 +1,144 @@
+"""Calibration reports for new platforms.
+
+Adopting the library on a different device means supplying an OPP
+table, a power model and workload models — and then checking that the
+resulting DVFS problem is *non-trivial* (per-application optimal levels
+must spread across the table, otherwise a fixed frequency solves
+everything and learning is pointless). :func:`calibration_table`
+computes the per-application power/performance/optimal-level summary
+that DESIGN.md's calibration section was derived from, and
+:func:`assert_nontrivial_spread` turns the adoption check into a
+one-liner usable in a user's own test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.oracle import OracleAnalyzer
+from repro.errors import ConfigurationError
+from repro.rl.rewards import PowerEfficiencyReward
+from repro.sim.opp import OPPTable
+from repro.sim.perf_model import PerformanceModel
+from repro.sim.power_model import PowerModel
+from repro.sim.workload import ApplicationModel
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """Per-application calibration summary."""
+
+    application: str
+    power_at_fmax_w: float
+    power_at_fmin_w: float
+    optimal_level: int
+    optimal_reward: float
+    ips_at_optimal: float
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    rows: List[CalibrationRow]
+    power_limit_w: float
+    num_levels: int
+
+    def level_spread(self) -> int:
+        """Max minus min optimal level across applications."""
+        levels = [row.optimal_level for row in self.rows]
+        return max(levels) - min(levels)
+
+    def row(self, application: str) -> CalibrationRow:
+        for candidate in self.rows:
+            if candidate.application == application:
+                return candidate
+        raise KeyError(application)
+
+    def format(self) -> str:
+        return format_table(
+            [
+                "application",
+                "P@fmax [W]",
+                "P@fmin [W]",
+                "opt level",
+                "opt reward",
+                "IPS@opt [M]",
+            ],
+            [
+                [
+                    row.application,
+                    row.power_at_fmax_w,
+                    row.power_at_fmin_w,
+                    row.optimal_level,
+                    row.optimal_reward,
+                    row.ips_at_optimal / 1e6,
+                ]
+                for row in self.rows
+            ],
+            title=f"Calibration report (P_crit={self.power_limit_w} W, "
+            f"{self.num_levels} levels)",
+        )
+
+
+def calibration_table(
+    applications: Dict[str, ApplicationModel],
+    opp_table: OPPTable,
+    performance_model: Optional[PerformanceModel] = None,
+    power_model: Optional[PowerModel] = None,
+    power_limit_w: float = 0.6,
+    offset_w: float = 0.05,
+) -> CalibrationReport:
+    """Per-application optimal levels and power envelope."""
+    if not applications:
+        raise ConfigurationError("need at least one application to calibrate")
+    performance_model = performance_model or PerformanceModel()
+    power_model = power_model or PowerModel()
+    oracle = OracleAnalyzer(
+        opp_table=opp_table,
+        performance_model=performance_model,
+        power_model=power_model,
+        reward=PowerEfficiencyReward(
+            max_frequency_hz=opp_table.max_frequency_hz,
+            power_limit_w=power_limit_w,
+            offset_w=offset_w,
+        ),
+    )
+    rows: List[CalibrationRow] = []
+    top = opp_table.num_levels - 1
+    for name in sorted(applications):
+        application = applications[name]
+        power_max, _, _ = oracle.application_metrics(application, top)
+        power_min, _, _ = oracle.application_metrics(application, 0)
+        decision = oracle.static_oracle(application)
+        rows.append(
+            CalibrationRow(
+                application=name,
+                power_at_fmax_w=power_max,
+                power_at_fmin_w=power_min,
+                optimal_level=decision.level,
+                optimal_reward=decision.expected_reward,
+                ips_at_optimal=decision.expected_ips,
+            )
+        )
+    return CalibrationReport(
+        rows=rows, power_limit_w=power_limit_w, num_levels=opp_table.num_levels
+    )
+
+
+def assert_nontrivial_spread(
+    report: CalibrationReport, minimum_spread: int = 3
+) -> None:
+    """Raise unless optimal levels spread at least ``minimum_spread``.
+
+    A spread of zero means one fixed frequency is optimal for every
+    application — no DVFS policy, learned or otherwise, can add value
+    on such a platform/workload combination.
+    """
+    spread = report.level_spread()
+    if spread < minimum_spread:
+        raise ConfigurationError(
+            f"optimal-level spread is {spread} (< {minimum_spread}): the "
+            "workload suite does not exercise DVFS meaningfully; adjust the "
+            "power model, budget or applications"
+        )

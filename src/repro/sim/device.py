@@ -1,0 +1,201 @@
+"""Edge devices: a processor plus an application schedule.
+
+The paper's setting (Section IV-A): each device repeatedly executes a
+small set of assigned applications, switching between them at
+unpredictable times — "devices often execute a few frequent workloads
+while occasionally encountering new ones". :class:`AppSchedule` models
+that non-uniform arrival process; :class:`EdgeDevice` binds it to a
+:class:`~repro.sim.processor.SimulatedProcessor`; and
+:class:`DeviceEnvironment` exposes the gym-style ``reset``/``step``
+interface the RL agents consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.opp import JETSON_NANO_OPP_TABLE, OPPTable
+from repro.sim.perf_model import PerformanceModel
+from repro.sim.power_model import PowerModel
+from repro.sim.processor import ProcessorSnapshot, SimulatedProcessor
+from repro.sim.sensors import CounterSampler, PowerSensor
+from repro.sim.workload import ApplicationModel, splash2_application
+from repro.utils.rng import SeedLike, as_generator, spawn_generator
+from repro.utils.validation import require_positive
+
+
+class AppSchedule:
+    """Random application arrivals with a mean dwell time.
+
+    Each control step, the running application is swapped with
+    probability ``1 / mean_dwell_steps`` for one drawn uniformly from
+    the assigned set (a memoryless switch process, so dwell times are
+    geometric). With a single assigned application the schedule
+    degenerates to running it forever — exactly what the evaluation
+    protocol needs.
+    """
+
+    def __init__(self, application_names: Sequence[str], mean_dwell_steps: int = 40) -> None:
+        if not application_names:
+            raise ConfigurationError("a schedule needs at least one application")
+        if mean_dwell_steps < 1:
+            raise ConfigurationError(
+                f"mean_dwell_steps must be >= 1, got {mean_dwell_steps}"
+            )
+        self.application_names: List[str] = list(application_names)
+        self.mean_dwell_steps = mean_dwell_steps
+
+    def initial_application(self, rng) -> str:
+        """Uniformly drawn starting application."""
+        return self.application_names[int(rng.integers(0, len(self.application_names)))]
+
+    def next_application(self, current: str, rng) -> str:
+        """Application for the next step (may equal ``current``)."""
+        if len(self.application_names) == 1:
+            return self.application_names[0]
+        if rng.random() < 1.0 / self.mean_dwell_steps:
+            return self.application_names[int(rng.integers(0, len(self.application_names)))]
+        return current
+
+
+class EdgeDevice:
+    """One named device: processor + schedule + private RNG streams."""
+
+    def __init__(
+        self,
+        name: str,
+        processor: SimulatedProcessor,
+        schedule: AppSchedule,
+        applications: Optional[Dict[str, ApplicationModel]] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.name = name
+        self.processor = processor
+        self.schedule = schedule
+        self._rng = as_generator(seed)
+        self._applications: Dict[str, ApplicationModel] = dict(applications or {})
+        for app_name in schedule.application_names:
+            if app_name not in self._applications:
+                self._applications[app_name] = splash2_application(app_name)
+        self._current_application: Optional[str] = None
+
+    @property
+    def current_application(self) -> Optional[str]:
+        return self._current_application
+
+    @property
+    def opp_table(self) -> OPPTable:
+        return self.processor.opp_table
+
+    def application(self, name: str) -> ApplicationModel:
+        """The model registered under ``name`` (loads SPLASH-2 on demand)."""
+        if name not in self._applications:
+            self._applications[name] = splash2_application(name)
+        return self._applications[name]
+
+    def reset(self, application_name: Optional[str] = None) -> None:
+        """Load ``application_name`` (or a schedule draw) onto the core."""
+        name = application_name or self.schedule.initial_application(self._rng)
+        self._load(name)
+
+    def advance_schedule(self) -> str:
+        """Possibly switch the running application; returns its name."""
+        if self._current_application is None:
+            raise SimulationError("device not reset; call reset() first")
+        upcoming = self.schedule.next_application(self._current_application, self._rng)
+        if upcoming != self._current_application:
+            self._load(upcoming)
+        return upcoming
+
+    def step(self, action_index: int, duration_s: float) -> ProcessorSnapshot:
+        """Apply a V/f level and run the current application for one interval."""
+        if self._current_application is None:
+            raise SimulationError("device not reset; call reset() first")
+        self.processor.set_frequency_index(action_index)
+        return self.processor.step(duration_s)
+
+    def _load(self, name: str) -> None:
+        self.processor.load_application(self.application(name))
+        self._current_application = name
+
+
+class DeviceEnvironment:
+    """Gym-style wrapper used by agents and controllers.
+
+    ``reset`` loads an application and performs one warm-up interval at
+    the lowest V/f level so the first observation contains valid
+    counters (a real controller also starts from whatever the previous
+    interval measured). ``step`` applies an action, optionally lets the
+    schedule switch applications, runs one control interval, and
+    returns the resulting snapshot — from which the caller computes the
+    reward (Eq. 4 needs exactly ``f_{t+1}`` and ``P_{t+1}``).
+    """
+
+    def __init__(
+        self,
+        device: EdgeDevice,
+        control_interval_s: float = 0.5,
+        schedule_switching: bool = True,
+    ) -> None:
+        self.device = device
+        self.control_interval_s = require_positive(
+            "control_interval_s", control_interval_s
+        )
+        self.schedule_switching = schedule_switching
+
+    @property
+    def num_actions(self) -> int:
+        return self.device.opp_table.num_levels
+
+    def reset(self, application_name: Optional[str] = None) -> ProcessorSnapshot:
+        """Load an application and return the warm-up observation."""
+        self.device.reset(application_name)
+        return self.device.step(0, self.control_interval_s)
+
+    def step(self, action_index: int) -> ProcessorSnapshot:
+        """One control interval under ``action_index``."""
+        if self.schedule_switching:
+            self.device.advance_schedule()
+        return self.device.step(action_index, self.control_interval_s)
+
+
+def build_default_device(
+    name: str,
+    application_names: Sequence[str],
+    seed: SeedLike = None,
+    mean_dwell_steps: int = 40,
+    opp_table: Optional[OPPTable] = None,
+    power_noise_std_w: float = 0.01,
+    counter_noise_relative_std: float = 0.02,
+    workload_jitter: float = 0.05,
+    applications: Optional[Dict[str, ApplicationModel]] = None,
+) -> EdgeDevice:
+    """Assemble a Jetson-Nano-like :class:`EdgeDevice`.
+
+    All stochastic components receive independent streams spawned from
+    ``seed``, so a fleet of devices built from distinct seeds is fully
+    reproducible. ``applications`` registers custom models (e.g.
+    generated ones) under their names; unlisted names fall back to the
+    SPLASH-2 suite.
+    """
+    root = as_generator(seed)
+    processor = SimulatedProcessor(
+        opp_table=opp_table or JETSON_NANO_OPP_TABLE,
+        performance_model=PerformanceModel(),
+        power_model=PowerModel(),
+        power_sensor=PowerSensor(noise_std_w=power_noise_std_w, seed=spawn_generator(root, 0)),
+        counter_sampler=CounterSampler(
+            relative_std=counter_noise_relative_std, seed=spawn_generator(root, 1)
+        ),
+        workload_jitter=workload_jitter,
+        seed=spawn_generator(root, 2),
+    )
+    schedule = AppSchedule(application_names, mean_dwell_steps=mean_dwell_steps)
+    return EdgeDevice(
+        name,
+        processor,
+        schedule,
+        applications=applications,
+        seed=spawn_generator(root, 3),
+    )

@@ -1,0 +1,169 @@
+"""Multi-core cluster with a shared clock (extension).
+
+The evaluation hardware "contains four ARM Cortex-A57 cores with a
+shared clock signal" (Section IV); the paper's workload keeps one core
+busy. This module models the full cluster: every core runs its own
+application (or idles, power-gated to leakage), all cores switch V/f
+levels together, and the power controller observes *aggregate*
+counters — total power, summed IPS, busy-core-averaged IPC/MPKI — which
+is exactly what a cluster-level DVFS governor sees.
+
+The aggregate observation is packaged as an ordinary
+:class:`~repro.sim.processor.ProcessorSnapshot`, so every controller in
+:mod:`repro.control` drives a multi-core cluster unchanged; per-core
+detail stays available through :attr:`MultiCoreProcessor.last_per_core`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.opp import OPPTable, OperatingPoint
+from repro.sim.perf_model import PerformanceModel
+from repro.sim.power_model import PowerModel
+from repro.sim.processor import ProcessorSnapshot, SimulatedProcessor
+from repro.sim.sensors import PowerSensor
+from repro.sim.workload import ApplicationModel
+from repro.utils.rng import SeedLike, as_generator, spawn_generator
+
+
+class MultiCoreProcessor:
+    """``num_cores`` cores sharing one V/f rail.
+
+    Each core is a private :class:`SimulatedProcessor` (its own phase
+    position and jitter stream) with sensor noise disabled per core;
+    measurement noise is applied once, to the *aggregate* power, by the
+    cluster-level sensor — matching a board with a single power rail
+    monitor.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        opp_table: OPPTable,
+        performance_model: PerformanceModel,
+        power_model: PowerModel,
+        power_sensor: Optional[PowerSensor] = None,
+        workload_jitter: float = 0.05,
+        seed: SeedLike = None,
+    ) -> None:
+        if num_cores < 1:
+            raise ConfigurationError(f"num_cores must be >= 1, got {num_cores}")
+        root = as_generator(seed)
+        self.num_cores = num_cores
+        self.opp_table = opp_table
+        self.power_model = power_model
+        self.power_sensor = power_sensor
+        self._cores: List[SimulatedProcessor] = [
+            SimulatedProcessor(
+                opp_table=opp_table,
+                performance_model=performance_model,
+                power_model=power_model,
+                workload_jitter=workload_jitter,
+                seed=spawn_generator(root, core_index),
+            )
+            for core_index in range(num_cores)
+        ]
+        self._active: List[bool] = [False] * num_cores
+        self._frequency_index = 0
+        self._time_s = 0.0
+        self._last_per_core: List[Optional[ProcessorSnapshot]] = [None] * num_cores
+
+    @property
+    def frequency_index(self) -> int:
+        return self._frequency_index
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        return self.opp_table[self._frequency_index]
+
+    @property
+    def num_active_cores(self) -> int:
+        return sum(self._active)
+
+    @property
+    def last_per_core(self) -> List[Optional[ProcessorSnapshot]]:
+        """Per-core snapshots of the most recent interval (None = idle)."""
+        return list(self._last_per_core)
+
+    def load_applications(
+        self, applications: Sequence[Optional[ApplicationModel]]
+    ) -> None:
+        """Assign one application per core; ``None`` leaves a core idle."""
+        if len(applications) != self.num_cores:
+            raise ConfigurationError(
+                f"expected {self.num_cores} application slots, "
+                f"got {len(applications)}"
+            )
+        if not any(app is not None for app in applications):
+            raise ConfigurationError("at least one core must run an application")
+        for core_index, application in enumerate(applications):
+            self._active[core_index] = application is not None
+            if application is not None:
+                self._cores[core_index].load_application(application)
+
+    def set_frequency_index(self, index: int) -> None:
+        """Apply one V/f level to the whole cluster (shared clock)."""
+        self.opp_table[index]  # validates
+        self._frequency_index = index
+        for core in self._cores:
+            core.set_frequency_index(index)
+
+    def step(self, duration_s: float) -> ProcessorSnapshot:
+        """Advance every core by one interval; return the aggregate view."""
+        if not any(self._active):
+            raise SimulationError("no applications loaded; call load_applications")
+        op = self.operating_point
+
+        total_true_power = 0.0
+        total_ips = 0.0
+        total_instructions = 0.0
+        busy_ipc = 0.0
+        busy_mpki = 0.0
+        busy_miss_rate = 0.0
+        dominant_app = ""
+        dominant_phase = ""
+        dominant_ips = -1.0
+
+        for core_index, core in enumerate(self._cores):
+            if not self._active[core_index]:
+                # Power-gated idle core: leakage only.
+                total_true_power += self.power_model.static_power(op)
+                self._last_per_core[core_index] = None
+                continue
+            snapshot = core.step(duration_s)
+            self._last_per_core[core_index] = snapshot
+            total_true_power += snapshot.true_power_w
+            total_ips += snapshot.true_ips
+            total_instructions += snapshot.instructions
+            busy_ipc += snapshot.ipc
+            busy_mpki += snapshot.mpki
+            busy_miss_rate += snapshot.miss_rate
+            if snapshot.true_ips > dominant_ips:
+                dominant_ips = snapshot.true_ips
+                dominant_app = snapshot.application
+                dominant_phase = snapshot.phase
+
+        active = self.num_active_cores
+        measured_power = (
+            self.power_sensor.measure(total_true_power)
+            if self.power_sensor is not None
+            else total_true_power
+        )
+        self._time_s += duration_s
+        return ProcessorSnapshot(
+            time_s=self._time_s,
+            frequency_index=self._frequency_index,
+            frequency_hz=op.frequency_hz,
+            power_w=measured_power,
+            ipc=busy_ipc / active,
+            mpki=busy_mpki / active,
+            miss_rate=busy_miss_rate / active,
+            ips=total_ips,
+            instructions=total_instructions,
+            application=dominant_app,
+            phase=dominant_phase,
+            true_power_w=total_true_power,
+            true_ips=total_ips,
+        )

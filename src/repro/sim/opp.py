@@ -1,0 +1,160 @@
+"""Operating-performance-point (OPP) tables.
+
+Modern processors expose a set of discrete frequency levels; selecting a
+frequency automatically applies the corresponding voltage (footnote 1 of
+the paper). The agent's action space is exactly this table
+(``A = {V/f_1 ... V/f_K}``, Section III-A).
+
+:data:`JETSON_NANO_OPP_TABLE` reproduces the 15 CPU frequency levels of
+the NVIDIA Jetson Nano used in the paper's evaluation (102 MHz to
+1479 MHz, shared across the four Cortex-A57 cores). The voltages follow
+the near-linear V/f relationship of its DVFS rail, from 0.80 V at the
+lowest to 1.23 V at the highest level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+
+MHZ = 1.0e6
+GHZ = 1.0e9
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One V/f level: an index, a frequency in Hz and a voltage in V."""
+
+    index: int
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError(f"OPP index must be >= 0, got {self.index}")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"OPP frequency must be positive, got {self.frequency_hz}"
+            )
+        if self.voltage_v <= 0:
+            raise ConfigurationError(
+                f"OPP voltage must be positive, got {self.voltage_v}"
+            )
+
+
+class OPPTable:
+    """Ordered collection of operating points.
+
+    Points must be strictly increasing in both frequency and voltage,
+    mirroring a real DVFS rail where higher frequencies require at least
+    as much voltage.
+    """
+
+    def __init__(self, points: Sequence[OperatingPoint]) -> None:
+        if len(points) < 2:
+            raise ConfigurationError(
+                f"an OPP table needs at least 2 levels, got {len(points)}"
+            )
+        for position, point in enumerate(points):
+            if point.index != position:
+                raise ConfigurationError(
+                    f"OPP at position {position} carries index {point.index}; "
+                    "indices must be consecutive from 0"
+                )
+        frequencies = [p.frequency_hz for p in points]
+        voltages = [p.voltage_v for p in points]
+        if any(b <= a for a, b in zip(frequencies, frequencies[1:])):
+            raise ConfigurationError("OPP frequencies must be strictly increasing")
+        if any(b < a for a, b in zip(voltages, voltages[1:])):
+            raise ConfigurationError("OPP voltages must be non-decreasing")
+        self._points: Tuple[OperatingPoint, ...] = tuple(points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[OperatingPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> OperatingPoint:
+        if not 0 <= index < len(self._points):
+            raise SimulationError(
+                f"OPP index {index} out of range [0, {len(self._points) - 1}]"
+            )
+        return self._points[index]
+
+    @property
+    def num_levels(self) -> int:
+        """Number of V/f levels ``K`` (the agent's action count)."""
+        return len(self._points)
+
+    @property
+    def min_frequency_hz(self) -> float:
+        return self._points[0].frequency_hz
+
+    @property
+    def max_frequency_hz(self) -> float:
+        """``f_max``, the normaliser of the paper's reward (Eq. 4)."""
+        return self._points[-1].frequency_hz
+
+    @property
+    def frequencies_hz(self) -> List[float]:
+        return [p.frequency_hz for p in self._points]
+
+    @property
+    def voltages_v(self) -> List[float]:
+        return [p.voltage_v for p in self._points]
+
+    def nearest_index(self, frequency_hz: float) -> int:
+        """Index of the level whose frequency is closest to ``frequency_hz``."""
+        if frequency_hz <= 0:
+            raise SimulationError(
+                f"frequency must be positive, got {frequency_hz}"
+            )
+        best_index = 0
+        best_distance = abs(self._points[0].frequency_hz - frequency_hz)
+        for point in self._points[1:]:
+            distance = abs(point.frequency_hz - frequency_hz)
+            if distance < best_distance:
+                best_index = point.index
+                best_distance = distance
+        return best_index
+
+    def normalized_frequency(self, index: int) -> float:
+        """``f_k / f_max`` — the performance surrogate of Eq. (4)."""
+        return self[index].frequency_hz / self.max_frequency_hz
+
+
+def _jetson_nano_points() -> List[OperatingPoint]:
+    frequencies_mhz = [
+        102.0,
+        204.0,
+        307.2,
+        403.2,
+        518.4,
+        614.4,
+        710.4,
+        825.6,
+        921.6,
+        1036.8,
+        1132.8,
+        1224.0,
+        1326.0,
+        1428.0,
+        1479.0,
+    ]
+    v_min, v_max = 0.80, 1.23
+    f_min, f_max = frequencies_mhz[0], frequencies_mhz[-1]
+    points = []
+    for index, f_mhz in enumerate(frequencies_mhz):
+        fraction = (f_mhz - f_min) / (f_max - f_min)
+        # Mildly super-linear V(f): real rails step voltage faster near
+        # the top of the frequency range.
+        voltage = v_min + (v_max - v_min) * (0.6 * fraction + 0.4 * fraction**2)
+        points.append(OperatingPoint(index, f_mhz * MHZ, round(voltage, 4)))
+    return points
+
+
+#: The 15 CPU V/f levels of the NVIDIA Jetson Nano (paper, Section IV).
+JETSON_NANO_OPP_TABLE = OPPTable(_jetson_nano_points())

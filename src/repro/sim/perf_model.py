@@ -1,0 +1,97 @@
+"""Analytic performance model.
+
+Maps an application phase and an operating frequency to the performance
+counters the power controller observes. The central mechanism is the
+classic two-component CPI decomposition:
+
+``CPI(f) = CPI_core + MPKI/1000 · t_miss · f``
+
+A last-level-cache miss stalls the core for a fixed *wall-clock* DRAM
+latency ``t_miss``, so its cost in cycles grows linearly with frequency.
+Consequences the agent must learn:
+
+* compute-bound phases (low MPKI): IPS ≈ f / CPI_core scales with DVFS;
+* memory-bound phases (high MPKI): IPS saturates at
+  ``1000 / (MPKI · t_miss)`` — raising the frequency buys almost no
+  performance while still costing power.
+
+The *duty* factor (fraction of cycles the pipeline is busy rather than
+stalled) feeds the power model: a stalled core clock-gates most of its
+logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.workload import Phase
+
+
+@dataclass(frozen=True)
+class PhasePerformance:
+    """Performance of one phase at one frequency."""
+
+    frequency_hz: float
+    ips: float
+    ipc: float
+    cpi: float
+    duty: float
+    mpki: float
+    miss_rate: float
+
+
+class PerformanceModel:
+    """Two-component CPI model with fixed-latency memory.
+
+    Parameters
+    ----------
+    miss_penalty_s:
+        Wall-clock stall per last-level-cache miss. The default of
+        80 ns reflects LPDDR4 access latency on Jetson-class hardware.
+    """
+
+    def __init__(self, miss_penalty_s: float = 80e-9) -> None:
+        if miss_penalty_s <= 0:
+            raise ConfigurationError(
+                f"miss_penalty_s must be positive, got {miss_penalty_s}"
+            )
+        self.miss_penalty_s = miss_penalty_s
+
+    def memory_cycles_per_instruction(self, phase: Phase, frequency_hz: float) -> float:
+        """Stall cycles per instruction at ``frequency_hz``."""
+        if frequency_hz <= 0:
+            raise SimulationError(
+                f"frequency must be positive, got {frequency_hz}"
+            )
+        return phase.mpki / 1000.0 * self.miss_penalty_s * frequency_hz
+
+    def evaluate(self, phase: Phase, frequency_hz: float) -> PhasePerformance:
+        """Performance counters for ``phase`` at ``frequency_hz``."""
+        memory_cpi = self.memory_cycles_per_instruction(phase, frequency_hz)
+        cpi = phase.cpi_core + memory_cpi
+        ipc = 1.0 / cpi
+        ips = frequency_hz / cpi
+        duty = phase.cpi_core / cpi
+        return PhasePerformance(
+            frequency_hz=frequency_hz,
+            ips=ips,
+            ipc=ipc,
+            cpi=cpi,
+            duty=duty,
+            mpki=phase.mpki,
+            miss_rate=phase.miss_rate,
+        )
+
+    def saturation_ips(self, phase: Phase) -> float:
+        """Upper bound of IPS as frequency goes to infinity.
+
+        Finite only for phases with memory traffic; compute-only phases
+        scale indefinitely in this model.
+        """
+        # Guard the product, not mpki alone: a subnormal mpki can
+        # underflow the multiplication to exactly zero.
+        denominator = phase.mpki * self.miss_penalty_s
+        if denominator == 0.0:
+            return float("inf")
+        return 1000.0 / denominator

@@ -1,0 +1,74 @@
+"""Measurement noise models for power and performance counters.
+
+The paper's agents read an on-board power sensor (INA-style) and the
+PMU performance counters. Neither is noise-free in practice: power
+readings carry quantisation and thermal noise, and counter-derived
+rates fluctuate with sampling alignment. These sensor models corrupt
+the simulator's ground truth so that the learning problem keeps its
+stochastic observation channel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import require_non_negative
+
+
+class PowerSensor:
+    """Gaussian-noise power sensor with optional quantisation.
+
+    Parameters
+    ----------
+    noise_std_w:
+        Standard deviation of additive Gaussian noise in watts.
+    quantization_w:
+        If set, readings are rounded to this granularity (e.g. the
+        INA3221 on the Jetson Nano reports in multiples of a few mW).
+    """
+
+    def __init__(
+        self,
+        noise_std_w: float = 0.01,
+        quantization_w: Optional[float] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.noise_std_w = require_non_negative("noise_std_w", noise_std_w)
+        if quantization_w is not None:
+            require_non_negative("quantization_w", quantization_w)
+        self.quantization_w = quantization_w
+        self._rng = as_generator(seed)
+
+    def measure(self, true_power_w: float) -> float:
+        """A noisy, non-negative reading of ``true_power_w``."""
+        reading = true_power_w
+        if self.noise_std_w > 0.0:
+            reading += self._rng.normal(0.0, self.noise_std_w)
+        if self.quantization_w:
+            reading = round(reading / self.quantization_w) * self.quantization_w
+        return max(reading, 0.0)
+
+
+class CounterSampler:
+    """Multiplicative jitter for counter-derived rates (IPC, MPKI).
+
+    Rates computed from two counters sampled over a finite window
+    wobble with window alignment; a log-normal multiplier models that
+    relative error without ever producing negative readings.
+    """
+
+    def __init__(self, relative_std: float = 0.02, seed: SeedLike = None) -> None:
+        self.relative_std = require_non_negative("relative_std", relative_std)
+        self._rng = as_generator(seed)
+
+    def measure(self, true_value: float) -> float:
+        """A jittered, non-negative reading of ``true_value``."""
+        if self.relative_std == 0.0 or true_value == 0.0:
+            return max(true_value, 0.0)
+        multiplier = float(
+            np.exp(self._rng.normal(0.0, self.relative_std))
+        )
+        return max(true_value * multiplier, 0.0)

@@ -1,0 +1,60 @@
+"""First-order RC thermal model (extension, not used by the paper).
+
+The paper explicitly neglects the power → temperature → leakage loop
+(footnote 2), which is what licenses the contextual-bandit formulation.
+This model exists for the ablation that checks how much that
+approximation costs: enable it on the processor together with a
+non-zero ``leakage_temperature_coefficient`` on the power model and the
+environment gains slow state the bandit cannot see.
+
+Dynamics: ``T' = T + dt/τ · (T_amb + R_th · P − T)`` — a single thermal
+node with resistance ``R_th`` to ambient and time constant ``τ``.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require_positive
+
+
+class ThermalModel:
+    """Single-node RC thermal dynamics."""
+
+    def __init__(
+        self,
+        thermal_resistance_c_per_w: float = 8.0,
+        time_constant_s: float = 20.0,
+        ambient_c: float = 25.0,
+    ) -> None:
+        self.thermal_resistance_c_per_w = require_positive(
+            "thermal_resistance_c_per_w", thermal_resistance_c_per_w
+        )
+        self.time_constant_s = require_positive("time_constant_s", time_constant_s)
+        self.ambient_c = ambient_c
+        self._temperature_c = ambient_c
+
+    @property
+    def temperature_c(self) -> float:
+        """Current die temperature in Celsius."""
+        return self._temperature_c
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Temperature this power level would converge to."""
+        return self.ambient_c + self.thermal_resistance_c_per_w * power_w
+
+    def update(self, power_w: float, dt_s: float) -> float:
+        """Advance the node by ``dt_s`` under dissipation ``power_w``.
+
+        Uses the exact exponential solution of the linear ODE so large
+        control intervals (500 ms) stay numerically well-behaved.
+        """
+        require_positive("dt_s", dt_s)
+        target = self.steady_state_c(power_w)
+        import math
+
+        decay = math.exp(-dt_s / self.time_constant_s)
+        self._temperature_c = target + (self._temperature_c - target) * decay
+        return self._temperature_c
+
+    def reset(self) -> None:
+        """Return the node to ambient temperature."""
+        self._temperature_c = self.ambient_c

@@ -1,0 +1,126 @@
+"""Execution trace recording.
+
+Controllers and experiment harnesses append one :class:`StepRecord` per
+control interval; the recorder offers the aggregations the paper
+reports (mean reward per round, constraint-violation rate, average
+power/IPS) plus raw-row export for offline analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything observed in one control interval."""
+
+    step: int
+    device: str
+    application: str
+    action_index: int
+    frequency_hz: float
+    power_w: float
+    ipc: float
+    mpki: float
+    miss_rate: float
+    ips: float
+    reward: float
+    round_index: int = 0
+    temperature_c: Optional[float] = None
+
+
+class TraceRecorder:
+    """Append-only store of :class:`StepRecord` with aggregation helpers."""
+
+    def __init__(self) -> None:
+        self._records: List[StepRecord] = []
+
+    def record(self, record: StepRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Sequence[StepRecord]) -> None:
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[StepRecord]:
+        """The raw records (a copy; the recorder stays append-only)."""
+        return list(self._records)
+
+    def filter(
+        self,
+        device: Optional[str] = None,
+        application: Optional[str] = None,
+        round_index: Optional[int] = None,
+    ) -> "TraceRecorder":
+        """A new recorder holding the records matching every criterion."""
+        selected = TraceRecorder()
+        for record in self._records:
+            if device is not None and record.device != device:
+                continue
+            if application is not None and record.application != application:
+                continue
+            if round_index is not None and record.round_index != round_index:
+                continue
+            selected.record(record)
+        return selected
+
+    def mean(self, field_name: str) -> float:
+        """Mean of a numeric record field (e.g. ``"reward"``)."""
+        if not self._records:
+            raise ValueError("trace is empty")
+        values = [getattr(record, field_name) for record in self._records]
+        return sum(values) / len(values)
+
+    def mean_reward(self) -> float:
+        return self.mean("reward")
+
+    def mean_power_w(self) -> float:
+        return self.mean("power_w")
+
+    def mean_ips(self) -> float:
+        return self.mean("ips")
+
+    def violation_rate(self, power_limit_w: float) -> float:
+        """Fraction of intervals whose power exceeded ``power_limit_w``."""
+        if not self._records:
+            raise ValueError("trace is empty")
+        violations = sum(1 for r in self._records if r.power_w > power_limit_w)
+        return violations / len(self._records)
+
+    def rewards_by_round(self) -> Dict[int, float]:
+        """Mean reward per federated round, for Fig. 3-style curves."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            sums[record.round_index] = sums.get(record.round_index, 0.0) + record.reward
+            counts[record.round_index] = counts.get(record.round_index, 0) + 1
+        return {r: sums[r] / counts[r] for r in sorted(sums)}
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Records as plain dicts (for CSV export or DataFrame loading)."""
+        names = [f.name for f in fields(StepRecord)]
+        return [{name: getattr(r, name) for name in names} for r in self._records]
+
+    def to_csv(self, path) -> int:
+        """Write all records as CSV; returns the number of data rows.
+
+        The column order matches :class:`StepRecord`'s field order, so
+        files from different runs line up for diffing and plotting.
+        """
+        import csv
+
+        names = [f.name for f in fields(StepRecord)]
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=names)
+            writer.writeheader()
+            for row in self.to_rows():
+                writer.writerow(row)
+        return len(self._records)

@@ -1,0 +1,46 @@
+"""Shared utilities: RNG handling, numerics, validation, serialisation.
+
+These helpers are intentionally free of any simulator or RL concepts so
+they can be used from every other subpackage without import cycles.
+"""
+
+from repro.utils.math import (
+    clip,
+    exponential_decay,
+    huber_gradient,
+    huber_loss,
+    moving_average,
+    softmax,
+)
+from repro.utils.rng import as_generator, spawn_generator
+from repro.utils.serialization import (
+    bytes_to_parameters,
+    parameter_num_bytes,
+    parameters_to_bytes,
+)
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "bytes_to_parameters",
+    "clip",
+    "exponential_decay",
+    "format_table",
+    "huber_gradient",
+    "huber_loss",
+    "moving_average",
+    "parameter_num_bytes",
+    "parameters_to_bytes",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+    "softmax",
+    "spawn_generator",
+]

@@ -1,0 +1,101 @@
+"""Plain-text line plots.
+
+The benchmark harness regenerates the paper's *figures*, and a numeric
+series alone makes trends hard to eyeball. This renderer draws multiple
+series on one character grid — dependency-free, terminal-friendly, and
+diffable — so figure outputs in ``benchmarks/results/`` read like
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+_MARKERS = "*+ox#@%&"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render named series as an ASCII line plot.
+
+    Each series gets a marker character (in insertion order); where
+    series overlap, the later one wins the cell. The x axis spans the
+    longest series' index range; y limits default to the data range
+    with a small margin.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series to plot")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(
+            f"at most {len(_MARKERS)} series supported, got {len(series)}"
+        )
+    if width < 10 or height < 4:
+        raise ConfigurationError(
+            f"plot must be at least 10x4 characters, got {width}x{height}"
+        )
+    lengths = [len(values) for values in series.values()]
+    if any(length == 0 for length in lengths):
+        raise ConfigurationError("every series must be non-empty")
+
+    all_values = [v for values in series.values() for v in values]
+    low = min(all_values) if y_min is None else y_min
+    high = max(all_values) if y_max is None else y_max
+    if high == low:
+        high = low + 1.0
+    margin = 0.05 * (high - low)
+    if y_min is None:
+        low -= margin
+    if y_max is None:
+        high += margin
+
+    max_length = max(lengths)
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x_index: int, value: float):
+        column = (
+            0
+            if max_length == 1
+            else round(x_index / (max_length - 1) * (width - 1))
+        )
+        fraction = (value - low) / (high - low)
+        fraction = min(max(fraction, 0.0), 1.0)
+        row = (height - 1) - round(fraction * (height - 1))
+        return row, column
+
+    for marker, (name, values) in zip(_MARKERS, series.items()):
+        for x_index, value in enumerate(values):
+            row, column = cell(x_index, value)
+            grid[row][column] = marker
+
+    label_width = max(len(f"{high:.2f}"), len(f"{low:.2f}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{high:.2f}"
+        elif row_index == height - 1:
+            label = f"{low:.2f}"
+        elif row_index == height // 2:
+            label = f"{(high + low) / 2:.2f}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  x: 0 .. {max_length - 1}"
+    )
+    legend = "  ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

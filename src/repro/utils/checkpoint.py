@@ -1,0 +1,66 @@
+"""Policy checkpointing.
+
+A deployed power controller must survive device reboots without
+retraining; this module persists a
+:class:`~repro.rl.agent.NeuralBanditAgent`'s policy network and
+training progress to a single ``.npz`` file and restores it into a
+compatible agent. The replay buffer is deliberately *not* persisted —
+it holds the raw counter/power samples whose privacy the system
+protects, so checkpoints are as shareable as federated payloads.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PolicyError
+from repro.rl.agent import NeuralBanditAgent
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_agent(agent: NeuralBanditAgent, path: PathLike) -> None:
+    """Write the agent's policy and step counter to ``path`` (.npz)."""
+    arrays = {
+        f"parameter_{index}": parameter
+        for index, parameter in enumerate(agent.get_parameters())
+    }
+    arrays["layer_sizes"] = np.asarray(agent.network.layer_sizes, dtype=np.int64)
+    arrays["step_count"] = np.asarray([agent.step_count], dtype=np.int64)
+    arrays["format_version"] = np.asarray([_FORMAT_VERSION], dtype=np.int64)
+    np.savez(str(path), **arrays)
+
+
+def load_agent(agent: NeuralBanditAgent, path: PathLike) -> NeuralBanditAgent:
+    """Restore policy and step counter from ``path`` into ``agent``.
+
+    The agent must have the same network architecture as the
+    checkpoint; the optimiser state is reset (as after a federated
+    model install). Returns the same agent for chaining.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"checkpoint {path} does not exist")
+    with np.load(str(path)) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"checkpoint format {version} not supported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        layer_sizes = tuple(int(s) for s in data["layer_sizes"])
+        if layer_sizes != agent.network.layer_sizes:
+            raise PolicyError(
+                f"checkpoint architecture {layer_sizes} does not match the "
+                f"agent's {agent.network.layer_sizes}"
+            )
+        count = len(agent.network.parameters)
+        parameters = [data[f"parameter_{index}"] for index in range(count)]
+        agent.set_parameters(parameters, reset_optimizer=True)
+        agent.restore_progress(int(data["step_count"][0]))
+    return agent

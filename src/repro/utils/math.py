@@ -1,0 +1,90 @@
+"""Small numeric helpers used across the RL and simulator code."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def softmax(values: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Numerically stable softmax with a temperature parameter.
+
+    Implements Eq. (3) of the paper: higher ``temperature`` flattens the
+    distribution towards uniform, lower ``temperature`` sharpens it
+    towards the argmax. The maximum is subtracted before exponentiation
+    so large logits cannot overflow.
+    """
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    scaled = np.asarray(values, dtype=np.float64) / temperature
+    scaled = scaled - np.max(scaled)
+    exps = np.exp(scaled)
+    return exps / np.sum(exps)
+
+
+def huber_loss(residual: np.ndarray, delta: float = 1.0) -> np.ndarray:
+    """Element-wise Huber loss of a residual ``prediction - target``.
+
+    Quadratic for ``|residual| <= delta`` and linear beyond, which keeps
+    gradient magnitudes bounded when the reward signal contains the
+    occasional extreme sample (e.g. the -1 floor of the power-violation
+    penalty).
+    """
+    if delta <= 0.0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    residual = np.asarray(residual, dtype=np.float64)
+    abs_res = np.abs(residual)
+    quadratic = 0.5 * residual**2
+    linear = delta * (abs_res - 0.5 * delta)
+    return np.where(abs_res <= delta, quadratic, linear)
+
+
+def huber_gradient(residual: np.ndarray, delta: float = 1.0) -> np.ndarray:
+    """Derivative of :func:`huber_loss` with respect to the residual."""
+    if delta <= 0.0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    residual = np.asarray(residual, dtype=np.float64)
+    return np.clip(residual, -delta, delta)
+
+
+def exponential_decay(
+    initial: float, rate: float, step: int, minimum: float = 0.0
+) -> float:
+    """Exponentially decayed value ``max(minimum, initial * exp(-rate * step))``.
+
+    Used for the softmax temperature (Table I: ``tau_max`` 0.9,
+    ``tau_decay`` 0.0005, ``tau_min`` 0.01) and for the epsilon schedule
+    of the Profit baseline.
+    """
+    if step < 0:
+        raise ValueError(f"step must be non-negative, got {step}")
+    return max(minimum, initial * float(np.exp(-rate * step)))
+
+
+def clip(value: float, low: float, high: float) -> float:
+    """Clamp a scalar into ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"invalid interval [{low}, {high}]")
+    return min(max(value, low), high)
+
+
+def moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Trailing moving average with a warm-up (shorter prefix windows).
+
+    Element ``i`` is the mean of ``values[max(0, i - window + 1) : i + 1]``,
+    so the output has the same length as the input. Used to smooth
+    per-round reward curves when printing figure series.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError("moving_average expects a 1-D sequence")
+    cumulative = np.cumsum(array)
+    result = np.empty_like(array)
+    for i in range(array.shape[0]):
+        start = max(0, i - window + 1)
+        total = cumulative[i] - (cumulative[start - 1] if start > 0 else 0.0)
+        result[i] = total / (i - start + 1)
+    return result

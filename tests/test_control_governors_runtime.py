@@ -1,0 +1,196 @@
+"""Unit tests for the governors and the control-loop runtime."""
+
+import pytest
+
+from repro.control.governors import (
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowerCapGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+)
+from repro.control.neural import build_neural_controller
+from repro.control.runtime import ControlSession
+from repro.errors import SimulationError
+from repro.sim import DeviceEnvironment, JETSON_NANO_OPP_TABLE, build_default_device
+
+
+def make_env(apps=("fft",), seed=0, **kwargs):
+    device = build_default_device("A", list(apps), seed=seed)
+    return DeviceEnvironment(device, control_interval_s=0.5, **kwargs)
+
+
+def first_snapshot(env):
+    return env.reset()
+
+
+class TestStaticGovernors:
+    def test_performance_always_max(self):
+        env = make_env()
+        governor = PerformanceGovernor(JETSON_NANO_OPP_TABLE)
+        snap = first_snapshot(env)
+        assert governor.select_action(snap) == 14
+
+    def test_powersave_always_min(self):
+        env = make_env()
+        governor = PowersaveGovernor(JETSON_NANO_OPP_TABLE)
+        assert governor.select_action(first_snapshot(env)) == 0
+
+    def test_userspace_fixed(self):
+        env = make_env()
+        governor = UserspaceGovernor(JETSON_NANO_OPP_TABLE, level=9)
+        assert governor.select_action(first_snapshot(env)) == 9
+
+    def test_userspace_validates_level(self):
+        with pytest.raises(SimulationError):
+            UserspaceGovernor(JETSON_NANO_OPP_TABLE, level=99)
+
+    def test_governors_do_not_learn(self):
+        governor = PerformanceGovernor(JETSON_NANO_OPP_TABLE)
+        assert not governor.is_learning
+
+    def test_reward_uses_eq4(self):
+        env = make_env(apps=("water-ns",))
+        governor = PerformanceGovernor(JETSON_NANO_OPP_TABLE)
+        snap = env.reset()
+        # At the lowest level the compute-bound app is under budget.
+        assert governor.compute_reward(snap) > 0
+
+
+class TestOndemand:
+    def test_saturated_load_goes_to_max(self):
+        env = make_env()
+        governor = OndemandGovernor(JETSON_NANO_OPP_TABLE)
+        snap = first_snapshot(env)
+        assert governor.select_action(snap) == 14
+
+    def test_stays_at_max_while_busy(self):
+        env = make_env()
+        governor = OndemandGovernor(JETSON_NANO_OPP_TABLE)
+        snap = first_snapshot(env)
+        for _ in range(5):
+            action = governor.select_action(snap)
+            snap = env.step(action)
+        assert action == 14
+
+
+class TestPowerCapGovernor:
+    def test_steps_up_with_headroom(self):
+        env = make_env(apps=("radix",))
+        governor = PowerCapGovernor(JETSON_NANO_OPP_TABLE, power_limit_w=0.6)
+        snap = first_snapshot(env)
+        first = governor.select_action(snap)
+        assert first == 1  # headroom at the lowest level -> step up
+
+    def test_converges_below_limit_on_compute_bound(self):
+        env = make_env(apps=("water-ns",))
+        governor = PowerCapGovernor(JETSON_NANO_OPP_TABLE, power_limit_w=0.6)
+        snap = env.reset()
+        powers = []
+        for _ in range(60):
+            action = governor.select_action(snap)
+            snap = env.step(action)
+            powers.append(snap.true_power_w)
+        # After convergence the governor oscillates around the cap; the
+        # tail average must respect the budget within the offset band.
+        tail = powers[30:]
+        assert sum(tail) / len(tail) < 0.65
+
+    def test_reaches_max_on_memory_bound(self):
+        env = make_env(apps=("radix",))
+        governor = PowerCapGovernor(JETSON_NANO_OPP_TABLE, power_limit_w=0.6)
+        snap = env.reset()
+        for _ in range(30):
+            action = governor.select_action(snap)
+            snap = env.step(action)
+        assert governor.level == 14
+
+
+class TestControlSession:
+    def test_run_steps_records_trace(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        session = ControlSession(env, controller)
+        session.start()
+        records = session.run_steps(10, round_index=3)
+        assert len(records) == 10
+        assert len(session.trace) == 10
+        assert all(r.round_index == 3 for r in records)
+        assert all(r.device == "A" for r in records)
+
+    def test_auto_start(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        session = ControlSession(env, controller)
+        assert not session.started
+        session.run_steps(2)
+        assert session.started
+
+    def test_train_mode_updates_agent(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        session = ControlSession(env, controller)
+        session.run_steps(25, train=True)
+        assert controller.agent.step_count == 25
+        assert controller.agent.update_count == 1  # every 20 steps
+
+    def test_eval_mode_never_updates(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        session = ControlSession(env, controller)
+        session.run_steps(25, train=False)
+        assert controller.agent.step_count == 0
+        assert len(controller.agent.replay) == 0
+
+    def test_eval_mode_is_greedy(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        session = ControlSession(env, controller)
+        records = session.run_steps(10, train=False)
+        # Greedy on near-identical states: essentially one action.
+        assert len({r.action_index for r in records}) <= 2
+
+    def test_global_step_accumulates(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        session = ControlSession(env, controller)
+        session.run_steps(5)
+        session.run_steps(5)
+        assert session.global_step == 10
+
+    def test_record_false_skips_trace(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        session = ControlSession(env, controller)
+        session.run_steps(5, record=False)
+        assert len(session.trace) == 0
+
+    def test_decision_latency_measured(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        session = ControlSession(env, controller)
+        session.run_steps(10)
+        latency = session.mean_decision_latency_s()
+        assert latency > 0.0
+        # Far below the 500 ms control interval.
+        assert latency < 0.5
+
+    def test_latency_before_steps_raises(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        with pytest.raises(SimulationError):
+            ControlSession(env, controller).mean_decision_latency_s()
+
+    def test_rejects_bad_step_count(self):
+        env = make_env()
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        with pytest.raises(SimulationError):
+            ControlSession(env, controller).run_steps(0)
+
+    def test_pinned_application_for_evaluation(self):
+        env = make_env(apps=("fft", "lu"), schedule_switching=False)
+        controller = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=0)
+        session = ControlSession(env, controller)
+        session.start("ocean")
+        records = session.run_steps(20, train=False)
+        assert {r.application for r in records} == {"ocean"}

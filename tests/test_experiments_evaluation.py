@@ -1,0 +1,110 @@
+"""Unit tests for the evaluation protocol."""
+
+import pytest
+
+from repro.control.governors import PerformanceGovernor, PowersaveGovernor
+from repro.errors import ConfigurationError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.evaluation import PolicyEvaluator, RoundEvaluation
+from repro.sim.opp import JETSON_NANO_OPP_TABLE
+
+
+@pytest.fixture
+def config():
+    return FederatedPowerControlConfig(
+        eval_steps_per_app=5, num_rounds=2, steps_per_round=10
+    )
+
+
+@pytest.fixture
+def evaluator(config):
+    return PolicyEvaluator(["device-A"], config, ["radix", "water-ns"])
+
+
+class TestPolicyEvaluator:
+    def test_evaluates_every_app(self, evaluator):
+        controller = PowersaveGovernor(JETSON_NANO_OPP_TABLE)
+        round_eval = evaluator.evaluate({"device-A": controller}, round_index=7)
+        assert round_eval.round_index == 7
+        assert {e.application for e in round_eval.evaluations} == {
+            "radix",
+            "water-ns",
+        }
+
+    def test_powersave_never_violates(self, evaluator):
+        controller = PowersaveGovernor(JETSON_NANO_OPP_TABLE)
+        round_eval = evaluator.evaluate({"device-A": controller}, 0)
+        assert all(e.violation_rate == 0.0 for e in round_eval.evaluations)
+        assert all(e.power_mean_w < 0.6 for e in round_eval.evaluations)
+
+    def test_performance_governor_violates_on_compute_bound(self, evaluator):
+        controller = PerformanceGovernor(JETSON_NANO_OPP_TABLE)
+        round_eval = evaluator.evaluate({"device-A": controller}, 0)
+        water = round_eval.for_application("water-ns")[0]
+        radix = round_eval.for_application("radix")[0]
+        assert water.violation_rate > 0.9
+        assert radix.violation_rate < 0.2
+
+    def test_exec_time_consistent_with_ips(self, evaluator):
+        from repro.sim.workload import splash2_application
+
+        controller = PerformanceGovernor(JETSON_NANO_OPP_TABLE)
+        round_eval = evaluator.evaluate({"device-A": controller}, 0)
+        for evaluation in round_eval.evaluations:
+            total = splash2_application(evaluation.application).total_instructions
+            assert evaluation.exec_time_s == pytest.approx(
+                total / evaluation.ips_mean
+            )
+
+    def test_higher_frequency_means_faster_execution(self, config):
+        evaluator = PolicyEvaluator(["device-A"], config, ["water-ns"])
+        fast = evaluator.evaluate(
+            {"device-A": PerformanceGovernor(JETSON_NANO_OPP_TABLE)}, 0
+        ).evaluations[0]
+        slow = evaluator.evaluate(
+            {"device-A": PowersaveGovernor(JETSON_NANO_OPP_TABLE)}, 0
+        ).evaluations[0]
+        assert fast.exec_time_s < slow.exec_time_s
+        assert fast.frequency_mean_hz > slow.frequency_mean_hz
+
+    def test_frequency_std_zero_for_static_governor(self, evaluator):
+        round_eval = evaluator.evaluate(
+            {"device-A": PowersaveGovernor(JETSON_NANO_OPP_TABLE)}, 0
+        )
+        assert all(e.frequency_std_hz == 0.0 for e in round_eval.evaluations)
+
+    def test_unknown_device_rejected(self, evaluator):
+        controller = PowersaveGovernor(JETSON_NANO_OPP_TABLE)
+        with pytest.raises(ConfigurationError):
+            evaluator.evaluate({"device-X": controller}, 0)
+
+    def test_rejects_empty_construction(self, config):
+        with pytest.raises(ConfigurationError):
+            PolicyEvaluator([], config, ["fft"])
+        with pytest.raises(ConfigurationError):
+            PolicyEvaluator(["device-A"], config, [])
+
+    def test_deterministic_for_same_config_seed(self, config):
+        def run():
+            evaluator = PolicyEvaluator(["device-A"], config, ["fft"])
+            controller = PerformanceGovernor(JETSON_NANO_OPP_TABLE)
+            return evaluator.evaluate({"device-A": controller}, 0).evaluations[0]
+
+        assert run().power_mean_w == run().power_mean_w
+
+
+class TestRoundEvaluation:
+    def test_device_mean(self, evaluator):
+        controller = PowersaveGovernor(JETSON_NANO_OPP_TABLE)
+        round_eval = evaluator.evaluate({"device-A": controller}, 0)
+        assert round_eval.device_mean("device-A") == pytest.approx(
+            round_eval.overall_mean()
+        )
+
+    def test_device_mean_missing_device_raises(self):
+        with pytest.raises(ConfigurationError):
+            RoundEvaluation(0, []).device_mean("nope")
+
+    def test_overall_mean_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            RoundEvaluation(0, []).overall_mean()

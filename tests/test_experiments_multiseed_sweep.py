@@ -1,0 +1,107 @@
+"""Tests for the multi-seed and sweep experiment utilities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.multiseed import run_multiseed
+from repro.experiments.sweep import run_learning_rate_sweep, sweep_config_field
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return FederatedPowerControlConfig(
+        num_rounds=3,
+        steps_per_round=20,
+        eval_steps_per_app=3,
+        eval_every_rounds=1,
+        seed=1,
+    )
+
+
+class TestMultiSeed:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = FederatedPowerControlConfig(
+            num_rounds=3, steps_per_round=20, eval_steps_per_app=3,
+            eval_every_rounds=1,
+        )
+        return run_multiseed(config, seeds=(1, 2), last_rounds=1)
+
+    def test_statistics_cover_both_systems_and_metrics(self, result):
+        pairs = {(s.system, s.metric) for s in result.statistics}
+        assert pairs == {
+            (system, metric)
+            for system in ("federated", "local-only")
+            for metric in ("reward", "power", "violations")
+        }
+
+    def test_values_per_seed(self, result):
+        assert len(result.get("federated", "reward").values) == 2
+        assert result.seeds == (1, 2)
+
+    def test_std_non_negative(self, result):
+        assert all(s.std >= 0.0 for s in result.statistics)
+
+    def test_mean_consistent_with_values(self, result):
+        stat = result.get("federated", "power")
+        assert stat.mean == pytest.approx(sum(stat.values) / len(stat.values))
+
+    def test_format(self, result):
+        text = result.format()
+        assert "Multi-seed" in text and "federated" in text
+
+    def test_get_unknown_raises(self, result):
+        with pytest.raises(KeyError):
+            result.get("federated", "latency")
+
+    def test_rejects_empty_seeds(self, tiny_config):
+        with pytest.raises(ConfigurationError):
+            run_multiseed(tiny_config, seeds=())
+
+
+class TestSweep:
+    def test_sweep_produces_one_point_per_value(self, tiny_config):
+        result = sweep_config_field(
+            tiny_config, "learning_rate", (0.001, 0.01), last_rounds=1
+        )
+        assert [p.value for p in result.points] == [0.001, 0.01]
+        assert result.field == "learning_rate"
+
+    def test_best_point(self, tiny_config):
+        result = sweep_config_field(
+            tiny_config, "batch_size", (32, 128), last_rounds=1
+        )
+        assert result.best() in result.points
+        assert result.best().reward == max(p.reward for p in result.points)
+
+    def test_metrics_in_range(self, tiny_config):
+        result = run_learning_rate_sweep(tiny_config, values=(0.005,))
+        point = result.points[0]
+        assert -1.0 <= point.reward <= 1.0
+        assert point.power_w > 0
+        assert 0.0 <= point.violation_rate <= 1.0
+
+    def test_rejects_unknown_field(self, tiny_config):
+        with pytest.raises(ConfigurationError, match="not a"):
+            sweep_config_field(tiny_config, "warp_drive", (1,))
+
+    def test_rejects_empty_values(self, tiny_config):
+        with pytest.raises(ConfigurationError):
+            sweep_config_field(tiny_config, "learning_rate", ())
+
+    def test_format(self, tiny_config):
+        text = sweep_config_field(
+            tiny_config, "learning_rate", (0.005,), last_rounds=1
+        ).format()
+        assert "Sweep over learning_rate" in text
+
+
+class TestCompressionAblation:
+    def test_int8_cuts_bytes_roughly_4x(self, tiny_config):
+        from repro.experiments.ablations import run_compression
+
+        result = run_compression(tiny_config)
+        assert 3.4 < result.bytes_ratio() < 4.0
+        assert -1.0 <= result.reward("int8") <= 1.0
+        assert "compression" in result.format()

@@ -1,0 +1,200 @@
+"""Tests for asynchronous federated aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FederationError
+from repro.federated.async_server import (
+    AsynchronousFederatedClient,
+    AsynchronousFederatedServer,
+    run_async_federated_training,
+)
+from repro.federated.transport import InMemoryTransport
+from repro.rl.agent import NeuralBanditAgent
+
+
+def make_system(num_clients=2, mixing_rate=0.6, staleness_exponent=0.5):
+    transport = InMemoryTransport()
+    agents = [NeuralBanditAgent(num_actions=15, seed=i) for i in range(num_clients)]
+    clients = [
+        AsynchronousFederatedClient(f"d{i}", agent, transport)
+        for i, agent in enumerate(agents)
+    ]
+    server = AsynchronousFederatedServer(
+        agents[0].get_parameters(),
+        transport,
+        mixing_rate=mixing_rate,
+        staleness_exponent=staleness_exponent,
+    )
+    return transport, server, clients
+
+
+class TestMixing:
+    def test_fresh_model_uses_full_mixing_rate(self):
+        _, server, _ = make_system(mixing_rate=0.6)
+        assert server.mixing_for_staleness(0) == pytest.approx(0.6)
+
+    def test_stale_models_discounted(self):
+        _, server, _ = make_system(mixing_rate=0.6, staleness_exponent=0.5)
+        assert server.mixing_for_staleness(3) == pytest.approx(0.6 / 2.0)
+        assert server.mixing_for_staleness(8) == pytest.approx(0.6 / 3.0)
+
+    def test_zero_exponent_ignores_staleness(self):
+        _, server, _ = make_system(staleness_exponent=0.0)
+        assert server.mixing_for_staleness(100) == pytest.approx(
+            server.mixing_for_staleness(0)
+        )
+
+    def test_negative_staleness_rejected(self):
+        _, server, _ = make_system()
+        with pytest.raises(FederationError):
+            server.mixing_for_staleness(-1)
+
+
+class TestPullPush:
+    def test_pull_installs_global_and_version(self):
+        _, server, clients = make_system()
+        server.dispatch("d0")
+        version = clients[0].pull()
+        assert version == 0
+        assert clients[0].base_version == 0
+        for installed, original in zip(
+            clients[0].agent.get_parameters(), server.global_parameters
+        ):
+            assert np.allclose(installed, original, atol=1e-6)
+
+    def test_push_before_pull_rejected(self):
+        _, server, clients = make_system()
+        with pytest.raises(FederationError, match="pull before"):
+            clients[0].push()
+
+    def test_pull_without_dispatch_rejected(self):
+        _, server, clients = make_system()
+        with pytest.raises(FederationError):
+            clients[0].pull()
+
+    def test_merge_moves_global_towards_upload(self):
+        _, server, clients = make_system(mixing_rate=0.5, staleness_exponent=0.0)
+        server.dispatch("d0")
+        clients[0].pull()
+        before = server.global_parameters
+        target = [p + 1.0 for p in clients[0].agent.get_parameters()]
+        clients[0].agent.set_parameters(target)
+        clients[0].push()
+        assert server.absorb_pending() == 1
+        after = server.global_parameters
+        for b, a, t in zip(before, after, target):
+            assert np.allclose(a, 0.5 * b + 0.5 * t, atol=1e-5)
+        assert server.version == 1
+
+    def test_stale_upload_contributes_less(self):
+        _, server, clients = make_system(mixing_rate=0.5, staleness_exponent=1.0)
+        # Both clients pull version 0.
+        server.dispatch("d0")
+        server.dispatch("d1")
+        clients[0].pull()
+        clients[1].pull()
+        # d0 pushes first (staleness 0), then d1 (staleness 1).
+        shift0 = [p + 1.0 for p in clients[0].agent.get_parameters()]
+        clients[0].agent.set_parameters(shift0)
+        clients[0].push()
+        server.absorb_pending()
+        global_after_first = server.global_parameters
+        shift1 = [p + 1.0 for p in clients[1].agent.get_parameters()]
+        clients[1].agent.set_parameters(shift1)
+        clients[1].push()
+        server.absorb_pending()
+        # The second merge used alpha = 0.5 / 2 = 0.25.
+        for before, after, target in zip(
+            global_after_first, server.global_parameters, shift1
+        ):
+            assert np.allclose(after, 0.75 * before + 0.25 * target, atol=1e-5)
+
+    def test_future_version_rejected(self):
+        transport, server, clients = make_system()
+        server.dispatch("d0")
+        clients[0].pull()
+        clients[0]._base_version = 99  # tamper: claims a future base
+        clients[0].push()
+        with pytest.raises(FederationError, match="future"):
+            server.absorb_pending()
+
+
+class TestAsyncScheduler:
+    def test_push_budgets_respected(self):
+        _, server, clients = make_system()
+        pushes = run_async_federated_training(
+            server,
+            clients,
+            trainers={c.client_id: (lambda r: None) for c in clients},
+            local_rounds_per_client={"d0": 6, "d1": 2},
+            round_duration_s={"d0": 1.0, "d1": 3.0},
+        )
+        assert pushes == {"d0": 6, "d1": 2}
+        assert server.merges_applied == 8
+
+    def test_fast_client_merges_interleave(self):
+        """With a 3x speed gap the fast client's pushes land between the
+        slow client's, so the slow client's uploads become stale."""
+        _, server, clients = make_system(staleness_exponent=1.0)
+        order = []
+
+        def tracked(client_id):
+            def train(round_index):
+                order.append(client_id)
+
+            return train
+
+        run_async_federated_training(
+            server,
+            clients,
+            trainers={c.client_id: tracked(c.client_id) for c in clients},
+            local_rounds_per_client={"d0": 6, "d1": 2},
+            round_duration_s={"d0": 1.0, "d1": 3.0},
+        )
+        # d0 completes rounds at t=1,2,3,...; d1 at t=3,6.
+        assert order[:3] == ["d0", "d0", "d0"]
+        assert "d1" in order[3:5]
+
+    def test_validation(self):
+        _, server, clients = make_system()
+        with pytest.raises(FederationError):
+            run_async_federated_training(server, [], {}, {}, {})
+        with pytest.raises(FederationError, match="trainer"):
+            run_async_federated_training(
+                server, clients, {}, {"d0": 1, "d1": 1}, {"d0": 1.0, "d1": 1.0}
+            )
+        with pytest.raises(FederationError, match="duration"):
+            run_async_federated_training(
+                server,
+                clients,
+                {c.client_id: (lambda r: None) for c in clients},
+                {"d0": 1, "d1": 1},
+                {"d0": 1.0, "d1": 0.0},
+            )
+
+    def test_learning_through_async_loop(self):
+        """End-to-end: async aggregation propagates learning."""
+        rng = np.random.default_rng(0)
+        _, server, clients = make_system()
+
+        def trainer(client):
+            def train(round_index):
+                for _ in range(50):
+                    s = rng.uniform(0, 1, size=5)
+                    a = client.agent.act(s)
+                    reward = 1.0 - 0.05 * abs(a - 7)
+                    client.agent.observe(s, a, reward)
+
+            return train
+
+        run_async_federated_training(
+            server,
+            clients,
+            trainers={c.client_id: trainer(c) for c in clients},
+            local_rounds_per_client={"d0": 10, "d1": 10},
+            round_duration_s={"d0": 1.0, "d1": 1.5},
+        )
+        probe = NeuralBanditAgent(num_actions=15, seed=9)
+        probe.set_parameters(server.global_parameters)
+        assert abs(probe.act_greedy(np.full(5, 0.5)) - 7) <= 2

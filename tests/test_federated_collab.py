@@ -1,0 +1,108 @@
+"""Unit tests for repro.federated.collab (CollabPolicy aggregation)."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federated.collab import CollabPolicyServer, GlobalPolicyEntry
+from repro.rl.tabular_agent import StateStatistics
+
+
+def stats(best_action=0, average_reward=0.5, visit_count=10):
+    return StateStatistics(best_action, average_reward, visit_count)
+
+
+class TestCollabPolicyServer:
+    def test_empty_initially(self):
+        server = CollabPolicyServer()
+        assert server.num_states == 0
+        assert server.lookup("s") is None
+
+    def test_single_report_becomes_global(self):
+        server = CollabPolicyServer()
+        server.aggregate([{"s": stats(best_action=3, average_reward=0.7, visit_count=5)}])
+        entry = server.lookup("s")
+        assert entry == GlobalPolicyEntry(3, 0.7, 5)
+
+    def test_visit_weighted_average_reward(self):
+        server = CollabPolicyServer()
+        server.aggregate(
+            [
+                {"s": stats(best_action=1, average_reward=1.0, visit_count=30)},
+                {"s": stats(best_action=2, average_reward=0.0, visit_count=10)},
+            ]
+        )
+        entry = server.lookup("s")
+        assert entry.average_reward == pytest.approx(0.75)
+        assert entry.visit_count == 40
+
+    def test_best_action_from_highest_average_reward(self):
+        server = CollabPolicyServer()
+        server.aggregate(
+            [
+                {"s": stats(best_action=1, average_reward=0.2, visit_count=100)},
+                {"s": stats(best_action=7, average_reward=0.9, visit_count=5)},
+            ]
+        )
+        assert server.lookup("s").best_action == 7
+
+    def test_existing_entry_participates_in_merge(self):
+        server = CollabPolicyServer()
+        server.aggregate([{"s": stats(best_action=1, average_reward=1.0, visit_count=10)}])
+        server.aggregate([{"s": stats(best_action=2, average_reward=0.0, visit_count=10)}])
+        entry = server.lookup("s")
+        assert entry.average_reward == pytest.approx(0.5)
+        assert entry.visit_count == 20
+        assert entry.best_action == 1  # prior knowledge had higher reward
+
+    def test_disjoint_states_accumulate(self):
+        server = CollabPolicyServer()
+        server.aggregate([{"a": stats()}, {"b": stats()}])
+        assert server.num_states == 2
+
+    def test_rounds_counter(self):
+        server = CollabPolicyServer()
+        server.aggregate([{"a": stats()}])
+        server.aggregate([{"a": stats()}])
+        assert server.rounds_aggregated == 2
+
+    def test_global_table_is_copy(self):
+        server = CollabPolicyServer()
+        server.aggregate([{"a": stats()}])
+        table = server.global_table()
+        table.clear()
+        assert server.num_states == 1
+
+    def test_rejects_empty_reports(self):
+        with pytest.raises(FederationError):
+            CollabPolicyServer().aggregate([])
+
+    def test_rejects_non_positive_visits(self):
+        with pytest.raises(FederationError):
+            CollabPolicyServer().aggregate([{"s": stats(visit_count=0)}])
+
+    def test_table_bytes(self):
+        server = CollabPolicyServer()
+        server.aggregate([{("k", 1): stats()}, {("k", 2): stats()}])
+        # 2 entries x (4*4 key + 1 action + 4 reward + 4 count) = 50.
+        assert server.table_bytes(key_fields=4) == 50
+
+
+class TestEndToEndTabularSharing:
+    def test_digests_from_real_agents_merge(self):
+        from repro.rl.tabular_agent import TabularBanditAgent
+
+        agent_a = TabularBanditAgent(num_actions=15, seed=0)
+        agent_b = TabularBanditAgent(num_actions=15, seed=1)
+        # Agent A learns state "x" well; agent B learns state "y".
+        for _ in range(50):
+            agent_a.observe("x", 5, 0.9)
+            agent_b.observe("y", 10, 0.8)
+        server = CollabPolicyServer()
+        server.aggregate(
+            [
+                {key: agent_a.state_statistics(key) for key in agent_a.visited_states()},
+                {key: agent_b.state_statistics(key) for key in agent_b.visited_states()},
+            ]
+        )
+        assert server.lookup("x").best_action == 5
+        assert server.lookup("y").best_action == 10

@@ -1,0 +1,125 @@
+"""Unit tests for repro.federated.transport and averaging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FederationError
+from repro.federated.averaging import federated_average
+from repro.federated.transport import InMemoryTransport, Message
+
+
+def msg(sender="a", recipient="b", payload=b"x" * 10, kind="test", round_index=0):
+    return Message(sender, recipient, kind, payload, round_index)
+
+
+class TestInMemoryTransport:
+    def test_send_receive_roundtrip(self):
+        transport = InMemoryTransport()
+        transport.send(msg(payload=b"hello"))
+        messages = transport.receive_all("b")
+        assert len(messages) == 1
+        assert messages[0].payload == b"hello"
+
+    def test_receive_drains_inbox(self):
+        transport = InMemoryTransport()
+        transport.send(msg())
+        transport.receive_all("b")
+        assert transport.receive_all("b") == []
+
+    def test_ordering_preserved(self):
+        transport = InMemoryTransport()
+        transport.send(msg(payload=b"1"))
+        transport.send(msg(payload=b"2"))
+        payloads = [m.payload for m in transport.receive_all("b")]
+        assert payloads == [b"1", b"2"]
+
+    def test_pending_count(self):
+        transport = InMemoryTransport()
+        assert transport.pending("b") == 0
+        transport.send(msg())
+        assert transport.pending("b") == 1
+
+    def test_byte_accounting(self):
+        transport = InMemoryTransport()
+        transport.send(msg(payload=b"x" * 100))
+        transport.send(msg(payload=b"x" * 50, recipient="c"))
+        assert transport.total_bytes == 150
+        assert transport.total_messages == 2
+        assert transport.bytes_by_link()[("a", "b")] == 100
+        assert transport.bytes_by_link()[("a", "c")] == 50
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(FederationError):
+            InMemoryTransport().send(msg(payload=b""))
+
+    def test_latency_model(self):
+        transport = InMemoryTransport(
+            per_message_latency_s=0.01, bandwidth_bytes_per_s=1000.0
+        )
+        assert transport.message_latency_s(500) == pytest.approx(0.51)
+        transport.send(msg(payload=b"x" * 500))
+        transport.send(msg(payload=b"x" * 500))
+        assert transport.total_latency_s() == pytest.approx(1.02)
+
+    def test_latency_rejects_negative_bytes(self):
+        with pytest.raises(FederationError):
+            InMemoryTransport().message_latency_s(-1)
+
+
+class TestFederatedAverage:
+    def test_unweighted_mean(self):
+        a = [np.array([1.0, 2.0]), np.array([[1.0]])]
+        b = [np.array([3.0, 4.0]), np.array([[3.0]])]
+        avg = federated_average([a, b])
+        assert np.allclose(avg[0], [2.0, 3.0])
+        assert np.allclose(avg[1], [[2.0]])
+
+    def test_single_client_identity(self):
+        a = [np.array([1.5, -2.0])]
+        avg = federated_average([a])
+        assert np.allclose(avg[0], a[0])
+
+    def test_weighted_mean(self):
+        a = [np.array([0.0])]
+        b = [np.array([10.0])]
+        avg = federated_average([a, b], weights=[3.0, 1.0])
+        assert avg[0][0] == pytest.approx(2.5)
+
+    def test_weights_normalised(self):
+        a = [np.array([0.0])]
+        b = [np.array([10.0])]
+        assert federated_average([a, b], weights=[6, 2])[0][0] == pytest.approx(
+            federated_average([a, b], weights=[3, 1])[0][0]
+        )
+
+    def test_average_of_identical_models_is_identity(self):
+        model = [np.random.default_rng(0).normal(size=(4, 3)), np.zeros(3)]
+        avg = federated_average([model, model, model])
+        assert np.allclose(avg[0], model[0])
+
+    def test_result_is_independent_copy(self):
+        a = [np.array([1.0])]
+        avg = federated_average([a])
+        avg[0][0] = 99.0
+        assert a[0][0] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(FederationError):
+            federated_average([])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(FederationError):
+            federated_average([[np.zeros(2)], [np.zeros(2), np.zeros(1)]])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(FederationError):
+            federated_average([[np.zeros(2)], [np.zeros(3)]])
+
+    def test_rejects_bad_weights(self):
+        sets = [[np.zeros(1)], [np.zeros(1)]]
+        with pytest.raises(FederationError):
+            federated_average(sets, weights=[1.0])
+        with pytest.raises(FederationError):
+            federated_average(sets, weights=[-1.0, 2.0])
+        with pytest.raises(FederationError):
+            federated_average(sets, weights=[0.0, 0.0])

@@ -1,0 +1,139 @@
+"""Unit tests for repro.nn.layers, including finite-difference checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError
+from repro.nn.layers import Identity, Linear, ReLU
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer.forward(np.ones((4, 5)))
+        assert out.shape == (4, 3)
+
+    def test_forward_matches_manual_matmul(self, rng):
+        layer = Linear(2, 2, rng)
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight + layer.bias
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_1d_input_promoted_to_batch(self, rng):
+        layer = Linear(3, 2, rng)
+        out = layer.forward(np.ones(3))
+        assert out.shape == (1, 2)
+
+    def test_wrong_feature_count_raises(self, rng):
+        layer = Linear(3, 2, rng)
+        with pytest.raises(PolicyError):
+            layer.forward(np.ones((1, 4)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(PolicyError):
+            Linear(2, 2, rng).backward(np.ones((1, 2)))
+
+    def test_weight_gradient_finite_difference(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        grad_out = rng.normal(size=(4, 2))
+
+        layer.forward(x)
+        layer.backward(grad_out)
+        analytic = layer.gradients[0].copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(layer.weight)
+        for i in range(layer.weight.shape[0]):
+            for j in range(layer.weight.shape[1]):
+                layer.weight[i, j] += eps
+                plus = np.sum(layer.forward(x) * grad_out)
+                layer.weight[i, j] -= 2 * eps
+                minus = np.sum(layer.forward(x) * grad_out)
+                layer.weight[i, j] += eps
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_bias_gradient_is_column_sum(self, rng):
+        layer = Linear(2, 3, rng)
+        grad_out = rng.normal(size=(5, 3))
+        layer.forward(np.ones((5, 2)))
+        layer.backward(grad_out)
+        assert np.allclose(layer.gradients[1], grad_out.sum(axis=0))
+
+    def test_input_gradient_finite_difference(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(1, 3))
+        grad_out = rng.normal(size=(1, 2))
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for j in range(x.shape[1]):
+            xp, xm = x.copy(), x.copy()
+            xp[0, j] += eps
+            xm[0, j] -= eps
+            numeric[0, j] = (
+                np.sum(layer.forward(xp) * grad_out)
+                - np.sum(layer.forward(xm) * grad_out)
+            ) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_gradients_accumulate_until_zeroed(self, rng):
+        layer = Linear(2, 2, rng)
+        x = np.ones((1, 2))
+        g = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(g)
+        first = layer.gradients[0].copy()
+        layer.forward(x)
+        layer.backward(g)
+        assert np.allclose(layer.gradients[0], 2 * first)
+        layer.zero_gradients()
+        assert np.allclose(layer.gradients[0], 0.0)
+
+    def test_rejects_non_positive_dimensions(self, rng):
+        with pytest.raises(PolicyError):
+            Linear(0, 2, rng)
+        with pytest.raises(PolicyError):
+            Linear(2, -1, rng)
+
+
+class TestReLU:
+    def test_clamps_negatives(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks_gradient(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 0.5]]))
+        grad = relu.backward(np.array([[3.0, 3.0]]))
+        assert np.allclose(grad, [[0.0, 3.0]])
+
+    def test_gradient_zero_at_exact_zero(self):
+        relu = ReLU()
+        relu.forward(np.array([[0.0]]))
+        assert np.allclose(relu.backward(np.array([[1.0]])), [[0.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(PolicyError):
+            ReLU().backward(np.ones((1, 1)))
+
+    def test_has_no_parameters(self):
+        assert ReLU().parameters == []
+        assert ReLU().gradients == []
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        ident = Identity()
+        x = np.array([[1.0, -2.0]])
+        assert np.allclose(ident.forward(x), x)
+        assert np.allclose(ident.backward(x), x)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import HuberLoss, MeanSquaredErrorLoss
+
+
+class TestHuberLoss:
+    def test_zero_for_perfect_prediction(self):
+        loss = HuberLoss()
+        x = np.array([1.0, -2.0, 0.5])
+        assert loss.value(x, x) == 0.0
+
+    def test_quadratic_region_value(self):
+        loss = HuberLoss(delta=1.0)
+        assert loss.value(np.array([0.5]), np.array([0.0])) == pytest.approx(0.125)
+
+    def test_linear_region_value(self):
+        loss = HuberLoss(delta=1.0)
+        assert loss.value(np.array([4.0]), np.array([0.0])) == pytest.approx(3.5)
+
+    def test_gradient_matches_finite_difference(self):
+        loss = HuberLoss(delta=1.0)
+        rng = np.random.default_rng(1)
+        preds = rng.normal(scale=2.0, size=6)
+        targets = rng.normal(scale=2.0, size=6)
+        analytic = loss.gradient(preds, targets)
+        eps = 1e-6
+        for i in range(preds.size):
+            plus, minus = preds.copy(), preds.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric = (loss.value(plus, targets) - loss.value(minus, targets)) / (
+                2 * eps
+            )
+            assert analytic[i] == pytest.approx(numeric, abs=1e-5)
+
+    def test_gradient_bounded_by_delta_over_n(self):
+        loss = HuberLoss(delta=1.0)
+        preds = np.array([100.0, -100.0])
+        grads = loss.gradient(preds, np.zeros(2))
+        assert np.all(np.abs(grads) <= 1.0 / 2 + 1e-12)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            HuberLoss().value(np.ones(2), np.ones(3))
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+class TestMeanSquaredErrorLoss:
+    def test_value(self):
+        loss = MeanSquaredErrorLoss()
+        assert loss.value(np.array([2.0, 0.0]), np.array([0.0, 0.0])) == pytest.approx(
+            2.0
+        )
+
+    def test_gradient_matches_finite_difference(self):
+        loss = MeanSquaredErrorLoss()
+        preds = np.array([0.5, -1.5, 2.0])
+        targets = np.array([0.0, 0.0, 1.0])
+        analytic = loss.gradient(preds, targets)
+        eps = 1e-6
+        for i in range(preds.size):
+            plus, minus = preds.copy(), preds.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric = (loss.value(plus, targets) - loss.value(minus, targets)) / (
+                2 * eps
+            )
+            assert analytic[i] == pytest.approx(numeric, abs=1e-6)
+
+    def test_huber_equals_mse_for_small_residuals(self):
+        # Inside |r| <= delta the Huber loss is exactly half the MSE.
+        preds = np.array([0.1, -0.2, 0.05])
+        targets = np.zeros(3)
+        huber = HuberLoss(delta=1.0).value(preds, targets)
+        mse = MeanSquaredErrorLoss().value(preds, targets)
+        assert huber == pytest.approx(0.5 * mse)

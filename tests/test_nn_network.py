@@ -1,0 +1,142 @@
+"""Unit tests for repro.nn.network (MLP)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError
+from repro.nn import MLP, Adam, HuberLoss
+
+
+class TestConstruction:
+    def test_paper_architecture_parameter_count(self):
+        # Table I: 5 state features, 1 hidden layer of 32, 15 V/f levels.
+        net = MLP((5, 32, 15), seed=0)
+        assert net.num_parameters() == 5 * 32 + 32 + 32 * 15 + 15  # 687
+
+    def test_in_out_features(self):
+        net = MLP((5, 32, 15), seed=0)
+        assert net.in_features == 5
+        assert net.out_features == 15
+
+    def test_seeded_init_is_deterministic(self):
+        a = MLP((3, 8, 2), seed=42)
+        b = MLP((3, 8, 2), seed=42)
+        for pa, pb in zip(a.parameters, b.parameters):
+            assert np.array_equal(pa, pb)
+
+    def test_rejects_too_few_sizes(self):
+        with pytest.raises(PolicyError):
+            MLP((5,), seed=0)
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(PolicyError):
+            MLP((5, 0, 2), seed=0)
+
+
+class TestForward:
+    def test_batch_shape(self):
+        net = MLP((4, 8, 3), seed=0)
+        assert net.forward(np.ones((7, 4))).shape == (7, 3)
+
+    def test_predict_returns_1d(self):
+        net = MLP((4, 8, 3), seed=0)
+        assert net.predict(np.ones(4)).shape == (3,)
+
+    def test_predict_rejects_batches(self):
+        net = MLP((4, 8, 3), seed=0)
+        with pytest.raises(PolicyError):
+            net.predict(np.ones((2, 4)))
+
+    def test_deeper_network_forward(self):
+        net = MLP((4, 16, 16, 3), seed=0)
+        assert net.forward(np.zeros((1, 4))).shape == (1, 3)
+
+
+class TestBackward:
+    def test_full_network_gradient_finite_difference(self):
+        net = MLP((3, 6, 2), seed=1)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(5, 3))
+        grad_out = rng.normal(size=(5, 2))
+
+        net.zero_gradients()
+        net.forward(x)
+        net.backward(grad_out)
+        analytic = [g.copy() for g in net.gradients]
+
+        eps = 1e-6
+        for p_idx, param in enumerate(net.parameters):
+            flat = param.reshape(-1)
+            numeric = np.zeros_like(flat)
+            for i in range(flat.size):
+                flat[i] += eps
+                plus = np.sum(net.forward(x) * grad_out)
+                flat[i] -= 2 * eps
+                minus = np.sum(net.forward(x) * grad_out)
+                flat[i] += eps
+                numeric[i] = (plus - minus) / (2 * eps)
+            assert np.allclose(
+                analytic[p_idx].reshape(-1), numeric, atol=1e-4
+            ), f"gradient mismatch in parameter {p_idx}"
+
+
+class TestParameters:
+    def test_get_parameters_returns_copies(self):
+        net = MLP((2, 4, 2), seed=0)
+        copies = net.get_parameters()
+        copies[0][0, 0] += 100.0
+        assert net.parameters[0][0, 0] != copies[0][0, 0]
+
+    def test_set_parameters_preserves_storage(self):
+        net = MLP((2, 4, 2), seed=0)
+        storage_before = [id(p) for p in net.parameters]
+        net.set_parameters([p + 1.0 for p in net.get_parameters()])
+        assert [id(p) for p in net.parameters] == storage_before
+
+    def test_set_parameters_shape_mismatch_raises(self):
+        net = MLP((2, 4, 2), seed=0)
+        bad = net.get_parameters()
+        bad[0] = np.zeros((3, 3))
+        with pytest.raises(PolicyError):
+            net.set_parameters(bad)
+
+    def test_set_parameters_count_mismatch_raises(self):
+        net = MLP((2, 4, 2), seed=0)
+        with pytest.raises(PolicyError):
+            net.set_parameters(net.get_parameters()[:-1])
+
+    def test_clone_copies_weights_but_not_storage(self):
+        net = MLP((2, 4, 2), seed=0)
+        twin = net.clone()
+        for a, b in zip(net.parameters, twin.parameters):
+            assert np.array_equal(a, b)
+            assert a is not b
+        twin.parameters[0][0, 0] += 1.0
+        assert net.parameters[0][0, 0] != twin.parameters[0][0, 0]
+
+    def test_parameter_shapes_roundtrip(self):
+        net = MLP((5, 32, 15), seed=0)
+        assert net.parameter_shapes() == [(5, 32), (32,), (32, 15), (15,)]
+
+
+class TestTraining:
+    def test_can_fit_simple_regression(self):
+        """End-to-end sanity: the stack must fit y = [sum(x), -sum(x)]."""
+        rng = np.random.default_rng(3)
+        net = MLP((2, 16, 2), seed=3)
+        optimizer = Adam(learning_rate=0.01)
+        loss = HuberLoss()
+
+        xs = rng.uniform(-1, 1, size=(256, 2))
+        ys = np.stack([xs.sum(axis=1), -xs.sum(axis=1)], axis=1)
+
+        for _ in range(400):
+            idx = rng.integers(0, 256, size=32)
+            batch_x, batch_y = xs[idx], ys[idx]
+            net.zero_gradients()
+            preds = net.forward(batch_x)
+            net.backward(loss.gradient(preds, batch_y))
+            optimizer.step(net.parameters, net.gradients)
+
+        final = loss.value(net.forward(xs), ys)
+        assert final < 0.01

@@ -1,0 +1,100 @@
+"""Unit tests for repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError
+from repro.nn.optimizers import SGD, Adam
+
+
+class TestSGD:
+    def test_single_step_matches_hand_computation(self):
+        param = np.array([1.0, 2.0])
+        grad = np.array([0.5, -0.5])
+        SGD(learning_rate=0.1).step([param], [grad])
+        assert np.allclose(param, [0.95, 2.05])
+
+    def test_updates_in_place(self):
+        param = np.zeros(2)
+        original = param
+        SGD(0.1).step([param], [np.ones(2)])
+        assert original is param
+        assert np.allclose(param, -0.1)
+
+    def test_momentum_accumulates(self):
+        opt = SGD(learning_rate=1.0, momentum=0.5)
+        param = np.zeros(1)
+        opt.step([param], [np.ones(1)])  # v=1, p=-1
+        opt.step([param], [np.ones(1)])  # v=1.5, p=-2.5
+        assert param[0] == pytest.approx(-2.5)
+
+    def test_reset_clears_momentum(self):
+        opt = SGD(learning_rate=1.0, momentum=0.9)
+        param = np.zeros(1)
+        opt.step([param], [np.ones(1)])
+        opt.reset()
+        param[:] = 0.0
+        opt.step([param], [np.ones(1)])
+        assert param[0] == pytest.approx(-1.0)
+
+    def test_rejects_bad_learning_rate(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SGD(learning_rate=0.0)
+
+
+class TestAdam:
+    def test_first_step_is_learning_rate_sized(self):
+        # With bias correction the very first Adam step is ~lr * sign(grad).
+        param = np.array([0.0])
+        Adam(learning_rate=0.005).step([param], [np.array([3.0])])
+        assert param[0] == pytest.approx(-0.005, rel=1e-6)
+
+    def test_descends_on_quadratic(self):
+        opt = Adam(learning_rate=0.05)
+        param = np.array([5.0])
+        for _ in range(500):
+            grad = 2.0 * param  # d/dx of x^2
+            opt.step([param], [grad])
+        assert abs(param[0]) < 0.05
+
+    def test_handles_multiple_parameter_arrays(self):
+        opt = Adam(learning_rate=0.01)
+        params = [np.ones((2, 2)), np.ones(3)]
+        grads = [np.ones((2, 2)), -np.ones(3)]
+        opt.step(params, grads)
+        assert params[0][0, 0] < 1.0
+        assert params[1][0] > 1.0
+
+    def test_step_count_increments(self):
+        opt = Adam()
+        param = np.zeros(1)
+        assert opt.step_count == 0
+        opt.step([param], [np.ones(1)])
+        opt.step([param], [np.ones(1)])
+        assert opt.step_count == 2
+
+    def test_reset_clears_state(self):
+        opt = Adam(learning_rate=0.005)
+        param = np.array([0.0])
+        opt.step([param], [np.array([1.0])])
+        opt.reset()
+        assert opt.step_count == 0
+        fresh = np.array([0.0])
+        opt.step([fresh], [np.array([1.0])])
+        assert fresh[0] == pytest.approx(-0.005, rel=1e-6)
+
+    def test_zero_gradient_keeps_parameters(self):
+        opt = Adam()
+        param = np.array([1.0])
+        opt.step([param], [np.zeros(1)])
+        assert param[0] == pytest.approx(1.0)
+
+    def test_mismatched_lists_raise(self):
+        with pytest.raises(PolicyError):
+            Adam().step([np.zeros(1)], [])
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(PolicyError):
+            Adam().step([np.zeros(2)], [np.zeros(3)])

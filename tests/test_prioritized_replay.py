@@ -1,0 +1,128 @@
+"""Tests for the prioritised replay buffer and its agent integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PolicyError
+from repro.rl.agent import NeuralBanditAgent
+from repro.rl.prioritized_replay import PrioritizedReplayBuffer
+
+
+def state(value=0.5):
+    return np.full(5, float(value))
+
+
+class TestPrioritizedReplayBuffer:
+    def test_capacity_respected(self):
+        buffer = PrioritizedReplayBuffer(capacity=3, seed=0)
+        for i in range(10):
+            buffer.add(state(i), 0, float(i))
+        assert len(buffer) == 3
+
+    def test_new_samples_enter_at_max_priority(self):
+        buffer = PrioritizedReplayBuffer(capacity=10, seed=0)
+        buffer.add(state(0), 0, 0.0)
+        buffer.update_priorities(np.array([0]), np.array([5.0]))
+        buffer.add(state(1), 0, 1.0)
+        assert buffer.max_priority() == 5.0
+
+    def test_sample_returns_indices(self):
+        buffer = PrioritizedReplayBuffer(capacity=10, seed=0)
+        for i in range(5):
+            buffer.add(state(i), i % 3, float(i))
+        states, actions, rewards, indices = buffer.sample(4)
+        assert states.shape == (4, 5)
+        assert indices.shape == (4,)
+        assert all(0 <= i < 5 for i in indices)
+
+    def test_high_priority_sampled_more_often(self):
+        buffer = PrioritizedReplayBuffer(capacity=10, alpha=1.0, seed=1)
+        for i in range(10):
+            buffer.add(state(i), 0, float(i))
+        # Give sample 3 a 100x priority over everything else.
+        buffer.update_priorities(np.arange(10), np.full(10, 0.01))
+        buffer.update_priorities(np.array([3]), np.array([1.0]))
+        _, _, rewards, _ = buffer.sample(2000)
+        fraction = np.mean(rewards == 3.0)
+        assert fraction > 0.7
+
+    def test_alpha_zero_is_uniform(self):
+        buffer = PrioritizedReplayBuffer(capacity=4, alpha=0.0, seed=2)
+        for i in range(4):
+            buffer.add(state(i), 0, float(i))
+        buffer.update_priorities(np.array([0]), np.array([100.0]))
+        _, _, rewards, _ = buffer.sample(4000)
+        for value in range(4):
+            assert np.mean(rewards == float(value)) == pytest.approx(0.25, abs=0.05)
+
+    def test_min_priority_floor(self):
+        buffer = PrioritizedReplayBuffer(capacity=4, min_priority=0.05, seed=0)
+        buffer.add(state(0), 0, 0.0)
+        buffer.update_priorities(np.array([0]), np.array([0.0]))
+        assert buffer.max_priority() == 0.05
+
+    def test_update_validation(self):
+        buffer = PrioritizedReplayBuffer(capacity=4, seed=0)
+        buffer.add(state(0), 0, 0.0)
+        with pytest.raises(PolicyError):
+            buffer.update_priorities(np.array([0, 1]), np.array([1.0]))
+        with pytest.raises(PolicyError):
+            buffer.update_priorities(np.array([5]), np.array([1.0]))
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrioritizedReplayBuffer(capacity=0)
+        with pytest.raises(ConfigurationError):
+            PrioritizedReplayBuffer(capacity=4, alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            PrioritizedReplayBuffer(capacity=4, min_priority=0.0)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(PolicyError):
+            PrioritizedReplayBuffer(capacity=4, seed=0).sample(1)
+
+    def test_storage_bytes_include_priorities(self):
+        buffer = PrioritizedReplayBuffer(capacity=4000)
+        # 100 kB of samples + 16 kB of float32 priorities.
+        assert buffer.storage_bytes(5) == 4000 * 29
+
+    def test_clear(self):
+        buffer = PrioritizedReplayBuffer(capacity=4, seed=0)
+        buffer.add(state(0), 0, 0.0)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.max_priority() == 1.0
+
+
+class TestAgentIntegration:
+    def test_agent_accepts_prioritized_buffer(self):
+        buffer = PrioritizedReplayBuffer(capacity=100, seed=0)
+        agent = NeuralBanditAgent(num_actions=15, replay=buffer, seed=0)
+        assert agent.replay is buffer
+        for _ in range(25):
+            agent.observe(state(), 3, 0.5)
+        assert agent.update_count == 1  # update fired through the buffer
+
+    def test_priorities_updated_after_learning(self):
+        buffer = PrioritizedReplayBuffer(capacity=100, seed=0)
+        agent = NeuralBanditAgent(
+            num_actions=15, replay=buffer, update_interval=10, seed=0
+        )
+        for _ in range(10):
+            agent.observe(state(), 3, 0.5)
+        # After an update, priorities reflect real errors, not the
+        # initial max of 1.0 for at least the sampled entries.
+        assert buffer.max_priority() != 1.0
+
+    def test_prioritized_agent_still_learns(self):
+        rng = np.random.default_rng(3)
+        buffer = PrioritizedReplayBuffer(capacity=500, seed=3)
+        agent = NeuralBanditAgent(
+            num_actions=15, replay=buffer, update_interval=5, batch_size=64, seed=3
+        )
+        true_rewards = np.linspace(-0.5, 1.0, 15)
+        for _ in range(1500):
+            s = state(rng.uniform(0.4, 0.6))
+            a = int(rng.integers(0, 15))
+            agent.observe(s, a, float(true_rewards[a]))
+        assert agent.act_greedy(state()) == 14

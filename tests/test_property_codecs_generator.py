@@ -1,0 +1,127 @@
+"""Property-based tests for the wire codecs and workload generator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.codecs import DPGaussianCodec, Float32Codec, QuantizedInt8Codec
+from repro.sim.generator import make_synthetic_application
+
+array_shapes = st.sampled_from([(3,), (2, 4), (5, 1), (4, 4)])
+
+
+def random_params(shapes, seed, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(scale=scale, size=shape) for shape in shapes]
+
+
+class TestInt8CodecProperties:
+    @settings(max_examples=40)
+    @given(
+        shapes=st.lists(array_shapes, min_size=1, max_size=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_roundtrip_error_bounded_by_quantisation_step(
+        self, shapes, seed, scale
+    ):
+        codec = QuantizedInt8Codec()
+        params = random_params(shapes, seed, scale)
+        restored = codec.decode(codec.encode(params), shapes)
+        for original, back in zip(params, restored):
+            value_range = float(original.max() - original.min())
+            step = value_range / 255 if value_range > 0 else 0.0
+            # float32 header rounding adds a tiny extra epsilon.
+            tolerance = step / 2 + 1e-5 * max(1.0, abs(float(original.min())))
+            assert np.all(np.abs(original - back) <= tolerance + 1e-9)
+
+    @settings(max_examples=40)
+    @given(
+        shapes=st.lists(array_shapes, min_size=1, max_size=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_payload_size_deterministic(self, shapes, seed):
+        codec = QuantizedInt8Codec()
+        params = random_params(shapes, seed)
+        assert len(codec.encode(params)) == codec.num_bytes(shapes)
+
+    @settings(max_examples=40)
+    @given(
+        shapes=st.lists(array_shapes, min_size=1, max_size=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_idempotent_requantisation(self, shapes, seed):
+        """Quantising an already-quantised model is (nearly) lossless."""
+        codec = QuantizedInt8Codec()
+        params = random_params(shapes, seed)
+        once = codec.decode(codec.encode(params), shapes)
+        twice = codec.decode(codec.encode(once), shapes)
+        for a, b in zip(once, twice):
+            assert np.allclose(a, b, atol=1e-4)
+
+
+class TestDPCodecProperties:
+    @settings(max_examples=40)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.1, max_value=50.0),
+        clip=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_decoded_norm_never_exceeds_clip(self, seed, scale, clip):
+        codec = DPGaussianCodec(noise_std=0.0, clip_norm=clip, seed=seed)
+        shapes = [(4, 4), (4,)]
+        params = random_params(shapes, seed, scale)
+        restored = codec.decode(codec.encode(params), shapes)
+        norm = np.sqrt(sum(float(np.sum(np.square(p))) for p in restored))
+        original_norm = np.sqrt(
+            sum(float(np.sum(np.square(p))) for p in params)
+        )
+        assert norm <= min(clip, original_norm) * (1 + 1e-3) + 1e-6
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_wire_compatible_with_float32(self, seed):
+        """DP payloads decode with a plain float32 codec (the server)."""
+        dp = DPGaussianCodec(noise_std=0.01, seed=seed)
+        shapes = [(3, 3)]
+        params = random_params(shapes, seed)
+        payload = dp.encode(params)
+        Float32Codec().decode(payload, shapes)  # must not raise
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=40)
+    @given(
+        compute=st.floats(min_value=0.0, max_value=1.0),
+        memory=st.floats(min_value=0.0, max_value=1.0),
+        phases=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_generated_apps_always_valid(self, compute, memory, phases, seed):
+        app = make_synthetic_application(
+            "p", compute, memory, num_phases=phases, seed=seed
+        )
+        assert len(app.phases) == phases
+        for phase in app.phases:
+            assert phase.instructions > 0
+            assert phase.cpi_core > 0
+            assert 0 <= phase.mpki <= phase.apki
+            assert phase.activity > 0
+
+    @settings(max_examples=40)
+    @given(
+        compute=st.floats(min_value=0.0, max_value=1.0),
+        memory=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_instruction_budget_preserved(self, compute, memory, seed):
+        app = make_synthetic_application(
+            "p", compute, memory, total_instructions=5e9, num_phases=3, seed=seed
+        )
+        assert app.total_instructions == pytest_approx(5e9)
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9)

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for the numeric and RL core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.replay import ReplayBuffer
+from repro.rl.rewards import PowerEfficiencyReward
+from repro.utils.math import huber_gradient, huber_loss, moving_average, softmax
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSoftmaxProperties:
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=20),
+        temperature=st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_valid_distribution(self, values, temperature):
+        probs = softmax(np.array(values), temperature)
+        assert np.all(probs >= 0)
+        assert np.isclose(probs.sum(), 1.0)
+
+    @given(
+        values=st.lists(finite_floats, min_size=2, max_size=20),
+        temperature=st.floats(min_value=0.01, max_value=10.0),
+        shift=finite_floats,
+    )
+    def test_shift_invariance(self, values, temperature, shift):
+        base = softmax(np.array(values), temperature)
+        shifted = softmax(np.array(values) + shift, temperature)
+        assert np.allclose(base, shifted, atol=1e-9)
+
+    @given(
+        values=st.lists(finite_floats, min_size=2, max_size=20),
+        temperature=st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_order_preserving(self, values, temperature):
+        array = np.array(values)
+        probs = softmax(array, temperature)
+        # Larger logits never get smaller probabilities.
+        order = np.argsort(array)
+        sorted_probs = probs[order]
+        assert np.all(np.diff(sorted_probs) >= -1e-12)
+
+
+class TestHuberProperties:
+    @given(residual=finite_floats, delta=st.floats(min_value=0.01, max_value=10.0))
+    def test_non_negative(self, residual, delta):
+        assert huber_loss(np.array(residual), delta) >= 0.0
+
+    @given(residual=finite_floats, delta=st.floats(min_value=0.01, max_value=10.0))
+    def test_symmetric(self, residual, delta):
+        assert huber_loss(np.array(residual), delta) == huber_loss(
+            np.array(-residual), delta
+        )
+
+    @given(residual=finite_floats, delta=st.floats(min_value=0.01, max_value=10.0))
+    def test_gradient_bounded_by_delta(self, residual, delta):
+        assert abs(huber_gradient(np.array(residual), delta)) <= delta + 1e-12
+
+    @given(
+        r1=finite_floats,
+        r2=finite_floats,
+        delta=st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_monotone_in_absolute_residual(self, r1, r2, delta):
+        if abs(r1) <= abs(r2):
+            assert huber_loss(np.array(r1), delta) <= huber_loss(
+                np.array(r2), delta
+            ) + 1e-12
+
+
+class TestMovingAverageProperties:
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=50),
+        window=st.integers(min_value=1, max_value=60),
+    )
+    def test_bounded_by_input_range(self, values, window):
+        result = moving_average(values, window)
+        assert result.min() >= min(values) - 1e-9
+        assert result.max() <= max(values) + 1e-9
+
+    @given(
+        value=finite_floats,
+        length=st.integers(min_value=1, max_value=30),
+        window=st.integers(min_value=1, max_value=10),
+    )
+    def test_constant_input_is_fixed_point(self, value, length, window):
+        result = moving_average([value] * length, window)
+        assert np.allclose(result, value)
+
+
+class TestRewardProperties:
+    @given(
+        frequency=st.floats(min_value=1e8, max_value=1.479e9),
+        power=st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_reward_always_in_bounds(self, frequency, power):
+        reward = PowerEfficiencyReward(1.479e9)
+        assert -1.0 <= reward(frequency, power) <= 1.0
+
+    @given(
+        frequency=st.floats(min_value=1e8, max_value=1.479e9),
+        p1=st.floats(min_value=0.0, max_value=2.0),
+        p2=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_monotone_non_increasing_in_power(self, frequency, p1, p2):
+        reward = PowerEfficiencyReward(1.479e9)
+        low, high = min(p1, p2), max(p1, p2)
+        assert reward(frequency, high) <= reward(frequency, low) + 1e-12
+
+    @given(
+        f1=st.floats(min_value=1e8, max_value=1.479e9),
+        f2=st.floats(min_value=1e8, max_value=1.479e9),
+        power=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_monotone_non_decreasing_in_frequency(self, f1, f2, power):
+        reward = PowerEfficiencyReward(1.479e9)
+        low, high = min(f1, f2), max(f1, f2)
+        assert reward(high, power) >= reward(low, power) - 1e-12
+
+    @given(
+        frequency=st.floats(min_value=1e8, max_value=1.479e9),
+        power=st.floats(min_value=0.0, max_value=2.0),
+        epsilon=st.floats(min_value=1e-9, max_value=1e-6),
+    )
+    def test_continuity(self, frequency, power, epsilon):
+        """Eq. 4 is continuous in power: nearby powers give nearby rewards."""
+        reward = PowerEfficiencyReward(1.479e9)
+        delta = abs(reward(frequency, power + epsilon) - reward(frequency, power))
+        # The steepest band has slope 1/k_offset = 20 per watt.
+        assert delta <= 25.0 * epsilon + 1e-9
+
+
+class TestReplayBufferProperties:
+    @settings(max_examples=30)
+    @given(
+        capacity=st.integers(min_value=1, max_value=50),
+        num_adds=st.integers(min_value=0, max_value=200),
+    )
+    def test_never_exceeds_capacity(self, capacity, num_adds):
+        buffer = ReplayBuffer(capacity, seed=0)
+        for i in range(num_adds):
+            buffer.add(np.full(3, float(i)), 0, float(i))
+        assert len(buffer) == min(capacity, num_adds)
+
+    @settings(max_examples=30)
+    @given(
+        capacity=st.integers(min_value=1, max_value=30),
+        rewards=st.lists(finite_floats, min_size=1, max_size=100),
+        batch=st.integers(min_value=1, max_value=64),
+    )
+    def test_samples_only_recent_contents(self, capacity, rewards, batch):
+        buffer = ReplayBuffer(capacity, seed=0)
+        for i, reward in enumerate(rewards):
+            buffer.add(np.zeros(2), 0, reward)
+        expected = set(rewards[-capacity:])
+        _, _, sampled = buffer.sample(batch)
+        assert set(sampled.tolist()) <= expected

@@ -1,0 +1,200 @@
+"""Property-based tests for the simulator models and federated math."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.averaging import federated_average
+from repro.rl.discretize import EdgesDiscretizer, UniformDiscretizer
+from repro.sim.opp import JETSON_NANO_OPP_TABLE
+from repro.sim.perf_model import PerformanceModel
+from repro.sim.power_model import PowerModel
+from repro.sim.thermal import ThermalModel
+from repro.sim.workload import Phase
+from repro.utils.serialization import bytes_to_parameters, parameters_to_bytes
+
+
+def phases(draw_cpi, draw_mpki):
+    return st.builds(
+        lambda cpi, mpki: Phase(
+            "p", 1e9, cpi_core=cpi, mpki=mpki, apki=max(mpki, 1.0) * 3.0, activity=1.0
+        ),
+        draw_cpi,
+        draw_mpki,
+    )
+
+
+phase_strategy = phases(
+    st.floats(min_value=0.4, max_value=3.0),
+    st.floats(min_value=0.0, max_value=30.0),
+)
+frequency_strategy = st.sampled_from(JETSON_NANO_OPP_TABLE.frequencies_hz)
+
+
+class TestPerformanceModelProperties:
+    @given(phase=phase_strategy, f1=frequency_strategy, f2=frequency_strategy)
+    def test_ips_non_decreasing_in_frequency(self, phase, f1, f2):
+        model = PerformanceModel()
+        low, high = min(f1, f2), max(f1, f2)
+        assert model.evaluate(phase, high).ips >= model.evaluate(phase, low).ips - 1e-9
+
+    @given(phase=phase_strategy, f1=frequency_strategy, f2=frequency_strategy)
+    def test_ipc_non_increasing_in_frequency(self, phase, f1, f2):
+        model = PerformanceModel()
+        low, high = min(f1, f2), max(f1, f2)
+        assert model.evaluate(phase, high).ipc <= model.evaluate(phase, low).ipc + 1e-12
+
+    @given(phase=phase_strategy, frequency=frequency_strategy)
+    def test_duty_in_unit_interval(self, phase, frequency):
+        duty = PerformanceModel().evaluate(phase, frequency).duty
+        assert 0.0 < duty <= 1.0
+
+    @given(phase=phase_strategy, frequency=frequency_strategy)
+    def test_ips_below_saturation(self, phase, frequency):
+        model = PerformanceModel()
+        assert model.evaluate(phase, frequency).ips <= model.saturation_ips(phase)
+
+    @given(phase=phase_strategy, frequency=frequency_strategy)
+    def test_ips_equals_f_times_ipc(self, phase, frequency):
+        perf = PerformanceModel().evaluate(phase, frequency)
+        assert np.isclose(perf.ips, frequency * perf.ipc)
+
+
+class TestPowerModelProperties:
+    @given(
+        activity=st.floats(min_value=0.1, max_value=1.5),
+        duty=st.floats(min_value=0.0, max_value=1.0),
+        level1=st.integers(min_value=0, max_value=14),
+        level2=st.integers(min_value=0, max_value=14),
+    )
+    def test_monotone_in_opp_level(self, activity, duty, level1, level2):
+        model = PowerModel()
+        low, high = sorted((level1, level2))
+        p_low = model.total_power(JETSON_NANO_OPP_TABLE[low], activity, duty)
+        p_high = model.total_power(JETSON_NANO_OPP_TABLE[high], activity, duty)
+        assert p_high >= p_low - 1e-12
+
+    @given(
+        activity=st.floats(min_value=0.1, max_value=1.5),
+        duty=st.floats(min_value=0.0, max_value=1.0),
+        level=st.integers(min_value=0, max_value=14),
+    )
+    def test_power_positive(self, activity, duty, level):
+        model = PowerModel()
+        assert model.total_power(JETSON_NANO_OPP_TABLE[level], activity, duty) > 0
+
+    @given(
+        activity=st.floats(min_value=0.1, max_value=1.5),
+        d1=st.floats(min_value=0.0, max_value=1.0),
+        d2=st.floats(min_value=0.0, max_value=1.0),
+        level=st.integers(min_value=0, max_value=14),
+    )
+    def test_monotone_in_duty_when_activity_exceeds_memory_activity(
+        self, activity, d1, d2, level
+    ):
+        model = PowerModel(memory_activity=0.18)
+        if activity < model.memory_activity:
+            return
+        low, high = sorted((d1, d2))
+        op = JETSON_NANO_OPP_TABLE[level]
+        assert model.total_power(op, activity, high) >= model.total_power(
+            op, activity, low
+        ) - 1e-12
+
+
+class TestThermalProperties:
+    @given(
+        power=st.floats(min_value=0.0, max_value=5.0),
+        dt=st.floats(min_value=0.01, max_value=100.0),
+        steps=st.integers(min_value=1, max_value=50),
+    )
+    def test_temperature_bounded_by_ambient_and_steady_state(self, power, dt, steps):
+        model = ThermalModel(ambient_c=25.0)
+        steady = model.steady_state_c(power)
+        for _ in range(steps):
+            temp = model.update(power, dt)
+            assert min(25.0, steady) - 1e-9 <= temp <= max(25.0, steady) + 1e-9
+
+
+class TestDiscretizerProperties:
+    @given(
+        value=st.floats(min_value=-1e6, max_value=1e6),
+        low=st.floats(min_value=-100.0, max_value=100.0),
+        width=st.floats(min_value=0.1, max_value=100.0),
+        bins=st.integers(min_value=1, max_value=50),
+    )
+    def test_uniform_bin_always_valid(self, value, low, width, bins):
+        disc = UniformDiscretizer(low, low + width, bins)
+        assert 0 <= disc.bin(value) < bins
+
+    @given(
+        v1=st.floats(min_value=-1e3, max_value=1e3),
+        v2=st.floats(min_value=-1e3, max_value=1e3),
+        edges=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=1, max_size=8, unique=True
+        ),
+    )
+    def test_edges_bin_monotone(self, v1, v2, edges):
+        disc = EdgesDiscretizer(sorted(edges))
+        low, high = min(v1, v2), max(v1, v2)
+        assert disc.bin(low) <= disc.bin(high)
+
+
+array_shapes = st.sampled_from([(3,), (2, 4), (5, 1), (1, 1), (2, 2, 2)])
+
+
+class TestFederatedAverageProperties:
+    @settings(max_examples=30)
+    @given(
+        shape=array_shapes,
+        num_clients=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_average_within_convex_hull(self, shape, num_clients, seed):
+        rng = np.random.default_rng(seed)
+        sets = [[rng.normal(size=shape)] for _ in range(num_clients)]
+        avg = federated_average(sets)[0]
+        stacked = np.stack([s[0] for s in sets])
+        assert np.all(avg >= stacked.min(axis=0) - 1e-12)
+        assert np.all(avg <= stacked.max(axis=0) + 1e-12)
+
+    @settings(max_examples=30)
+    @given(shape=array_shapes, seed=st.integers(min_value=0, max_value=1000))
+    def test_permutation_invariance(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = (
+            [rng.normal(size=shape)],
+            [rng.normal(size=shape)],
+            [rng.normal(size=shape)],
+        )
+        forward = federated_average([a, b, c])[0]
+        shuffled = federated_average([c, a, b])[0]
+        assert np.allclose(forward, shuffled)
+
+    @settings(max_examples=30)
+    @given(
+        shape=array_shapes,
+        seed=st.integers(min_value=0, max_value=1000),
+        num_clients=st.integers(min_value=1, max_value=5),
+    )
+    def test_idempotent_on_identical_models(self, shape, seed, num_clients):
+        rng = np.random.default_rng(seed)
+        model = [rng.normal(size=shape)]
+        avg = federated_average([model] * num_clients)[0]
+        assert np.allclose(avg, model[0])
+
+
+class TestSerializationProperties:
+    @settings(max_examples=30)
+    @given(
+        shapes=st.lists(array_shapes, min_size=1, max_size=4),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_roundtrip_any_shapes(self, shapes, seed):
+        rng = np.random.default_rng(seed)
+        params = [rng.normal(size=shape).astype(np.float32).astype(np.float64)
+                  for shape in shapes]
+        restored = bytes_to_parameters(parameters_to_bytes(params), shapes)
+        for original, back in zip(params, restored):
+            assert np.allclose(original, back, atol=1e-6)
+            assert original.shape == back.shape

@@ -1,0 +1,160 @@
+"""Public-API surface checks.
+
+Guards the package's contract: every ``__all__`` name resolves, every
+public module carries a docstring, and the examples stay syntactically
+valid.
+"""
+
+import importlib
+import pathlib
+import py_compile
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.control",
+    "repro.experiments",
+    "repro.federated",
+    "repro.nn",
+    "repro.rl",
+    "repro.sim",
+    "repro.utils",
+]
+
+MODULES = [
+    "repro.analysis.convergence",
+    "repro.analysis.oracle",
+    "repro.cli",
+    "repro.control.base",
+    "repro.control.governors",
+    "repro.control.neural",
+    "repro.control.profit",
+    "repro.control.runtime",
+    "repro.errors",
+    "repro.experiments.ablations",
+    "repro.experiments.config",
+    "repro.experiments.evaluation",
+    "repro.experiments.export",
+    "repro.experiments.fig2",
+    "repro.experiments.fig3",
+    "repro.experiments.fig4",
+    "repro.experiments.fig5",
+    "repro.experiments.generalization",
+    "repro.experiments.multiseed",
+    "repro.experiments.overhead",
+    "repro.experiments.regret",
+    "repro.experiments.registry",
+    "repro.experiments.scenarios",
+    "repro.experiments.sweep",
+    "repro.experiments.table3",
+    "repro.experiments.training",
+    "repro.federated.async_server",
+    "repro.federated.averaging",
+    "repro.federated.client",
+    "repro.federated.codecs",
+    "repro.federated.collab",
+    "repro.federated.orchestrator",
+    "repro.federated.server",
+    "repro.federated.transport",
+    "repro.nn.initializers",
+    "repro.nn.layers",
+    "repro.nn.losses",
+    "repro.nn.network",
+    "repro.nn.optimizers",
+    "repro.rl.agent",
+    "repro.rl.discretize",
+    "repro.rl.policies",
+    "repro.rl.prioritized_replay",
+    "repro.rl.replay",
+    "repro.rl.rewards",
+    "repro.rl.schedules",
+    "repro.rl.state",
+    "repro.rl.tabular_agent",
+    "repro.sim.calibration",
+    "repro.sim.device",
+    "repro.sim.generator",
+    "repro.sim.multicore",
+    "repro.sim.opp",
+    "repro.sim.perf_model",
+    "repro.sim.power_model",
+    "repro.sim.processor",
+    "repro.sim.sensors",
+    "repro.sim.thermal",
+    "repro.sim.trace",
+    "repro.sim.workload",
+    "repro.utils.ascii_plot",
+    "repro.utils.checkpoint",
+    "repro.utils.math",
+    "repro.utils.rng",
+    "repro.utils.serialization",
+    "repro.utils.tables",
+    "repro.utils.validation",
+]
+
+
+class TestPackageSurface:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_is_sorted(self, package_name):
+        package = importlib.import_module(package_name)
+        assert list(package.__all__) == sorted(package.__all__), package_name
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_module_importable_and_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+        assert len(module.__doc__.strip()) > 40, module_name
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize(
+        "script",
+        sorted(
+            (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+        ),
+        ids=lambda path: path.name,
+    )
+    def test_example_compiles(self, script, tmp_path):
+        py_compile.compile(
+            str(script), cfile=str(tmp_path / (script.name + "c")), doraise=True
+        )
+
+    def test_at_least_five_examples(self):
+        examples = list(
+            (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+        )
+        assert len(examples) >= 5
+        names = {example.name for example in examples}
+        assert "quickstart.py" in names
+
+
+class TestReportSubcommand:
+    def test_report_writes_selected_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report"
+        assert main(
+            ["report", str(out), "--experiments", "table1", "table2"]
+        ) == 0
+        assert (out / "table1.txt").exists()
+        assert (out / "table2.txt").exists()
+        assert "running table1" in capsys.readouterr().out
+
+    def test_report_rejects_unknown_experiment(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", str(tmp_path), "--experiments", "nope"]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,192 @@
+"""Unit tests for repro.rl.agent.NeuralBanditAgent (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PolicyError
+from repro.rl.agent import NeuralBanditAgent
+from repro.rl.schedules import ConstantSchedule, ExponentialDecaySchedule
+
+
+def make_agent(**kwargs):
+    defaults = dict(num_actions=15, num_features=5, seed=0)
+    defaults.update(kwargs)
+    return NeuralBanditAgent(**defaults)
+
+
+def state(value=0.5):
+    return np.full(5, float(value))
+
+
+class TestConstruction:
+    def test_paper_defaults(self):
+        agent = make_agent()
+        assert agent.network.layer_sizes == (5, 32, 15)
+        assert agent.batch_size == 128
+        assert agent.update_interval == 20
+        assert agent.replay.capacity == 4000
+        assert agent.optimizer.learning_rate == pytest.approx(0.005)
+        assert agent.temperature == pytest.approx(0.9)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(PolicyError):
+            make_agent(num_actions=0)
+        with pytest.raises(PolicyError):
+            make_agent(num_features=0)
+        with pytest.raises(PolicyError):
+            make_agent(batch_size=0)
+        with pytest.raises(PolicyError):
+            make_agent(update_interval=0)
+
+
+class TestActing:
+    def test_predict_rewards_shape(self):
+        agent = make_agent()
+        assert agent.predict_rewards(state()).shape == (15,)
+
+    def test_act_returns_valid_action(self):
+        agent = make_agent()
+        for _ in range(20):
+            assert 0 <= agent.act(state()) < 15
+
+    def test_act_greedy_matches_argmax(self):
+        agent = make_agent()
+        values = agent.predict_rewards(state())
+        assert agent.act_greedy(state()) == int(np.argmax(values))
+
+    def test_action_probabilities_sum_to_one(self):
+        agent = make_agent()
+        assert agent.action_probabilities(state()).sum() == pytest.approx(1.0)
+
+    def test_rejects_wrong_state_shape(self):
+        agent = make_agent()
+        with pytest.raises(PolicyError):
+            agent.act(np.ones(4))
+
+
+class TestObserve:
+    def test_step_count_and_temperature_decay(self):
+        agent = make_agent(
+            temperature_schedule=ExponentialDecaySchedule(0.9, 0.01, 0.01)
+        )
+        t0 = agent.temperature
+        for _ in range(19):
+            agent.observe(state(), 0, 0.5)
+        assert agent.step_count == 19
+        assert agent.temperature < t0
+
+    def test_update_fires_every_interval(self):
+        agent = make_agent(update_interval=20)
+        for _ in range(19):
+            agent.observe(state(), 0, 0.5)
+        assert agent.update_count == 0
+        agent.observe(state(), 0, 0.5)
+        assert agent.update_count == 1
+        for _ in range(20):
+            agent.observe(state(), 0, 0.5)
+        assert agent.update_count == 2
+
+    def test_rejects_out_of_range_action(self):
+        agent = make_agent()
+        with pytest.raises(PolicyError):
+            agent.observe(state(), 15, 0.5)
+
+    def test_update_on_empty_buffer_raises(self):
+        with pytest.raises(PolicyError):
+            make_agent().update()
+
+
+class TestLearning:
+    def test_learns_constant_rewards_per_action(self):
+        """The agent must converge to mu(s, a) = r(a) for fixed rewards."""
+        agent = make_agent(update_interval=5, batch_size=64, seed=1)
+        rng = np.random.default_rng(1)
+        true_rewards = np.linspace(-0.5, 1.0, 15)
+        for _ in range(1500):
+            s = state(rng.uniform(0.4, 0.6))
+            a = int(rng.integers(0, 15))
+            agent.observe(s, a, float(true_rewards[a]))
+        predictions = agent.predict_rewards(state())
+        assert np.allclose(predictions, true_rewards, atol=0.1)
+        assert agent.act_greedy(state()) == 14
+
+    def test_greedy_action_tracks_best_reward(self):
+        """Bandit-style check: the greedy action maximises true reward."""
+        agent = make_agent(update_interval=10, seed=2)
+        rng = np.random.default_rng(2)
+
+        def true_reward(action):
+            # Optimal action is 7; quadratic falloff.
+            return 1.0 - 0.02 * (action - 7) ** 2
+
+        for _ in range(3000):
+            s = state(0.5)
+            a = agent.act(s)
+            agent.observe(s, a, true_reward(a) + rng.normal(0, 0.02))
+        assert abs(agent.act_greedy(state(0.5)) - 7) <= 1
+
+    def test_update_returns_loss(self):
+        agent = make_agent()
+        agent.observe(state(), 3, 0.7)
+        loss = agent.update()
+        assert loss >= 0.0
+        assert agent.last_loss == loss
+
+    def test_state_dependent_policy(self):
+        """Different states must be able to map to different actions."""
+        agent = make_agent(update_interval=5, batch_size=64, seed=3)
+        rng = np.random.default_rng(3)
+        low, high = state(0.0), state(1.0)
+        for _ in range(2500):
+            s, best = (low, 2) if rng.random() < 0.5 else (high, 12)
+            a = int(rng.integers(0, 15))
+            reward = 1.0 - 0.05 * abs(a - best)
+            agent.observe(s, a, reward)
+        assert abs(agent.act_greedy(low) - 2) <= 1
+        assert abs(agent.act_greedy(high) - 12) <= 1
+
+
+class TestParameters:
+    def test_get_set_roundtrip(self):
+        agent_a = make_agent(seed=1)
+        agent_b = make_agent(seed=2)
+        agent_b.set_parameters(agent_a.get_parameters())
+        s = state()
+        assert np.allclose(agent_a.predict_rewards(s), agent_b.predict_rewards(s))
+
+    def test_set_parameters_resets_optimizer(self):
+        agent = make_agent()
+        agent.observe(state(), 0, 0.5)
+        agent.update()
+        assert agent.optimizer.step_count > 0
+        agent.set_parameters(agent.get_parameters())
+        assert agent.optimizer.step_count == 0
+
+    def test_set_parameters_can_keep_optimizer(self):
+        agent = make_agent()
+        agent.observe(state(), 0, 0.5)
+        agent.update()
+        steps = agent.optimizer.step_count
+        agent.set_parameters(agent.get_parameters(), reset_optimizer=False)
+        assert agent.optimizer.step_count == steps
+
+    def test_deterministic_given_seed(self):
+        def run():
+            agent = make_agent(seed=9)
+            rng = np.random.default_rng(0)
+            outs = []
+            for _ in range(100):
+                s = state(rng.uniform())
+                a = agent.act(s)
+                agent.observe(s, a, rng.uniform())
+                outs.append(a)
+            return outs
+
+        assert run() == run()
+
+    def test_evaluation_temperature_override(self):
+        # A constant schedule freezes exploration, as evaluation needs.
+        agent = make_agent(temperature_schedule=ConstantSchedule(0.5))
+        for _ in range(100):
+            agent.observe(state(), 0, 0.1)
+        assert agent.temperature == 0.5

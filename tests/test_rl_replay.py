@@ -1,0 +1,100 @@
+"""Unit tests for repro.rl.replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PolicyError
+from repro.rl.replay import ReplayBuffer
+
+
+def state(value):
+    return np.full(5, float(value))
+
+
+class TestReplayBuffer:
+    def test_len_grows_until_capacity(self):
+        buffer = ReplayBuffer(capacity=3, seed=0)
+        for i in range(5):
+            buffer.add(state(i), i % 2, 0.5)
+        assert len(buffer) == 3
+
+    def test_fifo_eviction(self):
+        buffer = ReplayBuffer(capacity=3, seed=0)
+        for i in range(5):
+            buffer.add(state(i), 0, float(i))
+        states, _, rewards = buffer.sample(100)
+        # Samples 0 and 1 were evicted; only 2, 3, 4 remain.
+        assert set(rewards.tolist()) <= {2.0, 3.0, 4.0}
+        assert {s[0] for s in states} <= {2.0, 3.0, 4.0}
+
+    def test_sample_shapes(self):
+        buffer = ReplayBuffer(capacity=10, seed=0)
+        for i in range(10):
+            buffer.add(state(i), i % 3, 0.1)
+        states, actions, rewards = buffer.sample(4)
+        assert states.shape == (4, 5)
+        assert actions.shape == (4,)
+        assert rewards.shape == (4,)
+        assert actions.dtype == np.int64
+
+    def test_sample_with_replacement_when_underfilled(self):
+        buffer = ReplayBuffer(capacity=100, seed=0)
+        buffer.add(state(1), 0, 1.0)
+        states, _, _ = buffer.sample(8)
+        assert states.shape == (8, 5)
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(PolicyError):
+            ReplayBuffer(capacity=5, seed=0).sample(1)
+
+    def test_sample_bad_batch_size_raises(self):
+        buffer = ReplayBuffer(capacity=5, seed=0)
+        buffer.add(state(0), 0, 0.0)
+        with pytest.raises(PolicyError):
+            buffer.sample(0)
+
+    def test_stored_state_is_copied(self):
+        buffer = ReplayBuffer(capacity=5, seed=0)
+        mutable = state(1)
+        buffer.add(mutable, 0, 0.0)
+        mutable[:] = 99.0
+        states, _, _ = buffer.sample(1)
+        assert states[0][0] == 1.0
+
+    def test_rejects_2d_state(self):
+        buffer = ReplayBuffer(capacity=5, seed=0)
+        with pytest.raises(PolicyError):
+            buffer.add(np.ones((2, 5)), 0, 0.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(capacity=0)
+
+    def test_clear(self):
+        buffer = ReplayBuffer(capacity=5, seed=0)
+        buffer.add(state(0), 0, 0.0)
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_deterministic_sampling_with_seed(self):
+        def draw():
+            buffer = ReplayBuffer(capacity=10, seed=7)
+            for i in range(10):
+                buffer.add(state(i), 0, float(i))
+            return buffer.sample(5)[2].tolist()
+
+        assert draw() == draw()
+
+
+class TestStorageAccounting:
+    def test_paper_buffer_is_100_kilobytes(self):
+        # Section IV-C: "the replay buffer requires an additional 100 kB".
+        buffer = ReplayBuffer(capacity=4000)
+        assert buffer.storage_bytes(state_features=5) == 100_000
+
+    def test_scales_with_capacity(self):
+        assert ReplayBuffer(capacity=100).storage_bytes(5) == 2500
+
+    def test_rejects_bad_feature_count(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(capacity=10).storage_bytes(0)

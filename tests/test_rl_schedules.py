@@ -1,0 +1,71 @@
+"""Unit tests for repro.rl.schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rl.schedules import (
+    ConstantSchedule,
+    ExponentialDecaySchedule,
+    LinearDecaySchedule,
+)
+
+
+class TestExponentialDecaySchedule:
+    def test_initial_value_at_step_zero(self):
+        schedule = ExponentialDecaySchedule(0.9, 0.0005, 0.01)
+        assert schedule.value(0) == pytest.approx(0.9)
+
+    def test_monotone_decay(self):
+        schedule = ExponentialDecaySchedule(0.9, 0.0005, 0.01)
+        values = [schedule.value(t) for t in range(0, 20000, 1000)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_clamps_at_minimum(self):
+        schedule = ExponentialDecaySchedule(0.9, 0.0005, 0.01)
+        assert schedule.value(10**6) == 0.01
+
+    def test_paper_temperature_profile(self):
+        # The Table-I schedule should still be exploring at mid-training
+        # and essentially greedy by the end of 100 rounds x 100 steps.
+        schedule = ExponentialDecaySchedule(0.9, 0.0005, 0.01)
+        assert schedule.value(5000) == pytest.approx(0.9 * 2.7182818**-2.5, rel=1e-3)
+        assert schedule.value(10000) == pytest.approx(0.01, abs=1e-9)
+
+    def test_zero_rate_is_constant(self):
+        schedule = ExponentialDecaySchedule(0.5, 0.0, 0.0)
+        assert schedule.value(10**6) == 0.5
+
+    def test_rejects_minimum_above_initial(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDecaySchedule(0.1, 0.1, minimum=0.5)
+
+
+class TestLinearDecaySchedule:
+    def test_endpoints(self):
+        schedule = LinearDecaySchedule(1.0, 0.0, horizon=10)
+        assert schedule.value(0) == pytest.approx(1.0)
+        assert schedule.value(10) == pytest.approx(0.0)
+        assert schedule.value(100) == pytest.approx(0.0)
+
+    def test_midpoint(self):
+        schedule = LinearDecaySchedule(1.0, 0.0, horizon=10)
+        assert schedule.value(5) == pytest.approx(0.5)
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            LinearDecaySchedule(1.0, 0.0, 10).value(-1)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ConfigurationError):
+            LinearDecaySchedule(1.0, 0.0, horizon=0)
+
+
+class TestConstantSchedule:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.3)
+        assert schedule.value(0) == 0.3
+        assert schedule.value(10**6) == 0.3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantSchedule(-0.1)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.rl.tabular_agent (the Profit learner)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.rl.schedules import ConstantSchedule
+from repro.rl.tabular_agent import TabularBanditAgent
+
+
+def make_agent(**kwargs):
+    defaults = dict(num_actions=15, seed=0)
+    defaults.update(kwargs)
+    return TabularBanditAgent(**defaults)
+
+
+class TestConstruction:
+    def test_paper_defaults(self):
+        agent = make_agent()
+        # Section IV-B: learning rate 0.1, epsilon minimum 0.01.
+        assert agent.learning_rate == pytest.approx(0.1)
+        assert agent.epsilon_schedule.minimum == pytest.approx(0.01)
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(PolicyError):
+            make_agent(learning_rate=0.0)
+        with pytest.raises(PolicyError):
+            make_agent(learning_rate=1.5)
+
+    def test_rejects_bad_action_count(self):
+        with pytest.raises(PolicyError):
+            make_agent(num_actions=0)
+
+
+class TestValues:
+    def test_rows_allocated_on_demand(self):
+        agent = make_agent(initial_value=0.0)
+        assert agent.num_known_states == 0
+        row = agent.values(("s", 1))
+        assert row.shape == (15,)
+        assert agent.num_known_states == 1
+
+    def test_update_rule(self):
+        agent = make_agent(learning_rate=0.1)
+        key = (0, 0, 0, 0)
+        agent.observe(key, 3, 1.0)
+        assert agent.values(key)[3] == pytest.approx(0.1)
+        agent.observe(key, 3, 1.0)
+        assert agent.values(key)[3] == pytest.approx(0.19)
+
+    def test_update_converges_to_reward(self):
+        agent = make_agent(learning_rate=0.1)
+        key = "s"
+        for _ in range(200):
+            agent.observe(key, 0, 0.7)
+        assert agent.values(key)[0] == pytest.approx(0.7, abs=1e-3)
+
+    def test_rejects_bad_action(self):
+        with pytest.raises(PolicyError):
+            make_agent().observe("s", 15, 0.0)
+
+
+class TestActing:
+    def test_greedy_selects_best_known(self):
+        agent = make_agent(epsilon_schedule=ConstantSchedule(0.0))
+        key = "s"
+        for _ in range(50):
+            agent.observe(key, 5, 1.0)
+            agent.observe(key, 2, 0.1)
+        assert agent.act_greedy(key) == 5
+        assert agent.act(key) == 5  # epsilon 0 -> greedy
+
+    def test_epsilon_decays_with_steps(self):
+        agent = make_agent()
+        e0 = agent.epsilon
+        for _ in range(2000):
+            agent.observe("s", 0, 0.0)
+        assert agent.epsilon < e0
+
+
+class TestStateStatistics:
+    def test_none_for_unvisited(self):
+        agent = make_agent()
+        assert agent.state_statistics("never") is None
+        agent.values("allocated-only")
+        assert agent.state_statistics("allocated-only") is None
+
+    def test_tuple_contents(self):
+        agent = make_agent(epsilon_schedule=ConstantSchedule(0.0))
+        key = "s"
+        agent.observe(key, 4, 1.0)
+        agent.observe(key, 4, 0.5)
+        agent.observe(key, 1, 0.1)
+        stats = agent.state_statistics(key)
+        assert stats.best_action == 4
+        assert stats.visit_count == 3
+        assert stats.average_reward == pytest.approx((1.0 + 0.5 + 0.1) / 3)
+
+    def test_visited_states(self):
+        agent = make_agent()
+        agent.observe("a", 0, 0.0)
+        agent.observe("b", 0, 0.0)
+        agent.values("c")  # allocated but unvisited
+        assert set(agent.visited_states()) == {"a", "b"}
+
+    def test_table_num_entries(self):
+        agent = make_agent()
+        agent.observe("a", 0, 0.0)
+        agent.observe("b", 0, 0.0)
+        assert agent.table_num_entries() == 2 * 15
+
+
+class TestLearningBehaviour:
+    def test_finds_best_action_per_state(self):
+        import numpy as np
+
+        agent = make_agent(seed=1)
+        rng = np.random.default_rng(1)
+        best = {"compute": 7, "memory": 14}
+        for _ in range(4000):
+            key = "compute" if rng.random() < 0.5 else "memory"
+            action = agent.act(key)
+            reward = 1.0 - 0.05 * abs(action - best[key]) + rng.normal(0, 0.01)
+            agent.observe(key, action, reward)
+        assert agent.act_greedy("compute") == 7
+        assert agent.act_greedy("memory") == 14

@@ -1,0 +1,204 @@
+"""Unit tests for repro.sim.device and repro.sim.trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.device import AppSchedule, DeviceEnvironment, build_default_device
+from repro.sim.trace import StepRecord, TraceRecorder
+
+
+class TestAppSchedule:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            AppSchedule([])
+
+    def test_rejects_bad_dwell(self):
+        with pytest.raises(ConfigurationError):
+            AppSchedule(["fft"], mean_dwell_steps=0)
+
+    def test_single_app_never_switches(self):
+        schedule = AppSchedule(["fft"], mean_dwell_steps=1)
+        rng = np.random.default_rng(0)
+        assert all(
+            schedule.next_application("fft", rng) == "fft" for _ in range(100)
+        )
+
+    def test_switch_rate_close_to_mean_dwell(self):
+        schedule = AppSchedule(["fft", "lu"], mean_dwell_steps=10)
+        rng = np.random.default_rng(1)
+        current = "fft"
+        switches = 0
+        trials = 20000
+        for _ in range(trials):
+            upcoming = schedule.next_application(current, rng)
+            # Count switch *opportunities* (draw events), not app changes:
+            # a draw can return the same app.
+            if upcoming != current:
+                switches += 1
+            current = upcoming
+        # P(change) = (1/dwell) * (1 - 1/n_apps) = 0.1 * 0.5 = 0.05
+        assert switches / trials == pytest.approx(0.05, abs=0.01)
+
+    def test_initial_application_from_set(self):
+        schedule = AppSchedule(["fft", "lu"])
+        rng = np.random.default_rng(2)
+        assert schedule.initial_application(rng) in {"fft", "lu"}
+
+
+class TestEdgeDevice:
+    def test_step_before_reset_raises(self):
+        device = build_default_device("A", ["fft"], seed=0)
+        with pytest.raises(SimulationError):
+            device.step(0, 0.5)
+
+    def test_reset_loads_application(self):
+        device = build_default_device("A", ["fft"], seed=0)
+        device.reset()
+        assert device.current_application == "fft"
+
+    def test_reset_with_explicit_application(self):
+        device = build_default_device("A", ["fft", "lu"], seed=0)
+        device.reset("ocean")  # not in schedule; loads on demand
+        assert device.current_application == "ocean"
+
+    def test_step_returns_snapshot(self):
+        device = build_default_device("A", ["fft"], seed=0)
+        device.reset()
+        snap = device.step(7, 0.5)
+        assert snap.frequency_index == 7
+        assert snap.application == "fft"
+        assert snap.power_w > 0
+
+    def test_schedule_switches_eventually(self):
+        device = build_default_device("A", ["fft", "lu"], seed=3, mean_dwell_steps=3)
+        device.reset()
+        seen = set()
+        for _ in range(200):
+            seen.add(device.advance_schedule())
+            device.step(5, 0.5)
+        assert seen == {"fft", "lu"}
+
+    def test_deterministic_with_seed(self):
+        def run():
+            device = build_default_device("A", ["fft", "lu"], seed=11)
+            device.reset()
+            out = []
+            for _ in range(10):
+                device.advance_schedule()
+                out.append(device.step(9, 0.5).power_w)
+            return out
+
+        assert run() == run()
+
+
+class TestDeviceEnvironment:
+    def test_reset_returns_warmup_snapshot(self):
+        env = DeviceEnvironment(build_default_device("A", ["fft"], seed=0))
+        snap = env.reset()
+        assert snap.frequency_index == 0  # warm-up at the lowest level
+
+    def test_num_actions_matches_opp_table(self):
+        env = DeviceEnvironment(build_default_device("A", ["fft"], seed=0))
+        assert env.num_actions == 15
+
+    def test_step_applies_action(self):
+        env = DeviceEnvironment(build_default_device("A", ["fft"], seed=0))
+        env.reset()
+        snap = env.step(12)
+        assert snap.frequency_index == 12
+
+    def test_schedule_switching_disabled_for_evaluation(self):
+        env = DeviceEnvironment(
+            build_default_device("A", ["fft", "lu"], seed=0, mean_dwell_steps=1),
+            schedule_switching=False,
+        )
+        env.reset("ocean")
+        apps = {env.step(5).application for _ in range(30)}
+        assert apps == {"ocean"}
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            DeviceEnvironment(
+                build_default_device("A", ["fft"], seed=0), control_interval_s=0.0
+            )
+
+
+def _record(step=0, reward=0.5, power=0.5, round_index=0, device="A", app="fft"):
+    return StepRecord(
+        step=step,
+        device=device,
+        application=app,
+        action_index=7,
+        frequency_hz=825.6e6,
+        power_w=power,
+        ipc=1.0,
+        mpki=2.0,
+        miss_rate=0.05,
+        ips=8e8,
+        reward=reward,
+        round_index=round_index,
+    )
+
+
+class TestTraceRecorder:
+    def test_record_and_len(self):
+        trace = TraceRecorder()
+        trace.record(_record())
+        assert len(trace) == 1
+
+    def test_mean_reward(self):
+        trace = TraceRecorder()
+        trace.extend([_record(reward=0.2), _record(reward=0.8)])
+        assert trace.mean_reward() == pytest.approx(0.5)
+
+    def test_violation_rate(self):
+        trace = TraceRecorder()
+        trace.extend([_record(power=0.5), _record(power=0.7), _record(power=0.65)])
+        assert trace.violation_rate(0.6) == pytest.approx(2 / 3)
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().mean_reward()
+
+    def test_filter_by_device(self):
+        trace = TraceRecorder()
+        trace.extend([_record(device="A"), _record(device="B"), _record(device="A")])
+        assert len(trace.filter(device="A")) == 2
+
+    def test_filter_by_application_and_round(self):
+        trace = TraceRecorder()
+        trace.extend(
+            [
+                _record(app="fft", round_index=0),
+                _record(app="lu", round_index=0),
+                _record(app="fft", round_index=1),
+            ]
+        )
+        assert len(trace.filter(application="fft", round_index=1)) == 1
+
+    def test_rewards_by_round(self):
+        trace = TraceRecorder()
+        trace.extend(
+            [
+                _record(reward=0.0, round_index=0),
+                _record(reward=1.0, round_index=0),
+                _record(reward=0.25, round_index=1),
+            ]
+        )
+        by_round = trace.rewards_by_round()
+        assert by_round[0] == pytest.approx(0.5)
+        assert by_round[1] == pytest.approx(0.25)
+
+    def test_to_rows(self):
+        trace = TraceRecorder()
+        trace.record(_record())
+        rows = trace.to_rows()
+        assert rows[0]["device"] == "A"
+        assert rows[0]["reward"] == 0.5
+
+    def test_records_property_is_copy(self):
+        trace = TraceRecorder()
+        trace.record(_record())
+        trace.records.clear()
+        assert len(trace) == 1

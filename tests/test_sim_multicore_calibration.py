@@ -1,0 +1,207 @@
+"""Tests for the multi-core cluster model and calibration reports."""
+
+import pytest
+
+from repro.control.neural import build_neural_controller
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.calibration import (
+    assert_nontrivial_spread,
+    calibration_table,
+)
+from repro.sim.multicore import MultiCoreProcessor
+from repro.sim.opp import JETSON_NANO_OPP_TABLE
+from repro.sim.perf_model import PerformanceModel
+from repro.sim.power_model import PowerModel
+from repro.sim.sensors import PowerSensor
+from repro.sim.workload import splash2_application, splash2_suite
+
+
+def make_cluster(num_cores=4, **kwargs):
+    defaults = dict(
+        num_cores=num_cores,
+        opp_table=JETSON_NANO_OPP_TABLE,
+        performance_model=PerformanceModel(),
+        power_model=PowerModel(),
+        workload_jitter=0.0,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return MultiCoreProcessor(**defaults)
+
+
+class TestMultiCoreProcessor:
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster(num_cores=0)
+
+    def test_step_without_apps_raises(self):
+        with pytest.raises(SimulationError):
+            make_cluster().step(0.5)
+
+    def test_load_requires_slot_per_core(self):
+        cluster = make_cluster(num_cores=4)
+        with pytest.raises(ConfigurationError):
+            cluster.load_applications([splash2_application("fft")])
+
+    def test_all_idle_rejected(self):
+        cluster = make_cluster(num_cores=2)
+        with pytest.raises(ConfigurationError):
+            cluster.load_applications([None, None])
+
+    def test_single_active_core_matches_single_processor_power(self):
+        """One busy core + three idle: power is single-core power plus
+        three leakage floors."""
+        cluster = make_cluster(num_cores=4)
+        cluster.load_applications(
+            [splash2_application("water-ns"), None, None, None]
+        )
+        cluster.set_frequency_index(14)
+        aggregate = cluster.step(0.5)
+
+        from repro.sim.processor import SimulatedProcessor
+
+        solo = SimulatedProcessor(
+            opp_table=JETSON_NANO_OPP_TABLE,
+            performance_model=PerformanceModel(),
+            power_model=PowerModel(),
+            workload_jitter=0.0,
+            seed=0,
+        )
+        solo.load_application(splash2_application("water-ns"))
+        solo.set_frequency_index(14)
+        solo_snap = solo.step(0.5)
+        leakage = PowerModel().static_power(JETSON_NANO_OPP_TABLE[14])
+        assert aggregate.true_power_w == pytest.approx(
+            solo_snap.true_power_w + 3 * leakage, rel=1e-6
+        )
+
+    def test_power_scales_with_active_cores(self):
+        def power_with(active):
+            cluster = make_cluster(num_cores=4)
+            apps = [
+                splash2_application("fft") if i < active else None
+                for i in range(4)
+            ]
+            cluster.load_applications(apps)
+            cluster.set_frequency_index(10)
+            return cluster.step(0.5).true_power_w
+
+        assert power_with(1) < power_with(2) < power_with(4)
+
+    def test_aggregate_ips_is_sum(self):
+        cluster = make_cluster(num_cores=2)
+        cluster.load_applications(
+            [splash2_application("fft"), splash2_application("fft")]
+        )
+        cluster.set_frequency_index(10)
+        aggregate = cluster.step(0.5)
+        per_core = [s for s in cluster.last_per_core if s is not None]
+        assert aggregate.true_ips == pytest.approx(
+            sum(s.true_ips for s in per_core)
+        )
+
+    def test_shared_clock(self):
+        cluster = make_cluster(num_cores=4)
+        cluster.load_applications(
+            [splash2_application("fft"), splash2_application("lu"), None, None]
+        )
+        cluster.set_frequency_index(5)
+        cluster.step(0.5)
+        for snapshot in cluster.last_per_core:
+            if snapshot is not None:
+                assert snapshot.frequency_index == 5
+
+    def test_snapshot_is_controller_compatible(self):
+        """Any controller drives the cluster through the same interface."""
+        cluster = make_cluster(
+            num_cores=2, power_sensor=PowerSensor(noise_std_w=0.01, seed=1)
+        )
+        cluster.load_applications(
+            [splash2_application("radix"), splash2_application("ocean")]
+        )
+        cluster.set_frequency_index(0)
+        controller = build_neural_controller(
+            JETSON_NANO_OPP_TABLE, power_limit_w=1.1, seed=2
+        )
+        snap = cluster.step(0.5)
+        for _ in range(30):
+            action = controller.select_action(snap)
+            cluster.set_frequency_index(action)
+            next_snap = cluster.step(0.5)
+            controller.learn(snap, action, controller.compute_reward(next_snap))
+            snap = next_snap
+        assert controller.agent.step_count == 30
+
+    def test_cluster_learns_budgeted_control(self):
+        """End to end: a bandit keeps a 2-core cluster under 1.1 W."""
+        cluster = make_cluster(
+            num_cores=2,
+            power_sensor=PowerSensor(noise_std_w=0.01, seed=3),
+            workload_jitter=0.05,
+            seed=3,
+        )
+        cluster.load_applications(
+            [splash2_application("water-ns"), splash2_application("fft")]
+        )
+        cluster.set_frequency_index(0)
+        from repro.rl.schedules import ExponentialDecaySchedule
+
+        controller = build_neural_controller(
+            JETSON_NANO_OPP_TABLE,
+            power_limit_w=1.1,
+            temperature_schedule=ExponentialDecaySchedule(0.9, 0.004, 0.01),
+            seed=4,
+        )
+        snap = cluster.step(0.5)
+        powers = []
+        for step in range(1200):
+            action = controller.select_action(snap)
+            cluster.set_frequency_index(action)
+            next_snap = cluster.step(0.5)
+            controller.learn(snap, action, controller.compute_reward(next_snap))
+            snap = next_snap
+            if step >= 900:
+                powers.append(snap.true_power_w)
+        assert sum(powers) / len(powers) < 1.2
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibration_table(splash2_suite(), JETSON_NANO_OPP_TABLE)
+
+    def test_covers_all_applications(self, report):
+        assert len(report.rows) == 12
+
+    def test_level_spread_nontrivial(self, report):
+        # The suite must spread optimal levels across the table — the
+        # precondition for every experiment in the paper.
+        assert report.level_spread() >= 5
+        assert_nontrivial_spread(report)  # must not raise
+
+    def test_memory_bound_near_top(self, report):
+        assert report.row("radix").optimal_level == 14
+        assert report.row("ocean").optimal_level >= 13
+
+    def test_power_monotone_in_level_per_app(self, report):
+        for row in report.rows:
+            assert row.power_at_fmax_w > row.power_at_fmin_w
+
+    def test_row_lookup(self, report):
+        with pytest.raises(KeyError):
+            report.row("doom")
+
+    def test_format(self, report):
+        text = report.format()
+        assert "Calibration report" in text and "radix" in text
+
+    def test_trivial_spread_detected(self):
+        # A single compute-bound app: spread 0 -> must be rejected.
+        apps = {"water-ns": splash2_application("water-ns")}
+        report = calibration_table(apps, JETSON_NANO_OPP_TABLE)
+        with pytest.raises(ConfigurationError, match="spread"):
+            assert_nontrivial_spread(report)
+
+    def test_empty_apps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibration_table({}, JETSON_NANO_OPP_TABLE)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.sim.opp."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.opp import JETSON_NANO_OPP_TABLE, MHZ, OperatingPoint, OPPTable
+
+
+class TestOperatingPoint:
+    def test_valid_point(self):
+        point = OperatingPoint(0, 102e6, 0.8)
+        assert point.frequency_hz == 102e6
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(index=-1, frequency_hz=1e8, voltage_v=1.0),
+            dict(index=0, frequency_hz=0.0, voltage_v=1.0),
+            dict(index=0, frequency_hz=1e8, voltage_v=0.0),
+        ],
+    )
+    def test_invalid_points_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(**kwargs)
+
+
+class TestOPPTable:
+    def _points(self):
+        return [
+            OperatingPoint(0, 100e6, 0.8),
+            OperatingPoint(1, 200e6, 0.9),
+            OperatingPoint(2, 400e6, 1.0),
+        ]
+
+    def test_len_and_iteration(self):
+        table = OPPTable(self._points())
+        assert len(table) == 3
+        assert [p.index for p in table] == [0, 1, 2]
+
+    def test_getitem_bounds(self):
+        table = OPPTable(self._points())
+        assert table[2].frequency_hz == 400e6
+        with pytest.raises(SimulationError):
+            table[3]
+        with pytest.raises(SimulationError):
+            table[-1]
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ConfigurationError):
+            OPPTable([OperatingPoint(0, 1e8, 1.0)])
+
+    def test_rejects_non_consecutive_indices(self):
+        points = self._points()
+        points[1] = OperatingPoint(5, 200e6, 0.9)
+        with pytest.raises(ConfigurationError):
+            OPPTable(points)
+
+    def test_rejects_non_increasing_frequency(self):
+        points = [
+            OperatingPoint(0, 200e6, 0.8),
+            OperatingPoint(1, 100e6, 0.9),
+        ]
+        with pytest.raises(ConfigurationError):
+            OPPTable(points)
+
+    def test_rejects_decreasing_voltage(self):
+        points = [
+            OperatingPoint(0, 100e6, 1.0),
+            OperatingPoint(1, 200e6, 0.8),
+        ]
+        with pytest.raises(ConfigurationError):
+            OPPTable(points)
+
+    def test_nearest_index(self):
+        table = OPPTable(self._points())
+        assert table.nearest_index(95e6) == 0
+        assert table.nearest_index(290e6) == 1
+        assert table.nearest_index(10e9) == 2
+
+    def test_nearest_index_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            OPPTable(self._points()).nearest_index(0.0)
+
+    def test_normalized_frequency(self):
+        table = OPPTable(self._points())
+        assert table.normalized_frequency(2) == 1.0
+        assert table.normalized_frequency(0) == pytest.approx(0.25)
+
+
+class TestJetsonNanoTable:
+    def test_fifteen_levels(self):
+        # Section IV: "It supports 15 frequency levels".
+        assert JETSON_NANO_OPP_TABLE.num_levels == 15
+
+    def test_frequency_range_matches_paper(self):
+        # "ranging from 102 MHz to 1479 MHz"
+        assert JETSON_NANO_OPP_TABLE.min_frequency_hz == pytest.approx(102 * MHZ)
+        assert JETSON_NANO_OPP_TABLE.max_frequency_hz == pytest.approx(1479 * MHZ)
+
+    def test_voltages_span_typical_rail(self):
+        voltages = JETSON_NANO_OPP_TABLE.voltages_v
+        assert voltages[0] == pytest.approx(0.80, abs=0.01)
+        assert voltages[-1] == pytest.approx(1.23, abs=0.01)
+
+    def test_voltages_monotonic(self):
+        voltages = JETSON_NANO_OPP_TABLE.voltages_v
+        assert all(b >= a for a, b in zip(voltages, voltages[1:]))
+
+    def test_frequencies_monotonic(self):
+        freqs = JETSON_NANO_OPP_TABLE.frequencies_hz
+        assert all(b > a for a, b in zip(freqs, freqs[1:]))

@@ -1,0 +1,189 @@
+"""Unit tests for repro.sim.processor."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.opp import JETSON_NANO_OPP_TABLE
+from repro.sim.perf_model import PerformanceModel
+from repro.sim.power_model import PowerModel
+from repro.sim.processor import SimulatedProcessor
+from repro.sim.sensors import PowerSensor
+from repro.sim.thermal import ThermalModel
+from repro.sim.workload import ApplicationModel, Phase, splash2_application
+
+
+def make_processor(**kwargs):
+    defaults = dict(
+        opp_table=JETSON_NANO_OPP_TABLE,
+        performance_model=PerformanceModel(),
+        power_model=PowerModel(),
+        workload_jitter=0.0,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return SimulatedProcessor(**defaults)
+
+
+def two_phase_app():
+    return ApplicationModel(
+        "toy",
+        [
+            Phase("a", 1.0e8, cpi_core=1.0, mpki=0.0, apki=10.0, activity=1.0),
+            Phase("b", 1.0e8, cpi_core=2.0, mpki=0.0, apki=10.0, activity=0.8),
+        ],
+    )
+
+
+class TestLifecycle:
+    def test_step_without_application_raises(self):
+        with pytest.raises(SimulationError):
+            make_processor().step(0.5)
+
+    def test_step_rejects_non_positive_duration(self):
+        proc = make_processor()
+        proc.load_application(two_phase_app())
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            proc.step(0.0)
+
+    def test_set_frequency_index_validates(self):
+        proc = make_processor()
+        with pytest.raises(SimulationError):
+            proc.set_frequency_index(99)
+
+    def test_set_frequency_snaps_to_nearest(self):
+        proc = make_processor()
+        proc.set_frequency(900e6)
+        assert proc.operating_point.frequency_hz == pytest.approx(921.6e6)
+
+
+class TestExecution:
+    def test_instruction_accounting(self):
+        proc = make_processor()
+        proc.load_application(two_phase_app())
+        proc.set_frequency_index(14)  # 1479 MHz
+        snap = proc.step(0.01)
+        # Phase a: CPI 1 at 1.479 GHz -> 1.479e9 IPS; 0.01 s -> 1.479e7 instr
+        # (well inside phase a's 1e8 budget).
+        assert snap.instructions == pytest.approx(1.479e7, rel=1e-6)
+        assert snap.phase == "a"
+
+    def test_phase_transition_mid_interval(self):
+        proc = make_processor()
+        proc.load_application(two_phase_app())
+        proc.set_frequency_index(14)
+        # Phase a lasts 1e8 / 1.479e9 = 67.6 ms; a 100 ms step spans both.
+        snap = proc.step(0.1)
+        expected_a = 1.0e8
+        remaining_s = 0.1 - expected_a / 1.479e9
+        expected_b = remaining_s * 1.479e9 / 2.0
+        assert snap.instructions == pytest.approx(expected_a + expected_b, rel=1e-6)
+
+    def test_time_weighted_ipc_across_phases(self):
+        proc = make_processor()
+        proc.load_application(two_phase_app())
+        proc.set_frequency_index(14)
+        snap = proc.step(0.1)
+        t_a = 1.0e8 / 1.479e9
+        t_b = 0.1 - t_a
+        expected_ipc = (1.0 * t_a + 0.5 * t_b) / 0.1
+        assert snap.ipc == pytest.approx(expected_ipc, rel=1e-6)
+
+    def test_application_wraps_around(self):
+        proc = make_processor()
+        proc.load_application(two_phase_app())
+        proc.set_frequency_index(14)
+        # Total app: 1e8/1.479e9 + 2e8/1.479e9 ≈ 0.203 s; run well past it.
+        for _ in range(10):
+            snap = proc.step(0.1)
+        assert snap.instructions > 0  # still executing, wrapped to phase a
+
+    def test_time_accumulates(self):
+        proc = make_processor()
+        proc.load_application(two_phase_app())
+        proc.step(0.5)
+        proc.step(0.5)
+        assert proc.time_s == pytest.approx(1.0)
+
+    def test_snapshot_power_matches_model_for_single_phase(self):
+        proc = make_processor()
+        app = ApplicationModel(
+            "one", [Phase("only", 1e12, cpi_core=1.0, mpki=0.0, apki=10.0, activity=1.0)]
+        )
+        proc.load_application(app)
+        proc.set_frequency_index(7)
+        snap = proc.step(0.5)
+        op = JETSON_NANO_OPP_TABLE[7]
+        expected = PowerModel().total_power(op, activity=1.0, duty=1.0)
+        assert snap.power_w == pytest.approx(expected, rel=1e-9)
+        assert snap.true_power_w == pytest.approx(expected, rel=1e-9)
+
+    def test_higher_frequency_higher_power(self):
+        proc = make_processor()
+        proc.load_application(splash2_application("water-ns"))
+        proc.set_frequency_index(2)
+        low = proc.step(0.5).true_power_w
+        proc.set_frequency_index(14)
+        high = proc.step(0.5).true_power_w
+        assert high > low
+
+    def test_memory_bound_app_stays_below_budget_at_fmax(self):
+        proc = make_processor()
+        proc.load_application(splash2_application("radix"))
+        proc.set_frequency_index(14)
+        snap = proc.step(0.5)
+        assert snap.true_power_w < 0.6
+
+    def test_compute_bound_app_violates_budget_at_fmax(self):
+        proc = make_processor()
+        proc.load_application(splash2_application("water-ns"))
+        proc.set_frequency_index(14)
+        snap = proc.step(0.5)
+        assert snap.true_power_w > 0.7  # beyond P_crit + 2*k_offset
+
+
+class TestNoiseAndJitter:
+    def test_sensor_noise_applied_to_measured_only(self):
+        proc = make_processor(power_sensor=PowerSensor(noise_std_w=0.05, seed=1))
+        proc.load_application(splash2_application("fft"))
+        proc.set_frequency_index(7)
+        snaps = [proc.step(0.5) for _ in range(30)]
+        measured = [s.power_w for s in snaps]
+        true = [s.true_power_w for s in snaps]
+        assert any(abs(m - t) > 1e-6 for m, t in zip(measured, true))
+
+    def test_workload_jitter_varies_counters(self):
+        proc = make_processor(workload_jitter=0.1, seed=3)
+        app = ApplicationModel(
+            "one", [Phase("only", 1e13, cpi_core=1.0, mpki=5.0, apki=20.0, activity=1.0)]
+        )
+        proc.load_application(app)
+        proc.set_frequency_index(7)
+        ipcs = {round(proc.step(0.5).ipc, 9) for _ in range(10)}
+        assert len(ipcs) > 1
+
+    def test_deterministic_given_seed(self):
+        def run():
+            proc = make_processor(workload_jitter=0.1, seed=42)
+            proc.load_application(splash2_application("fft"))
+            proc.set_frequency_index(9)
+            return [proc.step(0.5).ipc for _ in range(5)]
+
+        assert run() == run()
+
+
+class TestThermalIntegration:
+    def test_temperature_rises_under_load(self):
+        proc = make_processor(thermal_model=ThermalModel(time_constant_s=2.0))
+        proc.load_application(splash2_application("water-ns"))
+        proc.set_frequency_index(14)
+        first = proc.step(0.5).temperature_c
+        for _ in range(30):
+            last = proc.step(0.5).temperature_c
+        assert last > first > 25.0
+
+    def test_no_thermal_model_reports_none(self):
+        proc = make_processor()
+        proc.load_application(splash2_application("fft"))
+        assert proc.step(0.5).temperature_c is None

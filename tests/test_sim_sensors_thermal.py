@@ -1,0 +1,102 @@
+"""Unit tests for repro.sim.sensors and repro.sim.thermal."""
+
+import numpy as np
+import pytest
+
+from repro.sim.sensors import CounterSampler, PowerSensor
+from repro.sim.thermal import ThermalModel
+
+
+class TestPowerSensor:
+    def test_zero_noise_is_identity(self):
+        sensor = PowerSensor(noise_std_w=0.0, seed=0)
+        assert sensor.measure(0.55) == 0.55
+
+    def test_noise_has_expected_spread(self):
+        sensor = PowerSensor(noise_std_w=0.02, seed=1)
+        readings = np.array([sensor.measure(0.5) for _ in range(4000)])
+        assert readings.mean() == pytest.approx(0.5, abs=0.005)
+        assert readings.std() == pytest.approx(0.02, abs=0.005)
+
+    def test_readings_never_negative(self):
+        sensor = PowerSensor(noise_std_w=0.5, seed=2)
+        assert all(sensor.measure(0.01) >= 0.0 for _ in range(200))
+
+    def test_quantization(self):
+        sensor = PowerSensor(noise_std_w=0.0, quantization_w=0.01, seed=0)
+        assert sensor.measure(0.123) == pytest.approx(0.12)
+        assert sensor.measure(0.126) == pytest.approx(0.13)
+
+    def test_seeded_sensor_is_deterministic(self):
+        a = [PowerSensor(0.02, seed=7).measure(0.5) for _ in range(5)]
+        b = [PowerSensor(0.02, seed=7).measure(0.5) for _ in range(5)]
+        # Build fresh sensors each time: identical streams expected.
+        a = [PowerSensor(0.02, seed=7).measure(0.5)][0]
+        b = [PowerSensor(0.02, seed=7).measure(0.5)][0]
+        assert a == b
+
+
+class TestCounterSampler:
+    def test_zero_jitter_is_identity(self):
+        sampler = CounterSampler(relative_std=0.0, seed=0)
+        assert sampler.measure(1.5) == 1.5
+
+    def test_zero_value_stays_zero(self):
+        sampler = CounterSampler(relative_std=0.1, seed=0)
+        assert sampler.measure(0.0) == 0.0
+
+    def test_jitter_is_multiplicative(self):
+        sampler = CounterSampler(relative_std=0.05, seed=3)
+        readings = np.array([sampler.measure(2.0) for _ in range(4000)])
+        assert readings.mean() == pytest.approx(2.0, rel=0.02)
+        assert (readings > 0).all()
+
+    def test_relative_error_scales_with_value(self):
+        sampler_a = CounterSampler(relative_std=0.05, seed=4)
+        sampler_b = CounterSampler(relative_std=0.05, seed=4)
+        small = np.std([sampler_a.measure(1.0) for _ in range(2000)])
+        large = np.std([sampler_b.measure(10.0) for _ in range(2000)])
+        assert large / small == pytest.approx(10.0, rel=0.15)
+
+
+class TestThermalModel:
+    def test_starts_at_ambient(self):
+        model = ThermalModel(ambient_c=25.0)
+        assert model.temperature_c == 25.0
+
+    def test_steady_state(self):
+        model = ThermalModel(thermal_resistance_c_per_w=8.0, ambient_c=25.0)
+        assert model.steady_state_c(1.0) == pytest.approx(33.0)
+
+    def test_converges_to_steady_state(self):
+        model = ThermalModel(
+            thermal_resistance_c_per_w=10.0, time_constant_s=5.0, ambient_c=25.0
+        )
+        for _ in range(200):
+            model.update(1.0, 0.5)
+        assert model.temperature_c == pytest.approx(35.0, abs=0.05)
+
+    def test_monotonic_heating_under_constant_power(self):
+        model = ThermalModel()
+        temps = [model.update(2.0, 0.5) for _ in range(20)]
+        assert all(b > a for a, b in zip(temps, temps[1:]))
+
+    def test_cooling_after_power_drop(self):
+        model = ThermalModel(time_constant_s=2.0)
+        for _ in range(100):
+            model.update(2.0, 0.5)
+        hot = model.temperature_c
+        model.update(0.0, 5.0)
+        assert model.temperature_c < hot
+
+    def test_reset(self):
+        model = ThermalModel(ambient_c=25.0)
+        model.update(5.0, 10.0)
+        model.reset()
+        assert model.temperature_c == 25.0
+
+    def test_large_timestep_stable(self):
+        # The exponential update must not overshoot even for dt >> tau.
+        model = ThermalModel(time_constant_s=1.0, ambient_c=25.0)
+        model.update(1.0, 1000.0)
+        assert model.temperature_c == pytest.approx(model.steady_state_c(1.0))

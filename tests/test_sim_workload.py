@@ -1,0 +1,120 @@
+"""Unit tests for repro.sim.workload."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.workload import (
+    ApplicationModel,
+    Phase,
+    SPLASH2_APPLICATION_NAMES,
+    splash2_application,
+    splash2_suite,
+)
+
+
+class TestPhase:
+    def test_miss_rate(self):
+        phase = Phase("p", 1e9, 1.0, 10.0, 40.0, 1.0)
+        assert phase.miss_rate == pytest.approx(0.25)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("instructions", 0.0),
+            ("cpi_core", 0.0),
+            ("mpki", -1.0),
+            ("apki", 0.0),
+            ("activity", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        kwargs = dict(
+            name="p", instructions=1e9, cpi_core=1.0, mpki=5.0, apki=40.0, activity=1.0
+        )
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            Phase(**kwargs)
+
+    def test_mpki_cannot_exceed_apki(self):
+        with pytest.raises(ConfigurationError):
+            Phase("p", 1e9, 1.0, 50.0, 40.0, 1.0)
+
+
+class TestApplicationModel:
+    def test_total_instructions(self):
+        app = ApplicationModel(
+            "a",
+            [
+                Phase("x", 1e9, 1.0, 1.0, 10.0, 1.0),
+                Phase("y", 2e9, 1.0, 1.0, 10.0, 1.0),
+            ],
+        )
+        assert app.total_instructions == pytest.approx(3e9)
+
+    def test_phase_at_wraps(self):
+        app = ApplicationModel(
+            "a",
+            [
+                Phase("x", 1e9, 1.0, 1.0, 10.0, 1.0),
+                Phase("y", 2e9, 1.0, 1.0, 10.0, 1.0),
+            ],
+        )
+        assert app.phase_at(0).name == "x"
+        assert app.phase_at(3).name == "y"
+
+    def test_rejects_empty_phase_list(self):
+        with pytest.raises(ConfigurationError):
+            ApplicationModel("a", [])
+
+
+class TestSplash2Suite:
+    def test_twelve_applications(self):
+        # Section IV: "twelve single-threaded applications from SPLASH-2".
+        assert len(SPLASH2_APPLICATION_NAMES) == 12
+        assert len(splash2_suite()) == 12
+
+    def test_paper_application_names_present(self):
+        expected = {
+            "fft", "lu", "raytrace", "volrend", "water-ns", "water-sp",
+            "ocean", "radix", "fmm", "radiosity", "barnes", "cholesky",
+        }
+        assert set(SPLASH2_APPLICATION_NAMES) == expected
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            splash2_application("doom")
+
+    def test_fresh_model_per_call(self):
+        assert splash2_application("fft") is not splash2_application("fft")
+
+    def test_memory_bound_apps_have_high_mpki(self):
+        # radix/ocean are the memory-bound anchors of the suite.
+        for name in ("radix", "ocean"):
+            app = splash2_application(name)
+            weighted_mpki = sum(
+                p.mpki * p.instructions for p in app.phases
+            ) / app.total_instructions
+            assert weighted_mpki > 10.0, name
+
+    def test_compute_bound_apps_have_low_mpki(self):
+        for name in ("water-ns", "water-sp", "lu"):
+            app = splash2_application(name)
+            weighted_mpki = sum(
+                p.mpki * p.instructions for p in app.phases
+            ) / app.total_instructions
+            assert weighted_mpki < 2.0, name
+
+    def test_compute_bound_apps_have_higher_activity(self):
+        def weighted_activity(name):
+            app = splash2_application(name)
+            return sum(
+                p.activity * p.instructions for p in app.phases
+            ) / app.total_instructions
+
+        assert weighted_activity("water-ns") > weighted_activity("radix")
+
+    def test_all_apps_have_multi_second_runtimes(self):
+        # ~2e10 instructions ≈ tens of seconds at ~1e9 IPS, matching the
+        # execution-time scale of Table III.
+        for name, app in splash2_suite().items():
+            assert 1e10 <= app.total_instructions <= 4e10, name

@@ -1,0 +1,77 @@
+"""Tests for training-trace structure across the three drivers."""
+
+import pytest
+
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.scenarios import scenario_applications
+from repro.experiments.training import (
+    train_collab_profit,
+    train_federated,
+    train_local_only,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return FederatedPowerControlConfig(
+        num_rounds=3,
+        steps_per_round=10,
+        eval_steps_per_app=2,
+        eval_every_rounds=3,
+        seed=81,
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(tiny_config):
+    assignments = scenario_applications(1)
+    return {
+        "federated": train_federated(
+            assignments, tiny_config, eval_applications=["fft"]
+        ),
+        "local-only": train_local_only(
+            assignments, tiny_config, eval_applications=["fft"]
+        ),
+        "profit-collab": train_collab_profit(
+            assignments, tiny_config, eval_applications=["fft"]
+        ),
+    }
+
+
+class TestTraceStructure:
+    @pytest.mark.parametrize("name", ["federated", "local-only", "profit-collab"])
+    def test_round_indices_cover_schedule(self, runs, name):
+        rounds = {record.round_index for record in runs[name].train_trace}
+        assert rounds == {0, 1, 2}
+
+    @pytest.mark.parametrize("name", ["federated", "local-only", "profit-collab"])
+    def test_step_count_per_driver(self, runs, name):
+        # 3 rounds x 10 steps x 2 devices.
+        assert len(runs[name].train_trace) == 60
+
+    @pytest.mark.parametrize("name", ["federated", "local-only", "profit-collab"])
+    def test_training_apps_respect_assignment(self, runs, name):
+        assignments = scenario_applications(1)
+        for device, apps in assignments.items():
+            device_trace = runs[name].train_trace.filter(device=device)
+            seen = {record.application for record in device_trace}
+            assert seen <= set(apps), (name, device, seen)
+
+    def test_rewards_by_round_has_every_round(self, runs):
+        by_round = runs["federated"].train_trace.rewards_by_round()
+        assert sorted(by_round) == [0, 1, 2]
+        assert all(-1.0 <= value <= 1.0 for value in by_round.values())
+
+    @pytest.mark.parametrize("name", ["federated", "local-only"])
+    def test_actions_within_opp_table(self, runs, name):
+        assert all(
+            0 <= record.action_index <= 14 for record in runs[name].train_trace
+        )
+
+    def test_profit_reward_scale_differs_from_eq4(self, runs):
+        """The baseline's reward is IPS-scaled, not the Eq. 4 signal —
+        positive rewards can exceed 1 (IPS > 1e9)."""
+        rewards = [r.reward for r in runs["profit-collab"].train_trace]
+        # Either branch of the Profit signal appears; bounds are looser.
+        assert min(rewards) >= -5.0 * 2.0
+        assert max(rewards) <= 3.0

@@ -1,0 +1,143 @@
+"""Unit tests for repro.utils.math."""
+
+import numpy as np
+import pytest
+
+from repro.utils.math import (
+    clip,
+    exponential_decay,
+    huber_gradient,
+    huber_loss,
+    moving_average,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_uniform_for_equal_logits(self):
+        probs = softmax(np.zeros(5))
+        assert np.allclose(probs, 0.2)
+
+    def test_high_temperature_flattens(self):
+        logits = np.array([0.0, 1.0])
+        hot = softmax(logits, temperature=100.0)
+        cold = softmax(logits, temperature=0.01)
+        assert abs(hot[0] - hot[1]) < 0.01
+        assert cold[1] > 0.999
+
+    def test_low_temperature_peaks_at_argmax(self):
+        logits = np.array([0.3, 0.9, 0.1, 0.5])
+        probs = softmax(logits, temperature=0.01)
+        assert int(np.argmax(probs)) == 1
+
+    def test_large_logits_do_not_overflow(self):
+        probs = softmax(np.array([1000.0, 1001.0]))
+        assert np.isfinite(probs).all()
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_invariant_to_constant_shift(self):
+        logits = np.array([0.1, 0.4, -0.2])
+        assert np.allclose(softmax(logits), softmax(logits + 42.0))
+
+    def test_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            softmax(np.array([1.0, 2.0]), temperature=0.0)
+        with pytest.raises(ValueError):
+            softmax(np.array([1.0, 2.0]), temperature=-1.0)
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        assert huber_loss(np.array(0.5), delta=1.0) == pytest.approx(0.125)
+
+    def test_linear_outside_delta(self):
+        # delta * (|r| - delta/2) = 1 * (3 - 0.5)
+        assert huber_loss(np.array(3.0), delta=1.0) == pytest.approx(2.5)
+
+    def test_continuous_at_delta(self):
+        delta = 0.7
+        just_in = huber_loss(np.array(delta - 1e-9), delta=delta)
+        just_out = huber_loss(np.array(delta + 1e-9), delta=delta)
+        assert just_in == pytest.approx(just_out, abs=1e-6)
+
+    def test_gradient_clipped_at_delta(self):
+        grads = huber_gradient(np.array([-5.0, -0.3, 0.0, 0.3, 5.0]), delta=1.0)
+        assert np.allclose(grads, [-1.0, -0.3, 0.0, 0.3, 1.0])
+
+    def test_gradient_matches_finite_difference(self):
+        delta = 1.0
+        for r in [-2.0, -0.4, 0.0, 0.4, 2.0]:
+            eps = 1e-6
+            numeric = (
+                huber_loss(np.array(r + eps), delta) - huber_loss(np.array(r - eps), delta)
+            ) / (2 * eps)
+            assert huber_gradient(np.array(r), delta) == pytest.approx(
+                float(numeric), abs=1e-5
+            )
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(np.array(1.0), delta=0.0)
+        with pytest.raises(ValueError):
+            huber_gradient(np.array(1.0), delta=-1.0)
+
+
+class TestExponentialDecay:
+    def test_step_zero_returns_initial(self):
+        assert exponential_decay(0.9, 0.0005, 0) == pytest.approx(0.9)
+
+    def test_decays_monotonically(self):
+        values = [exponential_decay(0.9, 0.0005, t) for t in range(0, 5000, 500)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_respects_minimum(self):
+        assert exponential_decay(0.9, 0.0005, 10**7, minimum=0.01) == 0.01
+
+    def test_paper_schedule_reaches_minimum_within_run(self):
+        # Table I: tau_max 0.9, decay 0.0005, min 0.01; run length R*T = 10000.
+        assert exponential_decay(0.9, 0.0005, 10_000, minimum=0.01) == pytest.approx(
+            0.01, abs=1e-9
+        )
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            exponential_decay(1.0, 0.1, -1)
+
+
+class TestClip:
+    def test_inside_interval_unchanged(self):
+        assert clip(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamps_both_sides(self):
+        assert clip(-1.0, 0.0, 1.0) == 0.0
+        assert clip(2.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            clip(0.5, 1.0, 0.0)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = [1.0, 2.0, 3.0]
+        assert np.allclose(moving_average(values, 1), values)
+
+    def test_warmup_prefix(self):
+        result = moving_average([2.0, 4.0, 6.0, 8.0], window=2)
+        assert np.allclose(result, [2.0, 3.0, 5.0, 7.0])
+
+    def test_window_larger_than_input(self):
+        result = moving_average([1.0, 3.0], window=10)
+        assert np.allclose(result, [1.0, 2.0])
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones((2, 2)), 2)

@@ -1,0 +1,62 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import as_generator, generator_from_root, spawn_generator
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9)
+        b = as_generator(2).integers(0, 10**9)
+        assert a != b
+
+    def test_existing_generator_passed_through(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerator:
+    def test_children_are_deterministic(self):
+        a = spawn_generator(as_generator(7), index=3).integers(0, 10**9)
+        b = spawn_generator(as_generator(7), index=3).integers(0, 10**9)
+        assert a == b
+
+    def test_different_indices_give_different_streams(self):
+        parent = as_generator(7)
+        entropy = int(parent.integers(0, 2**63 - 1))
+        # Rebuild parents so both children see the same parent state.
+        child0 = np.random.default_rng(np.random.SeedSequence(entropy, spawn_key=(0,)))
+        child1 = np.random.default_rng(np.random.SeedSequence(entropy, spawn_key=(1,)))
+        assert child0.integers(0, 10**9) != child1.integers(0, 10**9)
+
+    def test_rejects_negative_index(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            spawn_generator(as_generator(0), index=-1)
+
+
+class TestGeneratorFromRoot:
+    def test_same_path_same_stream(self):
+        a = generator_from_root(123, 0, 2).normal(size=5)
+        b = generator_from_root(123, 0, 2).normal(size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_paths_independent(self):
+        a = generator_from_root(123, 0).normal(size=5)
+        b = generator_from_root(123, 1).normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_different_roots_differ(self):
+        a = generator_from_root(1, 0).normal(size=5)
+        b = generator_from_root(2, 0).normal(size=5)
+        assert not np.array_equal(a, b)

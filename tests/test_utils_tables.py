@@ -1,0 +1,52 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["app", "ips"], [["fft", 1.25], ["radix", 0.5]])
+        assert "app" in text and "ips" in text
+        assert "fft" in text and "1.250" in text
+
+    def test_title_is_first_line(self):
+        text = format_table(["a"], [[1]], title="Table III")
+        assert text.splitlines()[0] == "Table III"
+
+    def test_columns_are_aligned(self):
+        text = format_table(["name", "v"], [["a", 1], ["longer", 2]])
+        lines = text.splitlines()
+        pipes = [line.index("|") for line in lines if "|" in line]
+        assert len(set(pipes)) == 1
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format="{:.1f}")
+        assert "0.1" in text and "0.12" not in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_integers_not_float_formatted(self):
+        text = format_table(["v"], [[7]])
+        assert "7" in text and "7.000" not in text
+
+
+class TestFormatSeries:
+    def test_wraps_lines(self):
+        text = format_series("reward", list(range(25)), per_line=10)
+        # header + 3 wrapped lines
+        assert len(text.splitlines()) == 4
+
+    def test_reports_length(self):
+        assert "(n=3)" in format_series("r", [1.0, 2.0, 3.0])
+
+    def test_offsets_in_brackets(self):
+        text = format_series("r", [0.0] * 15, per_line=10)
+        assert "[   0]" in text and "[  10]" in text
+
+    def test_rejects_bad_per_line(self):
+        with pytest.raises(ValueError):
+            format_series("r", [1.0], per_line=0)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ConfigurationError, match="x"):
+            require_positive("x", value)
+
+    @pytest.mark.parametrize("value", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, value):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", value)
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", "1.0")
+
+    def test_rejects_bool(self):
+        # bool is an int subclass; a True power budget is a config bug.
+        with pytest.raises(ConfigurationError):
+            require_positive("x", True)
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_non_negative("x", -0.1)
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds_accepted(self):
+        assert require_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_outside_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"\[0.*1.*\]"):
+            require_in_range("x", 1.5, 0.0, 1.0)
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert require_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ConfigurationError):
+            require_probability("p", value)
