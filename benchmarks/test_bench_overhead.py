@@ -4,9 +4,21 @@ Paper numbers being reproduced exactly (they are structural, not
 testbed-dependent): 2.8 kB per model transfer, 687 parameters, ~100 kB
 replay-buffer storage. The latency claim is structural too: controller
 compute far below the 500 ms control interval.
+
+Also guards the observability layer's core promise: attaching a full
+metrics registry plus round tracer to a training run must stay within
+10 % of the uninstrumented wall-time, and with no sink attached the
+instrumented code paths are pure ``None`` checks.
 """
 
+import time
+from dataclasses import replace
+
 from repro.experiments.overhead import run_overhead
+from repro.experiments.scenarios import scenario_applications
+from repro.experiments.training import train_federated
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import RoundTracer
 
 
 def test_overhead_analysis(benchmark, config, save_result):
@@ -25,3 +37,49 @@ def test_overhead_analysis(benchmark, config, save_result):
     # on a Jetson Nano; much smaller on a workstation).
     assert report.latency_overhead_percent < 20.0
     assert report.mean_decision_latency_s > 0.0
+
+
+def test_telemetry_overhead_within_ten_percent(config, save_result):
+    """A fully instrumented run stays within 10 % of an uninstrumented one."""
+    bench_config = replace(
+        config.scaled(rounds=4, steps_per_round=25),
+        eval_every_rounds=4,
+        eval_steps_per_app=4,
+    )
+    assignments = scenario_applications(1)
+
+    def run_plain() -> float:
+        start = time.perf_counter()
+        train_federated(assignments, bench_config)
+        return time.perf_counter() - start
+
+    def run_instrumented() -> float:
+        start = time.perf_counter()
+        train_federated(
+            assignments,
+            bench_config,
+            metrics=MetricsRegistry(),
+            tracer=RoundTracer(),
+        )
+        return time.perf_counter() - start
+
+    # Interleave and keep the best of three per variant so one scheduler
+    # hiccup cannot fail the guard.
+    run_plain(), run_instrumented()  # warm-up (allocators, imports)
+    plain = min(run_plain() for _ in range(3))
+    instrumented = min(run_instrumented() for _ in range(3))
+
+    ratio = instrumented / plain
+    save_result(
+        "telemetry_overhead",
+        (
+            "Telemetry overhead guard\n"
+            f"uninstrumented best-of-3 [s]: {plain:.4f}\n"
+            f"instrumented   best-of-3 [s]: {instrumented:.4f}\n"
+            f"ratio: {ratio:.4f} (budget 1.10)"
+        ),
+    )
+    assert ratio < 1.10, (
+        f"instrumented run took {ratio:.3f}x the uninstrumented wall-time "
+        f"({instrumented:.4f}s vs {plain:.4f}s)"
+    )

@@ -53,6 +53,12 @@ from repro.federated import (
     federated_average,
     run_federated_training,
 )
+from repro.obs import (
+    MetricsRegistry,
+    RoundTracer,
+    get_logger,
+    setup_logging,
+)
 from repro.rl import (
     NeuralBanditAgent,
     PowerEfficiencyReward,
@@ -81,6 +87,7 @@ __all__ = [
     "FederationError",
     "InMemoryTransport",
     "JETSON_NANO_OPP_TABLE",
+    "MetricsRegistry",
     "NeuralBanditAgent",
     "NeuralPowerController",
     "PolicyError",
@@ -89,6 +96,7 @@ __all__ = [
     "ProfitController",
     "ReplayBuffer",
     "ReproError",
+    "RoundTracer",
     "SCENARIOS",
     "SimulatedProcessor",
     "SimulationError",
@@ -99,8 +107,10 @@ __all__ = [
     "build_neural_controller",
     "build_profit_controller",
     "federated_average",
+    "get_logger",
     "run_federated_training",
     "scenario_applications",
+    "setup_logging",
     "six_app_split",
     "splash2_suite",
     "train_collab_profit",

@@ -4,15 +4,25 @@
 ``repro-power run <id> [--full] [--seed N]`` executes one experiment
 and prints its table/series output. ``--full`` uses the paper's
 100-round schedule; the default is the fast smoke schedule.
+
+Observability flags (``run`` and ``report``): ``--log-level``/
+``--log-json`` configure the ``repro.*`` structured loggers, and
+``--metrics-out PATH`` attaches a :class:`~repro.obs.MetricsRegistry`
+and :class:`~repro.obs.RoundTracer` to the run via the ambient
+telemetry context, then writes one JSONL file — one ``round_span``
+line per federated round followed by a final ``metrics_snapshot``
+line.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.registry import (
     EXPERIMENTS,
     get_experiment,
@@ -20,6 +30,7 @@ from repro.experiments.registry import (
     paper_config,
     smoke_config,
 )
+from repro.obs import MetricsRegistry, RoundTracer, setup_logging, telemetry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="also write the experiment output to this file",
     )
+    _add_telemetry_flags(run_parser)
 
     report_parser = subparsers.add_parser(
         "report",
@@ -82,7 +94,33 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--seed", type=int, default=2025, help="root random seed"
     )
+    _add_telemetry_flags(report_parser)
     return parser
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        type=str,
+        default="",
+        metavar="LEVEL",
+        help="enable repro.* structured logging at LEVEL (debug, info, ...)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="format log records as JSON lines (implies --log-level info)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default="",
+        metavar="PATH",
+        help=(
+            "attach a metrics registry and round tracer to the run and "
+            "write round spans plus a final metrics snapshot to PATH as JSONL"
+        ),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -102,6 +140,7 @@ def _dispatch(args) -> int:
     if args.command == "list":
         print(list_experiments())
         return 0
+    _setup_logging_from_args(args)
     if args.command == "report":
         return _run_report(args)
     spec = get_experiment(args.experiment_id)
@@ -111,12 +150,55 @@ def _dispatch(args) -> int:
             rounds=args.rounds or config.num_rounds,
             steps_per_round=args.steps or config.steps_per_round,
         )
-    output = spec.runner(config)
+    metrics, tracer = _build_sinks(args)
+    with telemetry(metrics=metrics, tracer=tracer):
+        output = spec.runner(config)
     print(output)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(output + "\n")
+    if args.metrics_out:
+        _write_metrics_jsonl(args.metrics_out, metrics, tracer)
     return 0
+
+
+def _setup_logging_from_args(args) -> None:
+    if args.log_level or args.log_json:
+        try:
+            setup_logging(
+                level=args.log_level or "INFO", json_output=args.log_json
+            )
+        except ValueError as error:
+            raise ConfigurationError(str(error)) from error
+
+
+def _build_sinks(args):
+    if not args.metrics_out:
+        return None, None
+    # Fail before the run, not after: a bad path discovered only at
+    # dump time would discard the entire run's telemetry.
+    parent = os.path.dirname(os.path.abspath(args.metrics_out))
+    if not os.path.isdir(parent):
+        raise ConfigurationError(
+            f"--metrics-out directory does not exist: {parent!r}"
+        )
+    return MetricsRegistry(), RoundTracer()
+
+
+def _write_metrics_jsonl(
+    path: str, metrics: MetricsRegistry, tracer: RoundTracer
+) -> None:
+    """One ``round_span`` line per round, then one ``metrics_snapshot``."""
+    lines = tracer.to_jsonl_lines()
+    lines.append(
+        json.dumps({"type": "metrics_snapshot", **metrics.snapshot()})
+    )
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    print(
+        f"[telemetry] {len(lines) - 1} round spans + metrics snapshot -> {path}",
+        file=sys.stderr,
+    )
 
 
 def _run_report(args) -> int:
@@ -131,13 +213,17 @@ def _run_report(args) -> int:
     ]
     output_dir = pathlib.Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
-    for experiment_id in experiment_ids:
-        spec = get_experiment(experiment_id)
-        print(f"running {experiment_id} ({spec.paper_artifact}) ...")
-        text = spec.runner(config)
-        path = output_dir / f"{experiment_id}.txt"
-        path.write_text(text + "\n")
-        print(f"  -> {path}")
+    metrics, tracer = _build_sinks(args)
+    with telemetry(metrics=metrics, tracer=tracer):
+        for experiment_id in experiment_ids:
+            spec = get_experiment(experiment_id)
+            print(f"running {experiment_id} ({spec.paper_artifact}) ...")
+            text = spec.runner(config)
+            path = output_dir / f"{experiment_id}.txt"
+            path.write_text(text + "\n")
+            print(f"  -> {path}")
+    if args.metrics_out:
+        _write_metrics_jsonl(args.metrics_out, metrics, tracer)
     return 0
 
 

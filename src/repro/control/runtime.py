@@ -16,14 +16,19 @@ paper reports as 29 ms against the 500 ms control interval
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import List, Optional
 
 from repro.control.base import PowerController
 from repro.errors import SimulationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.device import DeviceEnvironment
 from repro.sim.processor import ProcessorSnapshot
 from repro.sim.trace import StepRecord, TraceRecorder
+
+_LOG = get_logger("control")
 
 
 class ControlSession:
@@ -34,10 +39,12 @@ class ControlSession:
         environment: DeviceEnvironment,
         controller: PowerController,
         trace: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.environment = environment
         self.controller = controller
         self.trace = trace if trace is not None else TraceRecorder()
+        self.metrics = metrics
         self._snapshot: Optional[ProcessorSnapshot] = None
         self._global_step = 0
         self._decision_time_s = 0.0
@@ -80,6 +87,7 @@ class ControlSession:
             self.start()
         assert self._snapshot is not None
 
+        decision_time_before = self._decision_time_s
         records: List[StepRecord] = []
         for _ in range(num_steps):
             before = self._snapshot
@@ -118,6 +126,30 @@ class ControlSession:
 
             self._snapshot = after
             self._global_step += 1
+
+        # Metric emission happens once per call, not per step, so an
+        # attached registry cannot slow the control loop itself down.
+        if self.metrics is not None:
+            self.metrics.inc("control.steps", num_steps)
+            self.metrics.observe(
+                "control.decision_latency_s",
+                (self._decision_time_s - decision_time_before) / num_steps,
+            )
+            self.metrics.observe(
+                "control.mean_step_reward",
+                sum(record.reward for record in records) / num_steps,
+            )
+        if _LOG.isEnabledFor(logging.DEBUG):
+            _LOG.debug(
+                "ran control steps",
+                extra={
+                    "device": self.environment.device.name,
+                    "steps": num_steps,
+                    "round": round_index,
+                    "train": train,
+                    "global_step": self._global_step,
+                },
+            )
         return records
 
     def mean_decision_latency_s(self) -> float:

@@ -31,6 +31,10 @@ from repro.federated.collab import CollabPolicyServer
 from repro.federated.orchestrator import run_federated_training
 from repro.federated.server import FederatedServer
 from repro.federated.transport import InMemoryTransport
+from repro.obs.context import active_metrics, active_tracer
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import RoundTracer
 from repro.rl.schedules import ExponentialDecaySchedule
 from repro.sim.device import DeviceEnvironment, build_default_device
 from repro.sim.trace import TraceRecorder
@@ -39,6 +43,8 @@ from repro.utils.rng import generator_from_root
 #: Bytes per CollabPolicy digest entry on the wire (4 x 4-byte key
 #: fields + 1-byte action + 4-byte reward + 4-byte count).
 _COLLAB_ENTRY_BYTES = 25
+
+_LOG = get_logger("experiments")
 
 
 @dataclass
@@ -154,6 +160,8 @@ def train_federated(
     aggregation_weights: Optional[Dict[str, float]] = None,
     codec=None,
     client_codec=None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[RoundTracer] = None,
 ) -> TrainingResult:
     """Run the paper's federated power control (Algorithms 1 + 2).
 
@@ -165,24 +173,41 @@ def train_federated(
     compression ablation). ``client_codec`` overrides the codec on the
     clients only — e.g. a
     :class:`repro.federated.codecs.DPGaussianCodec` that perturbs
-    uploads while broadcasts stay clean.
+    uploads while broadcasts stay clean. ``metrics``/``tracer`` attach
+    observability sinks to the whole stack (transport, endpoints,
+    control sessions, round loop); they default to the ambient
+    :mod:`repro.obs.context` bundle, so the CLI's ``--metrics-out``
+    reaches here without every experiment threading them through.
     """
     _check_assignments(assignments)
+    metrics = active_metrics(metrics)
+    tracer = active_tracer(tracer)
+    _LOG.info(
+        "federated training starting",
+        extra={
+            "devices": len(assignments),
+            "rounds": config.num_rounds,
+            "steps_per_round": config.steps_per_round,
+        },
+    )
     environments = _build_training_environments(assignments, config)
     controllers = _build_neural_controllers(assignments, config, environments)
     trace = TraceRecorder()
     sessions = {
-        name: ControlSession(environments[name], controllers[name], trace=trace)
+        name: ControlSession(
+            environments[name], controllers[name], trace=trace, metrics=metrics
+        )
         for name in assignments
     }
 
-    transport = InMemoryTransport()
+    transport = InMemoryTransport(metrics=metrics)
     clients = [
         FederatedClient(
             name,
             controllers[name].agent,
             transport,
             codec=client_codec if client_codec is not None else codec,
+            metrics=metrics,
         )
         for name in assignments
     ]
@@ -194,7 +219,11 @@ def train_federated(
         seed=generator_from_root(config.seed, 3),
     )
     server = FederatedServer(
-        global_init.agent.get_parameters(), list(assignments), transport, codec=codec
+        global_init.agent.get_parameters(),
+        list(assignments),
+        transport,
+        codec=codec,
+        metrics=metrics,
     )
 
     eval_apps = tuple(eval_applications or evaluation_applications())
@@ -239,12 +268,23 @@ def train_federated(
         participation_fraction=participation_fraction,
         aggregation_weights=aggregation_weights,
         seed=generator_from_root(config.seed, 5),
+        metrics=metrics,
+        tracer=tracer,
     )
 
     result.train_trace = trace
     result.communication_bytes = run_result.total_bytes_communicated
     result.mean_decision_latency_s = fmean(
         session.mean_decision_latency_s() for session in sessions.values()
+    )
+    _LOG.info(
+        "federated training finished",
+        extra={
+            "rounds": run_result.rounds_completed,
+            "aggregations": run_result.aggregations_completed,
+            "bytes": run_result.total_bytes_communicated,
+            "straggler_rate": round(run_result.straggler_rate, 6),
+        },
     )
     return result
 
@@ -260,11 +300,18 @@ def train_local_only(
     left-hand columns of Fig. 3.
     """
     _check_assignments(assignments)
+    metrics = active_metrics()
+    _LOG.info(
+        "local-only training starting",
+        extra={"devices": len(assignments), "rounds": config.num_rounds},
+    )
     environments = _build_training_environments(assignments, config)
     controllers = _build_neural_controllers(assignments, config, environments)
     trace = TraceRecorder()
     sessions = {
-        name: ControlSession(environments[name], controllers[name], trace=trace)
+        name: ControlSession(
+            environments[name], controllers[name], trace=trace, metrics=metrics
+        )
         for name in assignments
     }
     eval_apps = tuple(eval_applications or evaluation_applications())
@@ -303,6 +350,11 @@ def train_collab_profit(
     Communication bytes are accounted per digest/table entry.
     """
     _check_assignments(assignments)
+    metrics = active_metrics()
+    _LOG.info(
+        "profit-collab training starting",
+        extra={"devices": len(assignments), "rounds": config.num_rounds},
+    )
     environments = _build_training_environments(assignments, config)
     controllers: Dict[str, CollabProfitController] = {}
     for index, device_name in enumerate(assignments):
@@ -320,7 +372,9 @@ def train_collab_profit(
 
     trace = TraceRecorder()
     sessions = {
-        name: ControlSession(environments[name], controllers[name], trace=trace)
+        name: ControlSession(
+            environments[name], controllers[name], trace=trace, metrics=metrics
+        )
         for name in assignments
     }
     collab_server = CollabPolicyServer()

@@ -24,11 +24,15 @@ import numpy as np
 from repro.errors import FederationError
 from repro.federated.codecs import Float32Codec
 from repro.federated.transport import InMemoryTransport, Message
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.rl.agent import NeuralBanditAgent
 from repro.utils.validation import require_in_range, require_non_negative
 
 ASYNC_GLOBAL_KIND = "async_global_model"
 ASYNC_LOCAL_KIND = "async_local_model"
+
+_LOG = get_logger("federated.async")
 
 
 class AsynchronousFederatedServer:
@@ -42,9 +46,11 @@ class AsynchronousFederatedServer:
         mixing_rate: float = 0.6,
         staleness_exponent: float = 0.5,
         codec=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.server_id = server_id
         self.transport = transport
+        self.metrics = metrics
         self.mixing_rate = require_in_range("mixing_rate", mixing_rate, 0.0, 1.0)
         self.staleness_exponent = require_non_negative(
             "staleness_exponent", staleness_exponent
@@ -112,6 +118,20 @@ class AsynchronousFederatedServer:
             self._version += 1
             self._merges += 1
             merged += 1
+            if self.metrics is not None:
+                self.metrics.inc("async.merges")
+                self.metrics.observe("async.staleness", staleness)
+                self.metrics.observe("async.mixing_rate", alpha)
+                self.metrics.set_gauge("async.version", self._version)
+            _LOG.debug(
+                "merged async upload",
+                extra={
+                    "client_id": message.sender,
+                    "staleness": staleness,
+                    "mixing_rate": alpha,
+                    "version": self._version,
+                },
+            )
         return merged
 
 

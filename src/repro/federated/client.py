@@ -10,11 +10,17 @@ agent on the device, which is the privacy argument of the paper.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import FederationError
 from repro.federated.codecs import Float32Codec
 from repro.federated.server import GLOBAL_MODEL_KIND, LOCAL_MODEL_KIND
 from repro.federated.transport import InMemoryTransport, Message
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.rl.agent import NeuralBanditAgent
+
+_LOG = get_logger("federated.client")
 
 
 class FederatedClient:
@@ -27,12 +33,14 @@ class FederatedClient:
         transport: InMemoryTransport,
         server_id: str = "server",
         codec=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.client_id = client_id
         self.agent = agent
         self.transport = transport
         self.server_id = server_id
         self.codec = codec if codec is not None else Float32Codec()
+        self.metrics = metrics
         self._rounds_received = 0
         self._rounds_sent = 0
 
@@ -66,6 +74,12 @@ class FederatedClient:
             self.codec.decode(latest.payload, shapes), reset_optimizer=True
         )
         self._rounds_received += 1
+        if self.metrics is not None:
+            self.metrics.inc("client.models_received")
+        _LOG.debug(
+            "installed global model",
+            extra={"client_id": self.client_id, "round": latest.round_index},
+        )
         return latest.round_index
 
     def send_local(self, round_index: int) -> int:
@@ -85,4 +99,15 @@ class FederatedClient:
             )
         )
         self._rounds_sent += 1
+        if self.metrics is not None:
+            self.metrics.inc("client.models_sent")
+            self.metrics.observe("client.upload_bytes", len(payload))
+        _LOG.debug(
+            "uploaded local model",
+            extra={
+                "client_id": self.client_id,
+                "round": round_index,
+                "payload_bytes": len(payload),
+            },
+        )
         return len(payload)

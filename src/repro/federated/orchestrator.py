@@ -10,10 +10,19 @@ dependencies and lets tests drive the protocol with stub trainers.
 ``participation_fraction`` extends the paper's always-on setting with
 partial client participation per round (standard in FL practice) for
 the corresponding ablation.
+
+Observability: when a :class:`~repro.obs.tracing.RoundTracer` and/or
+:class:`~repro.obs.metrics.MetricsRegistry` is attached (explicitly or
+via the ambient :mod:`repro.obs.context`), every round emits one span
+with per-phase wall-times, transport bytes, stragglers and the global
+parameter-update norm, plus ``federated.*`` counters/histograms. With
+no sink attached the loop runs the legacy code path behind ``None``
+checks.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -22,7 +31,20 @@ import numpy as np
 from repro.errors import ConfigurationError, FederationError
 from repro.federated.client import FederatedClient
 from repro.federated.server import FederatedServer
+from repro.obs.context import active_metrics, active_tracer
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    PHASE_AGGREGATE,
+    PHASE_BROADCAST,
+    PHASE_LOCAL_TRAIN,
+    PHASE_UPLOAD,
+    RoundTracer,
+    STATUS_FAILED,
+)
 from repro.utils.rng import SeedLike, as_generator
+
+_LOG = get_logger("federated")
 
 #: Signature of a per-client local trainer: ``trainer(round_index)``.
 LocalTrainer = Callable[[int], None]
@@ -40,12 +62,33 @@ class FederatedRunResult:
     total_messages: int
     participation_by_round: List[List[str]] = field(default_factory=list)
     stragglers_by_round: List[List[str]] = field(default_factory=list)
+    aggregations_completed: int = 0
 
     @property
     def bytes_per_round(self) -> float:
         if self.rounds_completed == 0:
             return 0.0
         return self.total_bytes_communicated / self.rounds_completed
+
+    @property
+    def straggler_rate(self) -> float:
+        """Fraction of participation slots lost to stragglers."""
+        participants = sum(len(round_) for round_ in self.participation_by_round)
+        if participants == 0:
+            return 0.0
+        stragglers = sum(len(round_) for round_ in self.stragglers_by_round)
+        return stragglers / participants
+
+
+def _update_norm(
+    before: Sequence[np.ndarray], after: Sequence[np.ndarray]
+) -> float:
+    """L2 norm of the global-model drift over one aggregation."""
+    total = 0.0
+    for old, new in zip(before, after):
+        delta = new - old
+        total += float(np.dot(delta.ravel(), delta.ravel()))
+    return math.sqrt(total)
 
 
 def run_federated_training(
@@ -58,6 +101,8 @@ def run_federated_training(
     aggregation_weights: Optional[Dict[str, float]] = None,
     straggler_policy: str = "abort",
     seed: SeedLike = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[RoundTracer] = None,
 ) -> FederatedRunResult:
     """Run ``num_rounds`` of federated averaging (Algorithm 2).
 
@@ -84,6 +129,10 @@ def run_federated_training(
         round's aggregation and continue with the survivors, the
         fault-tolerance extension). At least one client must survive
         each round.
+    metrics, tracer:
+        Optional observability sinks; default to the ambient
+        :mod:`repro.obs.context` bundle (if one is active). Attaching
+        them never changes the run's numerical results.
     """
     if straggler_policy not in ("abort", "skip"):
         raise ConfigurationError(
@@ -105,53 +154,212 @@ def run_federated_training(
     if missing_trainers:
         raise FederationError(f"no trainer supplied for clients {missing_trainers}")
 
+    metrics = active_metrics(metrics)
+    tracer = active_tracer(tracer)
+    transport = server.transport
+
     rng = as_generator(seed)
-    bytes_before = server.transport.total_bytes
-    messages_before = server.transport.total_messages
+    bytes_before = transport.total_bytes
+    messages_before = transport.total_messages
+    aggregations_before = server.rounds_aggregated
     participation_log: List[List[str]] = []
     straggler_log: List[List[str]] = []
+
+    _LOG.info(
+        "federated run starting",
+        extra={
+            "num_rounds": num_rounds,
+            "num_clients": len(clients_by_id),
+            "participation_fraction": participation_fraction,
+            "straggler_policy": straggler_policy,
+        },
+    )
 
     for round_index in range(num_rounds):
         participating = _draw_participants(
             server.client_ids, participation_fraction, rng
         )
         participation_log.append(list(participating))
+        if tracer is not None:
+            tracer.start_round(round_index, participating)
 
-        server.broadcast(round_index, recipients=participating)
-        survivors: List[str] = []
-        stragglers: List[str] = []
-        for client_id in participating:
-            client = clients_by_id[client_id]
-            client.receive_global()
-            try:
-                trainers[client_id](round_index)
-            except Exception:
-                if straggler_policy == "abort":
-                    raise
-                stragglers.append(client_id)
-                continue
-            client.send_local(round_index)
-            survivors.append(client_id)
-        straggler_log.append(stragglers)
-        if not survivors:
-            raise FederationError(
-                f"round {round_index}: every participating client failed"
+        try:
+            stragglers, update_norm = _run_one_round(
+                server,
+                clients_by_id,
+                trainers,
+                round_index,
+                participating,
+                aggregation_weights,
+                straggler_policy,
+                metrics,
+                tracer,
             )
+        except Exception:
+            if tracer is not None and tracer.current_round is not None:
+                tracer.end_round(aggregated=False, status=STATUS_FAILED)
+            _LOG.error(
+                "federated round failed", extra={"round": round_index}
+            )
+            raise
+        straggler_log.append(stragglers)
+
+        if metrics is not None:
+            metrics.inc("federated.rounds")
+            metrics.set_gauge("federated.last_round", round_index)
+            if stragglers:
+                metrics.inc("federated.rounds_with_stragglers")
+        if tracer is not None:
+            span = tracer.end_round(stragglers=stragglers, update_norm=update_norm)
+            if metrics is not None and span.update_norm is not None:
+                metrics.observe("federated.update_norm", span.update_norm)
+            _LOG.info(
+                "round complete",
+                extra={
+                    "round": round_index,
+                    "participants": len(participating),
+                    "stragglers": len(stragglers),
+                    "bytes": span.bytes_transferred,
+                    "update_norm": span.update_norm,
+                },
+            )
+        else:
+            _LOG.info(
+                "round complete",
+                extra={
+                    "round": round_index,
+                    "participants": len(participating),
+                    "stragglers": len(stragglers),
+                },
+            )
+
+        if on_round_end is not None:
+            on_round_end(round_index, server)
+
+    aggregations_completed = server.rounds_aggregated - aggregations_before
+    if tracer is not None:
+        # The tracer watched every aggregate phase; the legacy result
+        # object and the telemetry must tell the same story.
+        traced = sum(
+            1 for span in tracer.rounds[-num_rounds:] if span.aggregated
+        )
+        if traced != aggregations_completed:
+            raise FederationError(
+                f"tracer saw {traced} aggregations but the server completed "
+                f"{aggregations_completed}"
+            )
+
+    result = FederatedRunResult(
+        rounds_completed=num_rounds,
+        total_bytes_communicated=transport.total_bytes - bytes_before,
+        total_messages=transport.total_messages - messages_before,
+        participation_by_round=participation_log,
+        stragglers_by_round=straggler_log,
+        aggregations_completed=aggregations_completed,
+    )
+    if metrics is not None:
+        metrics.inc("federated.bytes_total", result.total_bytes_communicated)
+        metrics.inc("federated.messages_total", result.total_messages)
+        metrics.inc("federated.aggregations", result.aggregations_completed)
+    _LOG.info(
+        "federated run finished",
+        extra={
+            "rounds": result.rounds_completed,
+            "bytes": result.total_bytes_communicated,
+            "straggler_rate": round(result.straggler_rate, 6),
+        },
+    )
+    return result
+
+
+def _run_one_round(
+    server: FederatedServer,
+    clients_by_id: Dict[str, FederatedClient],
+    trainers: Dict[str, LocalTrainer],
+    round_index: int,
+    participating: Sequence[str],
+    aggregation_weights: Optional[Dict[str, float]],
+    straggler_policy: str,
+    metrics: Optional[MetricsRegistry],
+    tracer: Optional[RoundTracer],
+) -> "tuple[List[str], Optional[float]]":
+    """Broadcast → train → upload → aggregate.
+
+    Returns the round's stragglers and, when traced, the aggregation's
+    parameter-update norm (``None`` untraced — computing it costs a
+    deep copy of the global model).
+    """
+    transport = server.transport
+
+    bytes_at = transport.total_bytes
+    if tracer is not None:
+        with tracer.phase(PHASE_BROADCAST) as span:
+            server.broadcast(round_index, recipients=participating)
+            span.bytes_transferred = transport.total_bytes - bytes_at
+    else:
+        server.broadcast(round_index, recipients=participating)
+    if metrics is not None:
+        metrics.inc("federated.broadcast_bytes", transport.total_bytes - bytes_at)
+
+    survivors: List[str] = []
+    stragglers: List[str] = []
+    for client_id in participating:
+        client = clients_by_id[client_id]
+        client.receive_global()
+        try:
+            if tracer is not None:
+                with tracer.phase(PHASE_LOCAL_TRAIN, client_id=client_id):
+                    trainers[client_id](round_index)
+            else:
+                trainers[client_id](round_index)
+        except Exception as error:
+            if straggler_policy == "abort":
+                raise
+            stragglers.append(client_id)
+            if metrics is not None:
+                metrics.inc("federated.stragglers")
+            _LOG.warning(
+                "client straggled; skipping for this round",
+                extra={
+                    "round": round_index,
+                    "client_id": client_id,
+                    "error": repr(error),
+                },
+            )
+            continue
+        bytes_at = transport.total_bytes
+        if tracer is not None:
+            with tracer.phase(PHASE_UPLOAD, client_id=client_id) as span:
+                client.send_local(round_index)
+                span.bytes_transferred = transport.total_bytes - bytes_at
+        else:
+            client.send_local(round_index)
+        if metrics is not None:
+            metrics.inc("federated.upload_bytes", transport.total_bytes - bytes_at)
+        survivors.append(client_id)
+
+    if not survivors:
+        raise FederationError(
+            f"round {round_index}: every participating client failed"
+        )
+
+    update_norm: Optional[float] = None
+    if tracer is not None:
+        before = server.global_parameters
+        with tracer.phase(PHASE_AGGREGATE):
+            after = server.aggregate(
+                round_index,
+                expected_clients=survivors,
+                weights=aggregation_weights,
+            )
+        update_norm = _update_norm(before, after)
+    else:
         server.aggregate(
             round_index,
             expected_clients=survivors,
             weights=aggregation_weights,
         )
-        if on_round_end is not None:
-            on_round_end(round_index, server)
-
-    return FederatedRunResult(
-        rounds_completed=num_rounds,
-        total_bytes_communicated=server.transport.total_bytes - bytes_before,
-        total_messages=server.transport.total_messages - messages_before,
-        participation_by_round=participation_log,
-        stragglers_by_round=straggler_log,
-    )
+    return stragglers, update_norm
 
 
 def _draw_participants(
@@ -160,5 +368,8 @@ def _draw_participants(
     if fraction >= 1.0:
         return list(client_ids)
     count = max(1, int(round(fraction * len(client_ids))))
-    chosen = rng.choice(len(client_ids), size=count, replace=False)
-    return [client_ids[i] for i in sorted(chosen)]
+    chosen = rng.choice(
+        np.asarray(client_ids, dtype=object), size=count, replace=False
+    )
+    order = {client_id: index for index, client_id in enumerate(client_ids)}
+    return sorted((str(c) for c in chosen), key=order.__getitem__)

@@ -18,9 +18,13 @@ from repro.errors import FederationError
 from repro.federated.averaging import federated_average
 from repro.federated.codecs import Float32Codec
 from repro.federated.transport import InMemoryTransport, Message
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
 
 GLOBAL_MODEL_KIND = "global_model"
 LOCAL_MODEL_KIND = "local_model"
+
+_LOG = get_logger("federated.server")
 
 
 class FederatedServer:
@@ -33,6 +37,7 @@ class FederatedServer:
         transport: InMemoryTransport,
         server_id: str = "server",
         codec=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not client_ids:
             raise FederationError("a federated server needs at least one client")
@@ -42,6 +47,7 @@ class FederatedServer:
         self.client_ids: Tuple[str, ...] = tuple(client_ids)
         self.transport = transport
         self.codec = codec if codec is not None else Float32Codec()
+        self.metrics = metrics
         self._global: List[np.ndarray] = [
             np.array(p, dtype=np.float64, copy=True) for p in initial_parameters
         ]
@@ -63,6 +69,18 @@ class FederatedServer:
     ) -> None:
         """Send the global model to every (participating) client."""
         payload = self.codec.encode(self._global)
+        targets = recipients if recipients is not None else self.client_ids
+        if self.metrics is not None:
+            self.metrics.inc("server.broadcasts")
+            self.metrics.inc("server.broadcast_models", len(targets))
+        _LOG.debug(
+            "broadcasting global model",
+            extra={
+                "round": round_index,
+                "recipients": len(targets),
+                "payload_bytes": len(payload),
+            },
+        )
         for client_id in recipients if recipients is not None else self.client_ids:
             if client_id not in self.client_ids:
                 raise FederationError(f"unknown client {client_id!r}")
@@ -130,4 +148,11 @@ class FederatedServer:
                 raise FederationError(f"missing weight for client {error}") from None
         self._global = federated_average(parameter_sets, weight_list)
         self._round_count += 1
+        if self.metrics is not None:
+            self.metrics.inc("server.aggregations")
+            self.metrics.set_gauge("server.models_in_last_aggregate", len(expected))
+        _LOG.debug(
+            "aggregated local models",
+            extra={"round": round_index, "models": len(expected)},
+        )
         return self.global_parameters

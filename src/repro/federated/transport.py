@@ -13,9 +13,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import DefaultDict, Dict, List, Tuple
+from typing import DefaultDict, Dict, List, Optional, Tuple
 
 from repro.errors import FederationError
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.validation import require_non_negative, require_positive
 
 
@@ -41,6 +42,7 @@ class InMemoryTransport:
         self,
         per_message_latency_s: float = 0.002,
         bandwidth_bytes_per_s: float = 1.25e6,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.per_message_latency_s = require_non_negative(
             "per_message_latency_s", per_message_latency_s
@@ -48,6 +50,7 @@ class InMemoryTransport:
         self.bandwidth_bytes_per_s = require_positive(
             "bandwidth_bytes_per_s", bandwidth_bytes_per_s
         )
+        self.metrics = metrics
         self._inboxes: DefaultDict[str, List[Message]] = defaultdict(list)
         self._total_bytes = 0
         self._total_messages = 0
@@ -61,6 +64,10 @@ class InMemoryTransport:
         self._total_bytes += message.num_bytes
         self._total_messages += 1
         self._bytes_by_link[(message.sender, message.recipient)] += message.num_bytes
+        if self.metrics is not None:
+            self.metrics.inc("transport.messages")
+            self.metrics.inc("transport.bytes", message.num_bytes)
+            self.metrics.observe("transport.message_bytes", message.num_bytes)
 
     def receive_all(self, recipient: str) -> List[Message]:
         """Drain and return the recipient's inbox, in arrival order."""

@@ -1,0 +1,82 @@
+"""Observability layer: structured logging, metrics, round tracing.
+
+Three independent pillars, all stdlib+numpy only:
+
+* :mod:`repro.obs.logging` — namespaced ``repro.*`` loggers with
+  ``key=value`` or JSON formatting (:func:`setup_logging`,
+  :func:`get_logger`);
+* :mod:`repro.obs.metrics` — an in-process :class:`MetricsRegistry`
+  (counters, gauges, histograms with quantile summaries, timers) with
+  dict/JSONL/CSV exporters;
+* :mod:`repro.obs.tracing` — a :class:`RoundTracer` producing one
+  :class:`RoundSpan` per federated round with per-phase wall-time,
+  transport bytes, stragglers and global-model drift.
+
+Instrumentation contract: every instrumented call site holds an
+``Optional`` sink and emits behind one ``is not None`` check, so a run
+with no sinks attached pays no measurable overhead (enforced by
+``benchmarks/test_bench_overhead.py``). Timing values never flow into
+seeded or asserted quantities, so telemetry cannot perturb
+reproducibility. The :mod:`repro.obs.context` stack lets the CLI attach
+sinks to runners without changing their signatures.
+"""
+
+from repro.obs.context import (
+    Telemetry,
+    activate,
+    active_metrics,
+    active_tracer,
+    deactivate,
+    get_active,
+    telemetry,
+)
+from repro.obs.logging import (
+    JsonFormatter,
+    KeyValueFormatter,
+    get_logger,
+    reset_logging,
+    setup_logging,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    timed,
+)
+from repro.obs.tracing import (
+    PHASE_AGGREGATE,
+    PHASE_BROADCAST,
+    PHASE_LOCAL_TRAIN,
+    PHASE_UPLOAD,
+    PhaseSpan,
+    RoundSpan,
+    RoundTracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "PHASE_AGGREGATE",
+    "PHASE_BROADCAST",
+    "PHASE_LOCAL_TRAIN",
+    "PHASE_UPLOAD",
+    "PhaseSpan",
+    "RoundSpan",
+    "RoundTracer",
+    "Telemetry",
+    "activate",
+    "active_metrics",
+    "active_tracer",
+    "deactivate",
+    "get_active",
+    "get_logger",
+    "reset_logging",
+    "setup_logging",
+    "telemetry",
+    "timed",
+]

@@ -1,0 +1,89 @@
+"""Ambient telemetry context.
+
+Experiment runners have a uniform ``runner(config) -> str`` signature,
+so the CLI cannot thread a registry/tracer argument through every
+figure and ablation module. Instead it *activates* a
+:class:`Telemetry` bundle here, and the instrumented entry points
+(:func:`repro.experiments.training.train_federated`,
+:func:`repro.federated.orchestrator.run_federated_training`,
+...) pick it up as their default when no explicit ``metrics``/``tracer``
+argument is passed. Explicit arguments always win over the ambient
+context.
+
+The context is a plain stack of bundles — nesting is allowed (an outer
+sweep registry plus an inner per-run tracer) and :func:`telemetry`
+guarantees balanced push/pop. Lookup is one list indexing, so the
+default path (empty stack → ``None``) stays effectively free.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import RoundTracer
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """One activated metrics/tracer pair (either may be ``None``)."""
+
+    metrics: Optional[MetricsRegistry] = None
+    tracer: Optional[RoundTracer] = None
+
+
+_STACK: List[Telemetry] = []
+
+
+def activate(
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[RoundTracer] = None,
+) -> Telemetry:
+    """Push a telemetry bundle; pair every call with :func:`deactivate`."""
+    bundle = Telemetry(metrics=metrics, tracer=tracer)
+    _STACK.append(bundle)
+    return bundle
+
+
+def deactivate() -> None:
+    """Pop the innermost bundle (no-op on an empty stack)."""
+    if _STACK:
+        _STACK.pop()
+
+
+def get_active() -> Optional[Telemetry]:
+    """The innermost activated bundle, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+def active_metrics(
+    explicit: Optional[MetricsRegistry] = None,
+) -> Optional[MetricsRegistry]:
+    """``explicit`` if given, else the ambient registry (if any)."""
+    if explicit is not None:
+        return explicit
+    bundle = get_active()
+    return bundle.metrics if bundle is not None else None
+
+
+def active_tracer(explicit: Optional[RoundTracer] = None) -> Optional[RoundTracer]:
+    """``explicit`` if given, else the ambient tracer (if any)."""
+    if explicit is not None:
+        return explicit
+    bundle = get_active()
+    return bundle.tracer if bundle is not None else None
+
+
+@contextmanager
+def telemetry(
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[RoundTracer] = None,
+) -> Iterator[Telemetry]:
+    """``with telemetry(registry, tracer): ...`` — balanced activation."""
+    bundle = activate(metrics=metrics, tracer=tracer)
+    try:
+        yield bundle
+    finally:
+        deactivate()

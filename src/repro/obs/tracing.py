@@ -1,0 +1,199 @@
+"""Round tracing for the federated loop.
+
+A :class:`RoundTracer` records one :class:`RoundSpan` per federated
+round and one :class:`PhaseSpan` per protocol phase inside it —
+``broadcast`` → per-client ``local-train`` → ``upload`` → ``aggregate``
+— with wall-time, bytes moved over the transport, straggler outcomes
+and the aggregation's parameter-update norm (how far the global model
+moved this round, the per-round drift the convergence literature
+plots).
+
+The tracer is push-based: the orchestrator calls
+``start_round``/``phase``/``end_round`` only when a tracer instance was
+attached, so untraced runs execute the exact same code path minus a
+``None`` check. Wall-times come from ``time.perf_counter`` and are
+never fed back into anything seeded or asserted — attaching a tracer
+cannot change a run's numerical results.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Canonical phase names, in protocol order.
+PHASE_BROADCAST = "broadcast"
+PHASE_LOCAL_TRAIN = "local-train"
+PHASE_UPLOAD = "upload"
+PHASE_AGGREGATE = "aggregate"
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class PhaseSpan:
+    """One timed phase of one round (optionally client-scoped)."""
+
+    name: str
+    client_id: Optional[str] = None
+    duration_s: float = 0.0
+    bytes_transferred: int = 0
+    status: str = STATUS_OK
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "bytes": self.bytes_transferred,
+            "status": self.status,
+        }
+        if self.client_id is not None:
+            out["client_id"] = self.client_id
+        return out
+
+
+@dataclass
+class RoundSpan:
+    """Everything observed about one federated round."""
+
+    round_index: int
+    participants: List[str]
+    stragglers: List[str] = field(default_factory=list)
+    phases: List[PhaseSpan] = field(default_factory=list)
+    duration_s: float = 0.0
+    update_norm: Optional[float] = None
+    aggregated: bool = False
+    status: str = STATUS_OK
+
+    @property
+    def bytes_transferred(self) -> int:
+        return sum(phase.bytes_transferred for phase in self.phases)
+
+    def phase_bytes(self, name: str) -> int:
+        return sum(
+            p.bytes_transferred for p in self.phases if p.name == name
+        )
+
+    def phase_duration_s(self, name: str) -> float:
+        return sum(p.duration_s for p in self.phases if p.name == name)
+
+    def failed_phases(self) -> List[PhaseSpan]:
+        return [p for p in self.phases if p.status == STATUS_FAILED]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "round_span",
+            "round": self.round_index,
+            "participants": list(self.participants),
+            "stragglers": list(self.stragglers),
+            "duration_s": self.duration_s,
+            "bytes": self.bytes_transferred,
+            "update_norm": self.update_norm,
+            "aggregated": self.aggregated,
+            "status": self.status,
+            "phases": [phase.as_dict() for phase in self.phases],
+        }
+
+
+class RoundTracer:
+    """Collects :class:`RoundSpan` rows across one federated run."""
+
+    def __init__(self) -> None:
+        self.rounds: List[RoundSpan] = []
+        self._current: Optional[RoundSpan] = None
+        self._round_started_at = 0.0
+
+    # -- recording -----------------------------------------------------
+    @property
+    def current_round(self) -> Optional[RoundSpan]:
+        return self._current
+
+    def start_round(
+        self, round_index: int, participants: Sequence[str]
+    ) -> RoundSpan:
+        if self._current is not None:
+            raise ConfigurationError(
+                f"round {self._current.round_index} is still open; "
+                f"end it before starting round {round_index}"
+            )
+        self._current = RoundSpan(
+            round_index=round_index, participants=list(participants)
+        )
+        self._round_started_at = time.perf_counter()
+        return self._current
+
+    @contextmanager
+    def phase(
+        self, name: str, client_id: Optional[str] = None
+    ) -> Iterator[PhaseSpan]:
+        """Time one phase; a raised exception marks the span failed.
+
+        The span is always appended (and the exception re-raised), so
+        straggler failures stay visible in the trace.
+        """
+        span = PhaseSpan(name=name, client_id=client_id)
+        self._require_open().phases.append(span)
+        start = time.perf_counter()
+        try:
+            yield span
+        except Exception:
+            span.status = STATUS_FAILED
+            raise
+        finally:
+            span.duration_s = time.perf_counter() - start
+
+    def end_round(
+        self,
+        stragglers: Sequence[str] = (),
+        update_norm: Optional[float] = None,
+        aggregated: bool = True,
+        status: str = STATUS_OK,
+    ) -> RoundSpan:
+        span = self._require_open()
+        span.stragglers = list(stragglers)
+        span.update_norm = update_norm
+        span.aggregated = aggregated
+        span.status = status
+        span.duration_s = time.perf_counter() - self._round_started_at
+        self.rounds.append(span)
+        self._current = None
+        return span
+
+    def _require_open(self) -> RoundSpan:
+        if self._current is None:
+            raise ConfigurationError("no round is open on this tracer")
+        return self._current
+
+    # -- aggregate views ----------------------------------------------
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def aggregations_completed(self) -> int:
+        return sum(1 for span in self.rounds if span.aggregated)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(span.bytes_transferred for span in self.rounds)
+
+    def straggler_counts(self) -> Dict[str, int]:
+        """How often each client straggled across the recorded rounds."""
+        counts: Dict[str, int] = {}
+        for span in self.rounds:
+            for client_id in span.stragglers:
+                counts[client_id] = counts.get(client_id, 0) + 1
+        return counts
+
+    # -- export --------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [span.as_dict() for span in self.rounds]
+
+    def to_jsonl_lines(self) -> List[str]:
+        return [json.dumps(span.as_dict()) for span in self.rounds]

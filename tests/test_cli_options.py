@@ -1,8 +1,11 @@
-"""Tests for the CLI's scaling and output options."""
+"""Tests for the CLI's scaling, output and telemetry options."""
+
+import json
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.logging import reset_logging
 
 
 class TestCliOverrides:
@@ -31,3 +34,78 @@ class TestCliOverrides:
     def test_defaults_keep_preset(self):
         args = build_parser().parse_args(["run", "fig2"])
         assert args.rounds == 0 and args.steps == 0 and args.output == ""
+
+
+class TestCliTelemetry:
+    @pytest.fixture(autouse=True)
+    def _clean_logging(self):
+        yield
+        reset_logging()
+
+    def test_telemetry_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "fig3",
+                "--log-level",
+                "debug",
+                "--log-json",
+                "--metrics-out",
+                "m.jsonl",
+            ]
+        )
+        assert args.log_level == "debug"
+        assert args.log_json is True
+        assert args.metrics_out == "m.jsonl"
+
+    def test_telemetry_defaults_off(self):
+        args = build_parser().parse_args(["run", "fig2"])
+        assert args.log_level == "" and not args.log_json
+        assert args.metrics_out == ""
+
+    def test_report_accepts_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["report", "out", "--metrics-out", "m.jsonl"]
+        )
+        assert args.metrics_out == "m.jsonl"
+
+    def test_metrics_out_writes_valid_jsonl_without_rounds(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        assert main(["run", "fig2", "--metrics-out", str(path)]) == 0
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        # fig2 runs no federated rounds: just the final snapshot.
+        assert lines[-1]["type"] == "metrics_snapshot"
+        assert set(lines[-1]) >= {"counters", "gauges", "histograms"}
+
+    def test_metrics_out_emits_one_span_per_round(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig3",
+                    "--metrics-out",
+                    str(path),
+                    "--rounds",
+                    "5",
+                    "--steps",
+                    "5",
+                    "--log-json",
+                ]
+            )
+            == 0
+        )
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        spans = [l for l in lines if l.get("type") == "round_span"]
+        snapshots = [l for l in lines if l.get("type") == "metrics_snapshot"]
+        assert len(snapshots) == 1
+        # fig3 trains federated on three scenarios x five rounds.
+        assert len(spans) == 15
+        for span in spans:
+            assert span["participants"]
+            assert span["bytes"] > 0
+            assert any(p["name"] == "aggregate" for p in span["phases"])
+            assert all(p["duration_s"] >= 0.0 for p in span["phases"])
+        counters = snapshots[0]["counters"]
+        assert counters["federated.rounds"] == len(spans)
+        assert counters["transport.bytes"] == sum(s["bytes"] for s in spans)

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.federated",
     "repro.nn",
+    "repro.obs",
     "repro.rl",
     "repro.sim",
     "repro.utils",
@@ -63,6 +64,10 @@ MODULES = [
     "repro.nn.losses",
     "repro.nn.network",
     "repro.nn.optimizers",
+    "repro.obs.context",
+    "repro.obs.logging",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
     "repro.rl.agent",
     "repro.rl.discretize",
     "repro.rl.policies",
