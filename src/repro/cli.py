@@ -6,12 +6,22 @@ and prints its table/series output. ``--full`` uses the paper's
 100-round schedule; the default is the fast smoke schedule.
 
 Observability flags (``run`` and ``report``): ``--log-level``/
-``--log-json`` configure the ``repro.*`` structured loggers, and
+``--log-json`` configure the ``repro.*`` structured loggers;
 ``--metrics-out PATH`` attaches a :class:`~repro.obs.MetricsRegistry`
 and :class:`~repro.obs.RoundTracer` to the run via the ambient
 telemetry context, then writes one JSONL file — one ``round_span``
 line per federated round followed by a final ``metrics_snapshot``
-line.
+line; ``--flight-out PATH`` attaches a
+:class:`~repro.obs.FlightRecorder` (capacity ``--flight-capacity``,
+thinning ``--flight-sample``) and dumps one ``flight_record`` line per
+retained control step; ``--profile`` attaches a
+:class:`~repro.obs.ScopeProfiler` whose self/cumulative table lands on
+stderr and (with ``--metrics-out``) in the metrics snapshot.
+
+``repro-power obs-report trace.jsonl --metrics metrics.jsonl -o
+report.md`` turns those artefacts into an offline Markdown run report
+(OPP dwell histograms, power-violation rates, convergence curves,
+straggler/drift summaries, device-vs-fleet divergence).
 """
 
 from __future__ import annotations
@@ -30,7 +40,15 @@ from repro.experiments.registry import (
     paper_config,
     smoke_config,
 )
-from repro.obs import MetricsRegistry, RoundTracer, setup_logging, telemetry
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    RoundTracer,
+    ScopeProfiler,
+    setup_logging,
+    telemetry,
+)
+from repro.obs.report import report_from_files
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,6 +113,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2025, help="root random seed"
     )
     _add_telemetry_flags(report_parser)
+
+    obs_report = subparsers.add_parser(
+        "obs-report",
+        help="render a Markdown run report from telemetry artefacts",
+    )
+    obs_report.add_argument(
+        "flight_jsonl",
+        help="flight-recorder JSONL written by `run --flight-out`",
+    )
+    obs_report.add_argument(
+        "--metrics",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="round-span/metrics JSONL written by `run --metrics-out`",
+    )
+    obs_report.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write the report here instead of stdout",
+    )
+    obs_report.add_argument(
+        "--power-limit",
+        type=float,
+        default=None,
+        metavar="WATTS",
+        help="P_crit to annotate in the report header",
+    )
+    obs_report.add_argument(
+        "--title",
+        type=str,
+        default="Run report",
+        help="report title (default: 'Run report')",
+    )
     return parser
 
 
@@ -121,6 +176,38 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
             "write round spans plus a final metrics snapshot to PATH as JSONL"
         ),
     )
+    parser.add_argument(
+        "--flight-out",
+        type=str,
+        default="",
+        metavar="PATH",
+        help=(
+            "attach a device-level flight recorder and write one JSON line "
+            "per retained control step to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=65536,
+        metavar="N",
+        help="flight-recorder ring-buffer capacity (default: 65536 records)",
+    )
+    parser.add_argument(
+        "--flight-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every Nth control step per device (default: 1, keep all)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "attach a hot-path scope profiler; prints the self/cumulative "
+            "table to stderr and exports it into --metrics-out if given"
+        ),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -140,6 +227,8 @@ def _dispatch(args) -> int:
     if args.command == "list":
         print(list_experiments())
         return 0
+    if args.command == "obs-report":
+        return _run_obs_report(args)
     _setup_logging_from_args(args)
     if args.command == "report":
         return _run_report(args)
@@ -150,15 +239,19 @@ def _dispatch(args) -> int:
             rounds=args.rounds or config.num_rounds,
             steps_per_round=args.steps or config.steps_per_round,
         )
-    metrics, tracer = _build_sinks(args)
-    with telemetry(metrics=metrics, tracer=tracer):
+    sinks = _build_sinks(args)
+    with telemetry(
+        metrics=sinks.metrics,
+        tracer=sinks.tracer,
+        flight=sinks.flight,
+        profiler=sinks.profiler,
+    ):
         output = spec.runner(config)
     print(output)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(output + "\n")
-    if args.metrics_out:
-        _write_metrics_jsonl(args.metrics_out, metrics, tracer)
+    _write_sink_outputs(args, sinks)
     return 0
 
 
@@ -172,17 +265,54 @@ def _setup_logging_from_args(args) -> None:
             raise ConfigurationError(str(error)) from error
 
 
-def _build_sinks(args):
-    if not args.metrics_out:
-        return None, None
+class _Sinks:
+    """The telemetry sinks one CLI invocation attaches (any may be None)."""
+
+    def __init__(self, metrics, tracer, flight, profiler) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+        self.flight = flight
+        self.profiler = profiler
+
+
+def _build_sinks(args) -> _Sinks:
+    metrics = tracer = flight = profiler = None
+    if args.metrics_out:
+        _require_parent_dir("--metrics-out", args.metrics_out)
+        metrics, tracer = MetricsRegistry(), RoundTracer()
+    if args.flight_out:
+        _require_parent_dir("--flight-out", args.flight_out)
+        flight = FlightRecorder(
+            capacity=args.flight_capacity, sample_every=args.flight_sample
+        )
+    if args.profile:
+        profiler = ScopeProfiler()
+    return _Sinks(metrics, tracer, flight, profiler)
+
+
+def _require_parent_dir(flag: str, path: str) -> None:
     # Fail before the run, not after: a bad path discovered only at
     # dump time would discard the entire run's telemetry.
-    parent = os.path.dirname(os.path.abspath(args.metrics_out))
+    parent = os.path.dirname(os.path.abspath(path))
     if not os.path.isdir(parent):
-        raise ConfigurationError(
-            f"--metrics-out directory does not exist: {parent!r}"
+        raise ConfigurationError(f"{flag} directory does not exist: {parent!r}")
+
+
+def _write_sink_outputs(args, sinks: _Sinks) -> None:
+    if sinks.profiler is not None:
+        if sinks.metrics is not None:
+            sinks.profiler.export_to(sinks.metrics)
+        print(sinks.profiler.format_table(), file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics_jsonl(args.metrics_out, sinks.metrics, sinks.tracer)
+    if args.flight_out:
+        rows = sinks.flight.dump_jsonl(args.flight_out)
+        dropped = sinks.flight.records_dropped
+        suffix = f" ({dropped} evicted)" if dropped else ""
+        print(
+            f"[telemetry] {rows} flight records{suffix} -> {args.flight_out}",
+            file=sys.stderr,
         )
-    return MetricsRegistry(), RoundTracer()
 
 
 def _write_metrics_jsonl(
@@ -201,6 +331,27 @@ def _write_metrics_jsonl(
     )
 
 
+def _run_obs_report(args) -> int:
+    """Render the offline run report from telemetry artefacts."""
+    for path in filter(None, [args.flight_jsonl, args.metrics]):
+        if not os.path.isfile(path):
+            raise ConfigurationError(f"telemetry file does not exist: {path!r}")
+    text = report_from_files(
+        args.flight_jsonl,
+        metrics_path=args.metrics or None,
+        power_limit_w=args.power_limit,
+        title=args.title,
+    )
+    if args.output:
+        _require_parent_dir("--output", args.output)
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"[obs-report] report -> {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def _run_report(args) -> int:
     """Run the selected experiments, one output file per artefact."""
     import pathlib
@@ -213,8 +364,13 @@ def _run_report(args) -> int:
     ]
     output_dir = pathlib.Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
-    metrics, tracer = _build_sinks(args)
-    with telemetry(metrics=metrics, tracer=tracer):
+    sinks = _build_sinks(args)
+    with telemetry(
+        metrics=sinks.metrics,
+        tracer=sinks.tracer,
+        flight=sinks.flight,
+        profiler=sinks.profiler,
+    ):
         for experiment_id in experiment_ids:
             spec = get_experiment(experiment_id)
             print(f"running {experiment_id} ({spec.paper_artifact}) ...")
@@ -222,8 +378,7 @@ def _run_report(args) -> int:
             path = output_dir / f"{experiment_id}.txt"
             path.write_text(text + "\n")
             print(f"  -> {path}")
-    if args.metrics_out:
-        _write_metrics_jsonl(args.metrics_out, metrics, tracer)
+    _write_sink_outputs(args, sinks)
     return 0
 
 

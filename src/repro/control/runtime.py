@@ -12,6 +12,15 @@ It also measures the *controller's own* decision latency with a
 wall-clock timer around ``select_action``/``learn`` — the quantity the
 paper reports as 29 ms against the 500 ms control interval
 (Section IV-C).
+
+Observability: beyond the per-call :class:`MetricsRegistry` emission,
+the session can carry a :class:`~repro.obs.flight.FlightRecorder`
+(one structured record per control step — state features, chosen OPP,
+exploration flag, reward, running ``P_crit`` violation count, thermal
+state, agent loss on update steps) and a
+:class:`~repro.obs.profile.ScopeProfiler` that attributes wall-time to
+``control.act`` / ``control.learn`` / ``sim.step``. Both follow the
+:mod:`repro.obs` contract: unattached, each costs one ``None`` check.
 """
 
 from __future__ import annotations
@@ -22,13 +31,30 @@ from typing import List, Optional
 
 from repro.control.base import PowerController
 from repro.errors import SimulationError
+from repro.obs.flight import FlightRecord, FlightRecorder
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ScopeProfiler
 from repro.sim.device import DeviceEnvironment
 from repro.sim.processor import ProcessorSnapshot
 from repro.sim.trace import StepRecord, TraceRecorder
 
 _LOG = get_logger("control")
+
+
+def infer_power_limit_w(controller: PowerController) -> Optional[float]:
+    """Best-effort ``P_crit`` of a controller, or ``None``.
+
+    Learning controllers carry it on their reward function
+    (``controller.reward.power_limit_w``); governors expose it directly
+    (``controller.power_limit_w``). Controllers without a power budget
+    simply record no violations.
+    """
+    reward = getattr(controller, "reward", None)
+    limit = getattr(reward, "power_limit_w", None)
+    if limit is None:
+        limit = getattr(controller, "power_limit_w", None)
+    return float(limit) if limit is not None else None
 
 
 class ControlSession:
@@ -40,15 +66,26 @@ class ControlSession:
         controller: PowerController,
         trace: Optional[TraceRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightRecorder] = None,
+        profiler: Optional[ScopeProfiler] = None,
+        power_limit_w: Optional[float] = None,
     ) -> None:
         self.environment = environment
         self.controller = controller
         self.trace = trace if trace is not None else TraceRecorder()
         self.metrics = metrics
+        self.flight = flight
+        self.profiler = profiler
+        self.power_limit_w = (
+            power_limit_w
+            if power_limit_w is not None
+            else infer_power_limit_w(controller)
+        )
         self._snapshot: Optional[ProcessorSnapshot] = None
         self._global_step = 0
         self._decision_time_s = 0.0
         self._decision_count = 0
+        self._violation_count = 0
 
     @property
     def started(self) -> bool:
@@ -58,6 +95,15 @@ class ControlSession:
     def global_step(self) -> int:
         """Control intervals executed across all calls."""
         return self._global_step
+
+    @property
+    def power_violation_count(self) -> int:
+        """Intervals (so far) whose measured power exceeded ``P_crit``.
+
+        Tracked only while a flight recorder is attached — the
+        uninstrumented hot loop stays a single ``None`` check.
+        """
+        return self._violation_count
 
     @property
     def current_snapshot(self) -> Optional[ProcessorSnapshot]:
@@ -87,27 +133,74 @@ class ControlSession:
             self.start()
         assert self._snapshot is not None
 
+        if self.profiler is not None:
+            with self.profiler.scope("control.run_steps"):
+                records = self._run_steps(num_steps, round_index, train, record)
+        else:
+            records = self._run_steps(num_steps, round_index, train, record)
+
+        # Metric emission happens once per call, not per step, so an
+        # attached registry cannot slow the control loop itself down.
+        if self.metrics is not None:
+            self.metrics.inc("control.steps", num_steps)
+            self.metrics.observe(
+                "control.mean_step_reward",
+                sum(record.reward for record in records) / num_steps,
+            )
+        if _LOG.isEnabledFor(logging.DEBUG):
+            _LOG.debug(
+                "ran control steps",
+                extra={
+                    "device": self.environment.device.name,
+                    "steps": num_steps,
+                    "round": round_index,
+                    "train": train,
+                    "global_step": self._global_step,
+                },
+            )
+        return records
+
+    def _run_steps(
+        self, num_steps: int, round_index: int, train: bool, record: bool
+    ) -> List[StepRecord]:
         decision_time_before = self._decision_time_s
+        profiler = self.profiler
+        flight = self.flight
+        agent = getattr(self.controller, "agent", None)
+        device_name = self.environment.device.name
+
         records: List[StepRecord] = []
         for _ in range(num_steps):
             before = self._snapshot
+            assert before is not None
 
             decision_start = time.perf_counter()
             action = self.controller.select_action(before, explore=train)
-            self._decision_time_s += time.perf_counter() - decision_start
+            act_elapsed = time.perf_counter() - decision_start
+            self._decision_time_s += act_elapsed
             self._decision_count += 1
 
             after = self.environment.step(action)
             reward = self.controller.compute_reward(after)
 
+            learn_elapsed = 0.0
+            updates_before = (
+                getattr(agent, "update_count", 0) if flight is not None else 0
+            )
             if train:
                 learn_start = time.perf_counter()
                 self.controller.learn(before, action, reward)
-                self._decision_time_s += time.perf_counter() - learn_start
+                learn_elapsed = time.perf_counter() - learn_start
+                self._decision_time_s += learn_elapsed
+
+            if profiler is not None:
+                profiler.add("control.act", act_elapsed)
+                if train:
+                    profiler.add("control.learn", learn_elapsed)
 
             record_row = StepRecord(
                 step=self._global_step,
-                device=self.environment.device.name,
+                device=device_name,
                 application=after.application,
                 action_index=action,
                 frequency_hz=after.frequency_hz,
@@ -124,31 +217,43 @@ class ControlSession:
             if record:
                 self.trace.record(record_row)
 
+            if flight is not None:
+                violated = (
+                    self.power_limit_w is not None
+                    and after.power_w > self.power_limit_w
+                )
+                if violated:
+                    self._violation_count += 1
+                loss: Optional[float] = None
+                if agent is not None and getattr(agent, "update_count", 0) != updates_before:
+                    loss = getattr(agent, "last_loss", None)
+                flight.record(
+                    FlightRecord(
+                        device=device_name,
+                        round_index=round_index,
+                        step=self._global_step,
+                        obs_frequency_hz=before.frequency_hz,
+                        obs_power_w=before.power_w,
+                        obs_ipc=before.ipc,
+                        obs_mpki=before.mpki,
+                        action_index=action,
+                        action_frequency_hz=after.frequency_hz,
+                        reward=reward,
+                        greedy=getattr(agent, "last_action_greedy", not train),
+                        violated=violated,
+                        violations=self._violation_count,
+                        temperature_c=after.temperature_c,
+                        loss=loss,
+                    )
+                )
+
             self._snapshot = after
             self._global_step += 1
 
-        # Metric emission happens once per call, not per step, so an
-        # attached registry cannot slow the control loop itself down.
         if self.metrics is not None:
-            self.metrics.inc("control.steps", num_steps)
             self.metrics.observe(
                 "control.decision_latency_s",
                 (self._decision_time_s - decision_time_before) / num_steps,
-            )
-            self.metrics.observe(
-                "control.mean_step_reward",
-                sum(record.reward for record in records) / num_steps,
-            )
-        if _LOG.isEnabledFor(logging.DEBUG):
-            _LOG.debug(
-                "ran control steps",
-                extra={
-                    "device": self.environment.device.name,
-                    "steps": num_steps,
-                    "round": round_index,
-                    "train": train,
-                    "global_step": self._global_step,
-                },
             )
         return records
 

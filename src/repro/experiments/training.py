@@ -28,12 +28,19 @@ from repro.experiments.evaluation import PolicyEvaluator, RoundEvaluation
 from repro.experiments.scenarios import evaluation_applications
 from repro.federated.client import FederatedClient
 from repro.federated.collab import CollabPolicyServer
-from repro.federated.orchestrator import run_federated_training
+from repro.federated.orchestrator import FederatedRunResult, run_federated_training
 from repro.federated.server import FederatedServer
 from repro.federated.transport import InMemoryTransport
-from repro.obs.context import active_metrics, active_tracer
+from repro.obs.context import (
+    active_flight,
+    active_metrics,
+    active_profiler,
+    active_tracer,
+)
+from repro.obs.flight import FlightRecorder
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ScopeProfiler
 from repro.obs.tracing import RoundTracer
 from repro.rl.schedules import ExponentialDecaySchedule
 from repro.sim.device import DeviceEnvironment, build_default_device
@@ -58,6 +65,10 @@ class TrainingResult:
     train_trace: TraceRecorder = field(default_factory=TraceRecorder)
     communication_bytes: int = 0
     mean_decision_latency_s: float = 0.0
+    #: Protocol-level summary of the federated run (``None`` for the
+    #: baselines, which have no federation to summarise). Carries the
+    #: per-device/fleet ``power_violation_rate`` accounting.
+    federated_result: Optional[FederatedRunResult] = None
 
     @property
     def device_names(self) -> List[str]:
@@ -95,6 +106,8 @@ class TrainingResult:
 def _build_training_environments(
     assignments: Dict[str, Tuple[str, ...]],
     config: FederatedPowerControlConfig,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[ScopeProfiler] = None,
 ) -> Dict[str, DeviceEnvironment]:
     environments: Dict[str, DeviceEnvironment] = {}
     for index, (device_name, apps) in enumerate(assignments.items()):
@@ -108,9 +121,34 @@ def _build_training_environments(
             workload_jitter=config.workload_jitter,
         )
         environments[device_name] = DeviceEnvironment(
-            device, control_interval_s=config.control_interval_s
+            device,
+            control_interval_s=config.control_interval_s,
+            metrics=metrics,
+            profiler=profiler,
         )
     return environments
+
+
+def _account_power_violations(
+    run_result: FederatedRunResult,
+    trace: TraceRecorder,
+    assignments: Dict[str, Tuple[str, ...]],
+    power_limit_w: float,
+) -> None:
+    """Fill the per-device ``P > P_crit`` accounting from the trace.
+
+    Counted over the *training* steps (the same rows the flight
+    recorder sees), so the two sources must agree — an integration
+    test cross-checks them.
+    """
+    violations = {name: 0 for name in assignments}
+    steps = {name: 0 for name in assignments}
+    for record in trace:
+        steps[record.device] = steps.get(record.device, 0) + 1
+        if record.power_w > power_limit_w:
+            violations[record.device] = violations.get(record.device, 0) + 1
+    run_result.power_violations_by_device = violations
+    run_result.power_steps_by_device = steps
 
 
 def _temperature_schedule(config: FederatedPowerControlConfig) -> ExponentialDecaySchedule:
@@ -162,6 +200,8 @@ def train_federated(
     client_codec=None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[RoundTracer] = None,
+    flight: Optional[FlightRecorder] = None,
+    profiler: Optional[ScopeProfiler] = None,
 ) -> TrainingResult:
     """Run the paper's federated power control (Algorithms 1 + 2).
 
@@ -173,15 +213,19 @@ def train_federated(
     compression ablation). ``client_codec`` overrides the codec on the
     clients only — e.g. a
     :class:`repro.federated.codecs.DPGaussianCodec` that perturbs
-    uploads while broadcasts stay clean. ``metrics``/``tracer`` attach
-    observability sinks to the whole stack (transport, endpoints,
-    control sessions, round loop); they default to the ambient
-    :mod:`repro.obs.context` bundle, so the CLI's ``--metrics-out``
-    reaches here without every experiment threading them through.
+    uploads while broadcasts stay clean. ``metrics``/``tracer``/
+    ``flight``/``profiler`` attach observability sinks to the whole
+    stack (transport, endpoints, control sessions, device
+    environments, round loop); they default to the ambient
+    :mod:`repro.obs.context` bundle, so the CLI's ``--metrics-out``/
+    ``--flight-out`` reach here without every experiment threading
+    them through.
     """
     _check_assignments(assignments)
     metrics = active_metrics(metrics)
     tracer = active_tracer(tracer)
+    flight = active_flight(flight)
+    profiler = active_profiler(profiler)
     _LOG.info(
         "federated training starting",
         extra={
@@ -190,12 +234,19 @@ def train_federated(
             "steps_per_round": config.steps_per_round,
         },
     )
-    environments = _build_training_environments(assignments, config)
+    environments = _build_training_environments(
+        assignments, config, metrics=metrics, profiler=profiler
+    )
     controllers = _build_neural_controllers(assignments, config, environments)
     trace = TraceRecorder()
     sessions = {
         name: ControlSession(
-            environments[name], controllers[name], trace=trace, metrics=metrics
+            environments[name],
+            controllers[name],
+            trace=trace,
+            metrics=metrics,
+            flight=flight,
+            profiler=profiler,
         )
         for name in assignments
     }
@@ -270,8 +321,11 @@ def train_federated(
         seed=generator_from_root(config.seed, 5),
         metrics=metrics,
         tracer=tracer,
+        profiler=profiler,
     )
 
+    _account_power_violations(run_result, trace, assignments, config.power_limit_w)
+    result.federated_result = run_result
     result.train_trace = trace
     result.communication_bytes = run_result.total_bytes_communicated
     result.mean_decision_latency_s = fmean(
@@ -301,16 +355,25 @@ def train_local_only(
     """
     _check_assignments(assignments)
     metrics = active_metrics()
+    flight = active_flight()
+    profiler = active_profiler()
     _LOG.info(
         "local-only training starting",
         extra={"devices": len(assignments), "rounds": config.num_rounds},
     )
-    environments = _build_training_environments(assignments, config)
+    environments = _build_training_environments(
+        assignments, config, metrics=metrics, profiler=profiler
+    )
     controllers = _build_neural_controllers(assignments, config, environments)
     trace = TraceRecorder()
     sessions = {
         name: ControlSession(
-            environments[name], controllers[name], trace=trace, metrics=metrics
+            environments[name],
+            controllers[name],
+            trace=trace,
+            metrics=metrics,
+            flight=flight,
+            profiler=profiler,
         )
         for name in assignments
     }
@@ -351,11 +414,15 @@ def train_collab_profit(
     """
     _check_assignments(assignments)
     metrics = active_metrics()
+    flight = active_flight()
+    profiler = active_profiler()
     _LOG.info(
         "profit-collab training starting",
         extra={"devices": len(assignments), "rounds": config.num_rounds},
     )
-    environments = _build_training_environments(assignments, config)
+    environments = _build_training_environments(
+        assignments, config, metrics=metrics, profiler=profiler
+    )
     controllers: Dict[str, CollabProfitController] = {}
     for index, device_name in enumerate(assignments):
         controller = build_profit_controller(
@@ -373,7 +440,12 @@ def train_collab_profit(
     trace = TraceRecorder()
     sessions = {
         name: ControlSession(
-            environments[name], controllers[name], trace=trace, metrics=metrics
+            environments[name],
+            controllers[name],
+            trace=trace,
+            metrics=metrics,
+            flight=flight,
+            profiler=profiler,
         )
         for name in assignments
     }

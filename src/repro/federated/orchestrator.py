@@ -31,9 +31,10 @@ import numpy as np
 from repro.errors import ConfigurationError, FederationError
 from repro.federated.client import FederatedClient
 from repro.federated.server import FederatedServer
-from repro.obs.context import active_metrics, active_tracer
+from repro.obs.context import active_metrics, active_profiler, active_tracer
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ScopeProfiler, profile
 from repro.obs.tracing import (
     PHASE_AGGREGATE,
     PHASE_BROADCAST,
@@ -63,6 +64,12 @@ class FederatedRunResult:
     participation_by_round: List[List[str]] = field(default_factory=list)
     stragglers_by_round: List[List[str]] = field(default_factory=list)
     aggregations_completed: int = 0
+    #: Training steps whose measured power exceeded ``P_crit``, per
+    #: device. The orchestrator itself is simulator-free, so these are
+    #: filled in by the experiments layer (from the training trace) and
+    #: stay empty for protocol-only runs.
+    power_violations_by_device: Dict[str, int] = field(default_factory=dict)
+    power_steps_by_device: Dict[str, int] = field(default_factory=dict)
 
     @property
     def bytes_per_round(self) -> float:
@@ -78,6 +85,23 @@ class FederatedRunResult:
             return 0.0
         stragglers = sum(len(round_) for round_ in self.stragglers_by_round)
         return stragglers / participants
+
+    def power_violation_rate(self, device: Optional[str] = None) -> float:
+        """Fraction of training steps above ``P_crit``.
+
+        Fleet-wide with ``device=None``, per-device otherwise; 0.0 when
+        no power accounting was recorded (zero steps, or a run whose
+        experiment layer did not fill the power fields in).
+        """
+        if device is not None:
+            steps = self.power_steps_by_device.get(device, 0)
+            if steps == 0:
+                return 0.0
+            return self.power_violations_by_device.get(device, 0) / steps
+        total_steps = sum(self.power_steps_by_device.values())
+        if total_steps == 0:
+            return 0.0
+        return sum(self.power_violations_by_device.values()) / total_steps
 
 
 def _update_norm(
@@ -103,6 +127,7 @@ def run_federated_training(
     seed: SeedLike = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[RoundTracer] = None,
+    profiler: Optional[ScopeProfiler] = None,
 ) -> FederatedRunResult:
     """Run ``num_rounds`` of federated averaging (Algorithm 2).
 
@@ -129,10 +154,13 @@ def run_federated_training(
         round's aggregation and continue with the survivors, the
         fault-tolerance extension). At least one client must survive
         each round.
-    metrics, tracer:
+    metrics, tracer, profiler:
         Optional observability sinks; default to the ambient
-        :mod:`repro.obs.context` bundle (if one is active). Attaching
-        them never changes the run's numerical results.
+        :mod:`repro.obs.context` bundle (if one is active). The
+        profiler attributes wall-time to the protocol phases
+        (``federated.broadcast``/``.local_train``/``.upload``/
+        ``.aggregate``). Attaching sinks never changes the run's
+        numerical results.
     """
     if straggler_policy not in ("abort", "skip"):
         raise ConfigurationError(
@@ -156,6 +184,7 @@ def run_federated_training(
 
     metrics = active_metrics(metrics)
     tracer = active_tracer(tracer)
+    profiler = active_profiler(profiler)
     transport = server.transport
 
     rng = as_generator(seed)
@@ -194,6 +223,7 @@ def run_federated_training(
                 straggler_policy,
                 metrics,
                 tracer,
+                profiler,
             )
         except Exception:
             if tracer is not None and tracer.current_round is not None:
@@ -282,6 +312,7 @@ def _run_one_round(
     straggler_policy: str,
     metrics: Optional[MetricsRegistry],
     tracer: Optional[RoundTracer],
+    profiler: Optional[ScopeProfiler] = None,
 ) -> "tuple[List[str], Optional[float]]":
     """Broadcast → train → upload → aggregate.
 
@@ -292,12 +323,13 @@ def _run_one_round(
     transport = server.transport
 
     bytes_at = transport.total_bytes
-    if tracer is not None:
-        with tracer.phase(PHASE_BROADCAST) as span:
+    with profile("federated.broadcast", profiler):
+        if tracer is not None:
+            with tracer.phase(PHASE_BROADCAST) as span:
+                server.broadcast(round_index, recipients=participating)
+                span.bytes_transferred = transport.total_bytes - bytes_at
+        else:
             server.broadcast(round_index, recipients=participating)
-            span.bytes_transferred = transport.total_bytes - bytes_at
-    else:
-        server.broadcast(round_index, recipients=participating)
     if metrics is not None:
         metrics.inc("federated.broadcast_bytes", transport.total_bytes - bytes_at)
 
@@ -307,11 +339,12 @@ def _run_one_round(
         client = clients_by_id[client_id]
         client.receive_global()
         try:
-            if tracer is not None:
-                with tracer.phase(PHASE_LOCAL_TRAIN, client_id=client_id):
+            with profile("federated.local_train", profiler):
+                if tracer is not None:
+                    with tracer.phase(PHASE_LOCAL_TRAIN, client_id=client_id):
+                        trainers[client_id](round_index)
+                else:
                     trainers[client_id](round_index)
-            else:
-                trainers[client_id](round_index)
         except Exception as error:
             if straggler_policy == "abort":
                 raise
@@ -328,12 +361,13 @@ def _run_one_round(
             )
             continue
         bytes_at = transport.total_bytes
-        if tracer is not None:
-            with tracer.phase(PHASE_UPLOAD, client_id=client_id) as span:
+        with profile("federated.upload", profiler):
+            if tracer is not None:
+                with tracer.phase(PHASE_UPLOAD, client_id=client_id) as span:
+                    client.send_local(round_index)
+                    span.bytes_transferred = transport.total_bytes - bytes_at
+            else:
                 client.send_local(round_index)
-                span.bytes_transferred = transport.total_bytes - bytes_at
-        else:
-            client.send_local(round_index)
         if metrics is not None:
             metrics.inc("federated.upload_bytes", transport.total_bytes - bytes_at)
         survivors.append(client_id)
@@ -344,21 +378,22 @@ def _run_one_round(
         )
 
     update_norm: Optional[float] = None
-    if tracer is not None:
-        before = server.global_parameters
-        with tracer.phase(PHASE_AGGREGATE):
-            after = server.aggregate(
+    with profile("federated.aggregate", profiler):
+        if tracer is not None:
+            before = server.global_parameters
+            with tracer.phase(PHASE_AGGREGATE):
+                after = server.aggregate(
+                    round_index,
+                    expected_clients=survivors,
+                    weights=aggregation_weights,
+                )
+            update_norm = _update_norm(before, after)
+        else:
+            server.aggregate(
                 round_index,
                 expected_clients=survivors,
                 weights=aggregation_weights,
             )
-        update_norm = _update_norm(before, after)
-    else:
-        server.aggregate(
-            round_index,
-            expected_clients=survivors,
-            weights=aggregation_weights,
-        )
     return stragglers, update_norm
 
 

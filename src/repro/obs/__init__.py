@@ -1,6 +1,7 @@
-"""Observability layer: structured logging, metrics, round tracing.
+"""Observability layer: logging, metrics, tracing, flight recording,
+profiling and offline run reports.
 
-Three independent pillars, all stdlib+numpy only:
+Six pillars, all stdlib+numpy only:
 
 * :mod:`repro.obs.logging` — namespaced ``repro.*`` loggers with
   ``key=value`` or JSON formatting (:func:`setup_logging`,
@@ -10,26 +11,40 @@ Three independent pillars, all stdlib+numpy only:
   dict/JSONL/CSV exporters;
 * :mod:`repro.obs.tracing` — a :class:`RoundTracer` producing one
   :class:`RoundSpan` per federated round with per-phase wall-time,
-  transport bytes, stragglers and global-model drift.
+  transport bytes, stragglers and global-model drift;
+* :mod:`repro.obs.flight` — a bounded per-control-step
+  :class:`FlightRecorder` capturing device-level behaviour (state
+  features, chosen OPP, exploration flag, reward, running ``P_crit``
+  violations, thermal state, agent loss);
+* :mod:`repro.obs.profile` — a hierarchical :class:`ScopeProfiler`
+  (``with profile("agent.act")``) with self/cumulative tables plus an
+  opt-in :func:`cprofile_capture` wrapper;
+* :mod:`repro.obs.report` — offline Markdown run reports generated
+  from flight-recorder and metrics JSONL artefacts
+  (:func:`generate_report`, the ``obs-report`` CLI subcommand).
 
 Instrumentation contract: every instrumented call site holds an
 ``Optional`` sink and emits behind one ``is not None`` check, so a run
 with no sinks attached pays no measurable overhead (enforced by
 ``benchmarks/test_bench_overhead.py``). Timing values never flow into
 seeded or asserted quantities, so telemetry cannot perturb
-reproducibility. The :mod:`repro.obs.context` stack lets the CLI attach
-sinks to runners without changing their signatures.
+reproducibility. The :mod:`repro.obs.context` stack (thread-local)
+lets the CLI attach sinks to runners without changing their
+signatures.
 """
 
 from repro.obs.context import (
     Telemetry,
     activate,
+    active_flight,
     active_metrics,
+    active_profiler,
     active_tracer,
     deactivate,
     get_active,
     telemetry,
 )
+from repro.obs.flight import FlightRecord, FlightRecorder
 from repro.obs.logging import (
     JsonFormatter,
     KeyValueFormatter,
@@ -44,6 +59,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     timed,
 )
+from repro.obs.profile import (
+    CProfileReport,
+    ScopeProfiler,
+    ScopeStats,
+    cprofile_capture,
+    profile,
+)
+from repro.obs.report import generate_report, load_metrics_jsonl, report_from_files
 from repro.obs.tracing import (
     PHASE_AGGREGATE,
     PHASE_BROADCAST,
@@ -55,7 +78,10 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CProfileReport",
     "Counter",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonFormatter",
@@ -68,13 +94,22 @@ __all__ = [
     "PhaseSpan",
     "RoundSpan",
     "RoundTracer",
+    "ScopeProfiler",
+    "ScopeStats",
     "Telemetry",
     "activate",
+    "active_flight",
     "active_metrics",
+    "active_profiler",
     "active_tracer",
+    "cprofile_capture",
     "deactivate",
+    "generate_report",
     "get_active",
     "get_logger",
+    "load_metrics_jsonl",
+    "profile",
+    "report_from_files",
     "reset_logging",
     "setup_logging",
     "telemetry",

@@ -1,61 +1,84 @@
 """Ambient telemetry context.
 
 Experiment runners have a uniform ``runner(config) -> str`` signature,
-so the CLI cannot thread a registry/tracer argument through every
-figure and ablation module. Instead it *activates* a
-:class:`Telemetry` bundle here, and the instrumented entry points
-(:func:`repro.experiments.training.train_federated`,
+so the CLI cannot thread a registry/tracer/flight-recorder/profiler
+argument through every figure and ablation module. Instead it
+*activates* a :class:`Telemetry` bundle here, and the instrumented
+entry points (:func:`repro.experiments.training.train_federated`,
 :func:`repro.federated.orchestrator.run_federated_training`,
-...) pick it up as their default when no explicit ``metrics``/``tracer``
-argument is passed. Explicit arguments always win over the ambient
-context.
+...) pick it up as their default when no explicit ``metrics``/
+``tracer``/``flight``/``profiler`` argument is passed. Explicit
+arguments always win over the ambient context.
 
-The context is a plain stack of bundles — nesting is allowed (an outer
-sweep registry plus an inner per-run tracer) and :func:`telemetry`
-guarantees balanced push/pop. Lookup is one list indexing, so the
-default path (empty stack → ``None``) stays effectively free.
+The context is a stack of bundles — nesting is allowed (an outer sweep
+registry plus an inner per-run tracer) and :func:`telemetry`
+guarantees balanced push/pop. The stack is *thread-local*: telemetry
+activated on one thread is invisible to every other thread, so
+concurrent runs (e.g. the async federated server's worker threads, or
+parallel sweep drivers) cannot leak sinks into each other. Lookup is
+one attribute access plus a list indexing, so the default path (empty
+stack → ``None``) stays effectively free.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import RoundTracer
 
+if TYPE_CHECKING:  # imported lazily to avoid cycles (profile imports us)
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.profile import ScopeProfiler
+
 
 @dataclass(frozen=True)
 class Telemetry:
-    """One activated metrics/tracer pair (either may be ``None``)."""
+    """One activated bundle of sinks (any subset may be ``None``)."""
 
     metrics: Optional[MetricsRegistry] = None
     tracer: Optional[RoundTracer] = None
+    flight: Optional["FlightRecorder"] = None
+    profiler: Optional["ScopeProfiler"] = None
 
 
-_STACK: List[Telemetry] = []
+class _ThreadLocalStack(threading.local):
+    """Each thread sees its own, initially empty, bundle stack."""
+
+    def __init__(self) -> None:
+        self.stack: List[Telemetry] = []
+
+
+_LOCAL = _ThreadLocalStack()
 
 
 def activate(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[RoundTracer] = None,
+    flight: Optional["FlightRecorder"] = None,
+    profiler: Optional["ScopeProfiler"] = None,
 ) -> Telemetry:
     """Push a telemetry bundle; pair every call with :func:`deactivate`."""
-    bundle = Telemetry(metrics=metrics, tracer=tracer)
-    _STACK.append(bundle)
+    bundle = Telemetry(
+        metrics=metrics, tracer=tracer, flight=flight, profiler=profiler
+    )
+    _LOCAL.stack.append(bundle)
     return bundle
 
 
 def deactivate() -> None:
     """Pop the innermost bundle (no-op on an empty stack)."""
-    if _STACK:
-        _STACK.pop()
+    if _LOCAL.stack:
+        _LOCAL.stack.pop()
 
 
 def get_active() -> Optional[Telemetry]:
-    """The innermost activated bundle, or ``None``."""
-    return _STACK[-1] if _STACK else None
+    """The innermost bundle activated *on this thread*, or ``None``."""
+    stack = _LOCAL.stack
+    return stack[-1] if stack else None
 
 
 def active_metrics(
@@ -76,13 +99,37 @@ def active_tracer(explicit: Optional[RoundTracer] = None) -> Optional[RoundTrace
     return bundle.tracer if bundle is not None else None
 
 
+def active_flight(
+    explicit: Optional["FlightRecorder"] = None,
+) -> Optional["FlightRecorder"]:
+    """``explicit`` if given, else the ambient flight recorder (if any)."""
+    if explicit is not None:
+        return explicit
+    bundle = get_active()
+    return bundle.flight if bundle is not None else None
+
+
+def active_profiler(
+    explicit: Optional["ScopeProfiler"] = None,
+) -> Optional["ScopeProfiler"]:
+    """``explicit`` if given, else the ambient profiler (if any)."""
+    if explicit is not None:
+        return explicit
+    bundle = get_active()
+    return bundle.profiler if bundle is not None else None
+
+
 @contextmanager
 def telemetry(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[RoundTracer] = None,
+    flight: Optional["FlightRecorder"] = None,
+    profiler: Optional["ScopeProfiler"] = None,
 ) -> Iterator[Telemetry]:
     """``with telemetry(registry, tracer): ...`` — balanced activation."""
-    bundle = activate(metrics=metrics, tracer=tracer)
+    bundle = activate(
+        metrics=metrics, tracer=tracer, flight=flight, profiler=profiler
+    )
     try:
         yield bundle
     finally:

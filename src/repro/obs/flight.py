@@ -1,0 +1,285 @@
+"""Device-level flight recorder.
+
+Round spans (:mod:`repro.obs.tracing`) explain what the *federation*
+did; they say nothing about why one device converged slowly, how often
+an agent exceeded ``P_crit``, or which OPPs it actually dwelled in.
+The :class:`FlightRecorder` fills that gap: a bounded ring buffer that
+captures one :class:`FlightRecord` per control step — the observed
+state features, the chosen OPP, the exploration/greedy flag, the
+reward, the running power-violation count, the thermal state, and the
+agent loss whenever a train step fired.
+
+The recorder follows the instrumentation contract of :mod:`repro.obs`:
+call sites hold an ``Optional[FlightRecorder]`` and emit behind one
+``is not None`` check, appends are O(1) (a ``deque`` with ``maxlen``),
+and nothing recorded ever flows back into seeded or asserted
+quantities. ``capacity`` bounds memory for arbitrarily long runs and
+``sample_every`` thins the stream for very hot loops; both keep the
+*running* counters exact because they are carried inside each record
+rather than recomputed from whatever rows survived.
+
+Export paths: JSONL (``dump_jsonl``/``from_jsonl`` round-trip, the
+format ``repro-power run --flight-out`` writes and ``repro-power
+obs-report`` reads) and NPZ (``dump_npz``, one array per field for
+numpy post-processing).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, fields
+from typing import Deque, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FlightRecord:
+    """Everything the recorder keeps about one control step.
+
+    ``obs_*`` fields are the state features the agent acted *from*
+    (the pre-action snapshot); ``action_index``/``action_frequency_hz``
+    identify the OPP it chose; ``violations`` is the device's running
+    ``P > P_crit`` count up to and including this step, so the total
+    survives ring-buffer eviction; ``loss`` is set only on steps where
+    the agent performed a gradient/table update.
+    """
+
+    device: str
+    round_index: int
+    step: int
+    obs_frequency_hz: float
+    obs_power_w: float
+    obs_ipc: float
+    obs_mpki: float
+    action_index: int
+    action_frequency_hz: float
+    reward: float
+    greedy: Optional[bool] = None
+    violated: bool = False
+    violations: int = 0
+    temperature_c: Optional[float] = None
+    loss: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+_FIELD_NAMES = tuple(f.name for f in fields(FlightRecord))
+
+
+class FlightRecorder:
+    """Bounded per-step recorder for a fleet of devices.
+
+    One recorder serves every device of a run (records carry the device
+    id), so a single ``--flight-out`` file captures the whole fleet.
+    ``capacity`` is the maximum number of *retained* records (oldest
+    evicted first); ``sample_every`` keeps only every Nth step per
+    device (N=1 keeps all).
+    """
+
+    def __init__(self, capacity: int = 65536, sample_every: int = 1) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self._records: Deque[FlightRecord] = deque(maxlen=capacity)
+        self._appended = 0
+        self._seen_by_device: Dict[str, int] = {}
+        self._violations_by_device: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------
+    def record(self, record: FlightRecord) -> bool:
+        """Append one step; returns whether the record was retained.
+
+        Every offered step updates the recorder's exact per-device
+        counters (steps seen, violations), even when ``sample_every``
+        thins it out or the ring buffer later evicts it — so aggregate
+        totals stay exact regardless of capacity or sampling, and they
+        add up correctly when several sessions share one device name.
+        """
+        seen = self._seen_by_device.get(record.device, 0)
+        self._seen_by_device[record.device] = seen + 1
+        if record.violated:
+            self._violations_by_device[record.device] = (
+                self._violations_by_device.get(record.device, 0) + 1
+            )
+        if seen % self.sample_every != 0:
+            return False
+        self._records.append(record)
+        self._appended += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FlightRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[FlightRecord]:
+        """Retained records, oldest first (a copy)."""
+        return list(self._records)
+
+    @property
+    def steps_seen(self) -> int:
+        """Control steps offered to the recorder (before sampling)."""
+        return sum(self._seen_by_device.values())
+
+    @property
+    def records_dropped(self) -> int:
+        """Retained-then-evicted records (ring-buffer overflow)."""
+        return self._appended - len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._appended = 0
+        self._seen_by_device.clear()
+        self._violations_by_device.clear()
+
+    # -- aggregate views ----------------------------------------------
+    def devices(self) -> List[str]:
+        """Device ids ever offered to the recorder, sorted.
+
+        Based on the exact counters, so a device whose records were all
+        evicted or sampled out still shows up in aggregate tables.
+        """
+        return sorted(self._seen_by_device)
+
+    def device_records(self, device: str) -> List[FlightRecord]:
+        return [r for r in self._records if r.device == device]
+
+    def dwell_counts(self, device: Optional[str] = None) -> Dict[int, int]:
+        """Steps spent per chosen OPP index (one device or the fleet)."""
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            if device is not None and record.device != device:
+                continue
+            counts[record.action_index] = counts.get(record.action_index, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def steps_by_device(self) -> Dict[str, int]:
+        """Steps offered per device (exact, before sampling/eviction)."""
+        return dict(sorted(self._seen_by_device.items()))
+
+    def violation_counts(self) -> Dict[str, int]:
+        """``P > P_crit`` steps per device.
+
+        Counted at ``record()`` time over *every* offered step, so the
+        totals are exact under sampling and ring-buffer eviction (for a
+        recorder rebuilt from a dump, they cover the dumped rows).
+        Devices with zero violations still appear, with 0.
+        """
+        return {
+            device: self._violations_by_device.get(device, 0)
+            for device in sorted(self._seen_by_device)
+        }
+
+    def violation_rate(self, device: Optional[str] = None) -> float:
+        """Fraction of offered steps that exceeded ``P_crit``.
+
+        ``device=None`` gives the fleet-wide rate; an unknown device or
+        an empty recorder yields 0.0 rather than dividing by zero.
+        """
+        if device is None:
+            steps = sum(self._seen_by_device.values())
+            hits = sum(self._violations_by_device.values())
+        else:
+            steps = self._seen_by_device.get(device, 0)
+            hits = self._violations_by_device.get(device, 0)
+        return hits / steps if steps else 0.0
+
+    def rewards_by_round(self, device: Optional[str] = None) -> Dict[int, float]:
+        """Mean recorded reward per federated round."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            if device is not None and record.device != device:
+                continue
+            sums[record.round_index] = sums.get(record.round_index, 0.0) + record.reward
+            counts[record.round_index] = counts.get(record.round_index, 0) + 1
+        return {r: sums[r] / counts[r] for r in sorted(sums)}
+
+    def violations_by_round(self, device: Optional[str] = None) -> Dict[int, float]:
+        """Violation rate per federated round (retained records)."""
+        hits: Dict[int, int] = {}
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            if device is not None and record.device != device:
+                continue
+            counts[record.round_index] = counts.get(record.round_index, 0) + 1
+            if record.violated:
+                hits[record.round_index] = hits.get(record.round_index, 0) + 1
+        return {
+            r: hits.get(r, 0) / counts[r] for r in sorted(counts)
+        }
+
+    # -- export --------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [record.as_dict() for record in self._records]
+
+    def to_jsonl_lines(self) -> List[str]:
+        return [
+            json.dumps({"type": "flight_record", **record.as_dict()})
+            for record in self._records
+        ]
+
+    def dump_jsonl(self, path) -> int:
+        """Write one JSON line per retained record; returns the row count."""
+        lines = self.to_jsonl_lines()
+        with open(path, "w") as handle:
+            if lines:
+                handle.write("\n".join(lines) + "\n")
+        return len(lines)
+
+    def dump_npz(self, path) -> int:
+        """Write one array per record field (numpy-friendly export)."""
+        import numpy as np
+
+        columns: Dict[str, list] = {name: [] for name in _FIELD_NAMES}
+        for record in self._records:
+            row = record.as_dict()
+            for name in _FIELD_NAMES:
+                value = row[name]
+                if name in ("temperature_c", "loss") and value is None:
+                    value = np.nan
+                if name == "greedy":
+                    value = -1 if value is None else int(value)
+                columns[name].append(value)
+        np.savez_compressed(path, **{k: np.asarray(v) for k, v in columns.items()})
+        return len(self._records)
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[Dict[str, object]]) -> "FlightRecorder":
+        """Rebuild a recorder (unbounded enough to hold ``rows``)."""
+        rows = list(rows)
+        recorder = cls(capacity=max(1, len(rows)))
+        known = set(_FIELD_NAMES)
+        for row in rows:
+            payload = {k: v for k, v in row.items() if k in known}
+            recorder.record(FlightRecord(**payload))
+        return recorder
+
+    @classmethod
+    def from_jsonl(cls, path) -> "FlightRecorder":
+        """Load a recorder back from a ``dump_jsonl`` file.
+
+        Non-record lines (e.g. round spans in a mixed stream) are
+        skipped, so the loader tolerates concatenated telemetry files.
+        """
+        rows: List[Dict[str, object]] = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                if row.get("type", "flight_record") != "flight_record":
+                    continue
+                rows.append(row)
+        return cls.from_dicts(rows)

@@ -1,0 +1,395 @@
+"""Offline run reports.
+
+Turns the artefacts a telemetry-attached run leaves behind — a flight
+recorder JSONL (``--flight-out``) and optionally the round-span/metrics
+JSONL (``--metrics-out``) — into one human-readable Markdown report:
+per-device OPP dwell histograms, power-violation rates per round,
+reward/convergence curves (rendered with
+:func:`repro.utils.ascii_plot.line_plot` and quantified with
+:mod:`repro.analysis.convergence`), straggler and global-model drift
+summaries, a device-vs-fleet divergence table, and the profiler's
+self/cumulative table when one was exported.
+
+Everything here is read-only post-processing: the generator never
+touches a live run, so it is deliberately defensive about degenerate
+inputs — empty traces, rounds with zero participants, devices that
+never recorded a violation — and renders placeholders instead of
+dividing by zero.
+
+Exposed on the CLI as ``repro-power obs-report``.
+"""
+
+from __future__ import annotations
+
+import json
+from statistics import fmean
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.convergence import plateau_round, tail_stability
+from repro.errors import ConfigurationError
+from repro.obs.flight import FlightRecorder
+from repro.utils.ascii_plot import line_plot
+
+#: At most this many series share one ASCII plot (marker alphabet size).
+_MAX_PLOT_SERIES = 8
+
+
+def load_metrics_jsonl(
+    path,
+) -> Tuple[List[Dict[str, object]], Optional[Dict[str, object]]]:
+    """Split a ``--metrics-out`` file into round spans and the snapshot."""
+    spans: List[Dict[str, object]] = []
+    snapshot: Optional[Dict[str, object]] = None
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.get("type")
+            if kind == "round_span":
+                spans.append(row)
+            elif kind == "metrics_snapshot":
+                snapshot = row
+    return spans, snapshot
+
+
+def generate_report(
+    flight: FlightRecorder,
+    spans: Optional[Sequence[Dict[str, object]]] = None,
+    snapshot: Optional[Dict[str, object]] = None,
+    power_limit_w: Optional[float] = None,
+    title: str = "Run report",
+) -> str:
+    """Render the full Markdown report from loaded artefacts."""
+    sections = [_overview(flight, spans, power_limit_w, title)]
+    sections.append(_dwell_section(flight))
+    sections.append(_violation_section(flight))
+    sections.append(_reward_section(flight))
+    if spans:
+        sections.append(_rounds_section(spans))
+    sections.append(_divergence_section(flight))
+    if snapshot is not None:
+        profiler = _profiler_section(snapshot)
+        if profiler:
+            sections.append(profiler)
+        sections.append(_snapshot_section(snapshot))
+    return "\n\n".join(part for part in sections if part) + "\n"
+
+
+# -- sections ----------------------------------------------------------
+def _overview(
+    flight: FlightRecorder,
+    spans: Optional[Sequence[Dict[str, object]]],
+    power_limit_w: Optional[float],
+    title: str,
+) -> str:
+    devices = flight.devices()
+    rounds_observed = {r.round_index for r in flight}
+    lines = [f"# {title}", ""]
+    lines.append(f"- devices: {len(devices)}" + (f" ({', '.join(devices)})" if devices else ""))
+    lines.append(f"- flight records retained: {len(flight)}")
+    if flight.records_dropped:
+        lines.append(
+            f"- records evicted by the ring buffer: {flight.records_dropped}"
+        )
+    lines.append(
+        f"- rounds observed on-device: {len(rounds_observed)}"
+        + (f" (0..{max(rounds_observed)})" if rounds_observed else "")
+    )
+    if spans is not None:
+        lines.append(f"- federated round spans: {len(spans)}")
+    if power_limit_w is not None:
+        lines.append(f"- power constraint P_crit: {power_limit_w:.3f} W")
+    lines.append(
+        f"- fleet power-violation rate: {_percent(flight.violation_rate())}"
+    )
+    return "\n".join(lines)
+
+
+def _dwell_section(flight: FlightRecorder) -> str:
+    lines = ["## OPP dwell per device", ""]
+    devices = flight.devices()
+    if not devices:
+        lines.append("_no flight records — nothing to histogram_")
+        return "\n".join(lines)
+    # Frequencies per OPP index come from the records themselves.
+    freq_by_index: Dict[int, float] = {}
+    for record in flight:
+        freq_by_index.setdefault(record.action_index, record.action_frequency_hz)
+    for device in devices:
+        counts = flight.dwell_counts(device)
+        total = sum(counts.values())
+        lines.append(f"### {device}")
+        lines.append("")
+        lines.append("| OPP | freq [MHz] | steps | share | |")
+        lines.append("|----:|-----------:|------:|------:|---|")
+        for index, count in counts.items():
+            share = count / total if total else 0.0
+            bar = "#" * max(1, round(40 * share)) if count else ""
+            freq_mhz = freq_by_index.get(index, 0.0) / 1e6
+            lines.append(
+                f"| {index} | {freq_mhz:.0f} | {count} | {_percent(share)} | `{bar}` |"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _violation_section(flight: FlightRecorder) -> str:
+    lines = ["## Power-constraint violations", ""]
+    devices = flight.devices()
+    if not devices:
+        lines.append("_no flight records — no violation data_")
+        return "\n".join(lines)
+    lines.append("| device | steps | violations | rate |")
+    lines.append("|--------|------:|-----------:|-----:|")
+    counts = flight.violation_counts()
+    steps = flight.steps_by_device()
+    for device in devices:
+        lines.append(
+            f"| {device} | {steps.get(device, 0)} | {counts.get(device, 0)} "
+            f"| {_percent(flight.violation_rate(device))} |"
+        )
+    per_round = flight.violations_by_round()
+    if len(per_round) >= 2:
+        lines.append("")
+        lines.append("Fleet violation rate per round:")
+        lines.append("")
+        lines.append("```")
+        lines.append(
+            line_plot(
+                {"violation_rate": [per_round[r] for r in sorted(per_round)]},
+                title="P > P_crit rate vs round",
+                y_min=0.0,
+            )
+        )
+        lines.append("```")
+    return "\n".join(lines)
+
+
+def _reward_section(flight: FlightRecorder) -> str:
+    lines = ["## Reward convergence", ""]
+    devices = flight.devices()
+    series: Dict[str, List[float]] = {}
+    for device in devices:
+        by_round = flight.rewards_by_round(device)
+        if by_round:
+            series[device] = [by_round[r] for r in sorted(by_round)]
+    if not series:
+        lines.append("_no flight records — no reward curves_")
+        return "\n".join(lines)
+    plotted = dict(list(series.items())[:_MAX_PLOT_SERIES])
+    if any(len(curve) >= 2 for curve in plotted.values()):
+        lines.append("```")
+        lines.append(
+            line_plot(plotted, title="mean training reward per round")
+        )
+        lines.append("```")
+        lines.append("")
+    if len(series) > len(plotted):
+        lines.append(
+            f"_({len(series) - len(plotted)} additional devices omitted "
+            "from the plot; the table below covers all of them)_"
+        )
+        lines.append("")
+    lines.append("| device | rounds | final reward | plateau round | tail stddev |")
+    lines.append("|--------|-------:|-------------:|--------------:|------------:|")
+    for device, curve in series.items():
+        # plateau_round needs its smoothing window to fit the curve.
+        plateau = plateau_round(curve, window=min(3, len(curve)))
+        stability = tail_stability(curve)
+        lines.append(
+            f"| {device} | {len(curve)} | {curve[-1]:+.4f} "
+            f"| {plateau} | {stability:.4f} |"
+        )
+    return "\n".join(lines)
+
+
+def _rounds_section(spans: Sequence[Dict[str, object]]) -> str:
+    lines = ["## Federated rounds", ""]
+    durations = [float(s.get("duration_s", 0.0)) for s in spans]
+    participant_counts = [len(s.get("participants", []) or []) for s in spans]
+    straggler_counts: Dict[str, int] = {}
+    straggler_rates: List[float] = []
+    for span in spans:
+        participants = span.get("participants", []) or []
+        stragglers = span.get("stragglers", []) or []
+        for client in stragglers:
+            straggler_counts[str(client)] = straggler_counts.get(str(client), 0) + 1
+        # A round with zero participants has no participation slots to
+        # lose; count its straggler rate as zero instead of dividing.
+        straggler_rates.append(
+            len(stragglers) / len(participants) if participants else 0.0
+        )
+    aggregated = sum(1 for s in spans if s.get("aggregated"))
+    lines.append(f"- rounds: {len(spans)} ({aggregated} aggregated)")
+    lines.append(
+        f"- mean round duration: {fmean(durations):.4f} s" if durations else "- mean round duration: n/a"
+    )
+    lines.append(
+        "- mean participants per round: "
+        + (f"{fmean(participant_counts):.2f}" if participant_counts else "n/a")
+    )
+    lines.append(
+        "- mean straggler rate: "
+        + (f"{_percent(fmean(straggler_rates))}" if straggler_rates else "n/a")
+    )
+    if straggler_counts:
+        worst = sorted(straggler_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        lines.append(
+            "- stragglers: "
+            + ", ".join(f"{client} x{count}" for client, count in worst)
+        )
+    phase_totals: Dict[str, List[float]] = {}
+    for span in spans:
+        for phase in span.get("phases", []) or []:
+            phase_totals.setdefault(str(phase.get("name")), []).append(
+                float(phase.get("duration_s", 0.0))
+            )
+    if phase_totals:
+        lines.append("")
+        lines.append("| phase | spans | total [s] | mean [ms] |")
+        lines.append("|-------|------:|----------:|----------:|")
+        for name, values in sorted(
+            phase_totals.items(), key=lambda kv: -sum(kv[1])
+        ):
+            lines.append(
+                f"| {name} | {len(values)} | {sum(values):.4f} "
+                f"| {1000.0 * fmean(values):.3f} |"
+            )
+    drift = [
+        float(s["update_norm"])
+        for s in spans
+        if s.get("update_norm") is not None
+    ]
+    if len(drift) >= 2:
+        lines.append("")
+        lines.append("```")
+        lines.append(line_plot({"update_norm": drift}, title="global-model drift per round"))
+        lines.append("```")
+    return "\n".join(lines)
+
+
+def _divergence_section(flight: FlightRecorder) -> str:
+    lines = ["## Device vs fleet divergence", ""]
+    devices = flight.devices()
+    if not devices:
+        lines.append("_no flight records — no divergence table_")
+        return "\n".join(lines)
+    fleet_records = flight.records
+    if not fleet_records:
+        lines.append("_all records were evicted or sampled out — no divergence table_")
+        return "\n".join(lines)
+    fleet_reward = fmean(r.reward for r in fleet_records)
+    fleet_power = fmean(r.obs_power_w for r in fleet_records)
+    fleet_violation = flight.violation_rate()
+    lines.append(
+        "| device | steps | mean reward | Δ reward | mean power [W] "
+        "| Δ power | violation rate | Δ rate |"
+    )
+    lines.append("|--------|------:|------------:|---------:|---------------:|--------:|---------------:|-------:|")
+    for device in devices:
+        recs = flight.device_records(device)
+        if not recs:
+            continue
+        reward = fmean(r.reward for r in recs)
+        power = fmean(r.obs_power_w for r in recs)
+        violation = flight.violation_rate(device)
+        lines.append(
+            f"| {device} | {len(recs)} | {reward:+.4f} | {reward - fleet_reward:+.4f} "
+            f"| {power:.4f} | {power - fleet_power:+.4f} "
+            f"| {_percent(violation)} | {violation - fleet_violation:+.4f} |"
+        )
+    lines.append("")
+    lines.append(
+        f"Fleet means: reward {fleet_reward:+.4f}, power {fleet_power:.4f} W, "
+        f"violation rate {_percent(fleet_violation)}."
+    )
+    return "\n".join(lines)
+
+
+def _profiler_section(snapshot: Dict[str, object]) -> str:
+    gauges = snapshot.get("gauges")
+    if not isinstance(gauges, dict):
+        return ""
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, value in gauges.items():
+        if not name.startswith("profile.") or ":" not in name:
+            continue
+        path, field = name[len("profile.") :].rsplit(":", 1)
+        rows.setdefault(path, {})[field] = float(value)
+    if not rows:
+        return ""
+    lines = ["## Hot-path profile", ""]
+    lines.append("| scope | count | cum [s] | self [s] |")
+    lines.append("|-------|------:|--------:|---------:|")
+    for path, fields in sorted(
+        rows.items(), key=lambda kv: -kv[1].get("cum_s", 0.0)
+    ):
+        lines.append(
+            f"| `{path}` | {int(fields.get('count', 0))} "
+            f"| {fields.get('cum_s', 0.0):.4f} | {fields.get('self_s', 0.0):.4f} |"
+        )
+    return "\n".join(lines)
+
+
+def _snapshot_section(snapshot: Dict[str, object]) -> str:
+    lines = ["## Metrics snapshot", ""]
+    counters = snapshot.get("counters")
+    if isinstance(counters, dict) and counters:
+        lines.append("| counter | value |")
+        lines.append("|---------|------:|")
+        for name, value in sorted(counters.items()):
+            lines.append(f"| `{name}` | {value:g} |")
+        lines.append("")
+    histograms = snapshot.get("histograms")
+    if isinstance(histograms, dict) and histograms:
+        lines.append("| histogram | count | mean | p90 |")
+        lines.append("|-----------|------:|-----:|----:|")
+        for name, summary in sorted(histograms.items()):
+            if not isinstance(summary, dict):
+                continue
+            lines.append(
+                f"| `{name}` | {int(summary.get('count', 0))} "
+                f"| {_maybe(summary.get('mean'))} | {_maybe(summary.get('p90'))} |"
+            )
+    if len(lines) == 2:
+        lines.append("_snapshot contained no counters or histograms_")
+    return "\n".join(lines).rstrip()
+
+
+# -- small formatting helpers -----------------------------------------
+def _percent(fraction: float) -> str:
+    return f"{100.0 * fraction:.2f}%"
+
+
+def _maybe(value) -> str:
+    if value is None:
+        return "n/a"
+    return f"{float(value):.6g}"
+
+
+def report_from_files(
+    flight_path,
+    metrics_path=None,
+    power_limit_w: Optional[float] = None,
+    title: str = "Run report",
+) -> str:
+    """Load artefacts from disk and render the report (CLI entry point)."""
+    flight = FlightRecorder.from_jsonl(flight_path)
+    spans: Optional[List[Dict[str, object]]] = None
+    snapshot: Optional[Dict[str, object]] = None
+    if metrics_path:
+        spans, snapshot = load_metrics_jsonl(metrics_path)
+    if len(flight) == 0 and not spans:
+        raise ConfigurationError(
+            f"no flight records in {flight_path!r} and no round spans to "
+            "report on — was the run started with --flight-out?"
+        )
+    return generate_report(
+        flight,
+        spans=spans,
+        snapshot=snapshot,
+        power_limit_w=power_limit_w,
+        title=title,
+    )

@@ -88,6 +88,7 @@ class NeuralBanditAgent:
         self._step_count = 0
         self._update_count = 0
         self._last_loss: Optional[float] = None
+        self._last_action_greedy: Optional[bool] = None
 
     @property
     def step_count(self) -> int:
@@ -109,6 +110,15 @@ class NeuralBanditAgent:
         """Training loss of the most recent update, if any."""
         return self._last_loss
 
+    @property
+    def last_action_greedy(self) -> Optional[bool]:
+        """Whether the latest action matched the greedy argmax.
+
+        ``None`` before any action. The flight recorder reads this to
+        label each control step as exploration or exploitation.
+        """
+        return self._last_action_greedy
+
     def predict_rewards(self, state: np.ndarray) -> np.ndarray:
         """``mu(s, a, theta)`` for every action (Algorithm 1, line 4)."""
         state = self._check_state(state)
@@ -117,10 +127,13 @@ class NeuralBanditAgent:
     def act(self, state: np.ndarray) -> int:
         """Sample an action from the softmax policy (lines 4-6)."""
         values = self.predict_rewards(state)
-        return self._softmax.select(values, self.temperature)
+        action = self._softmax.select(values, self.temperature)
+        self._last_action_greedy = bool(action == int(np.argmax(values)))
+        return action
 
     def act_greedy(self, state: np.ndarray) -> int:
         """Exploit: the action with the highest predicted reward."""
+        self._last_action_greedy = True
         return self._greedy.select(self.predict_rewards(state))
 
     def action_probabilities(self, state: np.ndarray) -> np.ndarray:

@@ -63,6 +63,7 @@ class TabularBanditAgent:
         self._visits: Dict[Hashable, np.ndarray] = {}
         self._reward_sum: Dict[Hashable, float] = {}
         self._step_count = 0
+        self._last_action_greedy: Optional[bool] = None
 
     @property
     def step_count(self) -> int:
@@ -88,12 +89,25 @@ class TabularBanditAgent:
             self._reward_sum[state_key] = 0.0
         return self._table[state_key]
 
+    @property
+    def last_action_greedy(self) -> Optional[bool]:
+        """Whether the latest action matched the table argmax.
+
+        ``None`` before any action; read by the flight recorder to tag
+        steps as exploration vs exploitation.
+        """
+        return self._last_action_greedy
+
     def act(self, state_key: Hashable) -> int:
         """Epsilon-greedy action at the current (decaying) epsilon."""
-        return self._epsilon_greedy.select(self.values(state_key), self.epsilon)
+        row = self.values(state_key)
+        action = self._epsilon_greedy.select(row, self.epsilon)
+        self._last_action_greedy = bool(action == int(np.argmax(row)))
+        return action
 
     def act_greedy(self, state_key: Hashable) -> int:
         """Exploit the current value estimates."""
+        self._last_action_greedy = True
         return self._greedy.select(self.values(state_key))
 
     def observe(self, state_key: Hashable, action: int, reward: float) -> None:

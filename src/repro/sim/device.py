@@ -130,6 +130,11 @@ class DeviceEnvironment:
     schedule switch applications, runs one control interval, and
     returns the resulting snapshot — from which the caller computes the
     reward (Eq. 4 needs exactly ``f_{t+1}`` and ``P_{t+1}``).
+
+    ``metrics``/``profiler`` are optional :mod:`repro.obs` sinks:
+    attached, each interval lands in the ``sim.step`` profile scope and
+    application switches tick ``sim.app_switches``; unattached, both
+    cost one ``None`` check per step.
     """
 
     def __init__(
@@ -137,12 +142,16 @@ class DeviceEnvironment:
         device: EdgeDevice,
         control_interval_s: float = 0.5,
         schedule_switching: bool = True,
+        metrics=None,
+        profiler=None,
     ) -> None:
         self.device = device
         self.control_interval_s = require_positive(
             "control_interval_s", control_interval_s
         )
         self.schedule_switching = schedule_switching
+        self.metrics = metrics
+        self.profiler = profiler
 
     @property
     def num_actions(self) -> int:
@@ -151,12 +160,23 @@ class DeviceEnvironment:
     def reset(self, application_name: Optional[str] = None) -> ProcessorSnapshot:
         """Load an application and return the warm-up observation."""
         self.device.reset(application_name)
+        if self.metrics is not None:
+            self.metrics.inc("sim.resets")
         return self.device.step(0, self.control_interval_s)
 
     def step(self, action_index: int) -> ProcessorSnapshot:
         """One control interval under ``action_index``."""
+        if self.profiler is not None:
+            with self.profiler.scope("sim.step"):
+                return self._step(action_index)
+        return self._step(action_index)
+
+    def _step(self, action_index: int) -> ProcessorSnapshot:
         if self.schedule_switching:
-            self.device.advance_schedule()
+            running = self.device.current_application
+            upcoming = self.device.advance_schedule()
+            if self.metrics is not None and upcoming != running:
+                self.metrics.inc("sim.app_switches")
         return self.device.step(action_index, self.control_interval_s)
 
 

@@ -109,3 +109,149 @@ class TestCliTelemetry:
         counters = snapshots[0]["counters"]
         assert counters["federated.rounds"] == len(spans)
         assert counters["transport.bytes"] == sum(s["bytes"] for s in spans)
+
+
+class TestCliFlightAndProfile:
+    def test_flight_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["run", "fig2"])
+        assert args.flight_out == ""
+        assert args.flight_capacity == 65536
+        assert args.flight_sample == 1
+        assert args.profile is False
+
+    def test_flight_out_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "flight.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig3",
+                    "--flight-out",
+                    str(path),
+                    "--rounds",
+                    "5",
+                    "--steps",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines and all(l["type"] == "flight_record" for l in lines)
+        assert {"device", "action_index", "reward", "violated"} <= set(lines[0])
+
+    def test_flight_capacity_bounds_retained_records(self, tmp_path, capsys):
+        path = tmp_path / "flight.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig3",
+                    "--flight-out",
+                    str(path),
+                    "--flight-capacity",
+                    "10",
+                    "--rounds",
+                    "5",
+                    "--steps",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        assert len(path.read_text().splitlines()) == 10
+
+    def test_flight_out_missing_directory_fails_before_run(self, tmp_path, capsys):
+        path = tmp_path / "does-not-exist" / "flight.jsonl"
+        assert main(["run", "fig2", "--flight-out", str(path)]) == 1
+        assert "directory does not exist" in capsys.readouterr().err
+
+    def test_profile_prints_scope_table(self, tmp_path, capsys):
+        assert (
+            main(["run", "fig3", "--profile", "--rounds", "5", "--steps", "5"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "control.run_steps" in err
+        assert "self_s" in err
+
+    def test_profile_exported_into_metrics_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig3",
+                    "--profile",
+                    "--metrics-out",
+                    str(path),
+                    "--rounds",
+                    "5",
+                    "--steps",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        gauges = lines[-1]["gauges"]
+        assert any(name.startswith("profile.") for name in gauges)
+
+
+class TestCliObsReport:
+    def _run_with_telemetry(self, tmp_path):
+        flight = tmp_path / "flight.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig3",
+                    "--flight-out",
+                    str(flight),
+                    "--metrics-out",
+                    str(metrics),
+                    "--rounds",
+                    "5",
+                    "--steps",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        return flight, metrics
+
+    def test_obs_report_renders_to_file(self, tmp_path, capsys):
+        flight, metrics = self._run_with_telemetry(tmp_path)
+        report = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "obs-report",
+                    str(flight),
+                    "--metrics",
+                    str(metrics),
+                    "-o",
+                    str(report),
+                ]
+            )
+            == 0
+        )
+        text = report.read_text()
+        assert text.startswith("# Run report")
+        assert "## OPP dwell per device" in text
+        assert "## Power-constraint violations" in text
+        assert "## Reward convergence" in text
+        assert "## Federated rounds" in text
+
+    def test_obs_report_to_stdout_without_metrics(self, tmp_path, capsys):
+        flight, _ = self._run_with_telemetry(tmp_path)
+        capsys.readouterr()
+        assert main(["obs-report", str(flight), "--title", "Smoke"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Smoke")
+        assert "## Federated rounds" not in out
+
+    def test_obs_report_missing_file_fails(self, tmp_path, capsys):
+        assert main(["obs-report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "does not exist" in capsys.readouterr().err

@@ -191,3 +191,72 @@ class TestFederatedBeatsLocalOnScenario2:
         local_b = local.eval_series("device-B", "frequency_mean_hz")[-1]
         fed_b = federated.eval_series("device-B", "frequency_mean_hz")[-1]
         assert local_b > fed_b
+
+
+class TestPowerViolationAccounting:
+    """The flight recorder and FederatedRunResult must agree on P_crit.
+
+    Both count training steps whose measured power exceeded the
+    configured limit — the recorder live in the control loop, the run
+    result offline from the training trace.
+    """
+
+    @pytest.fixture(scope="class")
+    def instrumented(self, tiny_config, assignments):
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder(capacity=100_000, sample_every=1)
+        result = train_federated(
+            assignments,
+            tiny_config,
+            eval_applications=["fft"],
+            flight=flight,
+        )
+        return result, flight
+
+    def test_per_device_counts_match_flight_recorder(self, instrumented):
+        result, flight = instrumented
+        fed = result.federated_result
+        assert fed is not None
+        assert fed.power_violations_by_device == flight.violation_counts()
+        assert fed.power_steps_by_device == flight.steps_by_device()
+
+    def test_rates_match_flight_recorder(self, instrumented):
+        result, flight = instrumented
+        fed = result.federated_result
+        for device in result.device_names:
+            assert fed.power_violation_rate(device) == pytest.approx(
+                flight.violation_rate(device)
+            )
+        assert fed.power_violation_rate() == pytest.approx(
+            flight.violation_rate()
+        )
+
+    def test_steps_cover_the_whole_training_run(self, instrumented, tiny_config):
+        result, flight = instrumented
+        expected = tiny_config.num_rounds * tiny_config.steps_per_round
+        for device in result.device_names:
+            assert flight.steps_by_device()[device] == expected
+
+    def test_violation_rate_empty_result_is_zero(self):
+        from repro.federated.orchestrator import FederatedRunResult
+
+        empty = FederatedRunResult(
+            rounds_completed=0, total_bytes_communicated=0, total_messages=0
+        )
+        assert empty.power_violation_rate() == 0.0
+        assert empty.power_violation_rate("ghost") == 0.0
+
+    def test_flight_records_carry_greedy_and_round_fields(self, instrumented):
+        _, flight = instrumented
+        records = flight.records
+        assert records
+        # Training steps explore: both greedy and non-greedy actions occur.
+        assert any(r.greedy is True for r in records)
+        assert any(r.greedy is False for r in records)
+        assert {r.round_index for r in records} == set(range(4))
+        # Losses appear only on steps where the agent actually updated.
+        assert any(r.loss is not None for r in records)
+
+    def test_baseline_results_have_no_federated_summary(self, local_result):
+        assert local_result.federated_result is None

@@ -1,0 +1,161 @@
+"""Tests for the ambient telemetry context stack.
+
+Covers the full bundle (metrics, tracer, flight, profiler), nested and
+interleaved push/pop, and thread-local isolation — telemetry activated
+on one thread must be invisible to every other thread.
+"""
+
+import threading
+
+from repro.obs.context import (
+    Telemetry,
+    activate,
+    active_flight,
+    active_metrics,
+    active_profiler,
+    active_tracer,
+    deactivate,
+    get_active,
+    telemetry,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ScopeProfiler
+from repro.obs.tracing import RoundTracer
+
+
+class TestStackBasics:
+    def test_empty_stack_resolves_to_none(self):
+        assert get_active() is None
+        assert active_metrics() is None
+        assert active_tracer() is None
+        assert active_flight() is None
+        assert active_profiler() is None
+
+    def test_telemetry_activates_all_four_sinks(self):
+        metrics, tracer = MetricsRegistry(), RoundTracer()
+        flight, profiler = FlightRecorder(), ScopeProfiler()
+        with telemetry(
+            metrics=metrics, tracer=tracer, flight=flight, profiler=profiler
+        ) as bundle:
+            assert isinstance(bundle, Telemetry)
+            assert active_metrics() is metrics
+            assert active_tracer() is tracer
+            assert active_flight() is flight
+            assert active_profiler() is profiler
+        assert get_active() is None
+
+    def test_explicit_argument_wins_over_ambient(self):
+        ambient, explicit = FlightRecorder(), FlightRecorder()
+        with telemetry(flight=ambient):
+            assert active_flight(explicit) is explicit
+            assert active_flight() is ambient
+
+    def test_deactivate_on_empty_stack_is_noop(self):
+        deactivate()  # must not raise
+        assert get_active() is None
+
+    def test_telemetry_pops_on_exception(self):
+        try:
+            with telemetry(metrics=MetricsRegistry()):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert get_active() is None
+
+
+class TestNestedAndInterleaved:
+    def test_innermost_bundle_wins(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with telemetry(metrics=outer):
+            with telemetry(metrics=inner):
+                assert active_metrics() is inner
+            assert active_metrics() is outer
+
+    def test_inner_bundle_does_not_inherit_outer_sinks(self):
+        # An inner bundle with only a tracer hides the outer registry:
+        # bundles are atomic, not merged.
+        metrics = MetricsRegistry()
+        with telemetry(metrics=metrics):
+            with telemetry(tracer=RoundTracer()):
+                assert active_metrics() is None
+            assert active_metrics() is metrics
+
+    def test_interleaved_activate_deactivate(self):
+        first = activate(metrics=MetricsRegistry())
+        second = activate(flight=FlightRecorder())
+        third = activate(profiler=ScopeProfiler())
+        assert get_active() is third
+        deactivate()
+        assert get_active() is second
+        fourth = activate(tracer=RoundTracer())
+        assert get_active() is fourth
+        deactivate()
+        assert get_active() is second
+        deactivate()
+        assert get_active() is first
+        deactivate()
+        assert get_active() is None
+
+    def test_three_level_nesting_unwinds_in_order(self):
+        registries = [MetricsRegistry() for _ in range(3)]
+        with telemetry(metrics=registries[0]):
+            with telemetry(metrics=registries[1]):
+                with telemetry(metrics=registries[2]):
+                    assert active_metrics() is registries[2]
+                assert active_metrics() is registries[1]
+            assert active_metrics() is registries[0]
+        assert active_metrics() is None
+
+
+class TestThreadIsolation:
+    def test_bundle_invisible_to_other_threads(self):
+        seen = {}
+
+        def probe():
+            seen["metrics"] = active_metrics()
+            seen["bundle"] = get_active()
+
+        with telemetry(metrics=MetricsRegistry()):
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen["metrics"] is None
+        assert seen["bundle"] is None
+
+    def test_threads_keep_independent_stacks(self):
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def run(name):
+            registry = MetricsRegistry()
+            with telemetry(metrics=registry):
+                barrier.wait()  # both threads hold their bundle at once
+                results[name] = active_metrics() is registry
+                barrier.wait()
+            results[name + ".after"] = get_active() is None
+
+        threads = [
+            threading.Thread(target=run, args=(n,)) for n in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {
+            "a": True,
+            "b": True,
+            "a.after": True,
+            "b.after": True,
+        }
+
+    def test_worker_thread_activation_does_not_leak_to_main(self):
+        def worker():
+            activate(flight=FlightRecorder())
+            # Deliberately never deactivated: the stack dies with the
+            # thread and must not be visible from the main thread.
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert active_flight() is None

@@ -1,0 +1,188 @@
+"""Tests for the device-level flight recorder."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.flight import FlightRecord, FlightRecorder
+
+
+def _record(
+    device="d0",
+    round_index=0,
+    step=0,
+    action=7,
+    reward=0.5,
+    violated=False,
+    violations=0,
+    **extra,
+):
+    defaults = dict(
+        device=device,
+        round_index=round_index,
+        step=step,
+        obs_frequency_hz=710e6,
+        obs_power_w=0.4,
+        obs_ipc=1.1,
+        obs_mpki=2.5,
+        action_index=action,
+        action_frequency_hz=826e6,
+        reward=reward,
+        violated=violated,
+        violations=violations,
+    )
+    defaults.update(extra)
+    return FlightRecord(**defaults)
+
+
+class TestFlightRecord:
+    def test_as_dict_round_trips_every_field(self):
+        record = _record(greedy=True, temperature_c=45.0, loss=0.01)
+        row = record.as_dict()
+        assert row["device"] == "d0"
+        assert row["greedy"] is True
+        assert FlightRecord(**row) == record
+
+    def test_optional_fields_default_to_none(self):
+        record = _record()
+        assert record.greedy is None
+        assert record.temperature_c is None
+        assert record.loss is None
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest_first(self):
+        recorder = FlightRecorder(capacity=3)
+        for step in range(5):
+            recorder.record(_record(step=step))
+        assert len(recorder) == 3
+        assert [r.step for r in recorder] == [2, 3, 4]
+        assert recorder.records_dropped == 2
+        assert recorder.steps_seen == 5
+
+    def test_sample_every_thins_per_device(self):
+        recorder = FlightRecorder(sample_every=3)
+        kept = [
+            recorder.record(_record(device="a", step=step)) for step in range(7)
+        ]
+        # Steps 0, 3 and 6 are retained; the rest are thinned out.
+        assert kept == [True, False, False, True, False, False, True]
+        assert [r.step for r in recorder] == [0, 3, 6]
+        assert recorder.steps_seen == 7
+
+    def test_sampling_is_independent_per_device(self):
+        recorder = FlightRecorder(sample_every=2)
+        recorder.record(_record(device="a", step=0))
+        assert recorder.record(_record(device="b", step=0)) is True
+        assert recorder.record(_record(device="a", step=1)) is False
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(sample_every=0)
+
+    def test_clear_resets_everything(self):
+        recorder = FlightRecorder(capacity=2)
+        recorder.record(_record(violated=True))
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.steps_seen == 0
+        assert recorder.devices() == []
+        assert recorder.violation_rate() == 0.0
+
+
+class TestAggregates:
+    def test_violation_counters_exact_under_eviction_and_sampling(self):
+        recorder = FlightRecorder(capacity=2, sample_every=3)
+        for step in range(10):
+            recorder.record(_record(step=step, violated=step % 2 == 0))
+        # 5 of 10 offered steps violated; retention kept only 2 rows.
+        assert len(recorder) == 2
+        assert recorder.violation_counts() == {"d0": 5}
+        assert recorder.steps_by_device() == {"d0": 10}
+        assert recorder.violation_rate() == pytest.approx(0.5)
+        assert recorder.violation_rate("d0") == pytest.approx(0.5)
+
+    def test_violation_counts_sum_across_sessions_sharing_a_device(self):
+        # Two control sessions for the same device name each carry
+        # their own running counter; the recorder-level totals add up.
+        recorder = FlightRecorder()
+        recorder.record(_record(step=0, violated=True, violations=1))
+        recorder.record(_record(step=1, violated=False, violations=1))
+        recorder.record(_record(step=0, violated=True, violations=1))
+        assert recorder.violation_counts() == {"d0": 2}
+        assert recorder.violation_rate("d0") == pytest.approx(2 / 3)
+
+    def test_violation_rate_unknown_device_is_zero(self):
+        recorder = FlightRecorder()
+        recorder.record(_record())
+        assert recorder.violation_rate("nope") == 0.0
+
+    def test_dwell_counts_per_device_and_fleet(self):
+        recorder = FlightRecorder()
+        for action in [3, 3, 5]:
+            recorder.record(_record(device="a", action=action))
+        recorder.record(_record(device="b", action=5))
+        assert recorder.dwell_counts("a") == {3: 2, 5: 1}
+        assert recorder.dwell_counts() == {3: 2, 5: 2}
+
+    def test_rewards_and_violations_by_round(self):
+        recorder = FlightRecorder()
+        recorder.record(_record(round_index=0, reward=1.0))
+        recorder.record(_record(round_index=0, reward=0.0, violated=True))
+        recorder.record(_record(round_index=1, reward=0.5))
+        assert recorder.rewards_by_round() == {0: 0.5, 1: 0.5}
+        assert recorder.violations_by_round() == {0: 0.5, 1: 0.0}
+
+    def test_devices_include_fully_evicted_ones(self):
+        recorder = FlightRecorder(capacity=1)
+        recorder.record(_record(device="a"))
+        recorder.record(_record(device="b"))
+        assert recorder.devices() == ["a", "b"]
+        assert recorder.device_records("a") == []
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(_record(step=0, greedy=False, loss=0.25))
+        recorder.record(_record(step=1, violated=True, violations=1))
+        path = tmp_path / "flight.jsonl"
+        assert recorder.dump_jsonl(path) == 2
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert all(l["type"] == "flight_record" for l in lines)
+        loaded = FlightRecorder.from_jsonl(path)
+        assert loaded.records == recorder.records
+        assert loaded.violation_counts() == {"d0": 1}
+
+    def test_from_jsonl_skips_foreign_lines(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        row = {"type": "flight_record", **_record().as_dict()}
+        path.write_text(
+            json.dumps({"type": "round_span", "round": 0})
+            + "\n"
+            + json.dumps(row)
+            + "\n"
+        )
+        loaded = FlightRecorder.from_jsonl(path)
+        assert len(loaded) == 1
+
+    def test_dump_jsonl_empty_recorder_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert FlightRecorder().dump_jsonl(path) == 0
+        assert path.read_text() == ""
+
+    def test_npz_export_arrays(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(_record(step=0, greedy=True, temperature_c=50.0))
+        recorder.record(_record(step=1))
+        path = tmp_path / "flight.npz"
+        assert recorder.dump_npz(path) == 2
+        data = np.load(path, allow_pickle=False)
+        assert list(data["step"]) == [0, 1]
+        # None -> nan for floats, None -> -1 for the greedy flag.
+        assert np.isnan(data["temperature_c"][1])
+        assert list(data["greedy"]) == [1, -1]

@@ -65,8 +65,11 @@ MODULES = [
     "repro.nn.network",
     "repro.nn.optimizers",
     "repro.obs.context",
+    "repro.obs.flight",
     "repro.obs.logging",
     "repro.obs.metrics",
+    "repro.obs.profile",
+    "repro.obs.report",
     "repro.obs.tracing",
     "repro.rl.agent",
     "repro.rl.discretize",
