@@ -49,6 +49,7 @@ from repro.obs import (
     telemetry,
 )
 from repro.obs.report import report_from_files
+from repro.parallel import BACKEND_NAMES, DEFAULT_BACKEND, execution
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the experiment output to this file",
     )
     _add_telemetry_flags(run_parser)
+    _add_execution_flags(run_parser)
 
     report_parser = subparsers.add_parser(
         "report",
@@ -113,6 +115,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2025, help="root random seed"
     )
     _add_telemetry_flags(report_parser)
+    _add_execution_flags(report_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the speed benchmark suite and write BENCH_speed.json",
+    )
+    bench_parser.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default="BENCH_speed.json",
+        metavar="PATH",
+        help="where to write the JSON document (default: BENCH_speed.json)",
+    )
+    bench_parser.add_argument(
+        "--seed", type=int, default=2025, help="root random seed"
+    )
+    bench_parser.add_argument(
+        "--rounds", type=int, default=4, help="federated rounds per driver"
+    )
+    bench_parser.add_argument(
+        "--steps", type=int, default=100, help="control steps per round"
+    )
+    bench_parser.add_argument(
+        "--devices", type=int, default=4, help="number of simulated devices"
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="parallel workers (0 = min(devices, available cpus))",
+    )
+    bench_parser.add_argument(
+        "--no-process",
+        action="store_true",
+        help="skip the process-backend comparison (serial timings only)",
+    )
 
     obs_report = subparsers.add_parser(
         "obs-report",
@@ -210,6 +249,27 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=DEFAULT_BACKEND,
+        choices=BACKEND_NAMES,
+        help=(
+            "execution backend for the training drivers: serial (default), "
+            "thread, or process (persistent per-device workers; results "
+            "are bit-identical across backends)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="max concurrent device workers (0 = one per device)",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -229,6 +289,8 @@ def _dispatch(args) -> int:
         return 0
     if args.command == "obs-report":
         return _run_obs_report(args)
+    if args.command == "bench":
+        return _run_bench(args)
     _setup_logging_from_args(args)
     if args.command == "report":
         return _run_report(args)
@@ -245,7 +307,7 @@ def _dispatch(args) -> int:
         tracer=sinks.tracer,
         flight=sinks.flight,
         profiler=sinks.profiler,
-    ):
+    ), execution(args.backend, args.workers or None):
         output = spec.runner(config)
     print(output)
     if args.output:
@@ -331,6 +393,30 @@ def _write_metrics_jsonl(
     )
 
 
+def _run_bench(args) -> int:
+    """Run the speed benchmark suite and write the JSON document."""
+    from repro.experiments.bench import (
+        format_summary,
+        run_speed_benchmark,
+        write_benchmark,
+    )
+
+    _require_parent_dir("--output", args.output)
+    backends = ("serial",) if args.no_process else ("serial", "process")
+    document = run_speed_benchmark(
+        seed=args.seed,
+        rounds=args.rounds,
+        steps_per_round=args.steps,
+        num_devices=args.devices,
+        workers=args.workers or None,
+        backends=backends,
+    )
+    path = write_benchmark(document, args.output)
+    print(format_summary(document))
+    print(f"[bench] -> {path}", file=sys.stderr)
+    return 0
+
+
 def _run_obs_report(args) -> int:
     """Render the offline run report from telemetry artefacts."""
     for path in filter(None, [args.flight_jsonl, args.metrics]):
@@ -370,7 +456,7 @@ def _run_report(args) -> int:
         tracer=sinks.tracer,
         flight=sinks.flight,
         profiler=sinks.profiler,
-    ):
+    ), execution(args.backend, args.workers or None):
         for experiment_id in experiment_ids:
             spec = get_experiment(experiment_id)
             print(f"running {experiment_id} ({spec.paper_artifact}) ...")

@@ -38,6 +38,15 @@ class FederationError(ReproError, RuntimeError):
     """
 
 
+class ExecutionError(ReproError, RuntimeError):
+    """A parallel execution backend or one of its workers failed.
+
+    Examples: a device-worker process died mid-round, a worker task
+    raised outside the straggler-tolerant training path, or an unknown
+    backend name was requested.
+    """
+
+
 class PolicyError(ReproError, RuntimeError):
     """An RL policy or agent was used incorrectly.
 

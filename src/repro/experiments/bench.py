@@ -1,0 +1,258 @@
+"""Machine-readable speed benchmarks (``repro-power bench``).
+
+Times the hot paths this reproduction actually spends its cycles in —
+the single-step control loop, the three training drivers end to end,
+and the parallel execution engine against its serial reference — and
+emits one JSON document (``BENCH_speed.json`` by default) so CI and
+regression tooling can diff performance across commits without parsing
+log output.
+
+Everything runs on deliberately tiny schedules (seconds, not minutes);
+the point is relative throughput, not paper-scale results. The
+parallel section reports the local-training speedup of the process
+backend over serial, taken from the profiler's
+``federated.local_train`` scope so protocol overhead (broadcast,
+aggregation, evaluation) does not dilute the comparison. On
+single-core containers the speedup is naturally ~1x or below — consult
+``environment.cpu_count`` before asserting on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.control.neural import build_neural_controller
+from repro.control.runtime import ControlSession
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.scenarios import six_app_split
+from repro.experiments.training import (
+    _build_one_environment,
+    train_collab_profit,
+    train_federated,
+    train_local_only,
+)
+from repro.obs.profile import ScopeProfiler
+from repro.utils.rng import generator_from_root
+
+#: Bump when the JSON document's shape changes.
+SCHEMA_VERSION = 1
+
+#: Default output file name.
+DEFAULT_OUTPUT = "BENCH_speed.json"
+
+
+def bench_assignments(num_devices: int = 4) -> Dict[str, Tuple[str, ...]]:
+    """``num_devices`` devices over the six-app split, round-robin."""
+    apps = [app for group in six_app_split().values() for app in group]
+    assignments: Dict[str, Tuple[str, ...]] = {}
+    for index in range(num_devices):
+        name = f"BENCH_{chr(ord('A') + index)}"
+        assignments[name] = tuple(apps[index::num_devices]) or (apps[0],)
+    return assignments
+
+
+def bench_config(
+    seed: int = 2025, rounds: int = 4, steps_per_round: int = 100
+) -> FederatedPowerControlConfig:
+    """A seconds-scale schedule with the exploration horizon rescaled."""
+    return FederatedPowerControlConfig(seed=seed).scaled(
+        rounds=rounds, steps_per_round=steps_per_round
+    )
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _environment_section() -> Dict[str, object]:
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "available_cpus": available_cpus(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+    }
+
+
+def _bench_single_step(
+    config: FederatedPowerControlConfig,
+    warmup_steps: int = 64,
+    timed_steps: int = 256,
+) -> Dict[str, float]:
+    """The per-decision hot path: one device, one fused control loop."""
+    assignments = bench_assignments(1)
+    device_name, apps = next(iter(assignments.items()))
+    environment = _build_one_environment(device_name, apps, 0, config)
+    controller = build_neural_controller(
+        environment.device.opp_table,
+        power_limit_w=config.power_limit_w,
+        offset_w=config.power_offset_w,
+        learning_rate=config.learning_rate,
+        hidden_layers=config.hidden_layers,
+        batch_size=config.batch_size,
+        update_interval=config.update_interval,
+        replay_capacity=config.replay_capacity,
+        seed=generator_from_root(config.seed, 2, 0),
+    )
+    session = ControlSession(environment, controller)
+    session.run_steps(warmup_steps, round_index=0, train=True, record=False)
+    start = perf_counter()
+    session.run_steps(timed_steps, round_index=1, train=True, record=False)
+    train_elapsed = perf_counter() - start
+    start = perf_counter()
+    session.run_steps(timed_steps, round_index=2, train=False, record=False)
+    greedy_elapsed = perf_counter() - start
+
+    network = controller.agent.network
+    x = np.zeros(network.in_features, dtype=float)
+    network.predict_single(x)  # warm the buffers
+    repeats = 2000
+    start = perf_counter()
+    for _ in range(repeats):
+        network.predict_single(x)
+    predict_elapsed = perf_counter() - start
+    return {
+        "train_step_latency_s": train_elapsed / timed_steps,
+        "train_steps_per_s": timed_steps / train_elapsed,
+        "greedy_step_latency_s": greedy_elapsed / timed_steps,
+        "greedy_steps_per_s": timed_steps / greedy_elapsed,
+        "predict_single_latency_s": predict_elapsed / repeats,
+    }
+
+
+def _bench_driver(
+    runner,
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    **kwargs,
+) -> Dict[str, float]:
+    start = perf_counter()
+    runner(assignments, config, **kwargs)
+    elapsed = perf_counter() - start
+    total_steps = len(assignments) * config.num_rounds * config.steps_per_round
+    return {
+        "wall_s": elapsed,
+        "train_steps_per_s": total_steps / elapsed,
+        "rounds_per_s": config.num_rounds / elapsed,
+    }
+
+
+def _bench_parallel(
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    workers: Optional[int],
+    backends: Tuple[str, ...] = ("serial", "process"),
+) -> Dict[str, object]:
+    """Serial vs parallel ``train_federated``, same seeds and schedule.
+
+    ``local_train_s`` is the profiler's cumulative
+    ``federated.local_train`` scope — the phase the engine actually
+    parallelises — alongside the whole-driver wall time.
+    """
+    effective_workers = workers or min(len(assignments), available_cpus())
+    section: Dict[str, object] = {"workers": effective_workers}
+    for backend in backends:
+        profiler = ScopeProfiler()
+        start = perf_counter()
+        train_federated(
+            assignments,
+            config,
+            backend=backend,
+            workers=effective_workers if backend != "serial" else None,
+            profiler=profiler,
+        )
+        elapsed = perf_counter() - start
+        section[backend] = {
+            "wall_s": elapsed,
+            "local_train_s": profiler.stats("federated.local_train").total_s,
+        }
+    serial = section.get("serial")
+    for backend in backends:
+        if backend == "serial" or backend not in section:
+            continue
+        timing = section[backend]
+        section[f"speedup_wall_{backend}"] = serial["wall_s"] / timing["wall_s"]
+        section[f"speedup_local_train_{backend}"] = (
+            serial["local_train_s"] / timing["local_train_s"]
+        )
+    return section
+
+
+def run_speed_benchmark(
+    seed: int = 2025,
+    rounds: int = 4,
+    steps_per_round: int = 100,
+    num_devices: int = 4,
+    workers: Optional[int] = None,
+    backends: Tuple[str, ...] = ("serial", "process"),
+) -> Dict[str, object]:
+    """Run every section and return the machine-readable document."""
+    config = bench_config(seed=seed, rounds=rounds, steps_per_round=steps_per_round)
+    assignments = bench_assignments(num_devices)
+    document: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "environment": _environment_section(),
+        "config": {
+            "seed": seed,
+            "rounds": rounds,
+            "steps_per_round": steps_per_round,
+            "devices": num_devices,
+            "eval_steps_per_app": config.eval_steps_per_app,
+        },
+        "single_step": _bench_single_step(config),
+        "drivers": {
+            "federated": _bench_driver(train_federated, assignments, config),
+            "local_only": _bench_driver(train_local_only, assignments, config),
+            "collab_profit": _bench_driver(
+                train_collab_profit, assignments, config
+            ),
+        },
+        "parallel": _bench_parallel(assignments, config, workers, backends),
+    }
+    return document
+
+
+def write_benchmark(document: Dict[str, object], path: str = DEFAULT_OUTPUT) -> str:
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_summary(document: Dict[str, object]) -> str:
+    """A short human-readable digest of the JSON document."""
+    single = document["single_step"]
+    drivers = document["drivers"]
+    parallel = document["parallel"]
+    lines = [
+        "speed benchmark (schema v%d)" % document["schema_version"],
+        "  single step : %.1f train steps/s, %.1f greedy steps/s, "
+        "predict %.1f us"
+        % (
+            single["train_steps_per_s"],
+            single["greedy_steps_per_s"],
+            single["predict_single_latency_s"] * 1e6,
+        ),
+    ]
+    for name, timing in drivers.items():
+        lines.append(
+            "  %-12s: %.1f steps/s (%.2f s wall)"
+            % (name, timing["train_steps_per_s"], timing["wall_s"])
+        )
+    for key, value in sorted(parallel.items()):
+        if key.startswith("speedup_"):
+            lines.append("  %-28s: %.2fx" % (key, value))
+    lines.append(
+        "  cpus        : %d available"
+        % document["environment"]["available_cpus"]
+    )
+    return "\n".join(lines)

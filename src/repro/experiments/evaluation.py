@@ -75,6 +75,25 @@ class PolicyEvaluator:
     perturbs the training environment's workload position or RNG state
     — the simulated analogue of running the evaluation pass between
     training rounds on the real board.
+
+    Evaluation environments are **per-worker-cloneable**: each one is
+    seeded purely from ``(config.seed, seed_path, device_index)`` via
+    :func:`generator_from_root`, so a parallel execution backend can
+    rebuild a single device's evaluator inside a worker process — by
+    passing that device's original index through ``device_indices`` —
+    and step it through exactly the same RNG stream as the evaluator a
+    serial run holds for that device. Greedy evaluation never mutates
+    controller learning state, so the per-round metric streams are
+    bit-identical regardless of which process hosts the environment.
+
+    Parameters
+    ----------
+    device_indices:
+        Optional mapping from device name to its index in the full
+        experiment's device list. Defaults to enumeration order of
+        ``device_names``; a worker that evaluates a single device must
+        pass the device's original index so its RNG seed path matches
+        the serial evaluator's.
     """
 
     def __init__(
@@ -83,6 +102,7 @@ class PolicyEvaluator:
         config: FederatedPowerControlConfig,
         applications: Union[Sequence[str], Mapping[str, ApplicationModel]],
         seed_path: int = 900,
+        device_indices: Union[Mapping[str, int], None] = None,
     ) -> None:
         if not device_names:
             raise ConfigurationError("need at least one device to evaluate on")
@@ -96,7 +116,8 @@ class PolicyEvaluator:
             self.applications = tuple(applications)
             custom_models = {}
         self._environments: Dict[str, DeviceEnvironment] = {}
-        for index, name in enumerate(device_names):
+        for enum_index, name in enumerate(device_names):
+            index = enum_index if device_indices is None else device_indices[name]
             device = build_default_device(
                 name,
                 list(self.applications),
@@ -121,18 +142,34 @@ class PolicyEvaluator:
         """Evaluate each device's controller on every application."""
         evaluations: List[AppEvaluation] = []
         for device_name, controller in controllers.items():
-            if device_name not in self._environments:
-                raise ConfigurationError(
-                    f"no evaluation environment for device {device_name!r}"
-                )
-            environment = self._environments[device_name]
-            for application in self.applications:
-                evaluations.append(
-                    self._evaluate_single(
-                        environment, controller, device_name, application, round_index
-                    )
-                )
+            evaluations.extend(
+                self.evaluate_device(device_name, controller, round_index)
+            )
         return RoundEvaluation(round_index=round_index, evaluations=evaluations)
+
+    def evaluate_device(
+        self,
+        device_name: str,
+        controller: PowerController,
+        round_index: int,
+    ) -> List[AppEvaluation]:
+        """Evaluate one device's controller on every application.
+
+        The fan-out unit for parallel evaluation: applications run
+        sequentially on the device's persistent environment, preserving
+        its RNG continuity across rounds.
+        """
+        environment = self._environments.get(device_name)
+        if environment is None:
+            raise ConfigurationError(
+                f"no evaluation environment for device {device_name!r}"
+            )
+        return [
+            self._evaluate_single(
+                environment, controller, device_name, application, round_index
+            )
+            for application in self.applications
+        ]
 
     def _evaluate_single(
         self,
@@ -150,17 +187,27 @@ class PolicyEvaluator:
             train=False,
             record=False,
         )
-        rewards = [r.reward for r in records]
-        powers = [r.power_w for r in records]
-        ips_values = [r.ips for r in records]
-        frequencies = [r.frequency_hz for r in records]
+        # Single pass over the records instead of four comprehensions
+        # with repeated attribute lookups; the statistics calls are kept
+        # byte-for-byte identical to preserve exact float results.
+        rewards: List[float] = []
+        powers: List[float] = []
+        ips_values: List[float] = []
+        frequencies: List[float] = []
+        power_limit = self.config.power_limit_w
+        violations = 0
+        for record in records:
+            rewards.append(record.reward)
+            power = record.power_w
+            powers.append(power)
+            ips_values.append(record.ips)
+            frequencies.append(record.frequency_hz)
+            if power > power_limit:
+                violations += 1
         mean_ips = fmean(ips_values)
         total_instructions = environment.device.application(
             application
         ).total_instructions
-        violations = sum(
-            1 for p in powers if p > self.config.power_limit_w
-        ) / len(powers)
         return AppEvaluation(
             device=device_name,
             application=application,
@@ -171,5 +218,5 @@ class PolicyEvaluator:
             exec_time_s=total_instructions / mean_ips,
             frequency_mean_hz=fmean(frequencies),
             frequency_std_hz=pstdev(frequencies),
-            violation_rate=violations,
+            violation_rate=violations / len(powers),
         )

@@ -42,8 +42,12 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import ScopeProfiler
 from repro.obs.tracing import RoundTracer
+from repro.parallel.context import resolve_execution
+from repro.parallel.engine import DeviceFleet, FleetTrainExecutor
+from repro.parallel.payloads import ActorParts, FaultInjector, WorkerSpec
 from repro.rl.schedules import ExponentialDecaySchedule
 from repro.sim.device import DeviceEnvironment, build_default_device
+from repro.sim.opp import JETSON_NANO_OPP_TABLE
 from repro.sim.trace import TraceRecorder
 from repro.utils.rng import generator_from_root
 
@@ -103,30 +107,50 @@ class TrainingResult:
         return {app: sums[app] / counts[app] for app in sums}
 
 
+def _build_one_environment(
+    device_name: str,
+    apps: Sequence[str],
+    index: int,
+    config: FederatedPowerControlConfig,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[ScopeProfiler] = None,
+) -> DeviceEnvironment:
+    """One device's training environment, seeded by its original index.
+
+    Factored out of :func:`_build_training_environments` so a parallel
+    worker can rebuild exactly the environment a serial run would hold
+    for that device — the seed path depends only on ``(config.seed, 1,
+    index)``.
+    """
+    device = build_default_device(
+        device_name,
+        list(apps),
+        seed=generator_from_root(config.seed, 1, index),
+        mean_dwell_steps=config.mean_dwell_steps,
+        power_noise_std_w=config.power_noise_std_w,
+        counter_noise_relative_std=config.counter_noise_relative_std,
+        workload_jitter=config.workload_jitter,
+    )
+    return DeviceEnvironment(
+        device,
+        control_interval_s=config.control_interval_s,
+        metrics=metrics,
+        profiler=profiler,
+    )
+
+
 def _build_training_environments(
     assignments: Dict[str, Tuple[str, ...]],
     config: FederatedPowerControlConfig,
     metrics: Optional[MetricsRegistry] = None,
     profiler: Optional[ScopeProfiler] = None,
 ) -> Dict[str, DeviceEnvironment]:
-    environments: Dict[str, DeviceEnvironment] = {}
-    for index, (device_name, apps) in enumerate(assignments.items()):
-        device = build_default_device(
-            device_name,
-            list(apps),
-            seed=generator_from_root(config.seed, 1, index),
-            mean_dwell_steps=config.mean_dwell_steps,
-            power_noise_std_w=config.power_noise_std_w,
-            counter_noise_relative_std=config.counter_noise_relative_std,
-            workload_jitter=config.workload_jitter,
+    return {
+        device_name: _build_one_environment(
+            device_name, apps, index, config, metrics=metrics, profiler=profiler
         )
-        environments[device_name] = DeviceEnvironment(
-            device,
-            control_interval_s=config.control_interval_s,
-            metrics=metrics,
-            profiler=profiler,
-        )
-    return environments
+        for index, (device_name, apps) in enumerate(assignments.items())
+    }
 
 
 def _account_power_violations(
@@ -159,6 +183,23 @@ def _temperature_schedule(config: FederatedPowerControlConfig) -> ExponentialDec
     )
 
 
+def _build_one_neural_controller(
+    opp_table, index: int, config: FederatedPowerControlConfig
+) -> NeuralPowerController:
+    return build_neural_controller(
+        opp_table,
+        power_limit_w=config.power_limit_w,
+        offset_w=config.power_offset_w,
+        learning_rate=config.learning_rate,
+        hidden_layers=config.hidden_layers,
+        batch_size=config.batch_size,
+        update_interval=config.update_interval,
+        replay_capacity=config.replay_capacity,
+        temperature_schedule=_temperature_schedule(config),
+        seed=generator_from_root(config.seed, 2, index),
+    )
+
+
 def _build_neural_controllers(
     assignments: Dict[str, Tuple[str, ...]],
     config: FederatedPowerControlConfig,
@@ -167,19 +208,153 @@ def _build_neural_controllers(
     controllers: Dict[str, NeuralPowerController] = {}
     for index, device_name in enumerate(assignments):
         opp_table = environments[device_name].device.opp_table
-        controllers[device_name] = build_neural_controller(
-            opp_table,
-            power_limit_w=config.power_limit_w,
-            offset_w=config.power_offset_w,
-            learning_rate=config.learning_rate,
-            hidden_layers=config.hidden_layers,
-            batch_size=config.batch_size,
-            update_interval=config.update_interval,
-            replay_capacity=config.replay_capacity,
-            temperature_schedule=_temperature_schedule(config),
-            seed=generator_from_root(config.seed, 2, index),
+        controllers[device_name] = _build_one_neural_controller(
+            opp_table, index, config
         )
     return controllers
+
+
+def _build_one_profit_controller(
+    opp_table, index: int, config: FederatedPowerControlConfig
+) -> CollabProfitController:
+    controller = build_profit_controller(
+        opp_table,
+        power_limit_w=config.power_limit_w,
+        collaborative=True,
+        epsilon_schedule=ExponentialDecaySchedule(
+            initial=1.0, rate=config.temperature_decay, minimum=0.01
+        ),
+        seed=generator_from_root(config.seed, 6, index),
+    )
+    assert isinstance(controller, CollabProfitController)
+    return controller
+
+
+def _single_device_evaluator(
+    device_name: str,
+    index: int,
+    config: FederatedPowerControlConfig,
+    eval_apps: Tuple[str, ...],
+) -> PolicyEvaluator:
+    return PolicyEvaluator(
+        [device_name], config, eval_apps, device_indices={device_name: index}
+    )
+
+
+def _federated_actor_parts(
+    device_name: str,
+    metrics: Optional[MetricsRegistry],
+    profiler: Optional[ScopeProfiler],
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_apps: Tuple[str, ...],
+    fault_injector: Optional[FaultInjector] = None,
+) -> ActorParts:
+    """Worker-side builder for one federated device actor.
+
+    Top-level (picklable) and seeded purely by the device's original
+    index, so the actor's environment, controller, evaluator and eval
+    vessel are bit-identical to the serial run's for that device.
+    """
+    index = list(assignments).index(device_name)
+    environment = _build_one_environment(
+        device_name, assignments[device_name], index, config, metrics, profiler
+    )
+    controller = _build_one_neural_controller(
+        environment.device.opp_table, index, config
+    )
+    eval_controller = build_neural_controller(
+        environment.device.opp_table,
+        power_limit_w=config.power_limit_w,
+        offset_w=config.power_offset_w,
+        hidden_layers=config.hidden_layers,
+        seed=generator_from_root(config.seed, 4),
+    )
+    return ActorParts(
+        environment=environment,
+        controller=controller,
+        evaluator=_single_device_evaluator(device_name, index, config, eval_apps),
+        eval_controller=eval_controller,
+        fault_injector=fault_injector,
+    )
+
+
+def _local_actor_parts(
+    device_name: str,
+    metrics: Optional[MetricsRegistry],
+    profiler: Optional[ScopeProfiler],
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_apps: Tuple[str, ...],
+) -> ActorParts:
+    """Worker-side builder for one local-only baseline actor."""
+    index = list(assignments).index(device_name)
+    environment = _build_one_environment(
+        device_name, assignments[device_name], index, config, metrics, profiler
+    )
+    controller = _build_one_neural_controller(
+        environment.device.opp_table, index, config
+    )
+    return ActorParts(
+        environment=environment,
+        controller=controller,
+        evaluator=_single_device_evaluator(device_name, index, config, eval_apps),
+    )
+
+
+def _collab_actor_parts(
+    device_name: str,
+    metrics: Optional[MetricsRegistry],
+    profiler: Optional[ScopeProfiler],
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_apps: Tuple[str, ...],
+) -> ActorParts:
+    """Worker-side builder for one Profit+CollabPolicy baseline actor."""
+    index = list(assignments).index(device_name)
+    environment = _build_one_environment(
+        device_name, assignments[device_name], index, config, metrics, profiler
+    )
+    controller = _build_one_profit_controller(
+        environment.device.opp_table, index, config
+    )
+    return ActorParts(
+        environment=environment,
+        controller=controller,
+        evaluator=_single_device_evaluator(device_name, index, config, eval_apps),
+    )
+
+
+def _worker_specs(
+    builder,
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_apps: Tuple[str, ...],
+    metrics: Optional[MetricsRegistry],
+    profiler: Optional[ScopeProfiler],
+    flight: Optional[FlightRecorder],
+    extra_kwargs: Optional[Dict[str, object]] = None,
+) -> List[WorkerSpec]:
+    """One :class:`WorkerSpec` per device for the parallel engine."""
+    kwargs: Dict[str, object] = {
+        "assignments": dict(assignments),
+        "config": config,
+        "eval_apps": eval_apps,
+    }
+    if extra_kwargs:
+        kwargs.update(extra_kwargs)
+    return [
+        WorkerSpec(
+            device_name=device_name,
+            builder=builder,
+            kwargs=kwargs,
+            collect_metrics=metrics is not None,
+            collect_profile=profiler is not None,
+            flight_capacity=flight.capacity if flight is not None else None,
+            flight_sample_every=flight.sample_every if flight is not None else 1,
+        )
+        for device_name in assignments
+    ]
 
 
 def _check_assignments(assignments: Dict[str, Tuple[str, ...]]) -> None:
@@ -202,6 +377,10 @@ def train_federated(
     tracer: Optional[RoundTracer] = None,
     flight: Optional[FlightRecorder] = None,
     profiler: Optional[ScopeProfiler] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    straggler_policy: str = "abort",
+    fault_injector: Optional[FaultInjector] = None,
 ) -> TrainingResult:
     """Run the paper's federated power control (Algorithms 1 + 2).
 
@@ -220,8 +399,21 @@ def train_federated(
     :mod:`repro.obs.context` bundle, so the CLI's ``--metrics-out``/
     ``--flight-out`` reach here without every experiment threading
     them through.
+
+    ``backend``/``workers`` select the execution engine
+    (:mod:`repro.parallel`): ``"serial"`` (the reference), ``"thread"``
+    or ``"process"`` — defaulting to the ambient
+    :func:`repro.parallel.context.execution` configuration, then to
+    serial. All backends produce bit-identical results; the process
+    backend additionally turns multi-core machines into real
+    local-training speedup. ``straggler_policy`` and ``fault_injector``
+    expose the orchestrator's fault-tolerance path:
+    ``fault_injector(device_name, round_index)`` runs right before each
+    device's local steps and may raise to simulate a straggler (it must
+    be a picklable top-level callable for the process backend).
     """
     _check_assignments(assignments)
+    backend, workers = resolve_execution(backend, workers)
     metrics = active_metrics(metrics)
     tracer = active_tracer(tracer)
     flight = active_flight(flight)
@@ -232,8 +424,27 @@ def train_federated(
             "devices": len(assignments),
             "rounds": config.num_rounds,
             "steps_per_round": config.steps_per_round,
+            "backend": backend,
         },
     )
+    if backend != "serial":
+        return _train_federated_parallel(
+            assignments,
+            config,
+            eval_applications=eval_applications,
+            participation_fraction=participation_fraction,
+            aggregation_weights=aggregation_weights,
+            codec=codec,
+            client_codec=client_codec,
+            metrics=metrics,
+            tracer=tracer,
+            flight=flight,
+            profiler=profiler,
+            backend=backend,
+            workers=workers,
+            straggler_policy=straggler_policy,
+            fault_injector=fault_injector,
+        )
     environments = _build_training_environments(
         assignments, config, metrics=metrics, profiler=profiler
     )
@@ -294,6 +505,8 @@ def train_federated(
         session = sessions[device_name]
 
         def train(round_index: int) -> None:
+            if fault_injector is not None:
+                fault_injector(device_name, round_index)
             session.run_steps(
                 config.steps_per_round, round_index=round_index, train=True
             )
@@ -318,6 +531,7 @@ def train_federated(
         on_round_end=on_round_end,
         participation_fraction=participation_fraction,
         aggregation_weights=aggregation_weights,
+        straggler_policy=straggler_policy,
         seed=generator_from_root(config.seed, 5),
         metrics=metrics,
         tracer=tracer,
@@ -343,24 +557,219 @@ def train_federated(
     return result
 
 
+def _train_federated_parallel(
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_applications: Optional[Sequence[str]],
+    participation_fraction: float,
+    aggregation_weights: Optional[Dict[str, float]],
+    codec,
+    client_codec,
+    metrics: Optional[MetricsRegistry],
+    tracer: Optional[RoundTracer],
+    flight: Optional[FlightRecorder],
+    profiler: Optional[ScopeProfiler],
+    backend: str,
+    workers: Optional[int],
+    straggler_policy: str,
+    fault_injector: Optional[FaultInjector],
+) -> TrainingResult:
+    """The thread/process-backend body of :func:`train_federated`.
+
+    Device environments, controllers and evaluation environments live
+    inside per-device actors; the driver keeps *mirror* controllers as
+    codec endpoints (broadcast decodes into them, upload encodes from
+    them), so transport byte accounting matches the serial path to the
+    byte. The orchestrator's ``executor`` hook fans the local-training
+    phase out across the fleet; evaluation fans out per device. All
+    seed paths are shared with the serial builders, so round
+    evaluations, traces and flight/metrics content are bit-identical.
+    """
+    eval_apps = tuple(eval_applications or evaluation_applications())
+    trace = TraceRecorder()
+    specs = _worker_specs(
+        _federated_actor_parts,
+        assignments,
+        config,
+        eval_apps,
+        metrics,
+        profiler,
+        flight,
+        extra_kwargs={"fault_injector": fault_injector},
+    )
+    fleet = DeviceFleet(
+        specs,
+        backend=backend,
+        workers=workers,
+        trace=trace,
+        metrics=metrics,
+        flight=flight,
+        profiler=profiler,
+    )
+    try:
+        # Mirror controllers: same opp table (a module constant) and
+        # seed path (config.seed, 2, index) as the worker-side builds,
+        # so their initial parameters coincide with the actors'.
+        mirrors = {
+            name: _build_one_neural_controller(
+                JETSON_NANO_OPP_TABLE, index, config
+            )
+            for index, name in enumerate(assignments)
+        }
+        transport = InMemoryTransport(metrics=metrics)
+        clients = [
+            FederatedClient(
+                name,
+                mirrors[name].agent,
+                transport,
+                codec=client_codec if client_codec is not None else codec,
+                metrics=metrics,
+            )
+            for name in assignments
+        ]
+        global_init = build_neural_controller(
+            JETSON_NANO_OPP_TABLE,
+            hidden_layers=config.hidden_layers,
+            seed=generator_from_root(config.seed, 3),
+        )
+        server = FederatedServer(
+            global_init.agent.get_parameters(),
+            list(assignments),
+            transport,
+            codec=codec,
+            metrics=metrics,
+        )
+        result = TrainingResult(
+            name="federated", assignments=dict(assignments), controllers={}
+        )
+        executor = FleetTrainExecutor(
+            fleet,
+            {name: mirrors[name].agent for name in assignments},
+            config.steps_per_round,
+        )
+
+        def on_round_end(round_index: int, fed_server: FederatedServer) -> None:
+            if (round_index + 1) % config.eval_every_rounds != 0:
+                return
+            result.round_evaluations.append(
+                RoundEvaluation(
+                    round_index=round_index,
+                    evaluations=fleet.evaluate_round(
+                        round_index,
+                        list(assignments),
+                        parameters=fed_server.global_parameters,
+                    ),
+                )
+            )
+
+        run_result = run_federated_training(
+            server,
+            clients,
+            {},
+            num_rounds=config.num_rounds,
+            on_round_end=on_round_end,
+            participation_fraction=participation_fraction,
+            aggregation_weights=aggregation_weights,
+            straggler_policy=straggler_policy,
+            seed=generator_from_root(config.seed, 5),
+            metrics=metrics,
+            tracer=tracer,
+            profiler=profiler,
+            executor=executor,
+        )
+        result.controllers = fleet.fetch_controllers()
+        latency = fleet.mean_decision_latency_s()
+    finally:
+        fleet.close()
+
+    _account_power_violations(run_result, trace, assignments, config.power_limit_w)
+    result.federated_result = run_result
+    result.train_trace = trace
+    result.communication_bytes = run_result.total_bytes_communicated
+    result.mean_decision_latency_s = latency
+    _LOG.info(
+        "federated training finished",
+        extra={
+            "rounds": run_result.rounds_completed,
+            "aggregations": run_result.aggregations_completed,
+            "bytes": run_result.total_bytes_communicated,
+            "straggler_rate": round(run_result.straggler_rate, 6),
+        },
+    )
+    return result
+
+
 def train_local_only(
     assignments: Dict[str, Tuple[str, ...]],
     config: FederatedPowerControlConfig,
     eval_applications: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> TrainingResult:
     """Train the identical agents with no collaboration.
 
     Each device's own policy is evaluated after every round — the
-    left-hand columns of Fig. 3.
+    left-hand columns of Fig. 3. ``backend``/``workers`` select the
+    execution engine exactly as in :func:`train_federated`; with no
+    cross-device coupling at all, this driver parallelises trivially
+    (results stay bit-identical to serial).
     """
     _check_assignments(assignments)
+    backend, workers = resolve_execution(backend, workers)
     metrics = active_metrics()
     flight = active_flight()
     profiler = active_profiler()
     _LOG.info(
         "local-only training starting",
-        extra={"devices": len(assignments), "rounds": config.num_rounds},
+        extra={
+            "devices": len(assignments),
+            "rounds": config.num_rounds,
+            "backend": backend,
+        },
     )
+    if backend != "serial":
+        eval_apps = tuple(eval_applications or evaluation_applications())
+        trace = TraceRecorder()
+        specs = _worker_specs(
+            _local_actor_parts,
+            assignments,
+            config,
+            eval_apps,
+            metrics,
+            profiler,
+            flight,
+        )
+        result = TrainingResult(
+            name="local-only", assignments=dict(assignments), controllers={}
+        )
+        with DeviceFleet(
+            specs,
+            backend=backend,
+            workers=workers,
+            trace=trace,
+            metrics=metrics,
+            flight=flight,
+            profiler=profiler,
+        ) as fleet:
+            device_names = list(assignments)
+            for round_index in range(config.num_rounds):
+                fleet.run_round(
+                    round_index, device_names, config.steps_per_round, train=True
+                )
+                if (round_index + 1) % config.eval_every_rounds == 0:
+                    result.round_evaluations.append(
+                        RoundEvaluation(
+                            round_index=round_index,
+                            evaluations=fleet.evaluate_round(
+                                round_index, device_names
+                            ),
+                        )
+                    )
+            result.controllers = fleet.fetch_controllers()
+            result.mean_decision_latency_s = fleet.mean_decision_latency_s()
+        result.train_trace = trace
+        result.communication_bytes = 0
+        return result
     environments = _build_training_environments(
         assignments, config, metrics=metrics, profiler=profiler
     )
@@ -405,37 +814,51 @@ def train_collab_profit(
     assignments: Dict[str, Tuple[str, ...]],
     config: FederatedPowerControlConfig,
     eval_applications: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> TrainingResult:
     """Train the Profit+CollabPolicy baseline (Section IV-B).
 
     Each round: local epsilon-greedy table learning, digest upload,
     visit-count-weighted merge on the server, global-table download.
     Communication bytes are accounted per digest/table entry.
+    ``backend``/``workers`` select the execution engine as in
+    :func:`train_federated`; digest collection and global-table
+    installation run as controller calls on the actors, with the merge
+    kept serial on the driver.
     """
     _check_assignments(assignments)
+    backend, workers = resolve_execution(backend, workers)
     metrics = active_metrics()
     flight = active_flight()
     profiler = active_profiler()
     _LOG.info(
         "profit-collab training starting",
-        extra={"devices": len(assignments), "rounds": config.num_rounds},
+        extra={
+            "devices": len(assignments),
+            "rounds": config.num_rounds,
+            "backend": backend,
+        },
     )
+    if backend != "serial":
+        return _train_collab_profit_parallel(
+            assignments,
+            config,
+            eval_applications=eval_applications,
+            metrics=metrics,
+            flight=flight,
+            profiler=profiler,
+            backend=backend,
+            workers=workers,
+        )
     environments = _build_training_environments(
         assignments, config, metrics=metrics, profiler=profiler
     )
     controllers: Dict[str, CollabProfitController] = {}
     for index, device_name in enumerate(assignments):
-        controller = build_profit_controller(
-            environments[device_name].device.opp_table,
-            power_limit_w=config.power_limit_w,
-            collaborative=True,
-            epsilon_schedule=ExponentialDecaySchedule(
-                initial=1.0, rate=config.temperature_decay, minimum=0.01
-            ),
-            seed=generator_from_root(config.seed, 6, index),
+        controllers[device_name] = _build_one_profit_controller(
+            environments[device_name].device.opp_table, index, config
         )
-        assert isinstance(controller, CollabProfitController)
-        controllers[device_name] = controller
 
     trace = TraceRecorder()
     sessions = {
@@ -483,4 +906,79 @@ def train_collab_profit(
     result.mean_decision_latency_s = fmean(
         session.mean_decision_latency_s() for session in sessions.values()
     )
+    return result
+
+
+def _train_collab_profit_parallel(
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_applications: Optional[Sequence[str]],
+    metrics: Optional[MetricsRegistry],
+    flight: Optional[FlightRecorder],
+    profiler: Optional[ScopeProfiler],
+    backend: str,
+    workers: Optional[int],
+) -> TrainingResult:
+    """The thread/process-backend body of :func:`train_collab_profit`.
+
+    Local table learning fans out across the fleet; ``digest()`` and
+    ``install_global_table()`` run as controller calls on the actors
+    (per-device state only), while the visit-count-weighted merge stays
+    serial on the driver — the same split a real deployment has.
+    """
+    eval_apps = tuple(eval_applications or evaluation_applications())
+    trace = TraceRecorder()
+    specs = _worker_specs(
+        _collab_actor_parts,
+        assignments,
+        config,
+        eval_apps,
+        metrics,
+        profiler,
+        flight,
+    )
+    collab_server = CollabPolicyServer()
+    result = TrainingResult(
+        name="profit-collab", assignments=dict(assignments), controllers={}
+    )
+    communication_bytes = 0
+    with DeviceFleet(
+        specs,
+        backend=backend,
+        workers=workers,
+        trace=trace,
+        metrics=metrics,
+        flight=flight,
+        profiler=profiler,
+    ) as fleet:
+        device_names = list(assignments)
+        for round_index in range(config.num_rounds):
+            fleet.run_round(
+                round_index, device_names, config.steps_per_round, train=True
+            )
+            digests_by_device = fleet.call_all("digest")
+            digests = []
+            for name in device_names:
+                digest = digests_by_device[name]
+                digests.append(digest)
+                communication_bytes += len(digest) * _COLLAB_ENTRY_BYTES  # upload
+            collab_server.aggregate(digests)
+            global_table = collab_server.global_table()
+            fleet.call_all("install_global_table", global_table)
+            communication_bytes += (
+                len(global_table) * _COLLAB_ENTRY_BYTES * len(device_names)
+            )  # download
+            if (round_index + 1) % config.eval_every_rounds == 0:
+                result.round_evaluations.append(
+                    RoundEvaluation(
+                        round_index=round_index,
+                        evaluations=fleet.evaluate_round(
+                            round_index, device_names
+                        ),
+                    )
+                )
+        result.controllers = fleet.fetch_controllers()
+        result.mean_decision_latency_s = fleet.mean_decision_latency_s()
+    result.train_trace = trace
+    result.communication_bytes = communication_bytes
     return result

@@ -42,6 +42,7 @@ from repro.obs.tracing import (
     PHASE_UPLOAD,
     RoundTracer,
     STATUS_FAILED,
+    STATUS_OK,
 )
 from repro.utils.rng import SeedLike, as_generator
 
@@ -128,6 +129,7 @@ def run_federated_training(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[RoundTracer] = None,
     profiler: Optional[ScopeProfiler] = None,
+    executor: Optional[object] = None,
 ) -> FederatedRunResult:
     """Run ``num_rounds`` of federated averaging (Algorithm 2).
 
@@ -161,6 +163,19 @@ def run_federated_training(
         (``federated.broadcast``/``.local_train``/``.upload``/
         ``.aggregate``). Attaching sinks never changes the run's
         numerical results.
+    executor:
+        Optional parallel local-training engine (e.g.
+        :class:`~repro.parallel.engine.FleetTrainExecutor`). When
+        given, the per-round local-training phase is delegated to
+        ``executor.run_local_train(round_index, participating)``, which
+        must return a mapping ``client_id -> outcome`` with ``error``
+        (``None`` or a description) and ``duration_s`` attributes, and
+        must leave each survivor's post-training parameters installed
+        in that client's agent. Broadcast, upload and aggregation stay
+        serial in participating order, so transport byte accounting —
+        and with deterministic trainers, every numerical result — is
+        identical to the ``executor=None`` path. ``trainers`` may be
+        empty in this mode — the executor owns local training.
     """
     if straggler_policy not in ("abort", "skip"):
         raise ConfigurationError(
@@ -178,9 +193,12 @@ def run_federated_training(
             f"client set {sorted(clients_by_id)} does not match the server's "
             f"{sorted(server.client_ids)}"
         )
-    missing_trainers = [cid for cid in clients_by_id if cid not in trainers]
-    if missing_trainers:
-        raise FederationError(f"no trainer supplied for clients {missing_trainers}")
+    if executor is None:
+        missing_trainers = [cid for cid in clients_by_id if cid not in trainers]
+        if missing_trainers:
+            raise FederationError(
+                f"no trainer supplied for clients {missing_trainers}"
+            )
 
     metrics = active_metrics(metrics)
     tracer = active_tracer(tracer)
@@ -224,6 +242,7 @@ def run_federated_training(
                 metrics,
                 tracer,
                 profiler,
+                executor,
             )
         except Exception:
             if tracer is not None and tracer.current_round is not None:
@@ -313,6 +332,7 @@ def _run_one_round(
     metrics: Optional[MetricsRegistry],
     tracer: Optional[RoundTracer],
     profiler: Optional[ScopeProfiler] = None,
+    executor: Optional[object] = None,
 ) -> "tuple[List[str], Optional[float]]":
     """Broadcast → train → upload → aggregate.
 
@@ -333,33 +353,8 @@ def _run_one_round(
     if metrics is not None:
         metrics.inc("federated.broadcast_bytes", transport.total_bytes - bytes_at)
 
-    survivors: List[str] = []
-    stragglers: List[str] = []
-    for client_id in participating:
+    def upload(client_id: str) -> None:
         client = clients_by_id[client_id]
-        client.receive_global()
-        try:
-            with profile("federated.local_train", profiler):
-                if tracer is not None:
-                    with tracer.phase(PHASE_LOCAL_TRAIN, client_id=client_id):
-                        trainers[client_id](round_index)
-                else:
-                    trainers[client_id](round_index)
-        except Exception as error:
-            if straggler_policy == "abort":
-                raise
-            stragglers.append(client_id)
-            if metrics is not None:
-                metrics.inc("federated.stragglers")
-            _LOG.warning(
-                "client straggled; skipping for this round",
-                extra={
-                    "round": round_index,
-                    "client_id": client_id,
-                    "error": repr(error),
-                },
-            )
-            continue
         bytes_at = transport.total_bytes
         with profile("federated.upload", profiler):
             if tracer is not None:
@@ -369,8 +364,80 @@ def _run_one_round(
             else:
                 client.send_local(round_index)
         if metrics is not None:
-            metrics.inc("federated.upload_bytes", transport.total_bytes - bytes_at)
-        survivors.append(client_id)
+            metrics.inc(
+                "federated.upload_bytes", transport.total_bytes - bytes_at
+            )
+
+    survivors: List[str] = []
+    stragglers: List[str] = []
+    if executor is not None:
+        # Parallel local training: every participating client installs
+        # its broadcast serially (deterministic transport accounting),
+        # the executor fans the compute out, then uploads run serially
+        # in participating order — the same wire traffic as the serial
+        # path below.
+        for client_id in participating:
+            clients_by_id[client_id].receive_global()
+        with profile("federated.local_train", profiler):
+            outcomes = executor.run_local_train(round_index, participating)
+        for client_id in participating:
+            outcome = outcomes[client_id]
+            failed = outcome.error is not None
+            if tracer is not None:
+                tracer.add_phase(
+                    PHASE_LOCAL_TRAIN,
+                    client_id=client_id,
+                    duration_s=outcome.duration_s,
+                    status=STATUS_FAILED if failed else STATUS_OK,
+                )
+            if failed:
+                if straggler_policy == "abort":
+                    raise FederationError(
+                        f"client {client_id!r} failed during parallel local "
+                        f"training in round {round_index}:\n{outcome.error}"
+                    )
+                stragglers.append(client_id)
+                if metrics is not None:
+                    metrics.inc("federated.stragglers")
+                _LOG.warning(
+                    "client straggled; skipping for this round",
+                    extra={
+                        "round": round_index,
+                        "client_id": client_id,
+                        "error": outcome.error.strip().splitlines()[-1],
+                    },
+                )
+                continue
+            upload(client_id)
+            survivors.append(client_id)
+    else:
+        for client_id in participating:
+            client = clients_by_id[client_id]
+            client.receive_global()
+            try:
+                with profile("federated.local_train", profiler):
+                    if tracer is not None:
+                        with tracer.phase(PHASE_LOCAL_TRAIN, client_id=client_id):
+                            trainers[client_id](round_index)
+                    else:
+                        trainers[client_id](round_index)
+            except Exception as error:
+                if straggler_policy == "abort":
+                    raise
+                stragglers.append(client_id)
+                if metrics is not None:
+                    metrics.inc("federated.stragglers")
+                _LOG.warning(
+                    "client straggled; skipping for this round",
+                    extra={
+                        "round": round_index,
+                        "client_id": client_id,
+                        "error": repr(error),
+                    },
+                )
+                continue
+            upload(client_id)
+            survivors.append(client_id)
 
     if not survivors:
         raise FederationError(

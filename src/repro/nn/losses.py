@@ -8,6 +8,8 @@ as the textbook alternative for the loss ablation.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from repro.utils.math import huber_gradient, huber_loss
@@ -31,6 +33,20 @@ class HuberLoss:
         residual = self._residual(predictions, targets)
         return huber_gradient(residual, self.delta) / residual.size
 
+    def value_and_gradient(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Loss and gradient from one shared residual computation.
+
+        The agent's update step needs both; computing them together
+        halves the residual/branch work versus calling :meth:`value`
+        and :meth:`gradient` separately, with bit-identical results.
+        """
+        residual = self._residual(predictions, targets)
+        value = float(np.mean(huber_loss(residual, self.delta)))
+        gradient = huber_gradient(residual, self.delta) / residual.size
+        return value, gradient
+
     @staticmethod
     def _residual(predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
         predictions = np.asarray(predictions, dtype=np.float64)
@@ -53,3 +69,13 @@ class MeanSquaredErrorLoss:
     def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
         residual = HuberLoss._residual(predictions, targets)
         return 2.0 * residual / residual.size
+
+    def value_and_gradient(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Loss and gradient from one shared residual computation."""
+        residual = HuberLoss._residual(predictions, targets)
+        return (
+            float(np.mean(residual**2)),
+            2.0 * residual / residual.size,
+        )

@@ -47,6 +47,33 @@ class MLP:
             init = xavier_uniform if is_output else he_uniform
             self._layers.append(Linear(fan_in, fan_out, rng, weight_init=init))
             self._layers.append(Identity() if is_output else ReLU())
+        # The layer stack is immutable after construction, so the
+        # flattened parameter/gradient views and the single-step
+        # buffers are built exactly once. The arrays themselves stay
+        # live (set_parameters copies *into* them), so these caches
+        # never go stale.
+        self._parameters: List[np.ndarray] = []
+        self._gradients: List[np.ndarray] = []
+        for layer in self._layers:
+            self._parameters.extend(layer.parameters)
+            self._gradients.extend(layer.gradients)
+        self._linears: List[Linear] = [
+            layer for layer in self._layers if isinstance(layer, Linear)
+        ]
+        # (weights, bias, apply_relu, output buffer) per dense layer for
+        # the fused single-state path; every buffer is preallocated so
+        # predict_single performs zero heap allocations per call beyond
+        # the final defensive copy.
+        self._fused = [
+            (
+                layer.weight,
+                layer.bias,
+                index < len(self._linears) - 1,
+                np.empty((1, layer.out_features), dtype=np.float64),
+            )
+            for index, layer in enumerate(self._linears)
+        ]
+        self._input_buffer = np.empty((1, sizes[0]), dtype=np.float64)
 
     @property
     def in_features(self) -> int:
@@ -65,12 +92,39 @@ class MLP:
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         """Forward pass for a single state vector; returns a 1-D array."""
+        return self.predict_single(inputs)
+
+    def predict_single(self, inputs: np.ndarray) -> np.ndarray:
+        """Fused single-state forward pass (the control hot path).
+
+        Numerically identical to ``forward(inputs[None, :])[0]`` but
+        runs through preallocated per-layer buffers with in-place bias
+        add and ReLU, so the per-control-step ``act``/``act_greedy``
+        calls allocate nothing per layer. Unlike :meth:`forward` it
+        does not populate the layers' backward caches — training always
+        goes through the batched :meth:`forward`/:meth:`backward` pair.
+        """
         inputs = np.asarray(inputs, dtype=np.float64)
         if inputs.ndim != 1:
             raise PolicyError(
                 f"predict expects a single state vector, got shape {inputs.shape}"
             )
-        return self.forward(inputs[np.newaxis, :])[0]
+        if inputs.shape[0] != self.layer_sizes[0]:
+            raise PolicyError(
+                f"expected {self.layer_sizes[0]} input features, "
+                f"got {inputs.shape[0]}"
+            )
+        self._input_buffer[0, :] = inputs
+        x = self._input_buffer
+        for weight, bias, apply_relu, buffer in self._fused:
+            np.matmul(x, weight, out=buffer)
+            buffer += bias
+            if apply_relu:
+                np.maximum(buffer, 0.0, out=buffer)
+            x = buffer
+        # Copy out: the buffer is reused by the next call, and callers
+        # (policies, analysis code) are allowed to keep the result.
+        return x[0].copy()
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Back-propagate ``dLoss/dOutput``; returns ``dLoss/dInput``.
@@ -86,24 +140,23 @@ class MLP:
 
     @property
     def parameters(self) -> List[np.ndarray]:
-        """Live views of every trainable array (optimisers mutate these)."""
-        params: List[np.ndarray] = []
-        for layer in self._layers:
-            params.extend(layer.parameters)
-        return params
+        """Live views of every trainable array (optimisers mutate these).
+
+        Cached at construction — the layer stack is immutable — so the
+        per-update ``Adam.step``/``zero_gradients`` calls no longer
+        rebuild Python lists on every property access.
+        """
+        return self._parameters
 
     @property
     def gradients(self) -> List[np.ndarray]:
-        """Accumulated gradients aligned with :attr:`parameters`."""
-        grads: List[np.ndarray] = []
-        for layer in self._layers:
-            grads.extend(layer.gradients)
-        return grads
+        """Accumulated gradients aligned with :attr:`parameters` (cached)."""
+        return self._gradients
 
     def zero_gradients(self) -> None:
         """Reset all accumulated gradients to zero."""
-        for layer in self._layers:
-            layer.zero_gradients()
+        for grad in self._gradients:
+            grad.fill(0.0)
 
     def parameter_shapes(self) -> List[Tuple[int, ...]]:
         """Shapes of :attr:`parameters`, used for deserialisation."""

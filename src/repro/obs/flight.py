@@ -219,6 +219,45 @@ class FlightRecorder:
             r: hits.get(r, 0) / counts[r] for r in sorted(counts)
         }
 
+    # -- worker merge --------------------------------------------------
+    def dump_worker_state(self):
+        """Drain retained records and snapshot the exact counters.
+
+        Returns ``(rows, seen_by_device, violations_by_device)`` where
+        the counter dicts are *running totals* for every device this
+        recorder has ever seen. Used by parallel execution workers: a
+        per-device worker records into a private recorder (same
+        ``capacity``/``sample_every`` as the run's recorder), drains it
+        after each task, and ships the result across the thread/process
+        boundary. Draining keeps the counters, so sampling phase and
+        running violation counts stay continuous across rounds.
+        """
+        rows = list(self._records)
+        self._records.clear()
+        self._appended -= len(rows)
+        return rows, dict(self._seen_by_device), dict(self._violations_by_device)
+
+    def merge_worker_state(
+        self,
+        rows: Iterable[FlightRecord],
+        seen_by_device: Dict[str, int],
+        violations_by_device: Dict[str, int],
+    ) -> None:
+        """Fold one worker's :meth:`dump_worker_state` into this recorder.
+
+        Records append in the given order (the caller merges workers in
+        deterministic device order, reproducing the serial interleaving)
+        and the ring handles eviction exactly as live recording would.
+        Counter totals *overwrite* this recorder's entries — each device
+        lives in exactly one worker, so the worker's running totals are
+        authoritative for its device.
+        """
+        for row in rows:
+            self._records.append(row)
+            self._appended += 1
+        self._seen_by_device.update(seen_by_device)
+        self._violations_by_device.update(violations_by_device)
+
     # -- export --------------------------------------------------------
     def to_dicts(self) -> List[Dict[str, object]]:
         return [record.as_dict() for record in self._records]

@@ -199,6 +199,39 @@ class MetricsRegistry:
 
         return decorate
 
+    # -- worker merge --------------------------------------------------
+    def dump_state(self) -> Dict[str, Dict[str, object]]:
+        """The registry's raw contents as one picklable dict.
+
+        Unlike :meth:`snapshot`, histograms keep their *raw observation
+        streams* (not quantile summaries), so a parent registry merging
+        a worker's dump via :meth:`merge_state` ends up with exactly
+        the observations a single-process run would have recorded.
+        """
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: list(h._values) for n, h in self._histograms.items()},
+        }
+
+    def merge_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`dump_state` dict from another registry in.
+
+        Counters add, gauges take the incoming value (last write wins,
+        matching what sequential emission would leave behind) and
+        histogram observations extend in recorded order. Used by the
+        parallel execution backends to merge per-worker telemetry back
+        into the run's ambient registry.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, values in state.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
+
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """The full registry as one nested, JSON-serialisable dict."""

@@ -35,7 +35,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.obs.context import active_profiler
@@ -195,6 +195,49 @@ class ScopeProfiler:
                 f"{s.self_s:>10.4f}  {mean_ms:>9.3f}"
             )
         return "\n".join(lines)
+
+    # -- worker merge --------------------------------------------------
+    def dump_rows(self) -> List[tuple]:
+        """All stats as ``(path, count, total_s, child_s)`` rows.
+
+        The picklable counterpart of the profiler itself: parallel
+        device workers profile into a private instance, ship these rows
+        across the thread/process boundary, and the parent folds them
+        back in with :meth:`merge_rows`.
+        """
+        return [
+            (s.path, s.count, s.total_s, s.child_s)
+            for s in self._stats.values()
+        ]
+
+    def merge_rows(self, rows: Iterable[tuple]) -> None:
+        """Fold :meth:`dump_rows` output from another profiler in.
+
+        Merged paths are re-rooted under the currently open scope (if
+        any), so a worker's ``control.run_steps/control.act`` lands as
+        ``federated.local_train/control.run_steps/control.act`` when the
+        orchestrator merges inside its ``federated.local_train`` scope —
+        the same attribution a serial run produces. Worker root rows
+        count as child time of the open scope.
+        """
+        prefix = self._stack[-1] + PATH_SEPARATOR if self._stack else ""
+        parent: Optional[ScopeStats] = None
+        if self._stack:
+            parent = self._stats.get(self._stack[-1])
+            if parent is None:
+                parent = self._stats[self._stack[-1]] = ScopeStats(
+                    path=self._stack[-1]
+                )
+        for path, count, total_s, child_s in rows:
+            full = prefix + path
+            stats = self._stats.get(full)
+            if stats is None:
+                stats = self._stats[full] = ScopeStats(path=full)
+            stats.count += count
+            stats.total_s += total_s
+            stats.child_s += child_s
+            if parent is not None and PATH_SEPARATOR not in path:
+                parent.child_s += total_s
 
     # -- export --------------------------------------------------------
     def export_to(self, registry: MetricsRegistry) -> int:

@@ -148,6 +148,32 @@ class RoundTracer:
         finally:
             span.duration_s = time.perf_counter() - start
 
+    def add_phase(
+        self,
+        name: str,
+        client_id: Optional[str] = None,
+        duration_s: float = 0.0,
+        bytes_transferred: int = 0,
+        status: str = STATUS_OK,
+    ) -> PhaseSpan:
+        """Append an externally timed phase to the open round.
+
+        The parallel execution backends run client phases concurrently
+        and off-thread (or off-process), where the :meth:`phase` context
+        manager cannot wrap the work; they measure each client's wall
+        time themselves and record it here so traced runs keep one
+        ``local-train`` span per client regardless of backend.
+        """
+        span = PhaseSpan(
+            name=name,
+            client_id=client_id,
+            duration_s=duration_s,
+            bytes_transferred=bytes_transferred,
+            status=status,
+        )
+        self._require_open().phases.append(span)
+        return span
+
     def end_round(
         self,
         stragglers: Sequence[str] = (),

@@ -1,0 +1,64 @@
+"""Parallel federated execution engine.
+
+Public surface of the pluggable execution layer: worker payloads
+(:mod:`~repro.parallel.payloads`), the device actor
+(:mod:`~repro.parallel.worker`), the three backends
+(:mod:`~repro.parallel.backend`), the fleet engine
+(:mod:`~repro.parallel.engine`) and the ambient ``--backend/--workers``
+context (:mod:`~repro.parallel.context`).
+"""
+
+from repro.parallel.backend import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+)
+from repro.parallel.context import (
+    DEFAULT_BACKEND,
+    ExecutionConfig,
+    execution,
+    get_active_execution,
+    resolve_execution,
+)
+from repro.parallel.engine import DeviceFleet, FleetTrainExecutor
+from repro.parallel.payloads import (
+    ActorParts,
+    CallOutcome,
+    CallTask,
+    EvalOutcome,
+    EvalTask,
+    FetchControllerTask,
+    StepsOutcome,
+    StepsTask,
+    TelemetryDump,
+    WorkerSpec,
+)
+from repro.parallel.worker import DeviceActor
+
+__all__ = [
+    "ActorParts",
+    "BACKEND_NAMES",
+    "CallOutcome",
+    "CallTask",
+    "DEFAULT_BACKEND",
+    "DeviceActor",
+    "DeviceFleet",
+    "EvalOutcome",
+    "EvalTask",
+    "ExecutionConfig",
+    "execution",
+    "FetchControllerTask",
+    "FleetTrainExecutor",
+    "get_active_execution",
+    "ProcessBackend",
+    "resolve_execution",
+    "SerialBackend",
+    "StepsOutcome",
+    "StepsTask",
+    "TelemetryDump",
+    "ThreadBackend",
+    "WorkerSpec",
+    "create_backend",
+]

@@ -1,0 +1,90 @@
+"""Ambient execution configuration.
+
+Experiment runners share the uniform ``runner(config) -> str``
+signature, so the CLI cannot thread ``--backend``/``--workers`` through
+every figure and ablation module — the same problem the telemetry
+sinks have, solved the same way (:mod:`repro.obs.context`): the CLI
+*activates* an :class:`ExecutionConfig` here and the training drivers
+pick it up as their default when no explicit ``backend``/``workers``
+argument is passed. Explicit arguments always win.
+
+The stack is thread-local so concurrent drivers cannot leak execution
+settings into each other, and the default (empty stack) resolves to
+the serial backend — existing callers see zero behaviour change.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.parallel.backend import BACKEND_NAMES
+
+#: Backend used when nothing is configured anywhere.
+DEFAULT_BACKEND = "serial"
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """One activated execution preference."""
+
+    backend: str = DEFAULT_BACKEND
+    workers: Optional[int] = None
+
+
+class _ThreadLocalStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[ExecutionConfig] = []
+
+
+_LOCAL = _ThreadLocalStack()
+
+
+def _validate(backend: str, workers: Optional[int]) -> None:
+    if backend not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown execution backend {backend!r}; "
+            f"available: {', '.join(BACKEND_NAMES)}"
+        )
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+
+
+def get_active_execution() -> Optional[ExecutionConfig]:
+    """The innermost config activated on this thread, or ``None``."""
+    stack = _LOCAL.stack
+    return stack[-1] if stack else None
+
+
+def resolve_execution(
+    backend: Optional[str] = None, workers: Optional[int] = None
+) -> Tuple[str, Optional[int]]:
+    """Effective ``(backend, workers)`` for a driver call.
+
+    Explicit arguments win; otherwise the ambient config applies;
+    otherwise the serial default.
+    """
+    ambient = get_active_execution()
+    if backend is None:
+        backend = ambient.backend if ambient is not None else DEFAULT_BACKEND
+    if workers is None and ambient is not None:
+        workers = ambient.workers
+    _validate(backend, workers)
+    return backend, workers
+
+
+@contextmanager
+def execution(
+    backend: str = DEFAULT_BACKEND, workers: Optional[int] = None
+) -> Iterator[ExecutionConfig]:
+    """``with execution("process", workers=4): ...`` — balanced push/pop."""
+    _validate(backend, workers)
+    config = ExecutionConfig(backend=backend, workers=workers)
+    _LOCAL.stack.append(config)
+    try:
+        yield config
+    finally:
+        _LOCAL.stack.pop()

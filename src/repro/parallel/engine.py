@@ -1,0 +1,270 @@
+"""The device fleet: persistent actors behind a pluggable backend.
+
+:class:`DeviceFleet` is what the training drivers talk to. It owns one
+:class:`~repro.parallel.worker.DeviceActor` per device (via the chosen
+backend), dispatches round-synchronous task batches, and folds each
+outcome's telemetry back into the driver's sinks **in deterministic
+device order** — so the shared training trace, flight recorder, metrics
+registry and profiler end up with exactly the content a serial run
+produces, regardless of how the work was scheduled.
+
+:class:`FleetTrainExecutor` adapts the fleet to the orchestrator's
+``executor`` hook (:func:`repro.federated.orchestrator.run_federated_training`):
+it reads the freshly received global parameters out of the driver-side
+mirror agents, fans the local-training phase out across the fleet, and
+installs each survivor's trained parameters back into its mirror so the
+existing upload/aggregate path (and its byte accounting) runs
+unchanged.
+"""
+
+from __future__ import annotations
+
+from statistics import fmean
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ScopeProfiler
+from repro.parallel.backend import create_backend
+from repro.parallel.payloads import (
+    CallTask,
+    EvalTask,
+    FetchControllerTask,
+    StepsOutcome,
+    StepsTask,
+    WorkerSpec,
+)
+from repro.sim.trace import TraceRecorder
+
+
+class DeviceFleet:
+    """Round-synchronous task dispatch over per-device actors."""
+
+    def __init__(
+        self,
+        specs: Sequence[WorkerSpec],
+        backend: str = "thread",
+        workers: Optional[int] = None,
+        trace: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightRecorder] = None,
+        profiler: Optional[ScopeProfiler] = None,
+    ) -> None:
+        self.device_names: List[str] = [spec.device_name for spec in specs]
+        self.backend_name = backend
+        self.trace = trace
+        self.metrics = metrics
+        self.flight = flight
+        self.profiler = profiler
+        self._latency_by_device: Dict[str, float] = {}
+        self._backend = create_backend(backend, specs, workers=workers)
+
+    # -- training ------------------------------------------------------
+    def run_round(
+        self,
+        round_index: int,
+        device_names: Sequence[str],
+        num_steps: int,
+        train: bool = True,
+        parameters_by_device: Optional[Mapping[str, Any]] = None,
+        return_parameters: bool = False,
+        raise_on_error: bool = True,
+    ) -> Dict[str, StepsOutcome]:
+        """One round of local control steps across ``device_names``.
+
+        Outcomes merge into the driver's sinks in the given device
+        order (the serial interleaving). With ``raise_on_error=False``
+        failed tasks come back with ``outcome.error`` set instead of
+        raising — the straggler-tolerant federated path.
+        """
+        tasks = {
+            name: StepsTask(
+                round_index=round_index,
+                num_steps=num_steps,
+                train=train,
+                parameters=(
+                    parameters_by_device.get(name)
+                    if parameters_by_device is not None
+                    else None
+                ),
+                return_parameters=return_parameters,
+            )
+            for name in device_names
+        }
+        outcomes = self._backend.run_tasks(tasks)
+        for name in device_names:
+            outcome = outcomes[name]
+            self._merge_outcome(outcome)
+            if raise_on_error and outcome.error is not None:
+                raise ExecutionError(
+                    f"device {name!r} failed in round {round_index}:\n"
+                    f"{outcome.error}"
+                )
+        return outcomes
+
+    def _merge_outcome(self, outcome: StepsOutcome) -> None:
+        if self.trace is not None and outcome.records:
+            self.trace.extend(outcome.records)
+        if outcome.mean_decision_latency_s is not None:
+            self._latency_by_device[outcome.device] = (
+                outcome.mean_decision_latency_s
+            )
+        dump = outcome.telemetry
+        if dump is None:
+            return
+        if self.flight is not None and (dump.flight_rows or dump.flight_seen):
+            self.flight.merge_worker_state(
+                dump.flight_rows, dump.flight_seen, dump.flight_violations
+            )
+        if self.metrics is not None and dump.metrics_state is not None:
+            self.metrics.merge_state(dump.metrics_state)
+        if self.profiler is not None and dump.profile_rows:
+            self.profiler.merge_rows(dump.profile_rows)
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate_round(
+        self,
+        round_index: int,
+        device_names: Sequence[str],
+        parameters: Optional[Any] = None,
+    ) -> List[Any]:
+        """Fan the device×application evaluation grid out per device.
+
+        Applications run sequentially inside each actor (preserving its
+        evaluation environments' RNG continuity); the flattened rows
+        come back in device order — the exact list a serial
+        ``PolicyEvaluator.evaluate`` call builds.
+        """
+        tasks = {
+            name: EvalTask(round_index=round_index, parameters=parameters)
+            for name in device_names
+        }
+        outcomes = self._backend.run_tasks(tasks)
+        rows: List[Any] = []
+        for name in device_names:
+            outcome = outcomes[name]
+            if outcome.error is not None:
+                raise ExecutionError(
+                    f"evaluation failed on device {name!r} in round "
+                    f"{round_index}:\n{outcome.error}"
+                )
+            rows.extend(outcome.evaluations)
+        return rows
+
+    # -- controller access ---------------------------------------------
+    def call_all(
+        self,
+        method: str,
+        *args: Any,
+        device_names: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """``controller.<method>(*args)`` on every device, in order."""
+        names = list(device_names) if device_names is not None else self.device_names
+        tasks = {name: CallTask(method=method, args=args) for name in names}
+        outcomes = self._backend.run_tasks(tasks)
+        values: Dict[str, Any] = {}
+        for name in names:
+            outcome = outcomes[name]
+            if outcome.error is not None:
+                raise ExecutionError(
+                    f"controller call {method!r} failed on device "
+                    f"{name!r}:\n{outcome.error}"
+                )
+            values[name] = outcome.value
+        return values
+
+    def fetch_controllers(self) -> Dict[str, Any]:
+        """The actors' live controller objects, keyed by device.
+
+        For the process backend the controllers are pickled back whole
+        (network, optimizer state, replay buffer, RNG streams), so the
+        returned objects equal what a serial run holds at the same
+        point.
+        """
+        tasks = {name: FetchControllerTask() for name in self.device_names}
+        outcomes = self._backend.run_tasks(tasks)
+        controllers: Dict[str, Any] = {}
+        for name in self.device_names:
+            outcome = outcomes[name]
+            if outcome.error is not None:
+                raise ExecutionError(
+                    f"failed to fetch controller from device {name!r}:\n"
+                    f"{outcome.error}"
+                )
+            controllers[name] = outcome.value
+        return controllers
+
+    # -- summaries -----------------------------------------------------
+    def mean_decision_latency_s(self) -> float:
+        """Fleet mean of the devices' lifetime decision latencies.
+
+        Summed in spec (device) order so the float result matches the
+        serial drivers' ``fmean`` over their session dicts exactly.
+        """
+        values = [
+            self._latency_by_device[name]
+            for name in self.device_names
+            if name in self._latency_by_device
+        ]
+        if not values:
+            raise ExecutionError("no device has executed control steps yet")
+        return fmean(values)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "DeviceFleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class FleetTrainExecutor:
+    """Adapter between the orchestrator's local-train phase and a fleet.
+
+    ``agents_by_client`` are the driver-side mirror agents — the ones
+    the :class:`~repro.federated.client.FederatedClient` endpoints
+    decode broadcasts into and encode uploads from. Before dispatch the
+    executor reads each participating mirror's (freshly received)
+    parameters; after the round it installs each survivor's trained
+    parameters back, so the untouched upload path serialises exactly
+    the bytes a serial run would.
+    """
+
+    def __init__(
+        self,
+        fleet: DeviceFleet,
+        agents_by_client: Mapping[str, Any],
+        num_steps: int,
+    ) -> None:
+        self._fleet = fleet
+        self._agents = agents_by_client
+        self._num_steps = num_steps
+
+    def run_local_train(
+        self, round_index: int, participating: Sequence[str]
+    ) -> Dict[str, StepsOutcome]:
+        parameters = {
+            client_id: self._agents[client_id].get_parameters()
+            for client_id in participating
+        }
+        outcomes = self._fleet.run_round(
+            round_index,
+            list(participating),
+            self._num_steps,
+            train=True,
+            parameters_by_device=parameters,
+            return_parameters=True,
+            raise_on_error=False,
+        )
+        for client_id in participating:
+            outcome = outcomes[client_id]
+            if outcome.error is None and outcome.parameters is not None:
+                self._agents[client_id].set_parameters(
+                    outcome.parameters, reset_optimizer=True
+                )
+        return outcomes

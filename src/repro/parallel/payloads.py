@@ -1,0 +1,177 @@
+"""Payloads that cross the execution-backend boundary.
+
+The parallel engine (:mod:`repro.parallel.engine`) keeps one persistent
+*device actor* per simulated device — the actor owns that device's
+:class:`~repro.sim.device.DeviceEnvironment`, controller and control
+session across every federated round, exactly like a real edge board
+owns its own state. Only the objects defined here travel between the
+driver process and the actors:
+
+* downstream: small frozen *task* records (step counts, model
+  parameters to install, controller method names);
+* upstream: *outcome* records carrying step traces, trained
+  parameters and a :class:`TelemetryDump` of the worker's private
+  observability sinks.
+
+Everything is plain dataclasses over picklable values (numpy arrays,
+:class:`~repro.sim.trace.StepRecord` /
+:class:`~repro.obs.flight.FlightRecord` rows, dicts), so the identical
+payloads serve the in-process thread backend and the multiprocessing
+backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: A worker-side builder: ``builder(device_name=..., metrics=...,
+#: profiler=..., **kwargs) -> ActorParts``. Must be a *top-level*
+#: function so the spec pickles into a worker process; the metrics/
+#: profiler arguments are the actor's private sinks, to be wired into
+#: the device environment it constructs.
+ActorBuilder = Callable[..., "ActorParts"]
+
+#: Called as ``fault_injector(device_name, round_index)`` right before
+#: a training task runs its steps; raising simulates a straggler.
+FaultInjector = Callable[[str, int], None]
+
+
+@dataclass
+class ActorParts:
+    """What a builder hands back for one device actor.
+
+    ``environment``/``controller`` are mandatory; ``evaluator`` is a
+    single-device :class:`~repro.experiments.evaluation.PolicyEvaluator`
+    (required only when the driver dispatches :class:`EvalTask`);
+    ``eval_controller`` is a parameter vessel for evaluating a shipped
+    global model (federated evaluation) — when absent, evaluation runs
+    against the actor's own training controller.
+    """
+
+    environment: Any
+    controller: Any
+    evaluator: Any = None
+    eval_controller: Any = None
+    fault_injector: Optional[FaultInjector] = None
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything needed to (re)build one device actor in a worker.
+
+    The spec is the *only* thing shipped at worker start-up: builders
+    reconstruct environment and controller from deterministic seed
+    paths, so a process worker ends up with state bit-identical to what
+    a serial run would hold for that device. Telemetry flags mirror the
+    driver's attached sinks; the actor creates matching private
+    collectors and ships their contents back inside each outcome.
+    """
+
+    device_name: str
+    builder: ActorBuilder
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    collect_metrics: bool = False
+    collect_profile: bool = False
+    flight_capacity: Optional[int] = None
+    flight_sample_every: int = 1
+
+
+@dataclass(frozen=True)
+class StepsTask:
+    """Run training/evaluation control steps on the actor's session."""
+
+    round_index: int
+    num_steps: int
+    train: bool = True
+    #: Model parameters to install before stepping (the received global
+    #: model); ``None`` keeps the actor's current parameters.
+    parameters: Optional[List[Any]] = None
+    reset_optimizer: bool = True
+    #: Ship the post-training parameters back (federated upload path).
+    return_parameters: bool = False
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """Greedy-evaluate on this actor's device across all eval apps.
+
+    With ``parameters`` set, the shipped global model is installed into
+    the actor's ``eval_controller`` and evaluated; otherwise the
+    actor's own training controller is evaluated (the local-only and
+    collab baselines).
+    """
+
+    round_index: int
+    parameters: Optional[List[Any]] = None
+
+
+@dataclass(frozen=True)
+class CallTask:
+    """Invoke ``controller.<method>(*args)`` and return the result."""
+
+    method: str
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class FetchControllerTask:
+    """Ship the actor's whole controller object back to the driver."""
+
+
+@dataclass
+class TelemetryDump:
+    """One task's worth of a worker's private observability state.
+
+    ``flight_rows`` are the records retained since the previous dump;
+    ``flight_seen``/``flight_violations`` are the worker's *running*
+    per-device totals (authoritative — each device lives in exactly one
+    worker). ``metrics_state`` and ``profile_rows`` are drained on
+    every dump, so they hold per-task deltas that the driver merges
+    additively.
+    """
+
+    flight_rows: List[Any] = field(default_factory=list)
+    flight_seen: Dict[str, int] = field(default_factory=dict)
+    flight_violations: Dict[str, int] = field(default_factory=dict)
+    metrics_state: Optional[Dict[str, Any]] = None
+    profile_rows: Optional[List[tuple]] = None
+
+
+@dataclass
+class StepsOutcome:
+    """Result of one :class:`StepsTask`.
+
+    ``error`` carries the formatted traceback when the task raised
+    (fault injection or a genuine failure) — the records list is then
+    empty and ``parameters`` is ``None``, matching what a serial run
+    would have produced for a straggler that failed before stepping.
+    """
+
+    device: str
+    records: List[Any] = field(default_factory=list)
+    parameters: Optional[List[Any]] = None
+    error: Optional[str] = None
+    duration_s: float = 0.0
+    #: The session's lifetime mean decision latency after this task
+    #: (``None`` until the first successful step).
+    mean_decision_latency_s: Optional[float] = None
+    telemetry: Optional[TelemetryDump] = None
+
+
+@dataclass
+class EvalOutcome:
+    """Result of one :class:`EvalTask`: per-application evaluations."""
+
+    device: str
+    evaluations: List[Any] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+@dataclass
+class CallOutcome:
+    """Result of a :class:`CallTask`/:class:`FetchControllerTask`."""
+
+    device: str
+    value: Any = None
+    error: Optional[str] = None

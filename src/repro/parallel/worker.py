@@ -1,0 +1,217 @@
+"""Device actors: the worker half of the parallel execution engine.
+
+A :class:`DeviceActor` is one simulated edge device living inside a
+worker (a thread of the driver process or a dedicated child process).
+It is built once from a picklable :class:`~repro.parallel.payloads.WorkerSpec`
+and then serves tasks for the whole run — its environment, controller,
+replay buffer and RNG streams persist across federated rounds, so only
+model parameters and result summaries ever cross the boundary.
+
+Telemetry: the actor records into *private* sinks (its own
+:class:`~repro.obs.metrics.MetricsRegistry`,
+:class:`~repro.obs.profile.ScopeProfiler` and
+:class:`~repro.obs.flight.FlightRecorder`, created only when the
+driver has the matching sink attached) and drains them into a
+:class:`~repro.parallel.payloads.TelemetryDump` after every steps task.
+The driver merges dumps in deterministic device order, reproducing the
+exact stream a serial run emits. Nothing here touches the ambient
+:mod:`repro.obs.context` — thread workers must not see the driver's
+thread-local sinks, and fork-started process workers must not use an
+inherited copy of them.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Optional
+
+from repro.control.runtime import ControlSession
+from repro.errors import SimulationError
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ScopeProfiler
+from repro.parallel.payloads import (
+    CallOutcome,
+    CallTask,
+    EvalOutcome,
+    EvalTask,
+    FetchControllerTask,
+    StepsOutcome,
+    StepsTask,
+    TelemetryDump,
+    WorkerSpec,
+)
+
+#: Handshake value a process worker sends once its actor is built.
+WORKER_READY = "ready"
+
+
+class DeviceActor:
+    """One device's persistent state plus its task dispatcher."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.device_name = spec.device_name
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if spec.collect_metrics else None
+        )
+        self.profiler: Optional[ScopeProfiler] = (
+            ScopeProfiler() if spec.collect_profile else None
+        )
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(
+                capacity=spec.flight_capacity,
+                sample_every=spec.flight_sample_every,
+            )
+            if spec.flight_capacity is not None
+            else None
+        )
+        parts = spec.builder(
+            device_name=spec.device_name,
+            metrics=self.metrics,
+            profiler=self.profiler,
+            **spec.kwargs,
+        )
+        self.environment = parts.environment
+        self.controller = parts.controller
+        self.evaluator = parts.evaluator
+        self.eval_controller = parts.eval_controller
+        self.fault_injector = parts.fault_injector
+        self.session = ControlSession(
+            self.environment,
+            self.controller,
+            metrics=self.metrics,
+            flight=self.flight,
+            profiler=self.profiler,
+        )
+
+    # -- dispatch ------------------------------------------------------
+    def handle(self, task):
+        """Execute one task; never raises (errors ride in the outcome)."""
+        if isinstance(task, StepsTask):
+            return self._run_steps(task)
+        if isinstance(task, EvalTask):
+            return self._evaluate(task)
+        if isinstance(task, CallTask):
+            return self._call(task)
+        if isinstance(task, FetchControllerTask):
+            return CallOutcome(self.device_name, value=self.controller)
+        return CallOutcome(
+            self.device_name, error=f"unknown task type {type(task).__name__}"
+        )
+
+    # -- task handlers -------------------------------------------------
+    def _run_steps(self, task: StepsTask) -> StepsOutcome:
+        start = time.perf_counter()
+        error: Optional[str] = None
+        records = []
+        try:
+            if task.parameters is not None:
+                self.controller.agent.set_parameters(
+                    task.parameters, reset_optimizer=task.reset_optimizer
+                )
+            if self.fault_injector is not None:
+                self.fault_injector(self.device_name, task.round_index)
+            records = self.session.run_steps(
+                task.num_steps,
+                round_index=task.round_index,
+                train=task.train,
+                record=False,
+            )
+        except Exception:
+            error = traceback.format_exc()
+            records = []
+        parameters = None
+        if error is None and task.return_parameters:
+            parameters = self.controller.agent.get_parameters()
+        try:
+            latency: Optional[float] = self.session.mean_decision_latency_s()
+        except SimulationError:
+            latency = None
+        return StepsOutcome(
+            device=self.device_name,
+            records=records,
+            parameters=parameters,
+            error=error,
+            duration_s=time.perf_counter() - start,
+            mean_decision_latency_s=latency,
+            telemetry=self._dump_telemetry(),
+        )
+
+    def _evaluate(self, task: EvalTask) -> EvalOutcome:
+        try:
+            if self.evaluator is None:
+                raise SimulationError(
+                    f"actor {self.device_name!r} was built without an evaluator"
+                )
+            if task.parameters is not None:
+                target = self.eval_controller
+                target.agent.set_parameters(task.parameters)
+            else:
+                target = self.controller
+            rows = self.evaluator.evaluate_device(
+                self.device_name, target, task.round_index
+            )
+            return EvalOutcome(self.device_name, evaluations=rows)
+        except Exception:
+            return EvalOutcome(self.device_name, error=traceback.format_exc())
+
+    def _call(self, task: CallTask) -> CallOutcome:
+        try:
+            value = getattr(self.controller, task.method)(*task.args)
+            return CallOutcome(self.device_name, value=value)
+        except Exception:
+            return CallOutcome(self.device_name, error=traceback.format_exc())
+
+    # -- telemetry -----------------------------------------------------
+    def _dump_telemetry(self) -> Optional[TelemetryDump]:
+        if self.metrics is None and self.profiler is None and self.flight is None:
+            return None
+        dump = TelemetryDump()
+        if self.flight is not None:
+            rows, seen, violations = self.flight.dump_worker_state()
+            dump.flight_rows = rows
+            dump.flight_seen = seen
+            dump.flight_violations = violations
+        if self.metrics is not None:
+            dump.metrics_state = self.metrics.dump_state()
+            self.metrics.reset()
+        if self.profiler is not None:
+            dump.profile_rows = self.profiler.dump_rows()
+            self.profiler.reset()
+        return dump
+
+
+def process_worker_main(connection, spec: WorkerSpec) -> None:
+    """Task loop of one child process (one device, whole run).
+
+    Sends a ready/error handshake after construction, then answers one
+    outcome per received task until the ``None`` shutdown sentinel (or
+    a closed pipe) arrives.
+    """
+    try:
+        actor = DeviceActor(spec)
+    except Exception:
+        try:
+            connection.send(
+                CallOutcome(spec.device_name, error=traceback.format_exc())
+            )
+        finally:
+            connection.close()
+        return
+    connection.send(CallOutcome(spec.device_name, value=WORKER_READY))
+    while True:
+        try:
+            task = connection.recv()
+        except EOFError:
+            break
+        if task is None:
+            break
+        try:
+            outcome = actor.handle(task)
+        except Exception:
+            outcome = CallOutcome(
+                spec.device_name, error=traceback.format_exc()
+            )
+        connection.send(outcome)
+    connection.close()

@@ -173,11 +173,18 @@ class NeuralBanditAgent:
             states, actions, rewards = sample
             sample_indices = None
         predictions = self.network.forward(states)
-        taken = predictions[np.arange(actions.shape[0]), actions]
-        residual_grad = self.loss.gradient(taken, rewards)
+        batch_rows = np.arange(actions.shape[0])
+        taken = predictions[batch_rows, actions]
+        # One residual pass yields both the training signal and the
+        # reported loss — no second Huber forward over the batch.
+        if hasattr(self.loss, "value_and_gradient"):
+            loss_value, residual_grad = self.loss.value_and_gradient(taken, rewards)
+        else:  # injected custom losses only need value/gradient
+            residual_grad = self.loss.gradient(taken, rewards)
+            loss_value = self.loss.value(taken, rewards)
 
         grad_output = np.zeros_like(predictions)
-        grad_output[np.arange(actions.shape[0]), actions] = residual_grad
+        grad_output[batch_rows, actions] = residual_grad
         self.network.zero_gradients()
         self.network.backward(grad_output)
         self.optimizer.step(self.network.parameters, self.network.gradients)
@@ -186,7 +193,7 @@ class NeuralBanditAgent:
             self.replay.update_priorities(sample_indices, np.abs(taken - rewards))
 
         self._update_count += 1
-        self._last_loss = self.loss.value(taken, rewards)
+        self._last_loss = loss_value
         return self._last_loss
 
     def get_parameters(self) -> List[np.ndarray]:

@@ -29,30 +29,53 @@ class Transition:
 
 
 class ReplayBuffer:
-    """Fixed-capacity FIFO ring of transitions with uniform sampling."""
+    """Fixed-capacity FIFO ring of transitions with uniform sampling.
+
+    Storage is columnar — one preallocated ``(capacity, features)``
+    state matrix plus action/reward vectors — so sampling a batch is
+    three fancy-indexing gathers instead of a Python-level loop over
+    transition objects. Sampling draws are bit-identical to the
+    object-per-transition implementation (the RNG consumption is
+    unchanged), which keeps seeded runs reproducible across versions.
+    """
 
     def __init__(self, capacity: int, seed: SeedLike = None) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._rng = as_generator(seed)
-        self._storage: List[Transition] = []
+        self._states: np.ndarray = np.empty((0, 0), dtype=np.float64)
+        self._actions: np.ndarray = np.empty(capacity, dtype=np.int64)
+        self._rewards: np.ndarray = np.empty(capacity, dtype=np.float64)
+        self._size = 0
         self._next_slot = 0
 
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
 
     def add(self, state: np.ndarray, action: int, reward: float) -> None:
         """Append a transition, evicting the oldest once at capacity."""
         state = np.asarray(state, dtype=np.float64)
         if state.ndim != 1:
             raise PolicyError(f"state must be 1-D, got shape {state.shape}")
-        transition = Transition(state.copy(), int(action), float(reward))
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
+        if self._states.shape[1] == 0:
+            self._states = np.empty(
+                (self.capacity, state.shape[0]), dtype=np.float64
+            )
+        elif state.shape[0] != self._states.shape[1]:
+            raise PolicyError(
+                f"state has {state.shape[0]} features but the buffer stores "
+                f"{self._states.shape[1]}"
+            )
+        if self._size < self.capacity:
+            slot = self._size
+            self._size += 1
         else:
-            self._storage[self._next_slot] = transition
+            slot = self._next_slot
             self._next_slot = (self._next_slot + 1) % self.capacity
+        self._states[slot, :] = state
+        self._actions[slot] = int(action)
+        self._rewards[slot] = float(reward)
 
     def sample(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Uniform batch as ``(states, actions, rewards)`` arrays.
@@ -63,14 +86,30 @@ class ReplayBuffer:
         """
         if batch_size <= 0:
             raise PolicyError(f"batch_size must be positive, got {batch_size}")
-        if not self._storage:
+        if self._size == 0:
             raise PolicyError("cannot sample from an empty replay buffer")
-        replace = len(self._storage) < batch_size
-        indices = self._rng.choice(len(self._storage), size=batch_size, replace=replace)
-        states = np.stack([self._storage[i].state for i in indices])
-        actions = np.array([self._storage[i].action for i in indices], dtype=np.int64)
-        rewards = np.array([self._storage[i].reward for i in indices], dtype=np.float64)
-        return states, actions, rewards
+        replace = self._size < batch_size
+        indices = self._rng.choice(self._size, size=batch_size, replace=replace)
+        return (
+            self._states[indices],
+            self._actions[indices],
+            self._rewards[indices],
+        )
+
+    def transitions(self) -> List[Transition]:
+        """The stored transitions as objects (oldest slot order).
+
+        A compatibility/introspection view; the hot paths never build
+        these.
+        """
+        return [
+            Transition(
+                self._states[i].copy(),
+                int(self._actions[i]),
+                float(self._rewards[i]),
+            )
+            for i in range(self._size)
+        ]
 
     def storage_bytes(self, state_features: int = 5) -> int:
         """Wire-format bytes for a full buffer.
@@ -88,5 +127,5 @@ class ReplayBuffer:
 
     def clear(self) -> None:
         """Drop all stored transitions."""
-        self._storage.clear()
+        self._size = 0
         self._next_slot = 0

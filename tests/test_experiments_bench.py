@@ -1,0 +1,99 @@
+"""Schema tests for the machine-readable speed benchmark."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    DEFAULT_OUTPUT,
+    SCHEMA_VERSION,
+    bench_assignments,
+    bench_config,
+    format_summary,
+    run_speed_benchmark,
+    write_benchmark,
+)
+
+DRIVER_KEYS = {"wall_s", "train_steps_per_s", "rounds_per_s"}
+SINGLE_STEP_KEYS = {
+    "train_step_latency_s",
+    "train_steps_per_s",
+    "greedy_step_latency_s",
+    "greedy_steps_per_s",
+    "predict_single_latency_s",
+}
+
+
+@pytest.fixture(scope="module")
+def document():
+    return run_speed_benchmark(
+        seed=3, rounds=2, steps_per_round=10, num_devices=2, workers=2
+    )
+
+
+def test_bench_assignments_cover_requested_devices():
+    assignments = bench_assignments(4)
+    assert len(assignments) == 4
+    assert all(apps for apps in assignments.values())
+    # Round-robin split: no app assigned twice.
+    flat = [app for apps in assignments.values() for app in apps]
+    assert len(flat) == len(set(flat))
+
+
+def test_bench_config_preserves_exploration_horizon():
+    config = bench_config(rounds=2, steps_per_round=10)
+    assert config.num_rounds == 2
+    assert config.steps_per_round == 10
+    # scaled() stretches the decay so tau still anneals fully.
+    assert config.temperature_decay > 0.0005
+
+
+def test_document_schema(document):
+    assert document["schema_version"] == SCHEMA_VERSION
+    env = document["environment"]
+    assert env["cpu_count"] >= 1
+    assert env["available_cpus"] >= 1
+    assert isinstance(env["platform"], str)
+    assert set(document["single_step"]) == SINGLE_STEP_KEYS
+    assert set(document["drivers"]) == {
+        "federated",
+        "local_only",
+        "collab_profit",
+    }
+    for timing in document["drivers"].values():
+        assert set(timing) == DRIVER_KEYS
+        assert all(value > 0.0 for value in timing.values())
+    parallel = document["parallel"]
+    assert parallel["workers"] == 2
+    for backend in ("serial", "process"):
+        assert parallel[backend]["wall_s"] > 0.0
+        assert parallel[backend]["local_train_s"] > 0.0
+    assert parallel["speedup_wall_process"] > 0.0
+    assert parallel["speedup_local_train_process"] > 0.0
+
+
+def test_document_round_trips_through_json(tmp_path, document):
+    path = write_benchmark(document, str(tmp_path / DEFAULT_OUTPUT))
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded == json.loads(json.dumps(document))
+
+
+def test_serial_only_document_omits_speedups():
+    document = run_speed_benchmark(
+        seed=3,
+        rounds=2,
+        steps_per_round=10,
+        num_devices=2,
+        backends=("serial",),
+    )
+    parallel = document["parallel"]
+    assert "process" not in parallel
+    assert not any(key.startswith("speedup_") for key in parallel)
+
+
+def test_format_summary_mentions_key_numbers(document):
+    text = format_summary(document)
+    assert "schema v%d" % SCHEMA_VERSION in text
+    assert "federated" in text
+    assert "speedup_local_train_process" in text

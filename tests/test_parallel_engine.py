@@ -1,0 +1,252 @@
+"""Unit tests for the parallel execution engine (repro.parallel)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.training import _local_actor_parts, _worker_specs
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ScopeProfiler
+from repro.parallel import (
+    BACKEND_NAMES,
+    DeviceFleet,
+    ExecutionConfig,
+    WorkerSpec,
+    create_backend,
+    execution,
+    get_active_execution,
+    resolve_execution,
+)
+from repro.parallel.payloads import ActorParts
+from repro.sim.trace import TraceRecorder
+
+ASSIGNMENTS = {"DEVICE_A": ("fft",), "DEVICE_B": ("radix",)}
+EVAL_APPS = ("fft",)
+
+
+def tiny_config():
+    return FederatedPowerControlConfig(
+        num_rounds=2,
+        steps_per_round=10,
+        eval_steps_per_app=4,
+        eval_every_rounds=1,
+        seed=11,
+    )
+
+
+def make_specs(metrics=None, profiler=None, flight=None):
+    return _worker_specs(
+        _local_actor_parts,
+        ASSIGNMENTS,
+        tiny_config(),
+        EVAL_APPS,
+        metrics,
+        profiler,
+        flight,
+    )
+
+
+def _broken_builder(device_name, metrics, profiler):
+    raise RuntimeError("builder exploded")
+
+
+def _fail_a_round0(device_name, round_index):
+    if device_name == "DEVICE_A" and round_index == 0:
+        raise RuntimeError("injected failure")
+
+
+# -- context ------------------------------------------------------------
+
+
+class TestExecutionContext:
+    def test_default_is_serial(self):
+        assert get_active_execution() is None
+        assert resolve_execution() == ("serial", None)
+
+    def test_ambient_config_applies(self):
+        with execution("thread", workers=3) as cfg:
+            assert cfg == ExecutionConfig("thread", 3)
+            assert resolve_execution() == ("thread", 3)
+        assert get_active_execution() is None
+
+    def test_explicit_arguments_win(self):
+        with execution("thread", workers=3):
+            assert resolve_execution("process", 1) == ("process", 1)
+            assert resolve_execution(backend="serial") == ("serial", 3)
+
+    def test_nested_contexts_stack(self):
+        with execution("thread"):
+            with execution("process", workers=2):
+                assert resolve_execution() == ("process", 2)
+            assert resolve_execution() == ("thread", None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_execution("gpu")
+        with pytest.raises(ConfigurationError):
+            with execution("gpu"):
+                pass
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_execution("thread", 0)
+
+
+# -- backends -----------------------------------------------------------
+
+
+class TestBackendFactory:
+    def test_backend_names(self):
+        assert BACKEND_NAMES == ("serial", "thread", "process")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            create_backend("gpu", make_specs())
+
+    def test_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            create_backend("thread", make_specs(), workers=0)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_round_trip_call(self, backend):
+        impl = create_backend(backend, make_specs(), workers=2)
+        try:
+            from repro.parallel.payloads import CallTask
+
+            outcomes = impl.run_tasks(
+                {name: CallTask(method="digest_size") for name in ASSIGNMENTS}
+            )
+            # NeuralPowerController has no digest_size: errors ride in
+            # the outcome instead of raising.
+            for name in ASSIGNMENTS:
+                assert outcomes[name].error is not None
+        finally:
+            impl.close()
+
+    def test_process_worker_build_failure_surfaces(self):
+        specs = [
+            WorkerSpec(device_name="DEVICE_A", builder=_broken_builder)
+        ]
+        with pytest.raises(ExecutionError, match="failed to start"):
+            create_backend("process", specs)
+
+
+# -- fleet --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_fleet_round_and_eval(backend):
+    trace = TraceRecorder()
+    config = tiny_config()
+    with DeviceFleet(make_specs(), backend=backend, trace=trace) as fleet:
+        names = list(ASSIGNMENTS)
+        outcomes = fleet.run_round(0, names, config.steps_per_round)
+        assert set(outcomes) == set(ASSIGNMENTS)
+        for name in names:
+            assert outcomes[name].error is None
+        assert len(trace) == config.steps_per_round * len(names)
+        rows = fleet.evaluate_round(0, names)
+        assert [r.device for r in rows] == names
+        assert fleet.mean_decision_latency_s() > 0.0
+        controllers = fleet.fetch_controllers()
+        assert set(controllers) == set(ASSIGNMENTS)
+
+
+def test_fleet_latency_before_steps_raises():
+    with DeviceFleet(make_specs(), backend="serial") as fleet:
+        with pytest.raises(ExecutionError):
+            fleet.mean_decision_latency_s()
+
+
+@pytest.mark.parametrize("backend", ("serial", "process"))
+def test_fleet_fault_injection(backend):
+    config = tiny_config()
+    from repro.experiments.training import _federated_actor_parts
+
+    specs = _worker_specs(
+        _federated_actor_parts,
+        ASSIGNMENTS,
+        config,
+        EVAL_APPS,
+        None,
+        None,
+        None,
+        extra_kwargs={"fault_injector": _fail_a_round0},
+    )
+    with DeviceFleet(specs, backend=backend) as fleet:
+        names = list(ASSIGNMENTS)
+        outcomes = fleet.run_round(
+            0, names, config.steps_per_round, raise_on_error=False
+        )
+        assert outcomes["DEVICE_A"].error is not None
+        assert "injected failure" in outcomes["DEVICE_A"].error
+        assert outcomes["DEVICE_A"].records == []
+        assert outcomes["DEVICE_B"].error is None
+        # Next round the injector is quiet and the device recovers.
+        outcomes = fleet.run_round(1, names, config.steps_per_round)
+        assert outcomes["DEVICE_A"].error is None
+        with pytest.raises(ExecutionError, match="DEVICE_A"):
+            fleet.run_round(0, names, config.steps_per_round)
+
+
+@pytest.mark.parametrize("backend", ("thread", "process"))
+def test_fleet_telemetry_matches_serial(backend):
+    config = tiny_config()
+
+    def run(chosen):
+        metrics = MetricsRegistry()
+        profiler = ScopeProfiler()
+        flight = FlightRecorder(capacity=32, sample_every=2)
+        trace = TraceRecorder()
+        specs = _worker_specs(
+            _local_actor_parts,
+            ASSIGNMENTS,
+            config,
+            EVAL_APPS,
+            metrics,
+            profiler,
+            flight,
+        )
+        with DeviceFleet(
+            specs,
+            backend=chosen,
+            trace=trace,
+            metrics=metrics,
+            flight=flight,
+            profiler=profiler,
+        ) as fleet:
+            for round_index in range(config.num_rounds):
+                fleet.run_round(
+                    round_index, list(ASSIGNMENTS), config.steps_per_round
+                )
+        return metrics, profiler, flight, trace
+
+    metrics_s, profiler_s, flight_s, trace_s = run("serial")
+    metrics_p, profiler_p, flight_p, trace_p = run(backend)
+
+    def flight_rows(flight):
+        return [
+            (r.device, r.round_index, r.step, r.action_index, r.reward)
+            for r in flight.records
+        ]
+
+    assert flight_rows(flight_p) == flight_rows(flight_s)
+    assert flight_p.steps_by_device() == flight_s.steps_by_device()
+    assert flight_p.violation_counts() == flight_s.violation_counts()
+
+    counters_s = metrics_s.snapshot()["counters"]
+    counters_p = metrics_p.snapshot()["counters"]
+    assert counters_p == counters_s
+
+    # Same scope paths profiled (self-times are wall-clock and differ).
+    assert {s.path for s in profiler_p.table()} == {
+        s.path for s in profiler_s.table()
+    }
+
+    def trace_rows(trace):
+        return [
+            (r.device, r.round_index, r.action_index, r.reward) for r in trace
+        ]
+
+    assert trace_rows(trace_p) == trace_rows(trace_s)

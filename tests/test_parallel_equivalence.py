@@ -1,0 +1,192 @@
+"""Backend equivalence: thread/process runs are bit-identical to serial.
+
+The parallel engine's core contract: for every training driver, the
+round evaluations, communication byte accounting and training traces
+produced under any execution backend equal the serial reference exactly
+(floats compared with ``==``, not tolerances). Wall-clock artefacts
+(decision latencies, phase durations) are the only permitted
+differences.
+"""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.training import (
+    train_collab_profit,
+    train_federated,
+    train_local_only,
+)
+
+ASSIGNMENTS = {"DEVICE_A": ("fft", "lu"), "DEVICE_B": ("radix",)}
+EVAL_APPS = ("fft", "radix")
+BACKENDS = ("thread", "process")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FederatedPowerControlConfig(
+        num_rounds=4,
+        steps_per_round=25,
+        eval_steps_per_app=4,
+        eval_every_rounds=2,
+        seed=7,
+    )
+
+
+def trace_rows(result):
+    """Trace content minus the wall-clock-dependent fields."""
+    return [
+        (
+            r.device,
+            r.round_index,
+            r.step,
+            r.application,
+            r.action_index,
+            r.frequency_hz,
+            r.power_w,
+            r.reward,
+        )
+        for r in result.train_trace
+    ]
+
+
+def assert_equivalent(base, other):
+    assert other.round_evaluations == base.round_evaluations
+    assert other.communication_bytes == base.communication_bytes
+    assert trace_rows(other) == trace_rows(base)
+    assert set(other.controllers) == set(base.controllers)
+
+
+@pytest.fixture(scope="module")
+def federated_serial(config):
+    return train_federated(ASSIGNMENTS, config, eval_applications=EVAL_APPS)
+
+
+@pytest.fixture(scope="module")
+def local_serial(config):
+    return train_local_only(ASSIGNMENTS, config, eval_applications=EVAL_APPS)
+
+
+@pytest.fixture(scope="module")
+def collab_serial(config):
+    return train_collab_profit(ASSIGNMENTS, config, eval_applications=EVAL_APPS)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_federated_backend_equivalence(config, federated_serial, backend):
+    parallel = train_federated(
+        ASSIGNMENTS,
+        config,
+        eval_applications=EVAL_APPS,
+        backend=backend,
+        workers=2,
+    )
+    assert_equivalent(federated_serial, parallel)
+    base_fed = federated_serial.federated_result
+    par_fed = parallel.federated_result
+    assert par_fed.total_bytes_communicated == base_fed.total_bytes_communicated
+    assert par_fed.total_messages == base_fed.total_messages
+    assert par_fed.participation_by_round == base_fed.participation_by_round
+    assert (
+        par_fed.power_violations_by_device == base_fed.power_violations_by_device
+    )
+    assert par_fed.power_steps_by_device == base_fed.power_steps_by_device
+    # Fetched controllers hold the same trained parameters as serial.
+    for name in ASSIGNMENTS:
+        base_params = federated_serial.controllers[name].agent.get_parameters()
+        par_params = parallel.controllers[name].agent.get_parameters()
+        for b, p in zip(base_params, par_params):
+            assert (b == p).all()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_local_only_backend_equivalence(config, local_serial, backend):
+    parallel = train_local_only(
+        ASSIGNMENTS,
+        config,
+        eval_applications=EVAL_APPS,
+        backend=backend,
+        workers=2,
+    )
+    assert_equivalent(local_serial, parallel)
+    assert parallel.communication_bytes == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_collab_backend_equivalence(config, collab_serial, backend):
+    parallel = train_collab_profit(
+        ASSIGNMENTS,
+        config,
+        eval_applications=EVAL_APPS,
+        backend=backend,
+        workers=2,
+    )
+    assert_equivalent(collab_serial, parallel)
+
+
+def _fail_device_b_round_1(device_name, round_index):
+    # Top-level so the process backend can pickle it into a worker.
+    if device_name == "DEVICE_B" and round_index == 1:
+        raise RuntimeError("injected straggler")
+
+
+@pytest.mark.parametrize("backend", ("serial",) + BACKENDS)
+def test_straggler_skip_equivalent_across_backends(config, backend):
+    result = train_federated(
+        ASSIGNMENTS,
+        config,
+        eval_applications=EVAL_APPS,
+        backend=backend,
+        workers=2,
+        straggler_policy="skip",
+        fault_injector=_fail_device_b_round_1,
+    )
+    assert result.federated_result.stragglers_by_round == [
+        [],
+        ["DEVICE_B"],
+        [],
+        [],
+    ]
+
+
+def test_straggler_skip_bitwise_equal(config):
+    runs = {
+        backend: train_federated(
+            ASSIGNMENTS,
+            config,
+            eval_applications=EVAL_APPS,
+            backend=backend,
+            workers=2,
+            straggler_policy="skip",
+            fault_injector=_fail_device_b_round_1,
+        )
+        for backend in ("serial",) + BACKENDS
+    }
+    for backend in BACKENDS:
+        assert_equivalent(runs["serial"], runs[backend])
+
+
+@pytest.mark.parametrize("backend", ("serial",) + BACKENDS)
+def test_straggler_abort_raises(config, backend):
+    with pytest.raises((FederationError, RuntimeError)):
+        train_federated(
+            ASSIGNMENTS,
+            config,
+            eval_applications=EVAL_APPS,
+            backend=backend,
+            workers=2,
+            straggler_policy="abort",
+            fault_injector=_fail_device_b_round_1,
+        )
+
+
+def test_ambient_execution_context_reaches_driver(config):
+    from repro.parallel import execution
+
+    serial = train_local_only(ASSIGNMENTS, config, eval_applications=EVAL_APPS)
+    with execution("thread", workers=2):
+        ambient = train_local_only(
+            ASSIGNMENTS, config, eval_applications=EVAL_APPS
+        )
+    assert_equivalent(serial, ambient)
