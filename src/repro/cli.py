@@ -32,7 +32,9 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.errors import ConfigurationError, ReproError
+from contextlib import nullcontext
+
+from repro.errors import ConfigurationError, ReproError, RunKilledError
 from repro.experiments.registry import (
     EXPERIMENTS,
     get_experiment,
@@ -94,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(run_parser)
     _add_execution_flags(run_parser)
+    _add_resilience_flags(run_parser)
 
     report_parser = subparsers.add_parser(
         "report",
@@ -116,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(report_parser)
     _add_execution_flags(report_parser)
+    _add_resilience_flags(report_parser)
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -270,6 +274,92 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        type=str,
+        default="",
+        metavar="SPEC",
+        help=(
+            "inject seeded faults into the federated runs: a plan spec "
+            "like 'drop=0.1,fail=0.2,seed=3,kill=5' or the path of a "
+            "saved FaultPlan JSON (see repro.faults.FaultPlan.from_spec)"
+        ),
+    )
+    parser.add_argument(
+        "--aggregator",
+        type=str,
+        default="",
+        metavar="NAME",
+        help=(
+            "robust aggregation rule: mean (default), median, "
+            "trimmed_mean[:FRACTION], or norm_clip[:NORM]"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="checkpoint the federated run state to PATH after each due round",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint every N rounds (default: 1, with --checkpoint)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the --checkpoint snapshot instead of starting "
+            "over; the finished run is bit-identical to an uninterrupted one"
+        ),
+    )
+    parser.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "transport retry budget per send when faults are injected "
+            "(default: 3; only active with --faults)"
+        ),
+    )
+
+
+def _build_resilience_context(args):
+    """The ambient resilience context for this invocation (or a no-op)."""
+    faults = getattr(args, "faults", "")
+    aggregator = getattr(args, "aggregator", "")
+    checkpoint_path = getattr(args, "checkpoint", "")
+    if not (faults or aggregator or checkpoint_path):
+        if getattr(args, "resume", False):
+            raise ConfigurationError("--resume requires --checkpoint PATH")
+        return nullcontext()
+    from repro.faults import CheckpointConfig, RetryPolicy, resilience
+
+    checkpoint = None
+    if checkpoint_path:
+        _require_parent_dir("--checkpoint", checkpoint_path)
+        checkpoint = CheckpointConfig(
+            path=checkpoint_path,
+            every=args.checkpoint_every,
+            resume=args.resume,
+        )
+    elif args.resume:
+        raise ConfigurationError("--resume requires --checkpoint PATH")
+    retry = RetryPolicy(max_attempts=args.retry_attempts) if faults else None
+    return resilience(
+        faults=faults or None,
+        aggregator=aggregator or None,
+        retry=retry,
+        checkpoint=checkpoint,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -278,6 +368,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Piping into `head` and friends closes stdout early; that is
         # not an error worth a traceback.
         return 0
+    except RunKilledError as error:
+        # An injected mid-run server kill is a scheduled chaos event,
+        # not a configuration error — distinct exit code so scripts can
+        # follow up with --resume.
+        print(f"run killed: {error}", file=sys.stderr)
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -307,7 +403,9 @@ def _dispatch(args) -> int:
         tracer=sinks.tracer,
         flight=sinks.flight,
         profiler=sinks.profiler,
-    ), execution(args.backend, args.workers or None):
+    ), execution(args.backend, args.workers or None), _build_resilience_context(
+        args
+    ):
         output = spec.runner(config)
     print(output)
     if args.output:
@@ -456,7 +554,9 @@ def _run_report(args) -> int:
         tracer=sinks.tracer,
         flight=sinks.flight,
         profiler=sinks.profiler,
-    ), execution(args.backend, args.workers or None):
+    ), execution(args.backend, args.workers or None), _build_resilience_context(
+        args
+    ):
         for experiment_id in experiment_ids:
             spec = get_experiment(experiment_id)
             print(f"running {experiment_id} ({spec.paper_artifact}) ...")

@@ -38,6 +38,64 @@ class FederationError(ReproError, RuntimeError):
     """
 
 
+class TransportError(FederationError):
+    """A message could not be moved between two federation endpoints.
+
+    Examples: sending an empty payload, a delivery dropped or timed out
+    by an injected fault plan, or a send that kept failing after every
+    retry attempt allowed by the active :class:`~repro.faults.RetryPolicy`.
+    """
+
+
+class TransportTimeoutError(TransportError):
+    """A message delivery exceeded the phase's configured timeout.
+
+    Produced when an injected delay pushes a send past the
+    ``RetryPolicy`` timeout for its protocol phase; retried sends that
+    keep timing out eventually surface as :class:`RetryExhaustedError`.
+    """
+
+
+class RetryExhaustedError(TransportError):
+    """Every attempt allowed by the retry policy failed.
+
+    Carries the final underlying failure as ``__cause__``; the number
+    of attempts made is in ``attempts``.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class AggregationError(FederationError):
+    """Client updates could not be combined into a global model.
+
+    Examples: parameter lists with mismatched lengths or array shapes,
+    non-finite (NaN/Inf) values reaching a non-robust aggregator, or a
+    robust aggregator left with zero usable updates after sanitization.
+    """
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """A fault deliberately injected by a :class:`~repro.faults.FaultPlan`.
+
+    Raised from client-side training when the plan schedules a crash for
+    that device and round; the orchestrator's straggler handling decides
+    whether the round aborts or simply skips the crashed client.
+    """
+
+
+class RunKilledError(ReproError, RuntimeError):
+    """The run was terminated mid-flight by a scheduled server kill.
+
+    Emitted when a :class:`~repro.faults.FaultPlan` schedules a ``kill``
+    event, after the latest checkpoint has been written. Resuming with
+    the saved checkpoint finishes the run bit-identical to one that was
+    never killed.
+    """
+
+
 class ExecutionError(ReproError, RuntimeError):
     """A parallel execution backend or one of its workers failed.
 

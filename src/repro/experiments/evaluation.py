@@ -147,6 +147,30 @@ class PolicyEvaluator:
             )
         return RoundEvaluation(round_index=round_index, evaluations=evaluations)
 
+    def get_environment(self, device_name: str) -> DeviceEnvironment:
+        """The persistent evaluation environment for one device.
+
+        Exposed for checkpoint/resume: the environment's RNG stream
+        advances every evaluation round, so a bit-identical resume must
+        capture and restore it alongside the training state.
+        """
+        environment = self._environments.get(device_name)
+        if environment is None:
+            raise ConfigurationError(
+                f"no evaluation environment for device {device_name!r}"
+            )
+        return environment
+
+    def set_environment(
+        self, device_name: str, environment: DeviceEnvironment
+    ) -> None:
+        """Install a restored evaluation environment for one device."""
+        if device_name not in self._environments:
+            raise ConfigurationError(
+                f"no evaluation environment for device {device_name!r}"
+            )
+        self._environments[device_name] = environment
+
     def evaluate_device(
         self,
         device_name: str,

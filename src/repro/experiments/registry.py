@@ -40,6 +40,7 @@ from repro.experiments.generalization import run_generalization
 from repro.experiments.multiseed import run_multiseed
 from repro.experiments.overhead import run_overhead
 from repro.experiments.regret import run_regret
+from repro.experiments.resilience import run_resilience
 from repro.experiments.sweep import run_learning_rate_sweep
 from repro.experiments.table3 import run_table3
 from repro.utils.tables import format_table
@@ -185,6 +186,12 @@ _SPECS: List[ExperimentSpec] = [
         "Per-application regret of the federated policy vs the exact oracle",
         "extension",
         lambda config: run_regret(config).format(),
+    ),
+    ExperimentSpec(
+        "resilience",
+        "Training outcome vs injected fault intensity (crash/drop/fail)",
+        "extension",
+        lambda config: run_resilience(config).format(),
     ),
     ExperimentSpec(
         "ablation_clients",

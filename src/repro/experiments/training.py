@@ -26,6 +26,21 @@ from repro.errors import ConfigurationError
 from repro.experiments.config import FederatedPowerControlConfig
 from repro.experiments.evaluation import PolicyEvaluator, RoundEvaluation
 from repro.experiments.scenarios import evaluation_applications
+from repro.faults.aggregation import build_aggregator
+from repro.faults.context import resolve_resilience
+from repro.faults.plan import FaultPlan, PlanFaultInjector, chain_injectors
+from repro.faults.recovery import (
+    CheckpointConfig,
+    RunSnapshot,
+    capture_device_state,
+    load_snapshot,
+    restore_device_state,
+    restore_session_state,
+    run_fingerprint,
+    save_snapshot,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.transport import FaultInjectingTransport
 from repro.federated.client import FederatedClient
 from repro.federated.collab import CollabPolicyServer
 from repro.federated.orchestrator import FederatedRunResult, run_federated_training
@@ -153,26 +168,213 @@ def _build_training_environments(
     }
 
 
-def _account_power_violations(
-    run_result: FederatedRunResult,
+def _power_accounting(
     trace: TraceRecorder,
     assignments: Dict[str, Tuple[str, ...]],
     power_limit_w: float,
-) -> None:
-    """Fill the per-device ``P > P_crit`` accounting from the trace.
-
-    Counted over the *training* steps (the same rows the flight
-    recorder sees), so the two sources must agree — an integration
-    test cross-checks them.
-    """
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Per-device ``(violations, steps)`` counted over the trace rows."""
     violations = {name: 0 for name in assignments}
     steps = {name: 0 for name in assignments}
     for record in trace:
         steps[record.device] = steps.get(record.device, 0) + 1
         if record.power_w > power_limit_w:
             violations[record.device] = violations.get(record.device, 0) + 1
+    return violations, steps
+
+
+def _account_power_violations(
+    run_result: FederatedRunResult,
+    trace: TraceRecorder,
+    assignments: Dict[str, Tuple[str, ...]],
+    power_limit_w: float,
+    prior_snapshot: Optional[RunSnapshot] = None,
+) -> None:
+    """Fill the per-device ``P > P_crit`` accounting from the trace.
+
+    Counted over the *training* steps (the same rows the flight
+    recorder sees), so the two sources must agree — an integration
+    test cross-checks them. A resumed run's trace only holds the rows
+    produced since the checkpoint; ``prior_snapshot`` carries the
+    counts for the rows consumed before the kill, so run totals match
+    an uninterrupted run.
+    """
+    violations, steps = _power_accounting(trace, assignments, power_limit_w)
+    if prior_snapshot is not None:
+        for name in assignments:
+            violations[name] = violations.get(name, 0) + (
+                prior_snapshot.prior_power_violations.get(name, 0)
+            )
+            steps[name] = steps.get(name, 0) + (
+                prior_snapshot.prior_power_steps.get(name, 0)
+            )
     run_result.power_violations_by_device = violations
     run_result.power_steps_by_device = steps
+
+
+@dataclass
+class _ResolvedResilience:
+    """The fully materialised resilience settings for one run."""
+
+    plan: Optional[FaultPlan] = None
+    aggregator: Optional[object] = None
+    retry: Optional[RetryPolicy] = None
+    checkpoint: Optional[CheckpointConfig] = None
+    fingerprint: Optional[str] = None
+    snapshot: Optional[RunSnapshot] = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.plan is not None
+            or self.aggregator is not None
+            or self.retry is not None
+            or self.checkpoint is not None
+        )
+
+
+def _resolve_run_resilience(
+    faults,
+    aggregator,
+    retry,
+    checkpoint,
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+    eval_apps: Tuple[str, ...],
+    participation_fraction: float,
+    aggregation_weights: Optional[Dict[str, float]],
+) -> _ResolvedResilience:
+    """Materialise explicit/ambient resilience settings for one run.
+
+    Spec strings become concrete objects (``FaultPlan.from_spec``
+    against this run's rounds and devices, ``build_aggregator`` for
+    registry names); with a checkpoint configured, the run fingerprint
+    is computed and — in resume mode — the snapshot is loaded and
+    validated against it.
+    """
+    resolved = resolve_resilience(
+        faults=faults, aggregator=aggregator, retry=retry, checkpoint=checkpoint
+    )
+    plan = resolved.faults
+    if isinstance(plan, str):
+        plan = FaultPlan.from_spec(
+            plan, num_rounds=config.num_rounds, devices=list(assignments)
+        )
+    agg = resolved.aggregator
+    if isinstance(agg, str):
+        agg = build_aggregator(agg)
+    out = _ResolvedResilience(
+        plan=plan,
+        aggregator=agg,
+        retry=resolved.retry,
+        checkpoint=resolved.checkpoint,
+    )
+    if out.checkpoint is not None:
+        out.fingerprint = run_fingerprint(
+            config=config,
+            assignments=sorted(assignments.items()),
+            eval_apps=eval_apps,
+            participation_fraction=participation_fraction,
+            aggregation_weights=(
+                sorted(aggregation_weights.items())
+                if aggregation_weights is not None
+                else None
+            ),
+            aggregator=getattr(agg, "name", None),
+            plan=plan.to_json() if plan is not None else None,
+        )
+        if out.checkpoint.resume:
+            # Experiments run many training calls against one checkpoint
+            # path; only the run the snapshot belongs to resumes.  The
+            # others (deterministic, so a rerun reproduces them exactly)
+            # start fresh instead of dying on the identity check.
+            snapshot = load_snapshot(out.checkpoint.path)
+            if snapshot.fingerprint == out.fingerprint:
+                out.snapshot = snapshot
+            else:
+                _LOG.warning(
+                    "checkpoint belongs to a different run; starting fresh",
+                    extra={
+                        "checkpoint": str(out.checkpoint.path),
+                        "snapshot_fingerprint": snapshot.fingerprint[:12],
+                        "run_fingerprint": out.fingerprint[:12],
+                    },
+                )
+            # The crash the kill models already happened; a restarted
+            # invocation must not die again (fingerprints above are
+            # computed from the full plan, so save/resume still match).
+            if out.plan is not None:
+                out.plan = out.plan.without_kill()
+    return out
+
+
+def _wrap_transport(
+    transport: InMemoryTransport,
+    resilience: _ResolvedResilience,
+    metrics: Optional[MetricsRegistry],
+    tracer: Optional[RoundTracer],
+):
+    """Wrap the wire in the fault injector when the plan needs it."""
+    if resilience.plan is None or not resilience.plan.has_wire_faults:
+        return transport
+    return FaultInjectingTransport(
+        transport,
+        resilience.plan,
+        retry=resilience.retry,
+        metrics=metrics,
+        tracer=tracer,
+    )
+
+
+def _effective_fault_injector(
+    resilience: _ResolvedResilience,
+    fault_injector: Optional[FaultInjector],
+) -> Optional[FaultInjector]:
+    """Chain the plan's crash schedule with a user-supplied injector."""
+    plan = resilience.plan
+    if plan is None or not any(e.kind == "crash" for e in plan.events):
+        return fault_injector
+    if fault_injector is None:
+        return PlanFaultInjector(plan)
+    return chain_injectors(PlanFaultInjector(plan), fault_injector)
+
+
+def _save_run_snapshot(
+    resilience: _ResolvedResilience,
+    progress,
+    server: FederatedServer,
+    blobs: Dict[str, bytes],
+    result: "TrainingResult",
+    trace: TraceRecorder,
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+) -> None:
+    """Assemble and atomically persist one run checkpoint.
+
+    Power accounting at checkpoint time folds in any resumed-from
+    priors, so chained resumes still report run totals.
+    """
+    violations, steps = _power_accounting(trace, assignments, config.power_limit_w)
+    prior = resilience.snapshot
+    if prior is not None:
+        for name in assignments:
+            violations[name] = violations.get(name, 0) + (
+                prior.prior_power_violations.get(name, 0)
+            )
+            steps[name] = steps.get(name, 0) + prior.prior_power_steps.get(name, 0)
+    save_snapshot(
+        RunSnapshot(
+            fingerprint=resilience.fingerprint,
+            progress=progress,
+            global_parameters=server.global_parameters,
+            rounds_aggregated=server.rounds_aggregated,
+            device_blobs=blobs,
+            round_evaluations=list(result.round_evaluations),
+            prior_power_violations=violations,
+            prior_power_steps=steps,
+        ),
+        resilience.checkpoint.path,
+    )
 
 
 def _temperature_schedule(config: FederatedPowerControlConfig) -> ExponentialDecaySchedule:
@@ -379,8 +581,12 @@ def train_federated(
     profiler: Optional[ScopeProfiler] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
-    straggler_policy: str = "abort",
+    straggler_policy: Optional[str] = None,
     fault_injector: Optional[FaultInjector] = None,
+    faults=None,
+    aggregator=None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
 ) -> TrainingResult:
     """Run the paper's federated power control (Algorithms 1 + 2).
 
@@ -411,6 +617,21 @@ def train_federated(
     ``fault_injector(device_name, round_index)`` runs right before each
     device's local steps and may raise to simulate a straggler (it must
     be a picklable top-level callable for the process backend).
+    ``straggler_policy=None`` picks ``"skip"`` when a fault plan is
+    active and the paper's strict ``"abort"`` otherwise.
+
+    Resilience (:mod:`repro.faults`): ``faults`` takes a
+    :class:`~repro.faults.plan.FaultPlan` or spec string (resolved
+    against this run's rounds and devices); ``aggregator`` a robust
+    :class:`~repro.faults.aggregation.Aggregator` or registry name
+    (``"median"``, ``"trimmed_mean:0.2"``, …); ``retry`` a
+    :class:`~repro.faults.retry.RetryPolicy` applied to broadcasts and
+    uploads; ``checkpoint`` a
+    :class:`~repro.faults.recovery.CheckpointConfig` — with
+    ``resume=True`` the run restarts from the snapshot and finishes
+    bit-identical to an uninterrupted run, on every backend. All four
+    default to the ambient :func:`repro.faults.context.resilience`
+    configuration, then to off.
     """
     _check_assignments(assignments)
     backend, workers = resolve_execution(backend, workers)
@@ -418,6 +639,21 @@ def train_federated(
     tracer = active_tracer(tracer)
     flight = active_flight(flight)
     profiler = active_profiler(profiler)
+    eval_apps = tuple(eval_applications or evaluation_applications())
+    resilience_cfg = _resolve_run_resilience(
+        faults,
+        aggregator,
+        retry,
+        checkpoint,
+        assignments,
+        config,
+        eval_apps,
+        participation_fraction,
+        aggregation_weights,
+    )
+    if straggler_policy is None:
+        straggler_policy = "skip" if resilience_cfg.plan is not None else "abort"
+    fault_injector = _effective_fault_injector(resilience_cfg, fault_injector)
     _LOG.info(
         "federated training starting",
         extra={
@@ -431,7 +667,7 @@ def train_federated(
         return _train_federated_parallel(
             assignments,
             config,
-            eval_applications=eval_applications,
+            eval_apps=eval_apps,
             participation_fraction=participation_fraction,
             aggregation_weights=aggregation_weights,
             codec=codec,
@@ -444,11 +680,24 @@ def train_federated(
             workers=workers,
             straggler_policy=straggler_policy,
             fault_injector=fault_injector,
+            resilience_cfg=resilience_cfg,
         )
     environments = _build_training_environments(
         assignments, config, metrics=metrics, profiler=profiler
     )
     controllers = _build_neural_controllers(assignments, config, environments)
+    snapshot = resilience_cfg.snapshot
+    device_payloads: Dict[str, Dict[str, object]] = {}
+    if snapshot is not None:
+        # Swap the freshly built device state for the checkpointed one
+        # before any session or closure captures it.
+        for name in assignments:
+            payload = restore_device_state(
+                snapshot.device_blobs[name], metrics=metrics, profiler=profiler
+            )
+            device_payloads[name] = payload
+            environments[name] = payload["environment"]
+            controllers[name] = payload["controller"]
     trace = TraceRecorder()
     sessions = {
         name: ControlSession(
@@ -461,8 +710,13 @@ def train_federated(
         )
         for name in assignments
     }
+    if snapshot is not None:
+        for name in assignments:
+            restore_session_state(sessions[name], device_payloads[name]["session"])
 
-    transport = InMemoryTransport(metrics=metrics)
+    transport = _wrap_transport(
+        InMemoryTransport(metrics=metrics), resilience_cfg, metrics, tracer
+    )
     clients = [
         FederatedClient(
             name,
@@ -470,6 +724,7 @@ def train_federated(
             transport,
             codec=client_codec if client_codec is not None else codec,
             metrics=metrics,
+            retry=resilience_cfg.retry,
         )
         for name in assignments
     ]
@@ -486,10 +741,18 @@ def train_federated(
         transport,
         codec=codec,
         metrics=metrics,
+        aggregator=resilience_cfg.aggregator,
+        retry=resilience_cfg.retry,
     )
+    if snapshot is not None:
+        server.restore(snapshot.global_parameters, snapshot.rounds_aggregated)
 
-    eval_apps = tuple(eval_applications or evaluation_applications())
     evaluator = PolicyEvaluator(list(assignments), config, eval_apps)
+    if snapshot is not None:
+        for name in assignments:
+            eval_environment = device_payloads[name].get("eval_environment")
+            if eval_environment is not None:
+                evaluator.set_environment(name, eval_environment)
     eval_controller = build_neural_controller(
         next(iter(environments.values())).device.opp_table,
         power_limit_w=config.power_limit_w,
@@ -500,6 +763,8 @@ def train_federated(
     result = TrainingResult(
         name="federated", assignments=dict(assignments), controllers=controllers
     )
+    if snapshot is not None:
+        result.round_evaluations.extend(snapshot.round_evaluations)
 
     def trainer_for(device_name: str):
         session = sessions[device_name]
@@ -523,6 +788,31 @@ def train_federated(
             )
         )
 
+    ckpt = resilience_cfg.checkpoint
+
+    def checkpoint_hook(round_index: int, progress) -> None:
+        if not ckpt.due(round_index):
+            return
+        blobs = {
+            name: capture_device_state(
+                environments[name],
+                controllers[name],
+                sessions[name],
+                eval_environment=evaluator.get_environment(name),
+            )
+            for name in assignments
+        }
+        _save_run_snapshot(
+            resilience_cfg,
+            progress,
+            server,
+            blobs,
+            result,
+            trace,
+            assignments,
+            config,
+        )
+
     run_result = run_federated_training(
         server,
         clients,
@@ -536,9 +826,18 @@ def train_federated(
         metrics=metrics,
         tracer=tracer,
         profiler=profiler,
+        fault_plan=resilience_cfg.plan,
+        resume=snapshot.progress if snapshot is not None else None,
+        checkpoint_hook=checkpoint_hook if ckpt is not None else None,
     )
 
-    _account_power_violations(run_result, trace, assignments, config.power_limit_w)
+    _account_power_violations(
+        run_result,
+        trace,
+        assignments,
+        config.power_limit_w,
+        prior_snapshot=snapshot,
+    )
     result.federated_result = run_result
     result.train_trace = trace
     result.communication_bytes = run_result.total_bytes_communicated
@@ -560,7 +859,7 @@ def train_federated(
 def _train_federated_parallel(
     assignments: Dict[str, Tuple[str, ...]],
     config: FederatedPowerControlConfig,
-    eval_applications: Optional[Sequence[str]],
+    eval_apps: Tuple[str, ...],
     participation_fraction: float,
     aggregation_weights: Optional[Dict[str, float]],
     codec,
@@ -573,6 +872,7 @@ def _train_federated_parallel(
     workers: Optional[int],
     straggler_policy: str,
     fault_injector: Optional[FaultInjector],
+    resilience_cfg: _ResolvedResilience,
 ) -> TrainingResult:
     """The thread/process-backend body of :func:`train_federated`.
 
@@ -584,8 +884,14 @@ def _train_federated_parallel(
     phase out across the fleet; evaluation fans out per device. All
     seed paths are shared with the serial builders, so round
     evaluations, traces and flight/metrics content are bit-identical.
+
+    Resilience runs driver-side (the fault-injecting transport, retry
+    backoff, robust aggregation) except device state capture/restore,
+    which fans out as :class:`~repro.parallel.payloads.FetchStateTask`/
+    :class:`~repro.parallel.payloads.InstallStateTask` so each actor
+    pickles its own device — the blobs are the same ones the serial
+    driver produces, making checkpoints backend-portable.
     """
-    eval_apps = tuple(eval_applications or evaluation_applications())
     trace = TraceRecorder()
     specs = _worker_specs(
         _federated_actor_parts,
@@ -607,16 +913,23 @@ def _train_federated_parallel(
         profiler=profiler,
     )
     try:
+        snapshot = resilience_cfg.snapshot
+        if snapshot is not None:
+            fleet.install_states(snapshot.device_blobs)
         # Mirror controllers: same opp table (a module constant) and
         # seed path (config.seed, 2, index) as the worker-side builds,
-        # so their initial parameters coincide with the actors'.
+        # so their initial parameters coincide with the actors'. Their
+        # parameters are overwritten by every broadcast, so a resumed
+        # run needs no mirror restore.
         mirrors = {
             name: _build_one_neural_controller(
                 JETSON_NANO_OPP_TABLE, index, config
             )
             for index, name in enumerate(assignments)
         }
-        transport = InMemoryTransport(metrics=metrics)
+        transport = _wrap_transport(
+            InMemoryTransport(metrics=metrics), resilience_cfg, metrics, tracer
+        )
         clients = [
             FederatedClient(
                 name,
@@ -624,6 +937,7 @@ def _train_federated_parallel(
                 transport,
                 codec=client_codec if client_codec is not None else codec,
                 metrics=metrics,
+                retry=resilience_cfg.retry,
             )
             for name in assignments
         ]
@@ -638,10 +952,16 @@ def _train_federated_parallel(
             transport,
             codec=codec,
             metrics=metrics,
+            aggregator=resilience_cfg.aggregator,
+            retry=resilience_cfg.retry,
         )
+        if snapshot is not None:
+            server.restore(snapshot.global_parameters, snapshot.rounds_aggregated)
         result = TrainingResult(
             name="federated", assignments=dict(assignments), controllers={}
         )
+        if snapshot is not None:
+            result.round_evaluations.extend(snapshot.round_evaluations)
         executor = FleetTrainExecutor(
             fleet,
             {name: mirrors[name].agent for name in assignments},
@@ -662,6 +982,22 @@ def _train_federated_parallel(
                 )
             )
 
+        ckpt = resilience_cfg.checkpoint
+
+        def checkpoint_hook(round_index: int, progress) -> None:
+            if not ckpt.due(round_index):
+                return
+            _save_run_snapshot(
+                resilience_cfg,
+                progress,
+                server,
+                fleet.fetch_states(),
+                result,
+                trace,
+                assignments,
+                config,
+            )
+
         run_result = run_federated_training(
             server,
             clients,
@@ -676,13 +1012,22 @@ def _train_federated_parallel(
             tracer=tracer,
             profiler=profiler,
             executor=executor,
+            fault_plan=resilience_cfg.plan,
+            resume=snapshot.progress if snapshot is not None else None,
+            checkpoint_hook=checkpoint_hook if ckpt is not None else None,
         )
         result.controllers = fleet.fetch_controllers()
         latency = fleet.mean_decision_latency_s()
     finally:
         fleet.close()
 
-    _account_power_violations(run_result, trace, assignments, config.power_limit_w)
+    _account_power_violations(
+        run_result,
+        trace,
+        assignments,
+        config.power_limit_w,
+        prior_snapshot=resilience_cfg.snapshot,
+    )
     result.federated_result = run_result
     result.train_trace = trace
     result.communication_bytes = run_result.total_bytes_communicated

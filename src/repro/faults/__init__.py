@@ -1,0 +1,88 @@
+"""Fault injection and resilience for the federated stack.
+
+Public surface of the chaos layer: declarative seeded fault schedules
+(:mod:`~repro.faults.plan`), the fault-injecting transport wrapper
+(:mod:`~repro.faults.transport`), retry with capped backoff and seeded
+jitter (:mod:`~repro.faults.retry`), robust aggregation rules
+(:mod:`~repro.faults.aggregation`), run-level checkpoint/resume
+(:mod:`~repro.faults.recovery`) and the ambient ``--faults``/
+``--aggregator``/``--checkpoint`` context (:mod:`~repro.faults.context`).
+"""
+
+from repro.faults.aggregation import (
+    AGGREGATOR_NAMES,
+    Aggregator,
+    MeanAggregator,
+    MedianAggregator,
+    NormClipAggregator,
+    TrimmedMeanAggregator,
+    build_aggregator,
+)
+from repro.faults.context import (
+    ResilienceConfig,
+    get_active_resilience,
+    resilience,
+    resolve_resilience,
+)
+from repro.faults.plan import (
+    CORRUPT_MODES,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    PlanFaultInjector,
+    chain_injectors,
+    stable_token,
+)
+from repro.faults.recovery import (
+    CheckpointConfig,
+    OrchestratorProgress,
+    RunSnapshot,
+    capture_device_state,
+    load_snapshot,
+    restore_device_state,
+    restore_session_state,
+    run_fingerprint,
+    save_snapshot,
+    session_state,
+)
+from repro.faults.retry import (
+    RetryOutcome,
+    RetryPolicy,
+    execute_with_retry,
+)
+from repro.faults.transport import FaultInjectingTransport
+
+__all__ = [
+    "AGGREGATOR_NAMES",
+    "Aggregator",
+    "CORRUPT_MODES",
+    "CheckpointConfig",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjectingTransport",
+    "FaultPlan",
+    "MeanAggregator",
+    "MedianAggregator",
+    "NormClipAggregator",
+    "OrchestratorProgress",
+    "PlanFaultInjector",
+    "ResilienceConfig",
+    "RetryOutcome",
+    "RetryPolicy",
+    "RunSnapshot",
+    "TrimmedMeanAggregator",
+    "build_aggregator",
+    "capture_device_state",
+    "chain_injectors",
+    "execute_with_retry",
+    "get_active_resilience",
+    "load_snapshot",
+    "resilience",
+    "resolve_resilience",
+    "restore_device_state",
+    "restore_session_state",
+    "run_fingerprint",
+    "save_snapshot",
+    "session_state",
+    "stable_token",
+]

@@ -1,0 +1,99 @@
+"""Ambient resilience configuration.
+
+Experiment runners share the uniform ``runner(config) -> str``
+signature, so the CLI cannot thread ``--faults``/``--aggregator``/
+``--checkpoint`` through every figure module — the same problem the
+telemetry sinks (:mod:`repro.obs.context`) and execution backend
+(:mod:`repro.parallel.context`) have, solved the same way: the CLI
+*activates* a :class:`ResilienceConfig` here and
+:func:`repro.experiments.training.train_federated` picks it up as its
+default when no explicit fault/aggregator/checkpoint arguments are
+passed. Explicit arguments always win; the empty stack resolves to
+"no faults, plain FedAvg, no checkpointing" — existing callers see
+zero behaviour change.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import CheckpointConfig
+from repro.faults.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """One activated resilience preference bundle.
+
+    ``faults`` may be a materialised :class:`FaultPlan` or a spec
+    string (resolved against the run's rounds/devices by the training
+    driver); ``aggregator`` an instance or registry name.
+    """
+
+    faults: Optional[Union[FaultPlan, str]] = None
+    aggregator: Optional[Union[object, str]] = None
+    retry: Optional[RetryPolicy] = None
+    checkpoint: Optional[CheckpointConfig] = None
+
+
+class _ThreadLocalStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[ResilienceConfig] = []
+
+
+_LOCAL = _ThreadLocalStack()
+
+
+def get_active_resilience() -> Optional[ResilienceConfig]:
+    """The innermost config activated on this thread, or ``None``."""
+    stack = _LOCAL.stack
+    return stack[-1] if stack else None
+
+
+def resolve_resilience(
+    faults: Optional[Union[FaultPlan, str]] = None,
+    aggregator: Optional[Union[object, str]] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
+) -> ResilienceConfig:
+    """Effective resilience settings for a driver call.
+
+    Explicit arguments win field-by-field; otherwise the ambient
+    config applies; otherwise everything stays ``None`` (no faults, no
+    retry, plain aggregation, no checkpointing).
+    """
+    ambient = get_active_resilience()
+    if ambient is not None:
+        if faults is None:
+            faults = ambient.faults
+        if aggregator is None:
+            aggregator = ambient.aggregator
+        if retry is None:
+            retry = ambient.retry
+        if checkpoint is None:
+            checkpoint = ambient.checkpoint
+    return ResilienceConfig(
+        faults=faults, aggregator=aggregator, retry=retry, checkpoint=checkpoint
+    )
+
+
+@contextmanager
+def resilience(
+    faults: Optional[Union[FaultPlan, str]] = None,
+    aggregator: Optional[Union[object, str]] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
+) -> Iterator[ResilienceConfig]:
+    """``with resilience(faults="crash=0.1"): ...`` — balanced push/pop."""
+    config = ResilienceConfig(
+        faults=faults, aggregator=aggregator, retry=retry, checkpoint=checkpoint
+    )
+    _LOCAL.stack.append(config)
+    try:
+        yield config
+    finally:
+        _LOCAL.stack.pop()

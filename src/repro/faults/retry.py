@@ -1,0 +1,187 @@
+"""Retry policies with capped exponential backoff and seeded jitter.
+
+Real federated deployments retry failed uploads/broadcasts with
+exponential backoff; this module models that behaviour
+*deterministically*. Backoff delays are never slept — they accumulate
+as modelled seconds (exactly like the transport's latency model), so
+tests stay fast and results stay reproducible. Jitter is drawn from a
+seed-path generator keyed by (policy seed, caller path, attempt), so
+identical seeds produce identical jitter sequences on every execution
+backend and across resumed runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    RetryExhaustedError,
+    TransportError,
+)
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.rng import generator_from_root
+
+#: Protocol phases a timeout can be configured for.
+PHASE_BROADCAST = "broadcast"
+PHASE_UPLOAD = "upload"
+
+_LOG = get_logger("faults.retry")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``backoff(attempt) = min(base * multiplier**attempt, cap) * jitter``
+    where ``jitter`` is uniform in ``[1 - jitter_fraction,
+    1 + jitter_fraction]``, drawn from a stream determined by
+    ``(seed, *path, attempt)``. ``broadcast_timeout_s`` /
+    ``upload_timeout_s`` bound the modelled delivery time of a single
+    attempt in that phase (``inf`` disables the timeout).
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter_fraction: float = 0.1
+    seed: int = 0
+    broadcast_timeout_s: float = math.inf
+    upload_timeout_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0:
+            raise ConfigurationError(
+                f"base_backoff_s must be >= 0, got {self.base_backoff_s}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError(
+                f"jitter_fraction must be in [0, 1), got {self.jitter_fraction}"
+            )
+        for name in ("broadcast_timeout_s", "upload_timeout_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+
+    def timeout_for(self, phase: str) -> float:
+        """The single-attempt delivery timeout for a protocol phase."""
+        if phase == PHASE_BROADCAST:
+            return self.broadcast_timeout_s
+        if phase == PHASE_UPLOAD:
+            return self.upload_timeout_s
+        raise ConfigurationError(f"unknown protocol phase {phase!r}")
+
+    def backoff_s(self, attempt: int, path: Sequence[int] = ()) -> float:
+        """Modelled wait before retry number ``attempt`` (0-based).
+
+        ``path`` identifies the caller (round index, endpoint token…);
+        the jitter draw depends only on ``(seed, *path, attempt)``, so
+        it is reproducible regardless of call order.
+        """
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        base = min(
+            self.base_backoff_s * self.backoff_multiplier**attempt,
+            self.max_backoff_s,
+        )
+        if self.jitter_fraction == 0.0 or base == 0.0:
+            return base
+        rng = generator_from_root(self.seed, 31, *path, attempt)
+        jitter = 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+        return base * jitter
+
+    def backoff_sequence(self, path: Sequence[int] = ()) -> Tuple[float, ...]:
+        """All backoff delays a fully exhausted call would accumulate."""
+        return tuple(
+            self.backoff_s(attempt, path=path)
+            for attempt in range(self.max_attempts - 1)
+        )
+
+
+@dataclass
+class RetryOutcome:
+    """What :func:`execute_with_retry` reports back to the endpoint."""
+
+    value: Any
+    attempts: int
+    backoff_s: float
+
+
+def execute_with_retry(
+    operation: Callable[[], Any],
+    policy: RetryPolicy,
+    phase: str,
+    path: Sequence[int] = (),
+    metrics: Optional[MetricsRegistry] = None,
+    label: str = "",
+) -> RetryOutcome:
+    """Run ``operation`` under ``policy``, retrying on transport errors.
+
+    Only :class:`~repro.errors.TransportError` (and subclasses) trigger
+    a retry — anything else is a programming error and propagates
+    immediately. Backoff time is *modelled* (summed, never slept).
+    After ``max_attempts`` failures the final error is wrapped in
+    :class:`~repro.errors.RetryExhaustedError` with the original as
+    ``__cause__``.
+    """
+    total_backoff = 0.0
+    last_error: Optional[TransportError] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            value = operation()
+        except TransportError as error:
+            last_error = error
+            if metrics is not None:
+                metrics.inc("retry.failures")
+            if attempt + 1 >= policy.max_attempts:
+                break
+            wait = policy.backoff_s(attempt, path=path)
+            total_backoff += wait
+            if metrics is not None:
+                metrics.inc("retry.attempts")
+                metrics.observe("retry.backoff_s", wait)
+            _LOG.debug(
+                "retrying after transport failure",
+                extra={
+                    "label": label,
+                    "phase": phase,
+                    "attempt": attempt + 1,
+                    "backoff_s": round(wait, 6),
+                    "error": repr(error),
+                },
+            )
+            continue
+        if attempt > 0 and metrics is not None:
+            metrics.inc("retry.recoveries")
+        return RetryOutcome(
+            value=value, attempts=attempt + 1, backoff_s=total_backoff
+        )
+    if metrics is not None:
+        metrics.inc("retry.exhausted")
+    _LOG.warning(
+        "retries exhausted",
+        extra={
+            "label": label,
+            "phase": phase,
+            "attempts": policy.max_attempts,
+            "error": repr(last_error),
+        },
+    )
+    raise RetryExhaustedError(
+        f"{label or phase}: all {policy.max_attempts} attempts failed "
+        f"({last_error})",
+        attempts=policy.max_attempts,
+    ) from last_error

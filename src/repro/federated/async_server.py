@@ -47,10 +47,16 @@ class AsynchronousFederatedServer:
         staleness_exponent: float = 0.5,
         codec=None,
         metrics: Optional[MetricsRegistry] = None,
+        aggregator=None,
     ) -> None:
         self.server_id = server_id
         self.transport = transport
         self.metrics = metrics
+        #: Optional :class:`repro.faults.aggregation.Aggregator` used as
+        #: a per-upload sanitiser: uploads it refuses (non-finite) are
+        #: skipped, and norm-clipping aggregators bound each merge's
+        #: step relative to the current global model.
+        self.aggregator = aggregator
         self.mixing_rate = require_in_range("mixing_rate", mixing_rate, 0.0, 1.0)
         self.staleness_exponent = require_non_negative(
             "staleness_exponent", staleness_exponent
@@ -112,6 +118,16 @@ class AsynchronousFederatedServer:
             staleness = self._version - base_version
             alpha = self.mixing_for_staleness(staleness)
             local = self.codec.decode(message.payload, self._shapes)
+            if self.aggregator is not None:
+                local = self.aggregator.sanitize_update(local, self._global)
+                if local is None:
+                    if self.metrics is not None:
+                        self.metrics.inc("async.rejected")
+                    _LOG.warning(
+                        "rejected non-finite async upload",
+                        extra={"client_id": message.sender},
+                    )
+                    continue
             for global_array, local_array in zip(self._global, local):
                 global_array *= 1.0 - alpha
                 global_array += alpha * local_array

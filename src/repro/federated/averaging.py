@@ -6,15 +6,88 @@ contributes equally (Section III-B, Algorithm 2 line 8:
 for the ablation that weights clients by local sample counts — the
 original FedAvg formulation — to quantify what the paper's
 simplification costs.
+
+The validation/sanitization helpers here are shared with the robust
+aggregators in :mod:`repro.faults.aggregation`: plain FedAvg *rejects*
+non-finite client updates with :class:`~repro.errors.AggregationError`,
+while the robust variants use :func:`partition_finite` to drop them and
+keep going.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import FederationError
+from repro.errors import AggregationError
+
+
+def check_parameter_sets(
+    parameter_sets: Sequence[Sequence[np.ndarray]],
+) -> None:
+    """Validate that all client parameter lists align in length and shape.
+
+    Raises :class:`~repro.errors.AggregationError` on an empty batch, a
+    length mismatch, or any per-array shape mismatch against client 0.
+    """
+    if not parameter_sets:
+        raise AggregationError("cannot average zero parameter sets")
+    reference = parameter_sets[0]
+    for client_index, params in enumerate(parameter_sets):
+        if len(params) != len(reference):
+            raise AggregationError(
+                f"client {client_index} has {len(params)} arrays, "
+                f"expected {len(reference)}"
+            )
+        for array_index, (array, ref) in enumerate(zip(params, reference)):
+            if np.shape(array) != np.shape(ref):
+                raise AggregationError(
+                    f"client {client_index} array {array_index} has shape "
+                    f"{np.shape(array)}, expected {np.shape(ref)}"
+                )
+
+
+def has_non_finite(params: Sequence[np.ndarray]) -> bool:
+    """True if any array in one client's parameter list has NaN/Inf."""
+    return any(not np.all(np.isfinite(np.asarray(array))) for array in params)
+
+
+def partition_finite(
+    parameter_sets: Sequence[Sequence[np.ndarray]],
+) -> Tuple[List[int], List[int]]:
+    """Split client indices into (finite, non-finite) parameter lists.
+
+    Shared sanitization step: robust aggregators drop the non-finite
+    clients and aggregate the rest, while plain FedAvg raises.
+    """
+    finite: List[int] = []
+    rejected: List[int] = []
+    for client_index, params in enumerate(parameter_sets):
+        if has_non_finite(params):
+            rejected.append(client_index)
+        else:
+            finite.append(client_index)
+    return finite, rejected
+
+
+def normalize_weights(
+    weights: Optional[Sequence[float]], num_clients: int
+) -> np.ndarray:
+    """Validate and normalise client weights (``None`` → uniform)."""
+    if weights is None:
+        return np.full(num_clients, 1.0 / num_clients)
+    if len(weights) != num_clients:
+        raise AggregationError(
+            f"{len(weights)} weights for {num_clients} clients"
+        )
+    weight_array = np.asarray(weights, dtype=np.float64)
+    if np.any(weight_array < 0):
+        raise AggregationError("weights must be non-negative")
+    total = weight_array.sum()
+    if total <= 0:
+        raise AggregationError("weights must not all be zero")
+    return weight_array / total
 
 
 def federated_average(
@@ -27,41 +100,22 @@ def federated_average(
     ----------
     parameter_sets:
         One parameter list per client; all lists must align in length
-        and per-array shape.
+        and per-array shape, and every value must be finite — NaN/Inf
+        from any client raises :class:`~repro.errors.AggregationError`
+        rather than silently poisoning the global model.
     weights:
         Optional non-negative client weights; ``None`` gives the
         paper's unweighted mean. Weights are normalised internally.
     """
-    if not parameter_sets:
-        raise FederationError("cannot average zero parameter sets")
+    check_parameter_sets(parameter_sets)
+    _, rejected = partition_finite(parameter_sets)
+    if rejected:
+        raise AggregationError(
+            f"non-finite (NaN/Inf) parameters from client(s) {rejected}; "
+            "use a robust aggregator to drop poisoned updates"
+        )
     reference = parameter_sets[0]
-    for client_index, params in enumerate(parameter_sets):
-        if len(params) != len(reference):
-            raise FederationError(
-                f"client {client_index} has {len(params)} arrays, "
-                f"expected {len(reference)}"
-            )
-        for array_index, (array, ref) in enumerate(zip(params, reference)):
-            if np.shape(array) != np.shape(ref):
-                raise FederationError(
-                    f"client {client_index} array {array_index} has shape "
-                    f"{np.shape(array)}, expected {np.shape(ref)}"
-                )
-
-    if weights is None:
-        normalized = np.full(len(parameter_sets), 1.0 / len(parameter_sets))
-    else:
-        if len(weights) != len(parameter_sets):
-            raise FederationError(
-                f"{len(weights)} weights for {len(parameter_sets)} clients"
-            )
-        weight_array = np.asarray(weights, dtype=np.float64)
-        if np.any(weight_array < 0):
-            raise FederationError("weights must be non-negative")
-        total = weight_array.sum()
-        if total <= 0:
-            raise FederationError("weights must not all be zero")
-        normalized = weight_array / total
+    normalized = normalize_weights(weights, len(parameter_sets))
 
     averaged: List[np.ndarray] = []
     for array_index in range(len(reference)):

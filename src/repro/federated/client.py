@@ -34,6 +34,7 @@ class FederatedClient:
         server_id: str = "server",
         codec=None,
         metrics: Optional[MetricsRegistry] = None,
+        retry=None,
     ) -> None:
         self.client_id = client_id
         self.agent = agent
@@ -41,6 +42,8 @@ class FederatedClient:
         self.server_id = server_id
         self.codec = codec if codec is not None else Float32Codec()
         self.metrics = metrics
+        #: Optional :class:`repro.faults.retry.RetryPolicy` for uploads.
+        self.retry = retry
         self._rounds_received = 0
         self._rounds_sent = 0
 
@@ -86,18 +89,33 @@ class FederatedClient:
         """Ship the locally optimised model to the server.
 
         Returns the payload size in bytes (the paper's 2.8 kB per
-        transfer for the Table-I network).
+        transfer for the Table-I network). With a ``retry`` policy set,
+        transient transport failures are retried with capped seeded
+        backoff before giving up.
         """
         payload = self.codec.encode(self.agent.get_parameters())
-        self.transport.send(
-            Message(
-                sender=self.client_id,
-                recipient=self.server_id,
-                kind=LOCAL_MODEL_KIND,
-                payload=payload,
-                round_index=round_index,
-            )
+        message = Message(
+            sender=self.client_id,
+            recipient=self.server_id,
+            kind=LOCAL_MODEL_KIND,
+            payload=payload,
+            round_index=round_index,
         )
+        if self.retry is None:
+            self.transport.send(message)
+        else:
+            # Imported lazily: repro.faults depends on this package.
+            from repro.faults.plan import stable_token
+            from repro.faults.retry import PHASE_UPLOAD, execute_with_retry
+
+            execute_with_retry(
+                lambda: self.transport.send(message),
+                self.retry,
+                phase=PHASE_UPLOAD,
+                path=(round_index, stable_token(self.client_id)),
+                metrics=self.metrics,
+                label=f"upload<-{self.client_id}",
+            )
         self._rounds_sent += 1
         if self.metrics is not None:
             self.metrics.inc("client.models_sent")

@@ -28,7 +28,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, FederationError
+from repro.errors import (
+    AggregationError,
+    ConfigurationError,
+    FederationError,
+    RunKilledError,
+    TransportError,
+)
 from repro.federated.client import FederatedClient
 from repro.federated.server import FederatedServer
 from repro.obs.context import active_metrics, active_profiler, active_tracer
@@ -53,6 +59,10 @@ LocalTrainer = Callable[[int], None]
 
 #: Optional end-of-round hook: ``hook(round_index, server)``.
 RoundHook = Callable[[int, FederatedServer], None]
+
+#: Optional checkpoint hook: ``hook(round_index, progress)`` where
+#: ``progress`` is a :class:`repro.faults.recovery.OrchestratorProgress`.
+CheckpointHook = Callable[[int, object], None]
 
 
 @dataclass
@@ -130,6 +140,9 @@ def run_federated_training(
     tracer: Optional[RoundTracer] = None,
     profiler: Optional[ScopeProfiler] = None,
     executor: Optional[object] = None,
+    fault_plan: Optional[object] = None,
+    resume: Optional[object] = None,
+    checkpoint_hook: Optional[CheckpointHook] = None,
 ) -> FederatedRunResult:
     """Run ``num_rounds`` of federated averaging (Algorithm 2).
 
@@ -176,6 +189,26 @@ def run_federated_training(
         and with deterministic trainers, every numerical result — is
         identical to the ``executor=None`` path. ``trainers`` may be
         empty in this mode — the executor owns local training.
+    fault_plan:
+        Optional :class:`repro.faults.plan.FaultPlan` (duck-typed:
+        only ``kill_round`` is consulted here; the wire faults live in
+        the transport wrapper). When the plan schedules a kill, the
+        loop raises :class:`~repro.errors.RunKilledError` at the start
+        of that round — after the preceding round's checkpoint hook —
+        to simulate a mid-run server crash. Resumed runs
+        (``resume is not None``) never re-kill.
+    resume:
+        Optional :class:`repro.faults.recovery.OrchestratorProgress`
+        from a checkpoint: the loop starts at ``resume.next_round``
+        with the participation RNG stream, the per-round logs and the
+        cumulative byte/message/aggregation counters restored, so the
+        reported totals (and, with restored endpoints and trainers,
+        every numerical result) match an uninterrupted run exactly.
+    checkpoint_hook:
+        Called after every completed round (after ``on_round_end``)
+        with ``(round_index, progress)`` — the driver decides whether
+        the round is due and persists the full
+        :class:`~repro.faults.recovery.RunSnapshot`.
     """
     if straggler_policy not in ("abort", "skip"):
         raise ConfigurationError(
@@ -211,6 +244,29 @@ def run_federated_training(
     aggregations_before = server.rounds_aggregated
     participation_log: List[List[str]] = []
     straggler_log: List[List[str]] = []
+    tolerant = straggler_policy == "skip"
+
+    start_round = 0
+    prior_bytes = 0
+    prior_messages = 0
+    prior_aggregations = 0
+    if resume is not None:
+        start_round = resume.next_round
+        if not 0 <= start_round <= num_rounds:
+            raise ConfigurationError(
+                f"resume round {start_round} outside 0..{num_rounds}"
+            )
+        if resume.rng_state is not None:
+            from repro.utils.checkpoint import set_rng_state
+
+            set_rng_state(rng, resume.rng_state)
+        participation_log.extend(list(r) for r in resume.participation_log)
+        straggler_log.extend(list(r) for r in resume.straggler_log)
+        prior_bytes = resume.prior_bytes
+        prior_messages = resume.prior_messages
+        prior_aggregations = resume.prior_aggregations
+
+    kill_round = getattr(fault_plan, "kill_round", None)
 
     _LOG.info(
         "federated run starting",
@@ -219,10 +275,19 @@ def run_federated_training(
             "num_clients": len(clients_by_id),
             "participation_fraction": participation_fraction,
             "straggler_policy": straggler_policy,
+            "start_round": start_round,
         },
     )
 
-    for round_index in range(num_rounds):
+    for round_index in range(start_round, num_rounds):
+        if kill_round == round_index and resume is None:
+            _LOG.warning(
+                "injected server kill", extra={"round": round_index}
+            )
+            raise RunKilledError(
+                f"fault plan killed the run at the start of round "
+                f"{round_index}"
+            )
         participating = _draw_participants(
             server.client_ids, participation_fraction, rng
         )
@@ -231,7 +296,7 @@ def run_federated_training(
             tracer.start_round(round_index, participating)
 
         try:
-            stragglers, update_norm = _run_one_round(
+            stragglers, update_norm, round_aggregated = _run_one_round(
                 server,
                 clients_by_id,
                 trainers,
@@ -259,7 +324,11 @@ def run_federated_training(
             if stragglers:
                 metrics.inc("federated.rounds_with_stragglers")
         if tracer is not None:
-            span = tracer.end_round(stragglers=stragglers, update_norm=update_norm)
+            span = tracer.end_round(
+                stragglers=stragglers,
+                update_norm=update_norm,
+                aggregated=round_aggregated,
+            )
             if metrics is not None and span.update_norm is not None:
                 metrics.observe("federated.update_norm", span.update_norm)
             _LOG.info(
@@ -284,13 +353,35 @@ def run_federated_training(
 
         if on_round_end is not None:
             on_round_end(round_index, server)
+        if checkpoint_hook is not None:
+            # Imported lazily: repro.faults depends on this package.
+            from repro.faults.recovery import OrchestratorProgress
+            from repro.utils.checkpoint import rng_state
+
+            checkpoint_hook(
+                round_index,
+                OrchestratorProgress(
+                    next_round=round_index + 1,
+                    rng_state=rng_state(rng),
+                    participation_log=[list(r) for r in participation_log],
+                    straggler_log=[list(r) for r in straggler_log],
+                    prior_bytes=prior_bytes + transport.total_bytes - bytes_before,
+                    prior_messages=prior_messages
+                    + transport.total_messages
+                    - messages_before,
+                    prior_aggregations=prior_aggregations
+                    + server.rounds_aggregated
+                    - aggregations_before,
+                ),
+            )
 
     aggregations_completed = server.rounds_aggregated - aggregations_before
-    if tracer is not None:
+    rounds_executed = num_rounds - start_round
+    if tracer is not None and rounds_executed > 0:
         # The tracer watched every aggregate phase; the legacy result
         # object and the telemetry must tell the same story.
         traced = sum(
-            1 for span in tracer.rounds[-num_rounds:] if span.aggregated
+            1 for span in tracer.rounds[-rounds_executed:] if span.aggregated
         )
         if traced != aggregations_completed:
             raise FederationError(
@@ -300,11 +391,15 @@ def run_federated_training(
 
     result = FederatedRunResult(
         rounds_completed=num_rounds,
-        total_bytes_communicated=transport.total_bytes - bytes_before,
-        total_messages=transport.total_messages - messages_before,
+        total_bytes_communicated=prior_bytes
+        + transport.total_bytes
+        - bytes_before,
+        total_messages=prior_messages
+        + transport.total_messages
+        - messages_before,
         participation_by_round=participation_log,
         stragglers_by_round=straggler_log,
-        aggregations_completed=aggregations_completed,
+        aggregations_completed=prior_aggregations + aggregations_completed,
     )
     if metrics is not None:
         metrics.inc("federated.bytes_total", result.total_bytes_communicated)
@@ -333,51 +428,118 @@ def _run_one_round(
     tracer: Optional[RoundTracer],
     profiler: Optional[ScopeProfiler] = None,
     executor: Optional[object] = None,
-) -> "tuple[List[str], Optional[float]]":
+) -> "tuple[List[str], Optional[float], bool]":
     """Broadcast → train → upload → aggregate.
 
-    Returns the round's stragglers and, when traced, the aggregation's
-    parameter-update norm (``None`` untraced — computing it costs a
-    deep copy of the global model).
+    Returns the round's stragglers, the aggregation's parameter-update
+    norm when traced (``None`` untraced — computing it costs a deep
+    copy of the global model), and whether the round aggregated at all.
+    Under the skip policy a round every client lost — no broadcast
+    delivered, every trainer crashed, or every upload gone — is skipped
+    rather than fatal: the global model carries over unchanged.
     """
     transport = server.transport
+    tolerant = straggler_policy == "skip"
 
     bytes_at = transport.total_bytes
     with profile("federated.broadcast", profiler):
         if tracer is not None:
             with tracer.phase(PHASE_BROADCAST) as span:
-                server.broadcast(round_index, recipients=participating)
+                reached = server.broadcast(
+                    round_index, recipients=participating, tolerant=tolerant
+                )
                 span.bytes_transferred = transport.total_bytes - bytes_at
         else:
-            server.broadcast(round_index, recipients=participating)
+            reached = server.broadcast(
+                round_index, recipients=participating, tolerant=tolerant
+            )
     if metrics is not None:
         metrics.inc("federated.broadcast_bytes", transport.total_bytes - bytes_at)
 
-    def upload(client_id: str) -> None:
+    survivors: List[str] = []
+    stragglers: List[str] = []
+    unreached = [cid for cid in participating if cid not in reached]
+    if unreached:
+        # Broadcast never arrived: those clients sit the round out.
+        stragglers.extend(unreached)
+        if metrics is not None:
+            metrics.inc("federated.stragglers", len(unreached))
+        participating = [cid for cid in participating if cid in reached]
+
+    # Install the broadcast before training. A dropped broadcast leaves
+    # the client's inbox empty; under the skip policy that client sits
+    # the round out instead of aborting the run.
+    installed: List[str] = []
+    for client_id in participating:
+        try:
+            clients_by_id[client_id].receive_global()
+        except FederationError:
+            if not tolerant:
+                raise
+            stragglers.append(client_id)
+            if metrics is not None:
+                metrics.inc("federated.stragglers")
+            _LOG.warning(
+                "no broadcast arrived; client skipped for this round",
+                extra={"round": round_index, "client_id": client_id},
+            )
+            continue
+        installed.append(client_id)
+    participating = installed
+    if not participating:
+        if not tolerant:
+            raise FederationError(
+                f"round {round_index}: the broadcast reached no client"
+            )
+        # Every client lost the broadcast: the round is a wash. The
+        # global model carries over unchanged and training resumes next
+        # round — a real deployment rides out a dead round the same way.
+        if metrics is not None:
+            metrics.inc("federated.rounds_skipped")
+        _LOG.warning(
+            "no client received the broadcast; round skipped",
+            extra={"round": round_index},
+        )
+        return stragglers, None, False
+
+    def upload(client_id: str) -> bool:
+        """Send one client's local model; False if it was lost."""
         client = clients_by_id[client_id]
         bytes_at = transport.total_bytes
-        with profile("federated.upload", profiler):
-            if tracer is not None:
-                with tracer.phase(PHASE_UPLOAD, client_id=client_id) as span:
+        try:
+            with profile("federated.upload", profiler):
+                if tracer is not None:
+                    with tracer.phase(PHASE_UPLOAD, client_id=client_id) as span:
+                        client.send_local(round_index)
+                        span.bytes_transferred = transport.total_bytes - bytes_at
+                else:
                     client.send_local(round_index)
-                    span.bytes_transferred = transport.total_bytes - bytes_at
-            else:
-                client.send_local(round_index)
+        except TransportError as error:
+            if not tolerant:
+                raise
+            stragglers.append(client_id)
+            if metrics is not None:
+                metrics.inc("federated.stragglers")
+            _LOG.warning(
+                "upload failed; client skipped for this round",
+                extra={
+                    "round": round_index,
+                    "client_id": client_id,
+                    "error": repr(error),
+                },
+            )
+            return False
         if metrics is not None:
             metrics.inc(
                 "federated.upload_bytes", transport.total_bytes - bytes_at
             )
+        return True
 
-    survivors: List[str] = []
-    stragglers: List[str] = []
     if executor is not None:
-        # Parallel local training: every participating client installs
-        # its broadcast serially (deterministic transport accounting),
-        # the executor fans the compute out, then uploads run serially
-        # in participating order — the same wire traffic as the serial
-        # path below.
-        for client_id in participating:
-            clients_by_id[client_id].receive_global()
+        # Parallel local training: broadcasts were installed serially
+        # above (deterministic transport accounting), the executor fans
+        # the compute out, then uploads run serially in participating
+        # order — the same wire traffic as the serial path below.
         with profile("federated.local_train", profiler):
             outcomes = executor.run_local_train(round_index, participating)
         for client_id in participating:
@@ -408,12 +570,10 @@ def _run_one_round(
                     },
                 )
                 continue
-            upload(client_id)
-            survivors.append(client_id)
+            if upload(client_id):
+                survivors.append(client_id)
     else:
         for client_id in participating:
-            client = clients_by_id[client_id]
-            client.receive_global()
             try:
                 with profile("federated.local_train", profiler):
                     if tracer is not None:
@@ -436,32 +596,65 @@ def _run_one_round(
                     },
                 )
                 continue
-            upload(client_id)
-            survivors.append(client_id)
+            if upload(client_id):
+                survivors.append(client_id)
 
     if not survivors:
-        raise FederationError(
-            f"round {round_index}: every participating client failed"
+        if not tolerant:
+            raise FederationError(
+                f"round {round_index}: every participating client failed"
+            )
+        if metrics is not None:
+            metrics.inc("federated.rounds_skipped")
+        _LOG.warning(
+            "every participating client failed; round skipped",
+            extra={"round": round_index},
         )
+        return stragglers, None, False
 
     update_norm: Optional[float] = None
-    with profile("federated.aggregate", profiler):
-        if tracer is not None:
-            before = server.global_parameters
-            with tracer.phase(PHASE_AGGREGATE):
-                after = server.aggregate(
+    try:
+        with profile("federated.aggregate", profiler):
+            if tracer is not None:
+                before = server.global_parameters
+                with tracer.phase(PHASE_AGGREGATE):
+                    after = server.aggregate(
+                        round_index,
+                        expected_clients=survivors,
+                        weights=aggregation_weights,
+                        tolerant=tolerant,
+                    )
+                update_norm = _update_norm(before, after)
+            else:
+                server.aggregate(
                     round_index,
                     expected_clients=survivors,
                     weights=aggregation_weights,
+                    tolerant=tolerant,
                 )
-            update_norm = _update_norm(before, after)
-        else:
-            server.aggregate(
-                round_index,
-                expected_clients=survivors,
-                weights=aggregation_weights,
+    except AggregationError:
+        # Every surviving upload was lost on the wire (or rejected by
+        # the robust aggregator): nothing to fold in this round.
+        if not tolerant:
+            raise
+        stragglers.extend(survivors)
+        if metrics is not None:
+            metrics.inc("federated.stragglers", len(survivors))
+            metrics.inc("federated.rounds_skipped")
+        _LOG.warning(
+            "no usable update arrived; round skipped",
+            extra={"round": round_index},
+        )
+        return stragglers, None, False
+    if server.last_aggregation_missing:
+        # Uploads that were silently dropped on the wire: the sender
+        # thinks it participated, the server never saw it.
+        stragglers.extend(server.last_aggregation_missing)
+        if metrics is not None:
+            metrics.inc(
+                "federated.stragglers", len(server.last_aggregation_missing)
             )
-    return stragglers, update_norm
+    return stragglers, update_norm, True
 
 
 def _draw_participants(

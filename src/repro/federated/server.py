@@ -6,6 +6,14 @@ client's local model and replaces the global model with their
 (unweighted, by default) federated average. Models travel as serialized
 ``float32`` payloads through the transport so the server also produces
 honest communication-byte numbers.
+
+Resilience hooks (all off by default, preserving the paper's strict
+synchronous semantics): a pluggable robust ``aggregator``
+(:mod:`repro.faults.aggregation`), a ``retry`` policy applied to each
+broadcast send, *tolerant* broadcast/aggregation for lossy transports
+(missing uploads are recorded instead of fatal, duplicates are
+deduplicated keeping the first arrival), and :meth:`restore` for
+crash-resume.
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import FederationError
+from repro.errors import AggregationError, FederationError, TransportError
 from repro.federated.averaging import federated_average
 from repro.federated.codecs import Float32Codec
 from repro.federated.transport import InMemoryTransport, Message
@@ -38,6 +46,8 @@ class FederatedServer:
         server_id: str = "server",
         codec=None,
         metrics: Optional[MetricsRegistry] = None,
+        aggregator=None,
+        retry=None,
     ) -> None:
         if not client_ids:
             raise FederationError("a federated server needs at least one client")
@@ -48,11 +58,20 @@ class FederatedServer:
         self.transport = transport
         self.codec = codec if codec is not None else Float32Codec()
         self.metrics = metrics
+        #: Optional :class:`repro.faults.aggregation.Aggregator`; ``None``
+        #: keeps the paper's plain (guarded) federated average.
+        self.aggregator = aggregator
+        #: Optional :class:`repro.faults.retry.RetryPolicy` for broadcasts.
+        self.retry = retry
         self._global: List[np.ndarray] = [
             np.array(p, dtype=np.float64, copy=True) for p in initial_parameters
         ]
         self._shapes = [p.shape for p in self._global]
         self._round_count = 0
+        #: Clients expected but absent in the last tolerant aggregation.
+        self.last_aggregation_missing: List[str] = []
+        #: Clients whose updates a robust aggregator rejected last round.
+        self.last_aggregation_rejected: List[str] = []
 
     @property
     def global_parameters(self) -> List[np.ndarray]:
@@ -64,10 +83,45 @@ class FederatedServer:
         """Completed aggregation rounds."""
         return self._round_count
 
-    def broadcast(
-        self, round_index: int, recipients: Optional[Sequence[str]] = None
+    def restore(
+        self, parameters: Sequence[np.ndarray], rounds_aggregated: int
     ) -> None:
-        """Send the global model to every (participating) client."""
+        """Reinstall a checkpointed global model and round counter."""
+        if len(parameters) != len(self._shapes):
+            raise FederationError(
+                f"restore got {len(parameters)} arrays, expected "
+                f"{len(self._shapes)}"
+            )
+        for index, (array, shape) in enumerate(zip(parameters, self._shapes)):
+            if np.shape(array) != shape:
+                raise FederationError(
+                    f"restore array {index} has shape {np.shape(array)}, "
+                    f"expected {shape}"
+                )
+        if rounds_aggregated < 0:
+            raise FederationError(
+                f"rounds_aggregated must be >= 0, got {rounds_aggregated}"
+            )
+        self._global = [
+            np.array(p, dtype=np.float64, copy=True) for p in parameters
+        ]
+        self._round_count = rounds_aggregated
+
+    def broadcast(
+        self,
+        round_index: int,
+        recipients: Optional[Sequence[str]] = None,
+        tolerant: bool = False,
+    ) -> List[str]:
+        """Send the global model to every (participating) client.
+
+        Returns the clients actually reached. On a reliable transport
+        that is every recipient; with injected faults, sends are
+        retried under ``self.retry`` (when set), and a client whose
+        broadcast still fails is skipped (``tolerant=True`` — it
+        becomes a straggler for the round) or fatal (``tolerant=False``,
+        the paper's strict semantics).
+        """
         payload = self.codec.encode(self._global)
         targets = recipients if recipients is not None else self.client_ids
         if self.metrics is not None:
@@ -81,34 +135,82 @@ class FederatedServer:
                 "payload_bytes": len(payload),
             },
         )
-        for client_id in recipients if recipients is not None else self.client_ids:
+        reached: List[str] = []
+        for client_id in targets:
             if client_id not in self.client_ids:
                 raise FederationError(f"unknown client {client_id!r}")
-            self.transport.send(
-                Message(
-                    sender=self.server_id,
-                    recipient=client_id,
-                    kind=GLOBAL_MODEL_KIND,
-                    payload=payload,
-                    round_index=round_index,
-                )
+            message = Message(
+                sender=self.server_id,
+                recipient=client_id,
+                kind=GLOBAL_MODEL_KIND,
+                payload=payload,
+                round_index=round_index,
             )
+            try:
+                self._send_with_retry(message, round_index, client_id)
+            except TransportError as error:
+                if not tolerant:
+                    raise
+                if self.metrics is not None:
+                    self.metrics.inc("server.broadcast_failures")
+                _LOG.warning(
+                    "broadcast failed; client skipped for this round",
+                    extra={
+                        "round": round_index,
+                        "client_id": client_id,
+                        "error": repr(error),
+                    },
+                )
+                continue
+            reached.append(client_id)
+        return reached
+
+    def _send_with_retry(
+        self, message: Message, round_index: int, client_id: str
+    ) -> None:
+        if self.retry is None:
+            self.transport.send(message)
+            return
+        # Imported lazily: repro.faults depends on this package.
+        from repro.faults.plan import stable_token
+        from repro.faults.retry import PHASE_BROADCAST, execute_with_retry
+
+        outcome = execute_with_retry(
+            lambda: self.transport.send(message),
+            self.retry,
+            phase=PHASE_BROADCAST,
+            path=(round_index, stable_token(client_id)),
+            metrics=self.metrics,
+            label=f"broadcast->{client_id}",
+        )
+        if outcome.backoff_s > 0.0 and self.metrics is not None:
+            self.metrics.observe("server.broadcast_backoff_s", outcome.backoff_s)
 
     def aggregate(
         self,
         round_index: int,
         expected_clients: Optional[Sequence[str]] = None,
         weights: Optional[Dict[str, float]] = None,
+        tolerant: bool = False,
     ) -> List[np.ndarray]:
         """Combine the round's local models into the next global model.
 
-        Synchronous semantics: every expected client must have sent a
-        local model for ``round_index``; anything else is an error (the
-        paper's server "waits for all devices"). ``weights`` enables
-        the sample-weighted ablation; the default is the paper's
-        unweighted mean.
+        Strict (default) semantics: every expected client must have
+        sent exactly one local model for ``round_index``; anything else
+        is an error (the paper's server "waits for all devices").
+        ``tolerant=True`` relaxes this for lossy transports: stale
+        messages are discarded, duplicates keep the first arrival, and
+        missing clients are recorded in ``last_aggregation_missing``
+        while the received subset aggregates — as long as at least one
+        model arrived. ``weights`` enables the sample-weighted
+        ablation; the default is the paper's unweighted mean. With a
+        robust ``self.aggregator`` attached, it replaces the plain
+        average (rejected clients land in
+        ``last_aggregation_rejected``).
         """
         expected = tuple(expected_clients) if expected_clients is not None else self.client_ids
+        self.last_aggregation_missing = []
+        self.last_aggregation_rejected = []
         received: Dict[str, List[np.ndarray]] = {}
         for message in self.transport.receive_all(self.server_id):
             if message.kind != LOCAL_MODEL_KIND:
@@ -116,11 +218,29 @@ class FederatedServer:
                     f"server received unexpected message kind {message.kind!r}"
                 )
             if message.round_index != round_index:
+                if tolerant:
+                    _LOG.warning(
+                        "discarding stale local model",
+                        extra={
+                            "round": round_index,
+                            "client_id": message.sender,
+                            "message_round": message.round_index,
+                        },
+                    )
+                    continue
                 raise FederationError(
                     f"local model from {message.sender!r} is for round "
                     f"{message.round_index}, expected {round_index}"
                 )
             if message.sender in received:
+                if tolerant:
+                    if self.metrics is not None:
+                        self.metrics.inc("server.duplicates_dropped")
+                    _LOG.warning(
+                        "dropping duplicate local model",
+                        extra={"round": round_index, "client_id": message.sender},
+                    )
+                    continue
                 raise FederationError(
                     f"duplicate local model from {message.sender!r}"
                 )
@@ -129,9 +249,22 @@ class FederatedServer:
             )
         missing = [cid for cid in expected if cid not in received]
         if missing:
-            raise FederationError(
-                f"synchronous aggregation round {round_index} is missing "
-                f"models from {missing}"
+            if not tolerant:
+                raise FederationError(
+                    f"synchronous aggregation round {round_index} is missing "
+                    f"models from {missing}"
+                )
+            if not received:
+                raise AggregationError(
+                    f"tolerant aggregation round {round_index} received no "
+                    f"models at all (missing {missing})"
+                )
+            self.last_aggregation_missing = missing
+            if self.metrics is not None:
+                self.metrics.inc("server.aggregation_missing", len(missing))
+            _LOG.warning(
+                "aggregating without missing clients",
+                extra={"round": round_index, "missing": missing},
             )
         unexpected = [cid for cid in received if cid not in expected]
         if unexpected:
@@ -139,20 +272,43 @@ class FederatedServer:
                 f"received models from non-participating clients {unexpected}"
             )
 
-        parameter_sets = [received[cid] for cid in expected]
+        contributors = [cid for cid in expected if cid in received]
+        parameter_sets = [received[cid] for cid in contributors]
         weight_list: Optional[List[float]] = None
         if weights is not None:
             try:
-                weight_list = [weights[cid] for cid in expected]
+                weight_list = [weights[cid] for cid in contributors]
             except KeyError as error:
                 raise FederationError(f"missing weight for client {error}") from None
-        self._global = federated_average(parameter_sets, weight_list)
+        if self.aggregator is not None:
+            self._global = self.aggregator.aggregate(parameter_sets, weight_list)
+            rejected = getattr(self.aggregator, "last_rejected_indices", ())
+            self.last_aggregation_rejected = [
+                contributors[index] for index in rejected
+            ]
+            if self.last_aggregation_rejected:
+                if self.metrics is not None:
+                    self.metrics.inc(
+                        "server.aggregation_rejected",
+                        len(self.last_aggregation_rejected),
+                    )
+                _LOG.warning(
+                    "robust aggregator rejected client updates",
+                    extra={
+                        "round": round_index,
+                        "rejected": self.last_aggregation_rejected,
+                    },
+                )
+        else:
+            self._global = federated_average(parameter_sets, weight_list)
         self._round_count += 1
         if self.metrics is not None:
             self.metrics.inc("server.aggregations")
-            self.metrics.set_gauge("server.models_in_last_aggregate", len(expected))
+            self.metrics.set_gauge(
+                "server.models_in_last_aggregate", len(contributors)
+            )
         _LOG.debug(
             "aggregated local models",
-            extra={"round": round_index, "models": len(expected)},
+            extra={"round": round_index, "models": len(contributors)},
         )
         return self.global_parameters

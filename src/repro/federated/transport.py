@@ -15,7 +15,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import DefaultDict, Dict, List, Optional, Tuple
 
-from repro.errors import FederationError
+from repro.errors import TransportError
 from repro.obs.metrics import MetricsRegistry
 from repro.utils.validation import require_non_negative, require_positive
 
@@ -59,8 +59,17 @@ class InMemoryTransport:
     def send(self, message: Message) -> None:
         """Deliver ``message`` to its recipient's inbox."""
         if not message.payload:
-            raise FederationError("refusing to send an empty payload")
-        self._inboxes[message.recipient].append(message)
+            raise TransportError("refusing to send an empty payload")
+        self.account(message)
+        self.deliver(message)
+
+    def account(self, message: Message) -> None:
+        """Charge ``message`` to the byte/message counters without delivering.
+
+        Fault-injecting wrappers use this to keep communication-cost
+        accounting honest for messages that were put on the wire but
+        dropped, duplicated, or timed out before reaching the recipient.
+        """
         self._total_bytes += message.num_bytes
         self._total_messages += 1
         self._bytes_by_link[(message.sender, message.recipient)] += message.num_bytes
@@ -68,6 +77,10 @@ class InMemoryTransport:
             self.metrics.inc("transport.messages")
             self.metrics.inc("transport.bytes", message.num_bytes)
             self.metrics.observe("transport.message_bytes", message.num_bytes)
+
+    def deliver(self, message: Message) -> None:
+        """Append an already-accounted ``message`` to the recipient's inbox."""
+        self._inboxes[message.recipient].append(message)
 
     def receive_all(self, recipient: str) -> List[Message]:
         """Drain and return the recipient's inbox, in arrival order."""
@@ -95,7 +108,7 @@ class InMemoryTransport:
     def message_latency_s(self, num_bytes: int) -> float:
         """Modelled latency of one message of ``num_bytes``."""
         if num_bytes < 0:
-            raise FederationError(f"num_bytes must be >= 0, got {num_bytes}")
+            raise TransportError(f"num_bytes must be >= 0, got {num_bytes}")
         return self.per_message_latency_s + num_bytes / self.bandwidth_bytes_per_s
 
     def total_latency_s(self) -> float:

@@ -31,6 +31,8 @@ from repro.parallel.payloads import (
     CallTask,
     EvalTask,
     FetchControllerTask,
+    FetchStateTask,
+    InstallStateTask,
     StepsOutcome,
     StepsTask,
     WorkerSpec,
@@ -194,6 +196,46 @@ class DeviceFleet:
                 )
             controllers[name] = outcome.value
         return controllers
+
+    # -- checkpoint state ----------------------------------------------
+    def fetch_states(self) -> Dict[str, bytes]:
+        """Every actor's device state as opaque checkpoint blobs.
+
+        The blobs are backend-independent
+        (:func:`repro.faults.capture_device_state` pickles with the
+        telemetry sinks stripped), so a run checkpointed under one
+        backend resumes under any other.
+        """
+        tasks = {name: FetchStateTask() for name in self.device_names}
+        outcomes = self._backend.run_tasks(tasks)
+        blobs: Dict[str, bytes] = {}
+        for name in self.device_names:
+            outcome = outcomes[name]
+            if outcome.error is not None:
+                raise ExecutionError(
+                    f"failed to capture state from device {name!r}:\n"
+                    f"{outcome.error}"
+                )
+            blobs[name] = outcome.value
+        return blobs
+
+    def install_states(self, blobs: Mapping[str, bytes]) -> None:
+        """Restore checkpoint blobs into their actors (resume path)."""
+        names = [name for name in self.device_names if name in blobs]
+        missing = [name for name in self.device_names if name not in blobs]
+        if missing:
+            raise ExecutionError(
+                f"checkpoint has no state for devices {missing}"
+            )
+        tasks = {name: InstallStateTask(blob=blobs[name]) for name in names}
+        outcomes = self._backend.run_tasks(tasks)
+        for name in names:
+            outcome = outcomes[name]
+            if outcome.error is not None:
+                raise ExecutionError(
+                    f"failed to restore state on device {name!r}:\n"
+                    f"{outcome.error}"
+                )
 
     # -- summaries -----------------------------------------------------
     def mean_decision_latency_s(self) -> float:

@@ -119,6 +119,23 @@ class FetchControllerTask:
     """Ship the actor's whole controller object back to the driver."""
 
 
+@dataclass(frozen=True)
+class FetchStateTask:
+    """Ship the actor's full device state as an opaque checkpoint blob.
+
+    The blob comes from :func:`repro.faults.capture_device_state` —
+    environment, controller, session counters and the evaluation
+    environment, with process-local telemetry sinks stripped.
+    """
+
+
+@dataclass(frozen=True)
+class InstallStateTask:
+    """Restore a checkpoint blob captured by :class:`FetchStateTask`."""
+
+    blob: bytes
+
+
 @dataclass
 class TelemetryDump:
     """One task's worth of a worker's private observability state.

@@ -37,6 +37,8 @@ from repro.parallel.payloads import (
     EvalOutcome,
     EvalTask,
     FetchControllerTask,
+    FetchStateTask,
+    InstallStateTask,
     StepsOutcome,
     StepsTask,
     TelemetryDump,
@@ -96,6 +98,10 @@ class DeviceActor:
             return self._call(task)
         if isinstance(task, FetchControllerTask):
             return CallOutcome(self.device_name, value=self.controller)
+        if isinstance(task, FetchStateTask):
+            return self._fetch_state()
+        if isinstance(task, InstallStateTask):
+            return self._install_state(task)
         return CallOutcome(
             self.device_name, error=f"unknown task type {type(task).__name__}"
         )
@@ -160,6 +166,58 @@ class DeviceActor:
         try:
             value = getattr(self.controller, task.method)(*task.args)
             return CallOutcome(self.device_name, value=value)
+        except Exception:
+            return CallOutcome(self.device_name, error=traceback.format_exc())
+
+    # -- checkpoint state ----------------------------------------------
+    def _fetch_state(self) -> CallOutcome:
+        try:
+            # Imported lazily: most runs never checkpoint.
+            from repro.faults.recovery import capture_device_state
+
+            eval_environment = (
+                self.evaluator.get_environment(self.device_name)
+                if self.evaluator is not None
+                else None
+            )
+            blob = capture_device_state(
+                self.environment,
+                self.controller,
+                self.session,
+                eval_environment=eval_environment,
+            )
+            return CallOutcome(self.device_name, value=blob)
+        except Exception:
+            return CallOutcome(self.device_name, error=traceback.format_exc())
+
+    def _install_state(self, task: InstallStateTask) -> CallOutcome:
+        try:
+            from repro.faults.recovery import (
+                restore_device_state,
+                restore_session_state,
+            )
+
+            payload = restore_device_state(
+                task.blob, metrics=self.metrics, profiler=self.profiler
+            )
+            self.environment = payload["environment"]
+            self.controller = payload["controller"]
+            self.session = ControlSession(
+                self.environment,
+                self.controller,
+                metrics=self.metrics,
+                flight=self.flight,
+                profiler=self.profiler,
+            )
+            restore_session_state(self.session, payload["session"])
+            if (
+                payload.get("eval_environment") is not None
+                and self.evaluator is not None
+            ):
+                self.evaluator.set_environment(
+                    self.device_name, payload["eval_environment"]
+                )
+            return CallOutcome(self.device_name, value="installed")
         except Exception:
             return CallOutcome(self.device_name, error=traceback.format_exc())
 

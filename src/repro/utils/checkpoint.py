@@ -11,17 +11,98 @@ protects, so checkpoints are as shareable as federated payloads.
 
 from __future__ import annotations
 
+import copy
 import pathlib
-from typing import Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError, PolicyError
+from repro.nn.optimizers import SGD, Adam
 from repro.rl.agent import NeuralBanditAgent
 
 _FORMAT_VERSION = 1
 
 PathLike = Union[str, pathlib.Path]
+
+
+def rng_state(generator: np.random.Generator) -> Dict[str, Any]:
+    """Snapshot a generator's bit-stream position as a plain dict.
+
+    The returned mapping is a deep copy, so advancing the generator
+    afterwards does not mutate the snapshot. Restoring it with
+    :func:`set_rng_state` resumes the stream at exactly the captured
+    draw — the backbone of bit-identical crash recovery.
+    """
+    return copy.deepcopy(generator.bit_generator.state)
+
+
+def set_rng_state(
+    generator: np.random.Generator, state: Dict[str, Any]
+) -> np.random.Generator:
+    """Rewind ``generator`` to a snapshot taken by :func:`rng_state`."""
+    if not isinstance(state, dict) or "bit_generator" not in state:
+        raise ConfigurationError(
+            f"not an RNG state snapshot: {type(state).__name__}"
+        )
+    expected = type(generator.bit_generator).__name__
+    if state["bit_generator"] != expected:
+        raise ConfigurationError(
+            f"RNG snapshot is for {state['bit_generator']!r}, the generator "
+            f"uses {expected!r}"
+        )
+    generator.bit_generator.state = copy.deepcopy(state)
+    return generator
+
+
+def optimizer_state(optimizer: Union[Adam, SGD]) -> Dict[str, Any]:
+    """Snapshot an optimiser's internal state (moments/velocity/step).
+
+    Unlike a federated model install — which deliberately resets the
+    moments — crash recovery must restore them exactly, or the first
+    post-resume update diverges from the uninterrupted run.
+    """
+    if isinstance(optimizer, Adam):
+        return {
+            "kind": "adam",
+            "step_count": optimizer._step_count,
+            "first_moment": [m.copy() for m in optimizer._first_moment],
+            "second_moment": [v.copy() for v in optimizer._second_moment],
+        }
+    if isinstance(optimizer, SGD):
+        return {
+            "kind": "sgd",
+            "velocity": [v.copy() for v in optimizer._velocity],
+        }
+    raise ConfigurationError(
+        f"cannot snapshot optimiser of type {type(optimizer).__name__}"
+    )
+
+
+def set_optimizer_state(
+    optimizer: Union[Adam, SGD], state: Dict[str, Any]
+) -> None:
+    """Restore a snapshot taken by :func:`optimizer_state`."""
+    kind = state.get("kind") if isinstance(state, dict) else None
+    if isinstance(optimizer, Adam):
+        if kind != "adam":
+            raise ConfigurationError(
+                f"optimiser snapshot kind {kind!r} does not match Adam"
+            )
+        optimizer._step_count = int(state["step_count"])
+        optimizer._first_moment = [np.array(m, copy=True) for m in state["first_moment"]]
+        optimizer._second_moment = [np.array(v, copy=True) for v in state["second_moment"]]
+        return
+    if isinstance(optimizer, SGD):
+        if kind != "sgd":
+            raise ConfigurationError(
+                f"optimiser snapshot kind {kind!r} does not match SGD"
+            )
+        optimizer._velocity = [np.array(v, copy=True) for v in state["velocity"]]
+        return
+    raise ConfigurationError(
+        f"cannot restore optimiser of type {type(optimizer).__name__}"
+    )
 
 
 def save_agent(agent: NeuralBanditAgent, path: PathLike) -> None:

@@ -1,0 +1,238 @@
+"""Robust aggregation: unit rules, tolerant server, byzantine training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.training import train_federated
+from repro.faults.aggregation import (
+    MeanAggregator,
+    MedianAggregator,
+    NormClipAggregator,
+    TrimmedMeanAggregator,
+    build_aggregator,
+)
+from repro.federated.averaging import federated_average
+from repro.federated.client import FederatedClient
+from repro.federated.server import FederatedServer
+from repro.federated.transport import InMemoryTransport
+from repro.rl.agent import NeuralBanditAgent
+
+
+def sets(*scalars):
+    """Client parameter sets, one (2,)-array per client."""
+    return [[np.full(2, float(value))] for value in scalars]
+
+
+class TestFederatedAverageGuards:
+    def test_nan_update_raises(self):
+        with pytest.raises(AggregationError, match="non-finite"):
+            federated_average([[np.array([1.0, np.nan])], [np.array([1.0, 2.0])]])
+
+    def test_inf_update_raises(self):
+        with pytest.raises(AggregationError, match="non-finite"):
+            federated_average([[np.array([np.inf, 0.0])], [np.array([1.0, 2.0])]])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AggregationError, match="shape"):
+            federated_average([[np.zeros(2)], [np.zeros(3)]])
+
+
+class TestRobustRules:
+    def test_median_ignores_outlier(self):
+        result = MedianAggregator().aggregate(sets(1.0, 2.0, 1000.0))
+        assert np.allclose(result[0], 2.0)
+
+    def test_trimmed_mean_bounds_outlier(self):
+        result = TrimmedMeanAggregator(0.2).aggregate(sets(1.0, 2.0, 3.0, 1000.0))
+        assert np.allclose(result[0], 2.5)  # trims 1.0 and 1000.0
+
+    def test_trim_fraction_validated(self):
+        with pytest.raises(ConfigurationError, match="trim_fraction"):
+            TrimmedMeanAggregator(0.5)
+
+    def test_norm_clip_limits_influence(self):
+        clipped = NormClipAggregator(clip_norm=2.0).aggregate(
+            sets(1.0, 1.0, 100.0)
+        )
+        plain = MeanAggregator().aggregate(sets(1.0, 1.0, 100.0))
+        assert np.linalg.norm(clipped[0]) < np.linalg.norm(plain[0])
+
+    def test_robust_rules_drop_non_finite_clients(self):
+        poisoned = sets(1.0, 3.0)
+        poisoned.append([np.array([np.nan, np.nan])])
+        aggregator = MedianAggregator()
+        result = aggregator.aggregate(poisoned)
+        assert np.allclose(result[0], 2.0)
+        assert aggregator.last_rejected_indices == (2,)
+
+    def test_all_non_finite_raises(self):
+        with pytest.raises(AggregationError, match="non-finite"):
+            MedianAggregator().aggregate(
+                [[np.array([np.nan])], [np.array([np.inf])]]
+            )
+
+    def test_mean_aggregator_raises_on_nan(self):
+        poisoned = sets(1.0)
+        poisoned.append([np.array([np.nan, np.nan])])
+        with pytest.raises(AggregationError):
+            MeanAggregator().aggregate(poisoned)
+
+    def test_sanitize_update_rejects_nan(self):
+        reference = [np.zeros(2)]
+        assert MeanAggregator().sanitize_update(
+            [np.array([np.nan, 0.0])], reference
+        ) is None
+
+    def test_norm_clip_sanitize_pulls_delta_onto_ball(self):
+        aggregator = NormClipAggregator(clip_norm=1.0)
+        reference = [np.zeros(2)]
+        vetted = aggregator.sanitize_update([np.array([30.0, 40.0])], reference)
+        assert np.linalg.norm(vetted[0]) == pytest.approx(1.0)
+
+    def test_build_aggregator_specs(self):
+        assert build_aggregator("mean").name == "mean"
+        assert build_aggregator("median").robust
+        assert build_aggregator("trimmed_mean:0.3").trim_fraction == 0.3
+        assert build_aggregator("norm_clip:5.0").clip_norm == 5.0
+        with pytest.raises(ConfigurationError, match="unknown aggregator"):
+            build_aggregator("mode")
+        with pytest.raises(ConfigurationError, match="bad aggregator argument"):
+            build_aggregator("trimmed_mean:lots")
+
+
+def make_system(num_clients=3, aggregator=None):
+    transport = InMemoryTransport()
+    agents = [
+        NeuralBanditAgent(num_actions=15, seed=i) for i in range(num_clients)
+    ]
+    client_ids = [f"device-{chr(65 + i)}" for i in range(num_clients)]
+    clients = [
+        FederatedClient(cid, agent, transport)
+        for cid, agent in zip(client_ids, agents)
+    ]
+    server = FederatedServer(
+        agents[0].get_parameters(), client_ids, transport, aggregator=aggregator
+    )
+    return transport, server, clients
+
+
+class TestTolerantAggregation:
+    def test_missing_clients_recorded_not_fatal(self):
+        transport, server, clients = make_system()
+        clients[0].send_local(0)
+        clients[1].send_local(0)
+        server.aggregate(
+            0,
+            expected_clients=[c.client_id for c in clients],
+            tolerant=True,
+        )
+        assert server.last_aggregation_missing == ["device-C"]
+
+    def test_zero_received_raises_even_tolerant(self):
+        transport, server, clients = make_system()
+        with pytest.raises(AggregationError, match="received no"):
+            server.aggregate(
+                0,
+                expected_clients=[c.client_id for c in clients],
+                tolerant=True,
+            )
+
+    def test_duplicates_deduped_keeping_first(self):
+        transport, server, clients = make_system(num_clients=2)
+        ones = [np.ones_like(p) for p in server.global_parameters]
+        threes = [3.0 * np.ones_like(p) for p in server.global_parameters]
+        clients[0].agent.set_parameters(ones)
+        clients[1].agent.set_parameters(threes)
+        clients[0].send_local(0)
+        clients[0].agent.set_parameters(threes)
+        clients[0].send_local(0)  # duplicate with different payload
+        clients[1].send_local(0)
+        new_global = server.aggregate(
+            0,
+            expected_clients=[c.client_id for c in clients],
+            tolerant=True,
+        )
+        # First upload (ones) wins: mean(1, 3) == 2.
+        assert np.allclose(new_global[0], 2.0)
+
+    def test_stale_round_discarded(self):
+        transport, server, clients = make_system(num_clients=2)
+        clients[0].send_local(round_index=0)  # stale
+        clients[0].send_local(round_index=1)
+        clients[1].send_local(round_index=1)
+        server.aggregate(
+            1,
+            expected_clients=[c.client_id for c in clients],
+            tolerant=True,
+        )
+        assert server.last_aggregation_missing == []
+
+    def test_robust_server_rejects_poisoned_upload(self):
+        transport, server, clients = make_system(aggregator=MedianAggregator())
+        nans = [np.full_like(p, np.nan) for p in server.global_parameters]
+        clients[0].agent.set_parameters(nans)
+        for client in clients:
+            client.send_local(0)
+        server.aggregate(0, expected_clients=[c.client_id for c in clients])
+        assert server.last_aggregation_rejected == ["device-A"]
+        assert all(np.isfinite(a).all() for a in server.global_parameters)
+
+
+ASSIGNMENTS = {
+    "dev0": ("fft",),
+    "dev1": ("radix",),
+    "dev2": ("lu",),
+}
+
+
+def tiny_config():
+    return FederatedPowerControlConfig().scaled(rounds=4, steps_per_round=10)
+
+
+def final_parameters(result):
+    # All devices share the aggregated global model after the last round.
+    return result.controllers["dev0"].agent.get_parameters()
+
+
+class TestByzantineTraining:
+    def test_robust_rules_ride_out_byzantine_device(self):
+        config = tiny_config()
+        spec = "byzantine=2,byzantine_scale=50,seed=3"
+        clean = train_federated(ASSIGNMENTS, config)
+        poisoned_mean = train_federated(ASSIGNMENTS, config, faults=spec)
+        poisoned_median = train_federated(
+            ASSIGNMENTS, config, faults=spec, aggregator="median"
+        )
+        reference = final_parameters(clean)
+
+        def distance(result):
+            return float(
+                sum(
+                    np.linalg.norm(a - b)
+                    for a, b in zip(final_parameters(result), reference)
+                )
+            )
+
+        # Plain FedAvg is dragged far off by the 50x-scaled uploads; the
+        # coordinate-wise median stays near the clean trajectory.
+        assert distance(poisoned_median) < 0.1 * distance(poisoned_mean)
+
+    def test_nan_poisoning_aborts_plain_mean(self):
+        config = tiny_config()
+        spec = "byzantine=2,byzantine_mode=nan,seed=3"
+        with pytest.raises(AggregationError):
+            train_federated(
+                ASSIGNMENTS, config, faults=spec, straggler_policy="abort"
+            )
+
+    def test_nan_poisoning_survived_by_trimmed_mean(self):
+        config = tiny_config()
+        spec = "byzantine=2,byzantine_mode=nan,seed=3"
+        result = train_federated(
+            ASSIGNMENTS, config, faults=spec, aggregator="trimmed_mean"
+        )
+        assert all(
+            np.isfinite(a).all() for a in final_parameters(result)
+        )

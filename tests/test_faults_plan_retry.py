@@ -1,0 +1,314 @@
+"""Unit tests for fault plans, retry policies and the faulting transport."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    RetryExhaustedError,
+    TransportError,
+    TransportTimeoutError,
+)
+from repro.faults.plan import FaultEvent, FaultPlan, stable_token
+from repro.faults.retry import (
+    PHASE_BROADCAST,
+    PHASE_UPLOAD,
+    RetryPolicy,
+    execute_with_retry,
+)
+from repro.faults.transport import FaultInjectingTransport
+from repro.federated.transport import InMemoryTransport, Message
+from repro.obs.metrics import MetricsRegistry
+
+DEVICES = ["device-A", "device-B", "device-C"]
+
+
+def upload(device="device-A", round_index=0, payload=None):
+    if payload is None:
+        payload = np.arange(4, dtype=np.float32).tobytes()
+    return Message(
+        sender=device,
+        recipient="server",
+        kind="local_model",
+        payload=payload,
+        round_index=round_index,
+    )
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultEvent("meteor", 0, "device-A")
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ConfigurationError, match="round_index"):
+            FaultEvent("crash", -1, "device-A")
+
+    def test_non_kill_needs_device(self):
+        with pytest.raises(ConfigurationError, match="needs a device"):
+            FaultEvent("drop", 0)
+
+    def test_corrupt_mode_validated(self):
+        with pytest.raises(ConfigurationError, match="corrupt mode"):
+            FaultEvent("corrupt", 0, "device-A", mode="sparkles")
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(
+            num_rounds=20, devices=DEVICES, crash_rate=0.2, drop_rate=0.1
+        )
+        assert FaultPlan.random(seed=7, **kwargs) == FaultPlan.random(
+            seed=7, **kwargs
+        )
+
+    def test_different_seed_different_schedule(self):
+        kwargs = dict(num_rounds=20, devices=DEVICES, crash_rate=0.3)
+        assert FaultPlan.random(seed=1, **kwargs) != FaultPlan.random(
+            seed=2, **kwargs
+        )
+
+    def test_rate_change_does_not_shift_other_kinds(self):
+        # One draw per (round, device, kind) regardless of rates: raising
+        # the drop rate must not move the crash schedule.
+        sparse = FaultPlan.random(
+            num_rounds=30, devices=DEVICES, seed=5, crash_rate=0.2
+        )
+        dense = FaultPlan.random(
+            num_rounds=30, devices=DEVICES, seed=5, crash_rate=0.2, drop_rate=0.5
+        )
+        crashes = lambda plan: [e for e in plan.events if e.kind == "crash"]
+        assert crashes(sparse) == crashes(dense)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.random(
+            num_rounds=10,
+            devices=DEVICES,
+            seed=3,
+            crash_rate=0.3,
+            corrupt_rate=0.2,
+            byzantine_devices=[1],
+            kill_at=4,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = FaultPlan.random(
+            num_rounds=5, devices=DEVICES, seed=9, drop_rate=0.4
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_at_most_one_kill(self):
+        with pytest.raises(ConfigurationError, match="at most one kill"):
+            FaultPlan([FaultEvent("kill", 1), FaultEvent("kill", 2)])
+
+    def test_without_kill_strips_only_the_kill(self):
+        plan = FaultPlan(
+            [FaultEvent("drop", 0, "device-A"), FaultEvent("kill", 3)], seed=2
+        )
+        stripped = plan.without_kill()
+        assert stripped.kill_round is None
+        assert [e.kind for e in stripped.events] == ["drop"]
+        assert stripped.seed == plan.seed
+        # A kill-free plan is returned unchanged.
+        assert stripped.without_kill() is stripped
+
+    def test_from_spec_parses_rates_and_kill(self):
+        plan = FaultPlan.from_spec(
+            "crash=0.5,drop=0.25,kill=2,seed=11", num_rounds=8, devices=DEVICES
+        )
+        assert plan.seed == 11
+        assert plan.kill_round == 2
+        assert any(e.kind == "crash" for e in plan.events)
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            FaultPlan.from_spec("crash", num_rounds=4, devices=DEVICES)
+
+    def test_kill_round_must_be_in_range(self):
+        with pytest.raises(ConfigurationError, match="kill_at"):
+            FaultPlan.random(num_rounds=4, devices=DEVICES, kill_at=9)
+
+    def test_describe_mentions_kill_round(self):
+        plan = FaultPlan([FaultEvent("kill", 5)], seed=1)
+        assert "kill@5" in plan.describe()
+
+    def test_stable_token_is_stable(self):
+        assert stable_token("device-A") == stable_token("device-A")
+        assert stable_token("device-A") != stable_token("device-B")
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_backoff_s=0.1,
+            backoff_multiplier=2.0,
+            max_backoff_s=0.5,
+            jitter_fraction=0.0,
+        )
+        waits = policy.backoff_sequence()
+        assert waits == (0.1, 0.2, 0.4, 0.5, 0.5)
+
+    def test_jitter_is_deterministic_per_path(self):
+        policy = RetryPolicy(jitter_fraction=0.2, seed=4)
+        path = (3, stable_token("device-A"))
+        assert policy.backoff_sequence(path) == policy.backoff_sequence(path)
+        other = (3, stable_token("device-B"))
+        assert policy.backoff_sequence(path) != policy.backoff_sequence(other)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(
+            max_attempts=2, base_backoff_s=1.0, max_backoff_s=1.0,
+            jitter_fraction=0.1, seed=0,
+        )
+        for path in [(r, d) for r in range(10) for d in range(3)]:
+            (wait,) = policy.backoff_sequence(path)
+            assert 0.9 <= wait <= 1.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(upload_timeout_s=0.0)
+
+    def test_timeout_for_phases(self):
+        policy = RetryPolicy(broadcast_timeout_s=1.0, upload_timeout_s=2.0)
+        assert policy.timeout_for(PHASE_BROADCAST) == 1.0
+        assert policy.timeout_for(PHASE_UPLOAD) == 2.0
+        with pytest.raises(ConfigurationError):
+            policy.timeout_for("teleport")
+
+
+class TestExecuteWithRetry:
+    def test_recovers_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransportError("flap")
+            return "delivered"
+
+        metrics = MetricsRegistry()
+        outcome = execute_with_retry(
+            flaky, RetryPolicy(max_attempts=4), PHASE_UPLOAD, metrics=metrics
+        )
+        assert outcome.value == "delivered"
+        assert outcome.attempts == 3
+        assert outcome.backoff_s > 0.0
+        assert metrics.counter("retry.recoveries").value == 1
+
+    def test_exhaustion_raises_with_cause(self):
+        def always_down():
+            raise TransportError("dead link")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            execute_with_retry(
+                always_down, RetryPolicy(max_attempts=2), PHASE_UPLOAD
+            )
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.__cause__, TransportError)
+
+    def test_non_transport_errors_propagate_immediately(self):
+        def broken():
+            raise ValueError("bug, not weather")
+
+        with pytest.raises(ValueError):
+            execute_with_retry(broken, RetryPolicy(), PHASE_UPLOAD)
+
+
+class TestFaultInjectingTransport:
+    def wrap(self, events, retry=None, seed=0):
+        inner = InMemoryTransport()
+        metrics = MetricsRegistry()
+        wrapped = FaultInjectingTransport(
+            inner, FaultPlan(events, seed=seed), retry=retry, metrics=metrics
+        )
+        return inner, wrapped, metrics
+
+    def test_fail_is_transient(self):
+        inner, wrapped, metrics = self.wrap(
+            [FaultEvent("fail", 0, "device-A", repeats=2)]
+        )
+        for _ in range(2):
+            with pytest.raises(TransportError, match="transient"):
+                wrapped.send(upload())
+        wrapped.send(upload())  # third attempt gets through
+        assert inner.pending("server") == 1
+        assert inner.total_messages == 3  # every attempt hit the wire
+        assert metrics.counter("faults.fail").value == 2
+
+    def test_drop_charges_bytes_but_never_delivers(self):
+        inner, wrapped, _ = self.wrap([FaultEvent("drop", 0, "device-A")])
+        wrapped.send(upload())
+        assert inner.pending("server") == 0
+        assert inner.total_bytes == upload().num_bytes
+        assert wrapped.faults_injected() == {"drop": 1}
+
+    def test_duplicate_delivers_twice(self):
+        inner, wrapped, _ = self.wrap([FaultEvent("duplicate", 0, "device-A")])
+        wrapped.send(upload())
+        assert inner.pending("server") == 2
+
+    def test_corrupt_nan_mangles_payload_in_place(self):
+        inner, wrapped, _ = self.wrap(
+            [FaultEvent("corrupt", 0, "device-A", mode="nan")]
+        )
+        message = upload()
+        wrapped.send(message)
+        (received,) = inner.receive_all("server")
+        assert received.num_bytes == message.num_bytes
+        assert np.isnan(np.frombuffer(received.payload, np.float32)).all()
+
+    def test_byzantine_scales_payload(self):
+        inner, wrapped, _ = self.wrap(
+            [FaultEvent("byzantine", 0, "device-A", scale=50.0)]
+        )
+        wrapped.send(upload())
+        (received,) = inner.receive_all("server")
+        values = np.frombuffer(received.payload, np.float32)
+        assert np.allclose(values, 50.0 * np.arange(4, dtype=np.float32))
+
+    def test_delay_accumulates_modelled_seconds(self):
+        inner, wrapped, _ = self.wrap(
+            [FaultEvent("delay", 0, "device-A", scale=0.25)]
+        )
+        wrapped.send(upload())
+        assert wrapped.injected_delay_s == pytest.approx(0.25)
+        assert wrapped.total_latency_s() > inner.total_latency_s()
+        assert inner.pending("server") == 1  # delayed, not lost
+
+    def test_delay_past_timeout_raises(self):
+        retry = RetryPolicy(upload_timeout_s=0.1)
+        inner, wrapped, _ = self.wrap(
+            [FaultEvent("delay", 0, "device-A", scale=5.0)], retry=retry
+        )
+        with pytest.raises(TransportTimeoutError, match="timeout"):
+            wrapped.send(upload())
+        assert inner.pending("server") == 0
+        assert inner.total_messages == 1  # the attempt was charged
+
+    def test_faults_scope_to_their_round_and_device(self):
+        inner, wrapped, _ = self.wrap([FaultEvent("drop", 2, "device-A")])
+        wrapped.send(upload(round_index=0))
+        wrapped.send(upload(device="device-B", round_index=2))
+        assert inner.pending("server") == 2
+        wrapped.send(upload(round_index=2))
+        assert inner.pending("server") == 2  # only this one was dropped
+
+    def test_broadcast_faults_key_on_recipient(self):
+        inner, wrapped, _ = self.wrap([FaultEvent("drop", 0, "device-A")])
+        broadcast = Message(
+            sender="server",
+            recipient="device-A",
+            kind="global_model",
+            payload=b"\x00" * 8,
+            round_index=0,
+        )
+        wrapped.send(broadcast)
+        assert inner.pending("device-A") == 0

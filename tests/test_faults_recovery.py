@@ -1,0 +1,236 @@
+"""Checkpoint/resume: state helpers, snapshots, and bit-identical chaos runs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RunKilledError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.training import train_federated
+from repro.faults.recovery import (
+    CheckpointConfig,
+    OrchestratorProgress,
+    RunSnapshot,
+    load_snapshot,
+    run_fingerprint,
+    save_snapshot,
+)
+from repro.nn.optimizers import SGD, Adam
+from repro.utils.checkpoint import (
+    optimizer_state,
+    rng_state,
+    set_optimizer_state,
+    set_rng_state,
+)
+
+BACKENDS = ["serial", "thread", "process"]
+
+ASSIGNMENTS = {"dev0": ("fft",), "dev1": ("radix",)}
+
+
+def tiny_config():
+    return FederatedPowerControlConfig().scaled(rounds=6, steps_per_round=10)
+
+
+class TestRngStateRoundTrip:
+    def test_restored_stream_continues_identically(self):
+        rng = np.random.default_rng(42)
+        rng.random(10)
+        state = rng_state(rng)
+        expected = rng.random(20)
+        fresh = np.random.default_rng(0)
+        set_rng_state(fresh, state)
+        assert np.array_equal(fresh.random(20), expected)
+
+    def test_snapshot_is_a_copy(self):
+        rng = np.random.default_rng(1)
+        state = rng_state(rng)
+        rng.random(100)
+        fresh = set_rng_state(np.random.default_rng(0), state)
+        other = set_rng_state(np.random.default_rng(0), state)
+        assert np.array_equal(fresh.random(5), other.random(5))
+
+    def test_wrong_payload_rejected(self):
+        with pytest.raises(ConfigurationError, match="RNG state"):
+            set_rng_state(np.random.default_rng(0), {"nope": 1})
+
+
+class TestOptimizerStateRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [lambda: Adam(), lambda: SGD(momentum=0.9)], ids=["adam", "sgd"]
+    )
+    def test_round_trip_resumes_identical_updates(self, factory):
+        rng = np.random.default_rng(3)
+        grads = [rng.normal(size=(4, 3)).astype(np.float64) for _ in range(6)]
+
+        live = factory()
+        params = [np.ones((4, 3))]
+        for grad in grads[:3]:
+            live.step(params, [grad])
+        state = optimizer_state(live)
+        params_at_checkpoint = [p.copy() for p in params]
+
+        restored = factory()
+        set_optimizer_state(restored, state)
+        resumed_params = [p.copy() for p in params_at_checkpoint]
+        for grad in grads[3:]:
+            live.step(params, [grad])
+            restored.step(resumed_params, [grad])
+        assert np.array_equal(params[0], resumed_params[0])
+
+    def test_kind_mismatch_rejected(self):
+        state = optimizer_state(SGD())
+        with pytest.raises(ConfigurationError, match="does not match"):
+            set_optimizer_state(Adam(), state)
+
+
+class TestSnapshotFile:
+    def make_snapshot(self, fingerprint="abc"):
+        return RunSnapshot(
+            fingerprint=fingerprint,
+            progress=OrchestratorProgress(next_round=3),
+            global_parameters=[np.arange(6.0)],
+            rounds_aggregated=3,
+            device_blobs={"dev0": b"blob"},
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_snapshot(self.make_snapshot(), path)
+        loaded = load_snapshot(path, fingerprint="abc")
+        assert loaded.progress.next_round == 3
+        assert np.array_equal(loaded.global_parameters[0], np.arange(6.0))
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_snapshot(self.make_snapshot(), path)
+        with pytest.raises(ConfigurationError, match="different run"):
+            load_snapshot(path, fingerprint="something-else")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            load_snapshot(tmp_path / "never-written.ckpt")
+
+    def test_fingerprint_depends_on_every_part(self):
+        base = run_fingerprint(config="c", plan="p")
+        assert run_fingerprint(config="c", plan="p") == base
+        assert run_fingerprint(config="c", plan="q") != base
+        assert run_fingerprint(config="d", plan="p") != base
+
+    def test_checkpoint_config_validation(self):
+        with pytest.raises(ConfigurationError, match="every"):
+            CheckpointConfig(path="x", every=0)
+        config = CheckpointConfig(path="x", every=2)
+        assert [config.due(r) for r in range(4)] == [False, True, False, True]
+
+
+def run_metrics(result):
+    return (
+        [a.tolist() for a in result.controllers["dev0"].agent.get_parameters()],
+        [
+            [e.reward_mean for e in re.evaluations]
+            for re in result.round_evaluations
+        ],
+        result.communication_bytes,
+        result.federated_result.power_violation_rate(),
+    )
+
+
+class TestCrashResume:
+    @pytest.fixture(scope="class")
+    def uninterrupted(self):
+        return run_metrics(train_federated(ASSIGNMENTS, tiny_config()))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_kill_and_resume_is_bit_identical(
+        self, backend, uninterrupted, tmp_path
+    ):
+        checkpoint_path = str(tmp_path / "run.ckpt")
+        with pytest.raises(RunKilledError):
+            train_federated(
+                ASSIGNMENTS,
+                tiny_config(),
+                backend=backend,
+                faults="kill=3",
+                checkpoint=CheckpointConfig(path=checkpoint_path),
+            )
+        resumed = train_federated(
+            ASSIGNMENTS,
+            tiny_config(),
+            backend=backend,
+            faults="kill=3",
+            checkpoint=CheckpointConfig(path=checkpoint_path, resume=True),
+        )
+        assert run_metrics(resumed) == uninterrupted
+
+    def test_serial_checkpoint_resumes_under_process_backend(
+        self, uninterrupted, tmp_path
+    ):
+        checkpoint_path = str(tmp_path / "run.ckpt")
+        with pytest.raises(RunKilledError):
+            train_federated(
+                ASSIGNMENTS,
+                tiny_config(),
+                backend="serial",
+                faults="kill=4",
+                checkpoint=CheckpointConfig(path=checkpoint_path),
+            )
+        resumed = train_federated(
+            ASSIGNMENTS,
+            tiny_config(),
+            backend="process",
+            faults="kill=4",
+            checkpoint=CheckpointConfig(path=checkpoint_path, resume=True),
+        )
+        assert run_metrics(resumed) == uninterrupted
+
+
+class TestCliChaos:
+    def test_kill_exits_3_then_resume_completes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        checkpoint = str(tmp_path / "run.ckpt")
+        # 5 rounds so the smoke config's every-5th-round evaluation fires.
+        argv = ["run", "fig4", "--rounds", "5", "--steps", "5"]
+        assert main(argv + ["--faults", "kill=2", "--checkpoint", checkpoint]) == 3
+        assert "killed" in capsys.readouterr().err
+        assert (
+            main(
+                argv
+                + ["--faults", "kill=2", "--checkpoint", checkpoint, "--resume"]
+            )
+            == 0
+        )
+
+    def test_resume_without_checkpoint_is_an_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig4", "--resume"]) == 1
+        assert "--checkpoint" in capsys.readouterr().err
+
+
+class TestFaultDeterminism:
+    WIRE_SPEC = "drop=0.2,fail=0.3,delay=0.2,crash=0.15,seed=3"
+
+    @pytest.fixture(scope="class")
+    def per_backend(self):
+        results = {}
+        for backend in BACKENDS:
+            result = train_federated(
+                ASSIGNMENTS,
+                tiny_config(),
+                backend=backend,
+                faults=self.WIRE_SPEC,
+            )
+            results[backend] = (
+                run_metrics(result),
+                result.federated_result.stragglers_by_round,
+            )
+        return results
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_faulted_run_matches_serial(self, backend, per_backend):
+        assert per_backend[backend] == per_backend["serial"]
+
+    def test_faults_actually_fired(self, per_backend):
+        _, stragglers_by_round = per_backend["serial"]
+        assert any(stragglers_by_round)

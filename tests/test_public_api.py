@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.control",
     "repro.experiments",
+    "repro.faults",
     "repro.federated",
     "repro.nn",
     "repro.obs",
@@ -47,10 +48,17 @@ MODULES = [
     "repro.experiments.overhead",
     "repro.experiments.regret",
     "repro.experiments.registry",
+    "repro.experiments.resilience",
     "repro.experiments.scenarios",
     "repro.experiments.sweep",
     "repro.experiments.table3",
     "repro.experiments.training",
+    "repro.faults.aggregation",
+    "repro.faults.context",
+    "repro.faults.plan",
+    "repro.faults.recovery",
+    "repro.faults.retry",
+    "repro.faults.transport",
     "repro.federated.async_server",
     "repro.federated.averaging",
     "repro.federated.client",
