@@ -22,6 +22,20 @@ stderr and (with ``--metrics-out``) in the metrics snapshot.
 report.md`` turns those artefacts into an offline Markdown run report
 (OPP dwell histograms, power-violation rates, convergence curves,
 straggler/drift summaries, device-vs-fleet divergence).
+
+Guardrail flags (``run`` and ``report``): ``--guard`` arms the
+device-side safety watchdog (fallback power-cap governor on anomaly),
+``--quarantine`` arms the server-side update screen with EWMA
+reputations, and ``--churn [SPEC]`` runs the federation under a seeded
+join/leave/rejoin membership schedule (default spec:
+``leave=0.15,rejoin=0.5,seed=11``). All three activate the ambient
+:func:`repro.guard.guard` context, picked up by every federated
+training run the experiment performs.
+
+Exit codes: ``0`` success, ``1`` configuration or runtime error,
+``3`` injected server kill (resume with ``--checkpoint``/``--resume``),
+``4`` the run completed but ended *fully degraded* — every guarded
+device finished on its fallback governor.
 """
 
 from __future__ import annotations
@@ -97,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(run_parser)
     _add_execution_flags(run_parser)
     _add_resilience_flags(run_parser)
+    _add_guard_flags(run_parser)
 
     report_parser = subparsers.add_parser(
         "report",
@@ -120,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(report_parser)
     _add_execution_flags(report_parser)
     _add_resilience_flags(report_parser)
+    _add_guard_flags(report_parser)
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -330,6 +346,87 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_guard_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help=(
+            "arm the device-side safety watchdog: anomalous agents are "
+            "swapped onto a power-cap fallback governor and re-admitted "
+            "only after a clean probation (see repro.guard.watchdog)"
+        ),
+    )
+    parser.add_argument(
+        "--quarantine",
+        action="store_true",
+        help=(
+            "screen incoming federated updates before aggregation and "
+            "quarantine repeat offenders for a cooldown "
+            "(see repro.guard.quarantine)"
+        ),
+    )
+    parser.add_argument(
+        "--churn",
+        type=str,
+        nargs="?",
+        const="default",
+        default="",
+        metavar="SPEC",
+        help=(
+            "run under a seeded join/leave/rejoin membership schedule; "
+            "SPEC is a plan like 'leave=0.15,rejoin=0.5,seed=11' "
+            f"(bare --churn uses that default; see "
+            f"repro.guard.ChurnPlan.from_spec)"
+        ),
+    )
+
+
+def _build_guard_context(args):
+    """The ambient guard context for this invocation (or a no-op)."""
+    guard_on = getattr(args, "guard", False)
+    quarantine_on = getattr(args, "quarantine", False)
+    churn_spec = getattr(args, "churn", "")
+    if not (guard_on or quarantine_on or churn_spec):
+        return nullcontext()
+    from repro.guard import DEFAULT_CHURN_SPEC, guard
+
+    if churn_spec == "default":
+        churn_spec = DEFAULT_CHURN_SPEC
+    return guard(
+        watchdog=True if guard_on else None,
+        quarantine=True if quarantine_on else None,
+        churn=churn_spec or None,
+    )
+
+
+def _guard_exit_code(default: int = 0) -> int:
+    """``default``, or 4 when the guarded run ended fully degraded."""
+    from repro.guard import consume_guard_report
+
+    report = consume_guard_report()
+    if report is None:
+        return default
+    if report.quarantined_devices:
+        print(
+            "[guard] quarantined devices: "
+            + ", ".join(report.quarantined_devices)
+            + f" ({report.quarantine_events} exclusion events)",
+            file=sys.stderr,
+        )
+    if report.fully_degraded:
+        states = ", ".join(
+            f"{name}={state}"
+            for name, state in sorted(report.device_states.items())
+        )
+        print(
+            f"run fully degraded: every guarded device ended on its "
+            f"fallback governor ({states})",
+            file=sys.stderr,
+        )
+        return 4
+    return default
+
+
 def _build_resilience_context(args):
     """The ambient resilience context for this invocation (or a no-op)."""
     faults = getattr(args, "faults", "")
@@ -405,14 +502,14 @@ def _dispatch(args) -> int:
         profiler=sinks.profiler,
     ), execution(args.backend, args.workers or None), _build_resilience_context(
         args
-    ):
+    ), _build_guard_context(args):
         output = spec.runner(config)
     print(output)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(output + "\n")
     _write_sink_outputs(args, sinks)
-    return 0
+    return _guard_exit_code()
 
 
 def _setup_logging_from_args(args) -> None:
@@ -556,7 +653,7 @@ def _run_report(args) -> int:
         profiler=sinks.profiler,
     ), execution(args.backend, args.workers or None), _build_resilience_context(
         args
-    ):
+    ), _build_guard_context(args):
         for experiment_id in experiment_ids:
             spec = get_experiment(experiment_id)
             print(f"running {experiment_id} ({spec.paper_artifact}) ...")
@@ -565,7 +662,7 @@ def _run_report(args) -> int:
             path.write_text(text + "\n")
             print(f"  -> {path}")
     _write_sink_outputs(args, sinks)
-    return 0
+    return _guard_exit_code()
 
 
 if __name__ == "__main__":

@@ -244,6 +244,11 @@ class ControlSession:
                         violations=self._violation_count,
                         temperature_c=after.temperature_c,
                         loss=loss,
+                        fallback=bool(
+                            getattr(
+                                self.controller, "last_action_fallback", False
+                            )
+                        ),
                     )
                 )
 

@@ -96,6 +96,17 @@ class RunKilledError(ReproError, RuntimeError):
     """
 
 
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint artefact is unreadable, truncated or corrupted.
+
+    Raised by :func:`repro.faults.recovery.load_snapshot` and
+    :func:`repro.utils.checkpoint.load_agent` when a file's content
+    digest does not match its payload — a torn write, a truncated copy
+    or bit rot — so resume fails with a clear diagnosis instead of an
+    arbitrary error deep inside deserialization.
+    """
+
+
 class ExecutionError(ReproError, RuntimeError):
     """A parallel execution backend or one of its workers failed.
 

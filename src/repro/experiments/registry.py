@@ -40,7 +40,7 @@ from repro.experiments.generalization import run_generalization
 from repro.experiments.multiseed import run_multiseed
 from repro.experiments.overhead import run_overhead
 from repro.experiments.regret import run_regret
-from repro.experiments.resilience import run_resilience
+from repro.experiments.resilience import run_guard_comparison, run_resilience
 from repro.experiments.sweep import run_learning_rate_sweep
 from repro.experiments.table3 import run_table3
 from repro.utils.tables import format_table
@@ -192,6 +192,12 @@ _SPECS: List[ExperimentSpec] = [
         "Training outcome vs injected fault intensity (crash/drop/fail)",
         "extension",
         lambda config: run_resilience(config).format(),
+    ),
+    ExperimentSpec(
+        "guard",
+        "Guarded vs unguarded training under byzantine faults and churn",
+        "extension",
+        lambda config: run_guard_comparison(config).format(),
     ),
     ExperimentSpec(
         "ablation_clients",

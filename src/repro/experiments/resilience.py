@@ -14,6 +14,12 @@ The headline: moderate fault rates cost rounds, not convergence — the
 federated average keeps pooling whatever uploads survive, so the final
 policy stays close to the fault-free one until the fault rate starves
 entire rounds of updates.
+
+:func:`run_guard_comparison` extends the sweep with the
+:mod:`repro.guard` story: the same byzantine-poisoned, crash-ridden,
+churning fleet trained twice — once bare, once with the device-side
+watchdog and the server-side quarantine — so the table shows what the
+guardrails buy in power-constraint compliance.
 """
 
 from __future__ import annotations
@@ -26,10 +32,16 @@ from repro.experiments.config import FederatedPowerControlConfig
 from repro.experiments.scenarios import scenario_applications
 from repro.experiments.training import TrainingResult, train_federated
 from repro.faults.retry import RetryPolicy
+from repro.sim.workload import SPLASH2_APPLICATION_NAMES
 from repro.utils.tables import format_table
 
 #: Seed of the injected fault schedules (independent of the model seed).
 FAULT_SEED = 7
+
+#: Chaos and churn specs of the guard comparison (byzantine rate uses
+#: its own RNG stream, so the crash schedule matches the plain sweep's).
+GUARD_CHAOS_SPEC = f"byzantine=0.3,crash=0.1,seed={FAULT_SEED}"
+GUARD_CHURN_SPEC = "leave=0.1,rejoin=0.6,seed=11"
 
 
 @dataclass(frozen=True)
@@ -97,6 +109,144 @@ class ResilienceResult:
             f"are lost to stragglers."
         )
         return f"{table}\n{verdict}"
+
+
+@dataclass(frozen=True)
+class GuardPoint:
+    """Outcome of one chaos run, bare or guarded."""
+
+    label: str
+    final_reward: float
+    violation_rate: float
+    fallback_rate: float
+    quarantined: Tuple[str, ...]
+    rounds_completed: int
+    communication_bytes: int
+
+
+@dataclass(frozen=True)
+class GuardComparisonResult:
+    """Same chaos, same seeds — with and without the guardrails."""
+
+    num_devices: int
+    chaos_spec: str
+    churn_spec: str
+    unguarded: GuardPoint
+    guarded: GuardPoint
+
+    def violation_improvement(self) -> float:
+        """Drop in power-violation rate the guardrails deliver."""
+        return self.unguarded.violation_rate - self.guarded.violation_rate
+
+    def format(self) -> str:
+        rows = [
+            [
+                point.label,
+                point.final_reward,
+                point.violation_rate,
+                point.fallback_rate,
+                len(point.quarantined),
+                point.rounds_completed,
+                point.communication_bytes,
+            ]
+            for point in (self.unguarded, self.guarded)
+        ]
+        table = format_table(
+            [
+                "run",
+                "final reward",
+                "violations",
+                "fallback",
+                "quarantined",
+                "rounds",
+                "bytes",
+            ],
+            rows,
+            title=(
+                f"Guardrail comparison — {self.num_devices} devices, "
+                f"faults '{self.chaos_spec}', churn '{self.churn_spec}'"
+            ),
+        )
+        names = ", ".join(self.guarded.quarantined) or "none"
+        verdict = (
+            f"Guardrails cut the power-violation rate by "
+            f"{self.violation_improvement():+.3f} "
+            f"({self.unguarded.violation_rate:.3f} -> "
+            f"{self.guarded.violation_rate:.3f}) while quarantining "
+            f"{len(self.guarded.quarantined)} device(s) [{names}] and "
+            f"covering {100.0 * self.guarded.fallback_rate:.1f} % of "
+            f"control steps with the fallback governor."
+        )
+        return f"{table}\n{verdict}"
+
+
+def _guard_point(label: str, result: TrainingResult, last_rounds: int) -> GuardPoint:
+    federated = result.federated_result
+    assert federated is not None  # train_federated always fills this
+    return GuardPoint(
+        label=label,
+        final_reward=result.mean_metric("reward_mean", last_rounds=last_rounds),
+        violation_rate=federated.power_violation_rate(),
+        fallback_rate=federated.fallback_rate(),
+        quarantined=tuple(federated.quarantined_devices),
+        rounds_completed=federated.rounds_completed,
+        communication_bytes=result.communication_bytes,
+    )
+
+
+def guard_fleet() -> dict:
+    """Four devices × two disjunct SPLASH-2 applications each.
+
+    The quarantine's fleet statistics need at least three finite
+    contributors per round (``min_updates``), so the guard comparison
+    runs on a larger fleet than the two-device Table-II scenarios.
+    """
+    names = list(SPLASH2_APPLICATION_NAMES[:8])
+    return {
+        f"device-{index}": (names[2 * index], names[2 * index + 1])
+        for index in range(4)
+    }
+
+
+def run_guard_comparison(
+    config: FederatedPowerControlConfig,
+    chaos: str = GUARD_CHAOS_SPEC,
+    churn: str = GUARD_CHURN_SPEC,
+    last_rounds: int = 3,
+) -> GuardComparisonResult:
+    """Train the same chaotic fleet twice — bare, then guarded.
+
+    Both runs see identical byzantine/crash fault schedules and the
+    identical churn plan; only the watchdog + quarantine differ. The
+    guarded run should post a strictly lower power-violation rate.
+    """
+    assignments = guard_fleet()
+    retry = RetryPolicy(max_attempts=4)
+    unguarded = train_federated(
+        assignments,
+        config,
+        faults=chaos,
+        retry=retry,
+        straggler_policy="skip",
+        churn=churn,
+    )
+    guarded = train_federated(
+        assignments,
+        config,
+        faults=chaos,
+        retry=retry,
+        straggler_policy="skip",
+        guard=True,
+        quarantine=True,
+        churn=churn,
+    )
+    return GuardComparisonResult(
+        num_devices=len(assignments),
+        chaos_spec=chaos,
+        churn_spec=churn,
+        unguarded=_guard_point("unguarded", unguarded, last_rounds),
+        guarded=_guard_point("guarded", guarded, last_rounds),
+    )
 
 
 def run_resilience(

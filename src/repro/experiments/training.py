@@ -22,7 +22,7 @@ from repro.control.base import PowerController
 from repro.control.neural import NeuralPowerController, build_neural_controller
 from repro.control.profit import CollabProfitController, build_profit_controller
 from repro.control.runtime import ControlSession
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.config import FederatedPowerControlConfig
 from repro.experiments.evaluation import PolicyEvaluator, RoundEvaluation
 from repro.experiments.scenarios import evaluation_applications
@@ -45,6 +45,10 @@ from repro.federated.client import FederatedClient
 from repro.federated.collab import CollabPolicyServer
 from repro.federated.orchestrator import FederatedRunResult, run_federated_training
 from repro.federated.server import FederatedServer
+from repro.guard.churn import ChurnPlan
+from repro.guard.context import GuardReport, publish_guard_report, resolve_guard
+from repro.guard.quarantine import QuarantineConfig, QuarantineManager
+from repro.guard.watchdog import GuardedController, WatchdogConfig, guard_controller
 from repro.federated.transport import InMemoryTransport
 from repro.obs.context import (
     active_flight,
@@ -243,6 +247,7 @@ def _resolve_run_resilience(
     eval_apps: Tuple[str, ...],
     participation_fraction: float,
     aggregation_weights: Optional[Dict[str, float]],
+    guard_parts: Optional[Dict[str, object]] = None,
 ) -> _ResolvedResilience:
     """Materialise explicit/ambient resilience settings for one run.
 
@@ -282,6 +287,9 @@ def _resolve_run_resilience(
             ),
             aggregator=getattr(agg, "name", None),
             plan=plan.to_json() if plan is not None else None,
+            # Guard settings change the trajectory too; absent keys keep
+            # unguarded fingerprints byte-identical to previous releases.
+            **(guard_parts or {}),
         )
         if out.checkpoint.resume:
             # Experiments run many training calls against one checkpoint
@@ -306,6 +314,126 @@ def _resolve_run_resilience(
             if out.plan is not None:
                 out.plan = out.plan.without_kill()
     return out
+
+
+def _materialize_guard(
+    guard,
+    quarantine,
+    churn,
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+) -> Tuple[
+    Optional[WatchdogConfig], Optional[QuarantineManager], Optional[ChurnPlan]
+]:
+    """Resolve explicit/ambient guard settings into live objects.
+
+    ``guard`` may be ``True`` (default thresholds) or a
+    :class:`WatchdogConfig`; ``quarantine`` ``True``, a
+    :class:`QuarantineConfig` or a live :class:`QuarantineManager`;
+    ``churn`` a :class:`ChurnPlan` or a spec string resolved against
+    this run's rounds and device roster. Everything off (the default)
+    leaves the run bit-identical to an unguarded one.
+    """
+    resolved = resolve_guard(watchdog=guard, quarantine=quarantine, churn=churn)
+    watchdog_cfg = resolved.watchdog
+    if watchdog_cfg is True:
+        watchdog_cfg = WatchdogConfig()
+    elif watchdog_cfg is False:
+        watchdog_cfg = None
+    elif watchdog_cfg is not None and not isinstance(watchdog_cfg, WatchdogConfig):
+        raise ConfigurationError(
+            f"guard must be True or a WatchdogConfig, got "
+            f"{type(watchdog_cfg).__name__}"
+        )
+    quarantine_mgr = resolved.quarantine
+    if quarantine_mgr is True:
+        quarantine_mgr = QuarantineManager()
+    elif quarantine_mgr is False:
+        quarantine_mgr = None
+    elif isinstance(quarantine_mgr, QuarantineConfig):
+        quarantine_mgr = QuarantineManager(quarantine_mgr)
+    elif quarantine_mgr is not None and not isinstance(
+        quarantine_mgr, QuarantineManager
+    ):
+        raise ConfigurationError(
+            f"quarantine must be True, a QuarantineConfig or a "
+            f"QuarantineManager, got {type(quarantine_mgr).__name__}"
+        )
+    churn_plan = resolved.churn
+    if isinstance(churn_plan, str):
+        churn_plan = ChurnPlan.from_spec(
+            churn_plan, num_rounds=config.num_rounds, devices=list(assignments)
+        )
+    elif churn_plan is not None and not isinstance(churn_plan, ChurnPlan):
+        raise ConfigurationError(
+            f"churn must be a ChurnPlan or spec string, got "
+            f"{type(churn_plan).__name__}"
+        )
+    return watchdog_cfg, quarantine_mgr, churn_plan
+
+
+def _wrap_guarded_controllers(
+    controllers: Dict[str, PowerController],
+    environments: Dict[str, DeviceEnvironment],
+    watchdog_cfg: WatchdogConfig,
+    config: FederatedPowerControlConfig,
+) -> None:
+    """Wrap each neural controller in the safety watchdog, in place.
+
+    Controllers restored from a checkpoint may already be wrapped (the
+    snapshot captures the guarded object whole) — those keep their
+    accumulated trip history instead of being re-wrapped.
+    """
+    for name, controller in controllers.items():
+        if isinstance(controller, GuardedController):
+            continue
+        controllers[name] = guard_controller(
+            controller,
+            environments[name].device.opp_table,
+            config=watchdog_cfg,
+            device_name=name,
+            power_limit_w=config.power_limit_w,
+        )
+
+
+def _publish_guard_summary(
+    controllers: Dict[str, PowerController],
+    run_result: FederatedRunResult,
+    guarded: bool,
+) -> None:
+    """Fill the run result's watchdog accounting and publish the report.
+
+    ``run_result.fallback_steps_by_device`` comes straight off the
+    guarded controllers (the flight recorder's per-device fallback
+    counters must agree — an integration test cross-checks them); the
+    :class:`GuardReport` rides the ambient slot back to the CLI, which
+    turns a fully degraded fleet into a dedicated exit code.
+    """
+    states: Dict[str, str] = {}
+    trips: Dict[str, int] = {}
+    fallback: Dict[str, int] = {}
+    steps: Dict[str, int] = {}
+    if guarded:
+        for name, controller in controllers.items():
+            if not isinstance(controller, GuardedController):
+                continue
+            states[name] = controller.state
+            trips[name] = controller.trip_count
+            fallback[name] = controller.fallback_steps_total
+            steps[name] = controller.steps_total
+        run_result.fallback_steps_by_device = dict(fallback)
+    publish_guard_report(
+        GuardReport(
+            device_states=states,
+            trip_counts=trips,
+            fallback_steps=fallback,
+            guarded_steps=steps,
+            quarantined_devices=tuple(run_result.quarantined_devices),
+            quarantine_events=sum(
+                len(entry) for entry in run_result.quarantined_by_round
+            ),
+        )
+    )
 
 
 def _wrap_transport(
@@ -348,11 +476,14 @@ def _save_run_snapshot(
     trace: TraceRecorder,
     assignments: Dict[str, Tuple[str, ...]],
     config: FederatedPowerControlConfig,
+    quarantine: Optional[QuarantineManager] = None,
 ) -> None:
     """Assemble and atomically persist one run checkpoint.
 
     Power accounting at checkpoint time folds in any resumed-from
-    priors, so chained resumes still report run totals.
+    priors, so chained resumes still report run totals. With a
+    quarantine screen active, its reputations/bans ride along so a
+    resumed run keeps punishing the same offenders.
     """
     violations, steps = _power_accounting(trace, assignments, config.power_limit_w)
     prior = resilience.snapshot
@@ -372,6 +503,9 @@ def _save_run_snapshot(
             round_evaluations=list(result.round_evaluations),
             prior_power_violations=violations,
             prior_power_steps=steps,
+            quarantine_state=(
+                quarantine.state() if quarantine is not None else None
+            ),
         ),
         resilience.checkpoint.path,
     )
@@ -451,12 +585,16 @@ def _federated_actor_parts(
     config: FederatedPowerControlConfig,
     eval_apps: Tuple[str, ...],
     fault_injector: Optional[FaultInjector] = None,
+    guard: Optional[WatchdogConfig] = None,
 ) -> ActorParts:
     """Worker-side builder for one federated device actor.
 
     Top-level (picklable) and seeded purely by the device's original
     index, so the actor's environment, controller, evaluator and eval
-    vessel are bit-identical to the serial run's for that device.
+    vessel are bit-identical to the serial run's for that device. With
+    ``guard`` set the controller is wrapped in the safety watchdog
+    right here, inside the actor — health checks run where the control
+    steps run, and the guarded object rides checkpoint blobs whole.
     """
     index = list(assignments).index(device_name)
     environment = _build_one_environment(
@@ -465,6 +603,14 @@ def _federated_actor_parts(
     controller = _build_one_neural_controller(
         environment.device.opp_table, index, config
     )
+    if guard is not None:
+        controller = guard_controller(
+            controller,
+            environment.device.opp_table,
+            config=guard,
+            device_name=device_name,
+            power_limit_w=config.power_limit_w,
+        )
     eval_controller = build_neural_controller(
         environment.device.opp_table,
         power_limit_w=config.power_limit_w,
@@ -587,6 +733,9 @@ def train_federated(
     aggregator=None,
     retry: Optional[RetryPolicy] = None,
     checkpoint: Optional[CheckpointConfig] = None,
+    guard=None,
+    quarantine=None,
+    churn=None,
 ) -> TrainingResult:
     """Run the paper's federated power control (Algorithms 1 + 2).
 
@@ -632,6 +781,22 @@ def train_federated(
     bit-identical to an uninterrupted run, on every backend. All four
     default to the ambient :func:`repro.faults.context.resilience`
     configuration, then to off.
+
+    Guardrails (:mod:`repro.guard`): ``guard`` enables the device-side
+    safety watchdog (``True`` or a
+    :class:`~repro.guard.watchdog.WatchdogConfig`) — each neural
+    controller is wrapped so an unhealthy agent hands control to a
+    power-cap governor until it re-proves itself; ``quarantine``
+    (``True``, a :class:`~repro.guard.quarantine.QuarantineConfig` or a
+    live manager) screens incoming updates server-side before
+    aggregation and bans repeat offenders; ``churn`` (a
+    :class:`~repro.guard.churn.ChurnPlan` or spec string such as
+    ``"leave=0.15,rejoin=0.5,late=1,seed=11"``) drives dynamic fleet
+    membership. All three default to the ambient
+    :func:`repro.guard.context.guard` configuration, then to off — and
+    with all three off the run is bit-identical to an unguarded one.
+    A guarded run publishes a :class:`~repro.guard.context.GuardReport`
+    for the CLI to consume.
     """
     _check_assignments(assignments)
     backend, workers = resolve_execution(backend, workers)
@@ -640,6 +805,16 @@ def train_federated(
     flight = active_flight(flight)
     profiler = active_profiler(profiler)
     eval_apps = tuple(eval_applications or evaluation_applications())
+    watchdog_cfg, quarantine_mgr, churn_plan = _materialize_guard(
+        guard, quarantine, churn, assignments, config
+    )
+    guard_parts: Dict[str, object] = {}
+    if watchdog_cfg is not None:
+        guard_parts["watchdog"] = watchdog_cfg
+    if quarantine_mgr is not None:
+        guard_parts["quarantine"] = quarantine_mgr.config
+    if churn_plan is not None:
+        guard_parts["churn"] = churn_plan.to_json()
     resilience_cfg = _resolve_run_resilience(
         faults,
         aggregator,
@@ -650,9 +825,17 @@ def train_federated(
         eval_apps,
         participation_fraction,
         aggregation_weights,
+        guard_parts=guard_parts or None,
     )
     if straggler_policy is None:
-        straggler_policy = "skip" if resilience_cfg.plan is not None else "abort"
+        # Quarantine can empty a round (AggregationError) and churn can
+        # drain one; both need the tolerant policy to ride it out.
+        tolerant_needed = (
+            resilience_cfg.plan is not None
+            or quarantine_mgr is not None
+            or churn_plan is not None
+        )
+        straggler_policy = "skip" if tolerant_needed else "abort"
     fault_injector = _effective_fault_injector(resilience_cfg, fault_injector)
     _LOG.info(
         "federated training starting",
@@ -681,6 +864,9 @@ def train_federated(
             straggler_policy=straggler_policy,
             fault_injector=fault_injector,
             resilience_cfg=resilience_cfg,
+            watchdog_cfg=watchdog_cfg,
+            quarantine_mgr=quarantine_mgr,
+            churn_plan=churn_plan,
         )
     environments = _build_training_environments(
         assignments, config, metrics=metrics, profiler=profiler
@@ -698,6 +884,8 @@ def train_federated(
             device_payloads[name] = payload
             environments[name] = payload["environment"]
             controllers[name] = payload["controller"]
+    if watchdog_cfg is not None:
+        _wrap_guarded_controllers(controllers, environments, watchdog_cfg, config)
     trace = TraceRecorder()
     sessions = {
         name: ControlSession(
@@ -743,9 +931,12 @@ def train_federated(
         metrics=metrics,
         aggregator=resilience_cfg.aggregator,
         retry=resilience_cfg.retry,
+        quarantine=quarantine_mgr,
     )
     if snapshot is not None:
         server.restore(snapshot.global_parameters, snapshot.rounds_aggregated)
+        if quarantine_mgr is not None and snapshot.quarantine_state is not None:
+            quarantine_mgr.restore_state(snapshot.quarantine_state)
 
     evaluator = PolicyEvaluator(list(assignments), config, eval_apps)
     if snapshot is not None:
@@ -811,6 +1002,7 @@ def train_federated(
             trace,
             assignments,
             config,
+            quarantine=quarantine_mgr,
         )
 
     run_result = run_federated_training(
@@ -827,6 +1019,7 @@ def train_federated(
         tracer=tracer,
         profiler=profiler,
         fault_plan=resilience_cfg.plan,
+        churn_plan=churn_plan,
         resume=snapshot.progress if snapshot is not None else None,
         checkpoint_hook=checkpoint_hook if ckpt is not None else None,
     )
@@ -838,12 +1031,22 @@ def train_federated(
         config.power_limit_w,
         prior_snapshot=snapshot,
     )
+    if watchdog_cfg is not None or quarantine_mgr is not None or churn_plan is not None:
+        _publish_guard_summary(
+            controllers, run_result, guarded=watchdog_cfg is not None
+        )
     result.federated_result = run_result
     result.train_trace = trace
     result.communication_bytes = run_result.total_bytes_communicated
-    result.mean_decision_latency_s = fmean(
-        session.mean_decision_latency_s() for session in sessions.values()
-    )
+    # Mean over the devices that actually stepped — under churn a device
+    # may sit out the whole run (mirrors DeviceFleet's accounting).
+    latencies = []
+    for session in sessions.values():
+        try:
+            latencies.append(session.mean_decision_latency_s())
+        except SimulationError:
+            continue
+    result.mean_decision_latency_s = fmean(latencies) if latencies else 0.0
     _LOG.info(
         "federated training finished",
         extra={
@@ -873,6 +1076,9 @@ def _train_federated_parallel(
     straggler_policy: str,
     fault_injector: Optional[FaultInjector],
     resilience_cfg: _ResolvedResilience,
+    watchdog_cfg: Optional[WatchdogConfig] = None,
+    quarantine_mgr: Optional[QuarantineManager] = None,
+    churn_plan: Optional[ChurnPlan] = None,
 ) -> TrainingResult:
     """The thread/process-backend body of :func:`train_federated`.
 
@@ -891,6 +1097,11 @@ def _train_federated_parallel(
     :class:`~repro.parallel.payloads.InstallStateTask` so each actor
     pickles its own device — the blobs are the same ones the serial
     driver produces, making checkpoints backend-portable.
+
+    The safety watchdog wraps each controller *inside its actor* (the
+    :class:`~repro.guard.watchdog.WatchdogConfig` rides the worker
+    spec), so health checks run where the control steps run; quarantine
+    and churn are driver-side concerns exactly as in the serial path.
     """
     trace = TraceRecorder()
     specs = _worker_specs(
@@ -901,7 +1112,7 @@ def _train_federated_parallel(
         metrics,
         profiler,
         flight,
-        extra_kwargs={"fault_injector": fault_injector},
+        extra_kwargs={"fault_injector": fault_injector, "guard": watchdog_cfg},
     )
     fleet = DeviceFleet(
         specs,
@@ -954,9 +1165,15 @@ def _train_federated_parallel(
             metrics=metrics,
             aggregator=resilience_cfg.aggregator,
             retry=resilience_cfg.retry,
+            quarantine=quarantine_mgr,
         )
         if snapshot is not None:
             server.restore(snapshot.global_parameters, snapshot.rounds_aggregated)
+            if (
+                quarantine_mgr is not None
+                and snapshot.quarantine_state is not None
+            ):
+                quarantine_mgr.restore_state(snapshot.quarantine_state)
         result = TrainingResult(
             name="federated", assignments=dict(assignments), controllers={}
         )
@@ -996,6 +1213,7 @@ def _train_federated_parallel(
                 trace,
                 assignments,
                 config,
+                quarantine=quarantine_mgr,
             )
 
         run_result = run_federated_training(
@@ -1013,6 +1231,7 @@ def _train_federated_parallel(
             profiler=profiler,
             executor=executor,
             fault_plan=resilience_cfg.plan,
+            churn_plan=churn_plan,
             resume=snapshot.progress if snapshot is not None else None,
             checkpoint_hook=checkpoint_hook if ckpt is not None else None,
         )
@@ -1028,6 +1247,10 @@ def _train_federated_parallel(
         config.power_limit_w,
         prior_snapshot=resilience_cfg.snapshot,
     )
+    if watchdog_cfg is not None or quarantine_mgr is not None or churn_plan is not None:
+        _publish_guard_summary(
+            result.controllers, run_result, guarded=watchdog_cfg is not None
+        )
     result.federated_result = run_result
     result.train_trace = trace
     result.communication_bytes = run_result.total_bytes_communicated

@@ -226,6 +226,7 @@ class FaultPlan:
         fail_rate: float = 0.0,
         fail_repeats: int = 2,
         byzantine_devices: Sequence[Union[int, str]] = (),
+        byzantine_rate: float = 0.0,
         byzantine_scale: float = 50.0,
         byzantine_mode: str = "scale",
         kill_at: Optional[int] = None,
@@ -236,6 +237,8 @@ class FaultPlan:
         round-major order *regardless of the rates*, so a given kind's
         schedule does not shift when another kind's rate changes, and
         identical seeds always produce identical schedules.
+        ``byzantine_rate`` draws from its own seed path (child 12), so
+        turning poisoning on never perturbs the other kinds' schedules.
         """
         if num_rounds <= 0:
             raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
@@ -254,6 +257,10 @@ class FaultPlan:
                 raise ConfigurationError(
                     f"{kind} rate must be in [0, 1], got {rate}"
                 )
+        if not 0.0 <= byzantine_rate <= 1.0:
+            raise ConfigurationError(
+                f"byzantine rate must be in [0, 1], got {byzantine_rate}"
+            )
         byzantine_names = []
         for entry in byzantine_devices:
             if isinstance(entry, int):
@@ -307,6 +314,20 @@ class FaultPlan:
                         scale=byzantine_scale,
                     )
                 )
+        if byzantine_rate > 0.0:
+            byz_rng = generator_from_root(seed, 12)
+            for round_index in range(num_rounds):
+                for device in devices:
+                    if byz_rng.random() < byzantine_rate and device not in byzantine_names:
+                        events.append(
+                            FaultEvent(
+                                "byzantine",
+                                round_index,
+                                device,
+                                mode=byzantine_mode,
+                                scale=byzantine_scale,
+                            )
+                        )
         if kill_at is not None:
             events.append(FaultEvent("kill", kill_at))
         return cls(events, seed=seed)
@@ -327,8 +348,10 @@ class FaultPlan:
 
         Rate keys (``crash``/``drop``/``duplicate``/``corrupt``/
         ``delay``/``fail``) are per-(round, device) probabilities fed to
-        :meth:`random`; ``byzantine`` takes a device index (or name),
-        ``kill`` a round index.
+        :meth:`random`; ``byzantine`` takes a device index (or name) —
+        or, when the value contains a ``.``, a per-(round, device)
+        poisoning probability (``byzantine=0.3``); ``kill`` a round
+        index.
         """
         spec = spec.strip()
         path = pathlib.Path(spec)
@@ -365,12 +388,15 @@ class FaultPlan:
                 elif key == "fail_repeats":
                     kwargs["fail_repeats"] = int(value)
                 elif key == "byzantine":
-                    device: Union[int, str] = (
-                        int(value) if value.lstrip("-").isdigit() else value
-                    )
-                    existing = list(kwargs.get("byzantine_devices", []))
-                    existing.append(device)
-                    kwargs["byzantine_devices"] = existing
+                    if "." in value:
+                        kwargs["byzantine_rate"] = float(value)
+                    else:
+                        device: Union[int, str] = (
+                            int(value) if value.lstrip("-").isdigit() else value
+                        )
+                        existing = list(kwargs.get("byzantine_devices", []))
+                        existing.append(device)
+                        kwargs["byzantine_devices"] = existing
                 elif key == "byzantine_scale":
                     kwargs["byzantine_scale"] = float(value)
                 elif key == "byzantine_mode":

@@ -32,11 +32,17 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.obs.logging import get_logger
 
 #: Bump when the snapshot layout changes incompatibly.
-SNAPSHOT_FORMAT_VERSION = 1
+#: v2: digest envelope on disk, quarantine state, churn-aware progress.
+SNAPSHOT_FORMAT_VERSION = 2
+
+#: Leading magic of the on-disk envelope; the digit tracks the envelope
+#: layout (magic + sha256 + pickle), not the snapshot schema version.
+_SNAPSHOT_MAGIC = b"RPSNAP1\n"
+_DIGEST_BYTES = hashlib.sha256().digest_size
 
 PathLike = Union[str, pathlib.Path]
 
@@ -60,6 +66,7 @@ class OrchestratorProgress:
     prior_bytes: int = 0
     prior_messages: int = 0
     prior_aggregations: int = 0
+    quarantine_log: List[List[str]] = field(default_factory=list)
 
 
 @dataclass
@@ -77,6 +84,9 @@ class RunSnapshot:
     #: Per-device power accounting for the trace rows already consumed.
     prior_power_violations: Dict[str, int] = field(default_factory=dict)
     prior_power_steps: Dict[str, int] = field(default_factory=dict)
+    #: Quarantine reputations/bans (``QuarantineManager.state()``), or
+    #: ``None`` for runs without a quarantine screen.
+    quarantine_state: Optional[Dict[str, Any]] = None
     format_version: int = SNAPSHOT_FORMAT_VERSION
 
 
@@ -121,16 +131,24 @@ def save_snapshot(snapshot: RunSnapshot, path: PathLike) -> None:
     """Atomically persist a snapshot (write temp file, then rename).
 
     A kill arriving mid-write leaves the previous checkpoint intact —
-    the property the chaos tests rely on.
+    the property the chaos tests rely on. The file is a sealed
+    envelope: magic bytes, the SHA-256 of the pickled payload, then the
+    payload — so :func:`load_snapshot` can refuse truncated or
+    bit-corrupted checkpoints outright instead of failing somewhere
+    inside deserialization.
     """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).digest()
     handle, temp_name = tempfile.mkstemp(
         dir=str(path.parent), prefix=path.name, suffix=".tmp"
     )
     try:
         with os.fdopen(handle, "wb") as stream:
-            pickle.dump(snapshot, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            stream.write(_SNAPSHOT_MAGIC)
+            stream.write(digest)
+            stream.write(payload)
         os.replace(temp_name, str(path))
     except BaseException:
         try:
@@ -158,8 +176,26 @@ def load_snapshot(path: PathLike, fingerprint: Optional[str] = None) -> RunSnaps
     path = pathlib.Path(path)
     if not path.exists():
         raise ConfigurationError(f"checkpoint {path} does not exist")
-    with open(path, "rb") as stream:
-        snapshot = pickle.load(stream)
+    data = path.read_bytes()
+    header = len(_SNAPSHOT_MAGIC) + _DIGEST_BYTES
+    if len(data) < header or not data.startswith(_SNAPSHOT_MAGIC):
+        raise CheckpointError(
+            f"checkpoint {path} is not a sealed run snapshot (foreign "
+            f"file, pre-envelope format, or truncated below the header)"
+        )
+    digest = data[len(_SNAPSHOT_MAGIC):header]
+    payload = data[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointError(
+            f"checkpoint {path} failed its content-digest check — the "
+            f"file is truncated or bit-corrupted; refusing to resume"
+        )
+    try:
+        snapshot = pickle.loads(payload)
+    except Exception as error:  # digest passed but unpickling failed
+        raise CheckpointError(
+            f"checkpoint {path} could not be deserialized: {error!r}"
+        ) from error
     if not isinstance(snapshot, RunSnapshot):
         raise ConfigurationError(
             f"{path} does not contain a run snapshot "

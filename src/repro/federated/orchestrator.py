@@ -81,6 +81,13 @@ class FederatedRunResult:
     #: stay empty for protocol-only runs.
     power_violations_by_device: Dict[str, int] = field(default_factory=dict)
     power_steps_by_device: Dict[str, int] = field(default_factory=dict)
+    #: Clients the server's quarantine screen excluded, per round.
+    quarantined_by_round: List[List[str]] = field(default_factory=list)
+    #: Training steps the safety watchdog spent on the fallback
+    #: governor, per device. Filled in by the experiments layer (from
+    #: the guarded controllers, cross-checked against the flight
+    #: recorder); empty for unguarded or protocol-only runs.
+    fallback_steps_by_device: Dict[str, int] = field(default_factory=dict)
 
     @property
     def bytes_per_round(self) -> float:
@@ -114,6 +121,33 @@ class FederatedRunResult:
             return 0.0
         return sum(self.power_violations_by_device.values()) / total_steps
 
+    @property
+    def quarantined_devices(self) -> List[str]:
+        """Devices the quarantine excluded at least once (sorted)."""
+        seen = set()
+        for round_entry in self.quarantined_by_round:
+            seen.update(round_entry)
+        return sorted(seen)
+
+    def fallback_rate(self, device: Optional[str] = None) -> float:
+        """Fraction of training steps controlled by the safe fallback.
+
+        Fleet-wide with ``device=None``, per-device otherwise; 0.0 when
+        no watchdog accounting was recorded (unguarded run, or zero
+        steps). The denominator is the same per-device step count the
+        power accounting uses, so the two rates are directly
+        comparable.
+        """
+        if device is not None:
+            steps = self.power_steps_by_device.get(device, 0)
+            if steps == 0:
+                return 0.0
+            return self.fallback_steps_by_device.get(device, 0) / steps
+        total_steps = sum(self.power_steps_by_device.values())
+        if total_steps == 0:
+            return 0.0
+        return sum(self.fallback_steps_by_device.values()) / total_steps
+
 
 def _update_norm(
     before: Sequence[np.ndarray], after: Sequence[np.ndarray]
@@ -141,6 +175,7 @@ def run_federated_training(
     profiler: Optional[ScopeProfiler] = None,
     executor: Optional[object] = None,
     fault_plan: Optional[object] = None,
+    churn_plan: Optional[object] = None,
     resume: Optional[object] = None,
     checkpoint_hook: Optional[CheckpointHook] = None,
 ) -> FederatedRunResult:
@@ -197,6 +232,16 @@ def run_federated_training(
         of that round — after the preceding round's checkpoint hook —
         to simulate a mid-run server crash. Resumed runs
         (``resume is not None``) never re-kill.
+    churn_plan:
+        Optional :class:`repro.guard.churn.ChurnPlan`. When given, each
+        round's participants are drawn from the plan's active roster
+        for that round instead of the full client set: leavers simply
+        stop appearing (round-synchronous drain — nothing stalls),
+        joiners and rejoiners bootstrap from the current global model
+        at their first broadcast, and a round whose roster is empty is
+        skipped outright (one traced, non-aggregated span; the global
+        model carries over). Membership is decided here, driver-side,
+        so every execution backend sees identical rosters.
     resume:
         Optional :class:`repro.faults.recovery.OrchestratorProgress`
         from a checkpoint: the loop starts at ``resume.next_round``
@@ -244,6 +289,7 @@ def run_federated_training(
     aggregations_before = server.rounds_aggregated
     participation_log: List[List[str]] = []
     straggler_log: List[List[str]] = []
+    quarantine_log: List[List[str]] = []
     tolerant = straggler_policy == "skip"
 
     start_round = 0
@@ -262,11 +308,34 @@ def run_federated_training(
             set_rng_state(rng, resume.rng_state)
         participation_log.extend(list(r) for r in resume.participation_log)
         straggler_log.extend(list(r) for r in resume.straggler_log)
+        quarantine_log.extend(
+            list(r) for r in getattr(resume, "quarantine_log", [])
+        )
         prior_bytes = resume.prior_bytes
         prior_messages = resume.prior_messages
         prior_aggregations = resume.prior_aggregations
 
     kill_round = getattr(fault_plan, "kill_round", None)
+
+    def _progress(next_round: int) -> object:
+        # Imported lazily: repro.faults depends on this package.
+        from repro.faults.recovery import OrchestratorProgress
+        from repro.utils.checkpoint import rng_state
+
+        return OrchestratorProgress(
+            next_round=next_round,
+            rng_state=rng_state(rng),
+            participation_log=[list(r) for r in participation_log],
+            straggler_log=[list(r) for r in straggler_log],
+            prior_bytes=prior_bytes + transport.total_bytes - bytes_before,
+            prior_messages=prior_messages
+            + transport.total_messages
+            - messages_before,
+            prior_aggregations=prior_aggregations
+            + server.rounds_aggregated
+            - aggregations_before,
+            quarantine_log=[list(r) for r in quarantine_log],
+        )
 
     _LOG.info(
         "federated run starting",
@@ -288,10 +357,57 @@ def run_federated_training(
                 f"fault plan killed the run at the start of round "
                 f"{round_index}"
             )
+        roster: Sequence[str] = server.client_ids
+        if churn_plan is not None:
+            active = set(churn_plan.active(round_index))
+            joined = churn_plan.joins(round_index)
+            left = churn_plan.leaves(round_index)
+            if metrics is not None:
+                metrics.set_gauge("federated.active_devices", len(active))
+                if joined:
+                    metrics.inc("federated.joins", len(joined))
+                if left:
+                    metrics.inc("federated.leaves", len(left))
+            if joined or left:
+                _LOG.info(
+                    "fleet churn",
+                    extra={
+                        "round": round_index,
+                        "joined": list(joined),
+                        "left": list(left),
+                        "active": len(active),
+                    },
+                )
+            roster = [cid for cid in server.client_ids if cid in active]
+            if not roster:
+                # The whole fleet is offline: a membership gap, not a
+                # failure. The global model carries over unchanged; the
+                # round still emits one (non-aggregated) span so traces
+                # and the aggregation cross-check stay aligned.
+                participation_log.append([])
+                straggler_log.append([])
+                quarantine_log.append([])
+                if tracer is not None:
+                    tracer.start_round(round_index, [])
+                    tracer.end_round(aggregated=False)
+                if metrics is not None:
+                    metrics.inc("federated.rounds")
+                    metrics.inc("federated.rounds_empty")
+                    metrics.set_gauge("federated.last_round", round_index)
+                _LOG.warning(
+                    "no active device this round; round skipped",
+                    extra={"round": round_index},
+                )
+                if on_round_end is not None:
+                    on_round_end(round_index, server)
+                if checkpoint_hook is not None:
+                    checkpoint_hook(round_index, _progress(round_index + 1))
+                continue
         participating = _draw_participants(
-            server.client_ids, participation_fraction, rng
+            roster, participation_fraction, rng
         )
         participation_log.append(list(participating))
+        setattr(server, "last_aggregation_quarantined", [])
         if tracer is not None:
             tracer.start_round(round_index, participating)
 
@@ -317,9 +433,15 @@ def run_federated_training(
             )
             raise
         straggler_log.append(stragglers)
+        quarantined = list(
+            getattr(server, "last_aggregation_quarantined", [])
+        )
+        quarantine_log.append(quarantined)
 
         if metrics is not None:
             metrics.inc("federated.rounds")
+            if quarantined:
+                metrics.inc("federated.quarantined", len(quarantined))
             metrics.set_gauge("federated.last_round", round_index)
             if stragglers:
                 metrics.inc("federated.rounds_with_stragglers")
@@ -354,26 +476,7 @@ def run_federated_training(
         if on_round_end is not None:
             on_round_end(round_index, server)
         if checkpoint_hook is not None:
-            # Imported lazily: repro.faults depends on this package.
-            from repro.faults.recovery import OrchestratorProgress
-            from repro.utils.checkpoint import rng_state
-
-            checkpoint_hook(
-                round_index,
-                OrchestratorProgress(
-                    next_round=round_index + 1,
-                    rng_state=rng_state(rng),
-                    participation_log=[list(r) for r in participation_log],
-                    straggler_log=[list(r) for r in straggler_log],
-                    prior_bytes=prior_bytes + transport.total_bytes - bytes_before,
-                    prior_messages=prior_messages
-                    + transport.total_messages
-                    - messages_before,
-                    prior_aggregations=prior_aggregations
-                    + server.rounds_aggregated
-                    - aggregations_before,
-                ),
-            )
+            checkpoint_hook(round_index, _progress(round_index + 1))
 
     aggregations_completed = server.rounds_aggregated - aggregations_before
     rounds_executed = num_rounds - start_round
@@ -400,6 +503,7 @@ def run_federated_training(
         participation_by_round=participation_log,
         stragglers_by_round=straggler_log,
         aggregations_completed=prior_aggregations + aggregations_completed,
+        quarantined_by_round=quarantine_log,
     )
     if metrics is not None:
         metrics.inc("federated.bytes_total", result.total_bytes_communicated)

@@ -48,6 +48,7 @@ class FederatedServer:
         metrics: Optional[MetricsRegistry] = None,
         aggregator=None,
         retry=None,
+        quarantine=None,
     ) -> None:
         if not client_ids:
             raise FederationError("a federated server needs at least one client")
@@ -63,6 +64,9 @@ class FederatedServer:
         self.aggregator = aggregator
         #: Optional :class:`repro.faults.retry.RetryPolicy` for broadcasts.
         self.retry = retry
+        #: Optional :class:`repro.guard.quarantine.QuarantineManager`
+        #: screening updates *before* they reach the aggregator.
+        self.quarantine = quarantine
         self._global: List[np.ndarray] = [
             np.array(p, dtype=np.float64, copy=True) for p in initial_parameters
         ]
@@ -72,6 +76,8 @@ class FederatedServer:
         self.last_aggregation_missing: List[str] = []
         #: Clients whose updates a robust aggregator rejected last round.
         self.last_aggregation_rejected: List[str] = []
+        #: Clients the quarantine screen excluded in the last aggregation.
+        self.last_aggregation_quarantined: List[str] = []
 
     @property
     def global_parameters(self) -> List[np.ndarray]:
@@ -211,6 +217,7 @@ class FederatedServer:
         expected = tuple(expected_clients) if expected_clients is not None else self.client_ids
         self.last_aggregation_missing = []
         self.last_aggregation_rejected = []
+        self.last_aggregation_quarantined = []
         received: Dict[str, List[np.ndarray]] = {}
         for message in self.transport.receive_all(self.server_id):
             if message.kind != LOCAL_MODEL_KIND:
@@ -274,6 +281,29 @@ class FederatedServer:
 
         contributors = [cid for cid in expected if cid in received]
         parameter_sets = [received[cid] for cid in contributors]
+        if self.quarantine is not None and contributors:
+            contributors, parameter_sets, excluded = (
+                self.quarantine.filter_round(
+                    round_index, contributors, parameter_sets, self._global
+                )
+            )
+            if excluded:
+                self.last_aggregation_quarantined = list(excluded)
+                if self.metrics is not None:
+                    self.metrics.inc("server.quarantined", len(excluded))
+                _LOG.warning(
+                    "quarantine excluded client updates",
+                    extra={
+                        "round": round_index,
+                        "quarantined": list(excluded),
+                        "detail": self.quarantine.describe(),
+                    },
+                )
+            if not contributors:
+                raise AggregationError(
+                    f"quarantine excluded every update in round {round_index} "
+                    f"({excluded})"
+                )
         weight_list: Optional[List[float]] = None
         if weights is not None:
             try:

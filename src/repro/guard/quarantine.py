@@ -1,0 +1,272 @@
+"""Server-side anomaly quarantine for incoming federated updates.
+
+Robust aggregators (``repro.federated.aggregators``) blunt a single
+round's outliers but have no memory: a device that uploads garbage
+every round keeps getting a vote. This module adds the missing
+*membership* defence — each incoming update is scored against the
+fleet before aggregation, each device carries an EWMA reputation
+across rounds, and repeat offenders are excluded outright for a
+cooldown. Quarantine composes with (never replaces) the robust
+aggregators: it trims the contributor list, then whatever aggregator
+the run uses pools the survivors.
+
+Scoring per round (at least ``min_updates`` finite updates required
+for the fleet statistics):
+
+* ``delta_i = flatten(update_i) - flatten(global)`` — the update as a
+  deviation from the model the device received.
+* **Norm z-score** — ``z_i = (|delta_i| - median) / (1.4826 * MAD)``
+  over the fleet's delta norms; ``z_i > z_threshold`` flags the update
+  *provided* the norm also exceeds ``norm_ratio_floor`` times the
+  fleet median (with few contributors the MAD collapses and the
+  z-score alone would flag healthy heterogeneous updates). Median/MAD
+  keep the screen itself robust to the outliers it is hunting.
+* **Cosine-to-consensus** — cosine similarity of ``delta_i`` to the
+  coordinate-wise median delta; below ``cosine_threshold`` (i.e.
+  pointing away from the fleet's direction) flags the update.
+* Non-finite updates are flagged unconditionally.
+
+Reputation: ``rep_i <- (1 - alpha) * rep_i + alpha * flagged_i`` after
+every scored round. A device that is flagged while its reputation is
+already at or above ``quarantine_threshold`` is banned for
+``cooldown_rounds`` rounds; a re-ban needs a *fresh* offence after the
+cooldown expires, so healthy devices decay back to good standing. The
+whole manager state round-trips through plain dicts and is persisted
+inside ``RunSnapshot`` for bit-identical crash recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Guards the MAD denominator when the fleet's norms are all identical.
+_MAD_EPSILON = 1.0e-12
+#: Scales MAD to the standard deviation of a normal distribution.
+_MAD_SIGMA = 1.4826
+
+
+@dataclass(frozen=True)
+class QuarantineConfig:
+    """Thresholds of the quarantine scorer."""
+
+    #: Robust z-score above which an update's norm is an outlier.
+    z_threshold: float = 4.0
+    #: A z-flag only sticks when the norm also exceeds this multiple of
+    #: the fleet median — with few contributors the MAD collapses and
+    #: the z-score alone would flag healthy heterogeneous updates.
+    norm_ratio_floor: float = 3.0
+    #: Minimum cosine similarity to the consensus delta direction.
+    cosine_threshold: float = -0.5
+    #: EWMA weight of the newest flag in the reputation update.
+    reputation_alpha: float = 0.5
+    #: Reputation at/above which a fresh offence triggers a ban.
+    quarantine_threshold: float = 0.5
+    #: Rounds an offender sits out once banned.
+    cooldown_rounds: int = 2
+    #: Minimum finite updates before the fleet statistics apply.
+    min_updates: int = 3
+
+    def __post_init__(self) -> None:
+        if self.z_threshold <= 0.0:
+            raise ConfigurationError("z_threshold must be positive")
+        if self.norm_ratio_floor < 1.0:
+            raise ConfigurationError("norm_ratio_floor must be >= 1")
+        if not -1.0 <= self.cosine_threshold <= 1.0:
+            raise ConfigurationError("cosine_threshold must be in [-1, 1]")
+        if not 0.0 < self.reputation_alpha <= 1.0:
+            raise ConfigurationError("reputation_alpha must be in (0, 1]")
+        if not 0.0 < self.quarantine_threshold <= 1.0:
+            raise ConfigurationError(
+                "quarantine_threshold must be in (0, 1]"
+            )
+        if int(self.cooldown_rounds) < 1:
+            raise ConfigurationError("cooldown_rounds must be >= 1")
+        if int(self.min_updates) < 2:
+            raise ConfigurationError("min_updates must be >= 2")
+
+
+def _flatten(parameters: Sequence[np.ndarray]) -> np.ndarray:
+    return np.concatenate(
+        [np.asarray(p, dtype=np.float64).ravel() for p in parameters]
+    )
+
+
+class QuarantineManager:
+    """Scores updates, tracks reputations and bans repeat offenders."""
+
+    def __init__(self, config: Optional[QuarantineConfig] = None) -> None:
+        self.config = config if config is not None else QuarantineConfig()
+        #: EWMA suspicion per device in [0, 1].
+        self.reputation: Dict[str, float] = {}
+        #: Device -> first round index at which it may contribute again.
+        self.banned_until: Dict[str, int] = {}
+        #: Lifetime flagged-update count per device.
+        self.offenses: Dict[str, int] = {}
+        self.rounds_scored = 0
+        self.total_exclusions = 0
+        #: Devices excluded in the most recent round (banned + flagged).
+        self.last_excluded: List[str] = []
+        #: Per-device score detail of the most recent round.
+        self.last_scores: Dict[str, Dict[str, float]] = {}
+
+    # -- scoring -------------------------------------------------------
+    def _score(
+        self,
+        contributors: Sequence[str],
+        parameter_sets: Sequence[List[np.ndarray]],
+        reference: Sequence[np.ndarray],
+    ) -> Dict[str, bool]:
+        """Flag suspicious updates among ``contributors``."""
+        base = _flatten(reference)
+        deltas: Dict[str, np.ndarray] = {}
+        flagged: Dict[str, bool] = {}
+        self.last_scores = {}
+        for client_id, parameters in zip(contributors, parameter_sets):
+            delta = _flatten(parameters) - base
+            if not np.all(np.isfinite(delta)):
+                flagged[client_id] = True
+                self.last_scores[client_id] = {
+                    "norm": float("inf"), "z": float("inf"), "cosine": 0.0,
+                }
+                continue
+            deltas[client_id] = delta
+            flagged[client_id] = False
+        if len(deltas) >= self.config.min_updates:
+            ids = list(deltas)
+            norms = np.array([np.linalg.norm(deltas[i]) for i in ids])
+            median = float(np.median(norms))
+            mad = float(np.median(np.abs(norms - median)))
+            scale = _MAD_SIGMA * mad + _MAD_EPSILON
+            consensus = np.median(
+                np.stack([deltas[i] for i in ids]), axis=0
+            )
+            consensus_norm = float(np.linalg.norm(consensus))
+            for index, client_id in enumerate(ids):
+                z = float((norms[index] - median) / scale)
+                if consensus_norm > 0.0 and norms[index] > 0.0:
+                    cosine = float(
+                        np.dot(deltas[client_id], consensus)
+                        / (norms[index] * consensus_norm)
+                    )
+                else:
+                    cosine = 1.0
+                self.last_scores[client_id] = {
+                    "norm": float(norms[index]), "z": z, "cosine": cosine,
+                }
+                outsized = norms[index] > self.config.norm_ratio_floor * max(
+                    median, _MAD_EPSILON
+                )
+                if z > self.config.z_threshold and outsized:
+                    flagged[client_id] = True
+                elif cosine < self.config.cosine_threshold:
+                    flagged[client_id] = True
+        else:
+            for client_id, delta in deltas.items():
+                self.last_scores[client_id] = {
+                    "norm": float(np.linalg.norm(delta)), "z": 0.0,
+                    "cosine": 1.0,
+                }
+        return flagged
+
+    def filter_round(
+        self,
+        round_index: int,
+        contributors: Sequence[str],
+        parameter_sets: Sequence[List[np.ndarray]],
+        reference: Sequence[np.ndarray],
+    ) -> Tuple[List[str], List[List[np.ndarray]], List[str]]:
+        """Screen one round's updates before aggregation.
+
+        Returns ``(kept_ids, kept_parameter_sets, excluded_ids)``.
+        ``reference`` is the current global model (what the devices
+        received at broadcast). May keep nobody — the server turns that
+        into a skipped round under the tolerant straggler policy.
+        """
+        config = self.config
+        self.rounds_scored += 1
+        banned = [
+            cid
+            for cid in contributors
+            if self.banned_until.get(cid, 0) > round_index
+        ]
+        scored_ids = [cid for cid in contributors if cid not in banned]
+        scored_sets = [
+            parameters
+            for cid, parameters in zip(contributors, parameter_sets)
+            if cid not in banned
+        ]
+        flagged = self._score(scored_ids, scored_sets, reference)
+        alpha = config.reputation_alpha
+        excluded = list(banned)
+        for client_id in scored_ids:
+            flag = flagged.get(client_id, False)
+            before = self.reputation.get(client_id, 0.0)
+            self.reputation[client_id] = (1.0 - alpha) * before + alpha * (
+                1.0 if flag else 0.0
+            )
+            if not flag:
+                continue
+            self.offenses[client_id] = self.offenses.get(client_id, 0) + 1
+            excluded.append(client_id)
+            # Repeat offender: suspicion already at the threshold when a
+            # fresh offence arrives -> sit out the cooldown.
+            if before >= config.quarantine_threshold:
+                self.banned_until[client_id] = (
+                    round_index + 1 + config.cooldown_rounds
+                )
+        kept = [cid for cid in contributors if cid not in set(excluded)]
+        kept_sets = [
+            parameters
+            for cid, parameters in zip(contributors, parameter_sets)
+            if cid in set(kept)
+        ]
+        self.total_exclusions += len(excluded)
+        self.last_excluded = list(excluded)
+        return kept, kept_sets, list(excluded)
+
+    # -- persistence ---------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Plain-dict snapshot for ``RunSnapshot`` persistence."""
+        return {
+            "reputation": dict(self.reputation),
+            "banned_until": dict(self.banned_until),
+            "offenses": dict(self.offenses),
+            "rounds_scored": self.rounds_scored,
+            "total_exclusions": self.total_exclusions,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot taken by :meth:`state`."""
+        if not isinstance(state, dict) or "reputation" not in state:
+            raise ConfigurationError(
+                f"not a quarantine state snapshot: {type(state).__name__}"
+            )
+        self.reputation = {
+            str(k): float(v) for k, v in state["reputation"].items()
+        }
+        self.banned_until = {
+            str(k): int(v) for k, v in state.get("banned_until", {}).items()
+        }
+        self.offenses = {
+            str(k): int(v) for k, v in state.get("offenses", {}).items()
+        }
+        self.rounds_scored = int(state.get("rounds_scored", 0))
+        self.total_exclusions = int(state.get("total_exclusions", 0))
+
+    def describe(self) -> str:
+        """One line for logs: reputations and active bans."""
+        reps = ", ".join(
+            f"{cid}={rep:.2f}" for cid, rep in sorted(self.reputation.items())
+        )
+        bans = ", ".join(
+            f"{cid}<r{until}" for cid, until in sorted(self.banned_until.items())
+        )
+        return (
+            f"quarantine: {self.total_exclusions} exclusions over "
+            f"{self.rounds_scored} rounds; rep[{reps}]; bans[{bans or '-'}]"
+        )

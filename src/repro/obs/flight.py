@@ -61,6 +61,9 @@ class FlightRecord:
     violations: int = 0
     temperature_c: Optional[float] = None
     loss: Optional[float] = None
+    #: Whether a safety watchdog's fallback governor chose the action
+    #: (always False for unguarded controllers).
+    fallback: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -92,6 +95,7 @@ class FlightRecorder:
         self._appended = 0
         self._seen_by_device: Dict[str, int] = {}
         self._violations_by_device: Dict[str, int] = {}
+        self._fallbacks_by_device: Dict[str, int] = {}
 
     # -- recording -----------------------------------------------------
     def record(self, record: FlightRecord) -> bool:
@@ -108,6 +112,10 @@ class FlightRecorder:
         if record.violated:
             self._violations_by_device[record.device] = (
                 self._violations_by_device.get(record.device, 0) + 1
+            )
+        if record.fallback:
+            self._fallbacks_by_device[record.device] = (
+                self._fallbacks_by_device.get(record.device, 0) + 1
             )
         if seen % self.sample_every != 0:
             return False
@@ -141,6 +149,7 @@ class FlightRecorder:
         self._appended = 0
         self._seen_by_device.clear()
         self._violations_by_device.clear()
+        self._fallbacks_by_device.clear()
 
     # -- aggregate views ----------------------------------------------
     def devices(self) -> List[str]:
@@ -194,6 +203,28 @@ class FlightRecorder:
             hits = self._violations_by_device.get(device, 0)
         return hits / steps if steps else 0.0
 
+    def fallback_counts(self) -> Dict[str, int]:
+        """Watchdog-fallback steps per device (exact, like violations).
+
+        Counted at ``record()`` time over every offered step, so the
+        totals survive sampling and eviction. Devices that never fell
+        back still appear, with 0.
+        """
+        return {
+            device: self._fallbacks_by_device.get(device, 0)
+            for device in sorted(self._seen_by_device)
+        }
+
+    def fallback_rate(self, device: Optional[str] = None) -> float:
+        """Fraction of offered steps controlled by a safety fallback."""
+        if device is None:
+            steps = sum(self._seen_by_device.values())
+            hits = sum(self._fallbacks_by_device.values())
+        else:
+            steps = self._seen_by_device.get(device, 0)
+            hits = self._fallbacks_by_device.get(device, 0)
+        return hits / steps if steps else 0.0
+
     def rewards_by_round(self, device: Optional[str] = None) -> Dict[int, float]:
         """Mean recorded reward per federated round."""
         sums: Dict[int, float] = {}
@@ -223,25 +254,32 @@ class FlightRecorder:
     def dump_worker_state(self):
         """Drain retained records and snapshot the exact counters.
 
-        Returns ``(rows, seen_by_device, violations_by_device)`` where
-        the counter dicts are *running totals* for every device this
-        recorder has ever seen. Used by parallel execution workers: a
-        per-device worker records into a private recorder (same
-        ``capacity``/``sample_every`` as the run's recorder), drains it
-        after each task, and ships the result across the thread/process
-        boundary. Draining keeps the counters, so sampling phase and
-        running violation counts stay continuous across rounds.
+        Returns ``(rows, seen_by_device, violations_by_device,
+        fallbacks_by_device)`` where the counter dicts are *running
+        totals* for every device this recorder has ever seen. Used by
+        parallel execution workers: a per-device worker records into a
+        private recorder (same ``capacity``/``sample_every`` as the
+        run's recorder), drains it after each task, and ships the
+        result across the thread/process boundary. Draining keeps the
+        counters, so sampling phase and running violation/fallback
+        counts stay continuous across rounds.
         """
         rows = list(self._records)
         self._records.clear()
         self._appended -= len(rows)
-        return rows, dict(self._seen_by_device), dict(self._violations_by_device)
+        return (
+            rows,
+            dict(self._seen_by_device),
+            dict(self._violations_by_device),
+            dict(self._fallbacks_by_device),
+        )
 
     def merge_worker_state(
         self,
         rows: Iterable[FlightRecord],
         seen_by_device: Dict[str, int],
         violations_by_device: Dict[str, int],
+        fallbacks_by_device: Optional[Dict[str, int]] = None,
     ) -> None:
         """Fold one worker's :meth:`dump_worker_state` into this recorder.
 
@@ -257,6 +295,8 @@ class FlightRecorder:
             self._appended += 1
         self._seen_by_device.update(seen_by_device)
         self._violations_by_device.update(violations_by_device)
+        if fallbacks_by_device:
+            self._fallbacks_by_device.update(fallbacks_by_device)
 
     # -- export --------------------------------------------------------
     def to_dicts(self) -> List[Dict[str, object]]:

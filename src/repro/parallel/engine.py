@@ -117,7 +117,10 @@ class DeviceFleet:
             return
         if self.flight is not None and (dump.flight_rows or dump.flight_seen):
             self.flight.merge_worker_state(
-                dump.flight_rows, dump.flight_seen, dump.flight_violations
+                dump.flight_rows,
+                dump.flight_seen,
+                dump.flight_violations,
+                getattr(dump, "flight_fallbacks", None),
             )
         if self.metrics is not None and dump.metrics_state is not None:
             self.metrics.merge_state(dump.metrics_state)

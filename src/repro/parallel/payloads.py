@@ -151,6 +151,7 @@ class TelemetryDump:
     flight_rows: List[Any] = field(default_factory=list)
     flight_seen: Dict[str, int] = field(default_factory=dict)
     flight_violations: Dict[str, int] = field(default_factory=dict)
+    flight_fallbacks: Dict[str, int] = field(default_factory=dict)
     metrics_state: Optional[Dict[str, Any]] = None
     profile_rows: Optional[List[tuple]] = None
 

@@ -227,10 +227,11 @@ class DeviceActor:
             return None
         dump = TelemetryDump()
         if self.flight is not None:
-            rows, seen, violations = self.flight.dump_worker_state()
+            rows, seen, violations, fallbacks = self.flight.dump_worker_state()
             dump.flight_rows = rows
             dump.flight_seen = seen
             dump.flight_violations = violations
+            dump.flight_fallbacks = fallbacks
         if self.metrics is not None:
             dump.metrics_state = self.metrics.dump_state()
             self.metrics.reset()

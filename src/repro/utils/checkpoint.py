@@ -12,16 +12,19 @@ protects, so checkpoints are as shareable as federated payloads.
 from __future__ import annotations
 
 import copy
+import hashlib
 import pathlib
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError, PolicyError
+from repro.errors import CheckpointError, ConfigurationError, PolicyError
 from repro.nn.optimizers import SGD, Adam
 from repro.rl.agent import NeuralBanditAgent
 
-_FORMAT_VERSION = 1
+#: v2 seals the checkpoint with a content digest (see
+#: :func:`_policy_digest`); v1 files are still readable, just unsealed.
+_FORMAT_VERSION = 2
 
 PathLike = Union[str, pathlib.Path]
 
@@ -105,15 +108,36 @@ def set_optimizer_state(
     )
 
 
+def _policy_digest(
+    parameters: List[np.ndarray], layer_sizes: np.ndarray, step_count: np.ndarray
+) -> np.ndarray:
+    """SHA-256 over the checkpoint's semantic content, as a uint8 array."""
+    digest = hashlib.sha256()
+    for parameter in parameters:
+        digest.update(np.ascontiguousarray(parameter).tobytes())
+    digest.update(np.ascontiguousarray(layer_sizes).tobytes())
+    digest.update(np.ascontiguousarray(step_count).tobytes())
+    return np.frombuffer(digest.digest(), dtype=np.uint8)
+
+
 def save_agent(agent: NeuralBanditAgent, path: PathLike) -> None:
-    """Write the agent's policy and step counter to ``path`` (.npz)."""
+    """Write the agent's policy and step counter to ``path`` (.npz).
+
+    The file carries a SHA-256 content digest so :func:`load_agent`
+    refuses corrupted checkpoints instead of silently installing a
+    damaged policy.
+    """
+    parameters = agent.get_parameters()
     arrays = {
         f"parameter_{index}": parameter
-        for index, parameter in enumerate(agent.get_parameters())
+        for index, parameter in enumerate(parameters)
     }
     arrays["layer_sizes"] = np.asarray(agent.network.layer_sizes, dtype=np.int64)
     arrays["step_count"] = np.asarray([agent.step_count], dtype=np.int64)
     arrays["format_version"] = np.asarray([_FORMAT_VERSION], dtype=np.int64)
+    arrays["content_digest"] = _policy_digest(
+        parameters, arrays["layer_sizes"], arrays["step_count"]
+    )
     np.savez(str(path), **arrays)
 
 
@@ -122,26 +146,65 @@ def load_agent(agent: NeuralBanditAgent, path: PathLike) -> NeuralBanditAgent:
 
     The agent must have the same network architecture as the
     checkpoint; the optimiser state is reset (as after a federated
-    model install). Returns the same agent for chaining.
+    model install). A checkpoint whose container is unreadable or
+    whose content digest does not match raises
+    :class:`~repro.errors.CheckpointError`. Returns the same agent for
+    chaining.
     """
     path = pathlib.Path(path)
     if not path.exists():
         raise ConfigurationError(f"checkpoint {path} does not exist")
-    with np.load(str(path)) as data:
-        version = int(data["format_version"][0])
-        if version != _FORMAT_VERSION:
+    try:
+        handle = np.load(str(path))
+    except Exception as error:  # zip container torn or truncated
+        raise CheckpointError(
+            f"checkpoint {path} is not a readable policy archive "
+            f"(truncated or corrupted): {error!r}"
+        ) from error
+    with handle as data:
+        try:
+            version = int(data["format_version"][0])
+        except Exception as error:
+            raise CheckpointError(
+                f"checkpoint {path} is damaged: {error!r}"
+            ) from error
+        if version not in (1, _FORMAT_VERSION):
             raise ConfigurationError(
                 f"checkpoint format {version} not supported "
                 f"(expected {_FORMAT_VERSION})"
             )
-        layer_sizes = tuple(int(s) for s in data["layer_sizes"])
+        try:
+            layer_sizes = tuple(int(s) for s in data["layer_sizes"])
+            count = len(agent.network.parameters)
+            parameters = [data[f"parameter_{index}"] for index in range(count)]
+            step_count = data["step_count"]
+            stored_digest = (
+                data["content_digest"] if version >= 2 else None
+            )
+        except CheckpointError:
+            raise
+        except Exception as error:
+            raise CheckpointError(
+                f"checkpoint {path} is damaged: {error!r}"
+            ) from error
         if layer_sizes != agent.network.layer_sizes:
             raise PolicyError(
                 f"checkpoint architecture {layer_sizes} does not match the "
                 f"agent's {agent.network.layer_sizes}"
             )
-        count = len(agent.network.parameters)
-        parameters = [data[f"parameter_{index}"] for index in range(count)]
+        if stored_digest is not None:
+            expected = _policy_digest(
+                parameters,
+                np.asarray(layer_sizes, dtype=np.int64),
+                np.asarray(step_count, dtype=np.int64),
+            )
+            if not np.array_equal(
+                np.asarray(stored_digest, dtype=np.uint8), expected
+            ):
+                raise CheckpointError(
+                    f"checkpoint {path} failed its content-digest check — "
+                    f"refusing to install a corrupted policy"
+                )
         agent.set_parameters(parameters, reset_optimizer=True)
-        agent.restore_progress(int(data["step_count"][0]))
+        agent.restore_progress(int(step_count[0]))
     return agent

@@ -1,0 +1,122 @@
+"""Corruption hardening of the run snapshots and policy checkpoints.
+
+Both checkpoint writers seal their payload behind a SHA-256 content
+digest; these tests flip bytes mid-file and truncate the files to prove
+the loaders refuse damaged state with :class:`CheckpointError` instead
+of resuming from garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.faults.recovery import (
+    OrchestratorProgress,
+    RunSnapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.rl.agent import NeuralBanditAgent
+from repro.utils.checkpoint import load_agent, save_agent
+
+
+def make_snapshot(fingerprint="fp"):
+    return RunSnapshot(
+        fingerprint=fingerprint,
+        progress=OrchestratorProgress(next_round=3),
+        global_parameters=[np.arange(6, dtype=np.float64)],
+        rounds_aggregated=3,
+        device_blobs={"device-A": b"state-bytes"},
+        quarantine_state={"reputation": {"device-A": 0.25}},
+    )
+
+
+def flip_byte(path, offset):
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestRunSnapshotIntegrity:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_snapshot(make_snapshot(), path)
+        loaded = load_snapshot(path, fingerprint="fp")
+        assert loaded.rounds_aggregated == 3
+        assert loaded.device_blobs == {"device-A": b"state-bytes"}
+        assert loaded.quarantine_state == {"reputation": {"device-A": 0.25}}
+
+    def test_bit_flip_mid_payload_refused(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_snapshot(make_snapshot(), path)
+        flip_byte(path, path.stat().st_size // 2)
+        with pytest.raises(CheckpointError, match="content-digest"):
+            load_snapshot(path)
+
+    def test_truncation_refused(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_snapshot(make_snapshot(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 10])
+        with pytest.raises(CheckpointError):
+            load_snapshot(path)
+
+    def test_truncation_below_header_refused(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        save_snapshot(make_snapshot(), path)
+        path.write_bytes(path.read_bytes()[:8])
+        with pytest.raises(CheckpointError, match="sealed"):
+            load_snapshot(path)
+
+    def test_foreign_file_refused(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_bytes(b"#!/bin/sh\necho not a checkpoint\n" * 20)
+        with pytest.raises(CheckpointError, match="sealed"):
+            load_snapshot(path)
+
+    def test_missing_file_is_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_snapshot(tmp_path / "absent.ckpt")
+
+    def test_fingerprint_mismatch_still_configuration_error(self, tmp_path):
+        # An intact checkpoint for a *different* run is a configuration
+        # problem, not file damage.
+        path = tmp_path / "run.ckpt"
+        save_snapshot(make_snapshot(fingerprint="other"), path)
+        with pytest.raises(ConfigurationError, match="different run"):
+            load_snapshot(path, fingerprint="fp")
+
+
+class TestAgentCheckpointIntegrity:
+    def make_agent(self, seed=0):
+        return NeuralBanditAgent(num_actions=15, seed=seed)
+
+    def test_round_trip(self, tmp_path):
+        agent = self.make_agent()
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        clone = load_agent(self.make_agent(seed=1), path)
+        for a, b in zip(clone.get_parameters(), agent.get_parameters()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_tampered_parameters_refused(self, tmp_path):
+        agent = self.make_agent()
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        with np.load(str(path)) as data:
+            arrays = {name: data[name] for name in data.files}
+        tampered = arrays["parameter_0"].copy()
+        tampered.flat[0] += 1.0
+        arrays["parameter_0"] = tampered
+        np.savez(str(path), **arrays)
+        with pytest.raises(CheckpointError, match="digest"):
+            load_agent(self.make_agent(seed=1), path)
+
+    def test_truncated_archive_refused(self, tmp_path):
+        agent = self.make_agent()
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            load_agent(self.make_agent(seed=1), path)

@@ -1,0 +1,259 @@
+"""Guardrails through the whole stack: drivers, backends, CLI.
+
+Covers the repro.guard acceptance properties: a corrupted (byzantine)
+broadcast trips the watchdog and the device re-converges on every
+backend; guard-off and healthy guard-on runs are bit-identical; the
+``fallback_rate``/``quarantined_devices`` surfaces agree with the
+flight recorder; the guarded chaos run beats the unguarded one on the
+power-violation rate; and the CLI maps a fully degraded fleet to its
+own exit code.
+"""
+
+import pytest
+
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.training import train_federated
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.guard.context import (
+    GuardReport,
+    consume_guard_report,
+    publish_guard_report,
+)
+from repro.guard.watchdog import WatchdogConfig
+from repro.obs import FlightRecorder, telemetry
+
+ASSIGNMENTS = {
+    "device-0": ("fft", "lu"),
+    "device-1": ("radix", "ocean"),
+    "device-2": ("barnes", "fmm"),
+}
+EVAL_APPS = ("fft", "radix")
+BACKENDS = ("serial", "thread", "process")
+
+
+def make_config(num_rounds=6, steps_per_round=40, seed=11):
+    return FederatedPowerControlConfig(
+        num_rounds=num_rounds,
+        steps_per_round=steps_per_round,
+        eval_steps_per_app=4,
+        eval_every_rounds=2,
+        seed=seed,
+    )
+
+
+def nan_broadcast_plan(num_rounds=6):
+    """NaN-corrupt every round-1 message of device-1.
+
+    The corrupted *upload* poisons the aggregate, so the round-2
+    broadcast installs a non-finite global model on every device — the
+    byzantine-broadcast scenario the watchdog exists for.
+    """
+    return FaultPlan(
+        [FaultEvent("corrupt", 1, "device-1", mode="nan")], seed=0
+    )
+
+
+class TestByzantineBroadcastRecovery:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        consume_guard_report()
+        result = train_federated(
+            ASSIGNMENTS,
+            make_config(),
+            eval_applications=EVAL_APPS,
+            faults=nan_broadcast_plan(),
+            straggler_policy="skip",
+            guard=True,
+        )
+        return result, consume_guard_report()
+
+    def test_watchdog_trips_and_recovers(self, serial_result):
+        result, report = serial_result
+        assert report is not None
+        # The poisoned install tripped at least one device ...
+        assert sum(report.trip_counts.values()) >= 1
+        assert any(
+            steps > 0 for steps in report.fallback_steps.values()
+        )
+        # ... and every device re-converged within the episode.
+        assert set(report.device_states.values()) == {"active"}
+        assert not report.fully_degraded
+        # The run still produced its full evaluation series.
+        federated = result.federated_result
+        assert federated.rounds_completed == 6
+        assert result.round_evaluations
+
+    def test_fallback_steps_surface_on_run_result(self, serial_result):
+        result, report = serial_result
+        federated = result.federated_result
+        assert federated.fallback_steps_by_device == report.fallback_steps
+        assert federated.fallback_rate() > 0.0
+
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_backend_equivalence(self, serial_result, backend):
+        serial, serial_report = serial_result
+        consume_guard_report()
+        parallel = train_federated(
+            ASSIGNMENTS,
+            make_config(),
+            eval_applications=EVAL_APPS,
+            faults=nan_broadcast_plan(),
+            straggler_policy="skip",
+            guard=True,
+            backend=backend,
+            workers=2,
+        )
+        report = consume_guard_report()
+        assert parallel.round_evaluations == serial.round_evaluations
+        assert parallel.communication_bytes == serial.communication_bytes
+        assert report.trip_counts == serial_report.trip_counts
+        assert report.fallback_steps == serial_report.fallback_steps
+        assert report.device_states == serial_report.device_states
+
+
+class TestGuardOffEquivalence:
+    def test_healthy_guarded_run_matches_unguarded(self):
+        # A healthy fleet must never trip, and the transparent wrapper
+        # must not perturb a single action, reward or byte.
+        config = make_config(num_rounds=4, steps_per_round=30)
+        plain = train_federated(
+            ASSIGNMENTS, config, eval_applications=EVAL_APPS
+        )
+        consume_guard_report()
+        guarded = train_federated(
+            ASSIGNMENTS, config, eval_applications=EVAL_APPS, guard=True
+        )
+        report = consume_guard_report()
+        assert sum(report.trip_counts.values()) == 0
+        assert guarded.round_evaluations == plain.round_evaluations
+        assert guarded.communication_bytes == plain.communication_bytes
+        fed_plain = plain.federated_result
+        fed_guarded = guarded.federated_result
+        assert (
+            fed_guarded.power_violations_by_device
+            == fed_plain.power_violations_by_device
+        )
+        assert fed_guarded.fallback_rate() == 0.0
+        assert not fed_plain.quarantined_devices
+        assert fed_plain.fallback_steps_by_device == {}
+
+
+class TestFlightRecorderCrossCheck:
+    def test_fallback_counts_match_flight_records(self):
+        flight = FlightRecorder(capacity=65536)
+        watchdog = WatchdogConfig(fallback_steps=8, probation_steps=8)
+        with telemetry(flight=flight):
+            result = train_federated(
+                ASSIGNMENTS,
+                make_config(),
+                eval_applications=EVAL_APPS,
+                faults=nan_broadcast_plan(),
+                straggler_policy="skip",
+                guard=watchdog,
+            )
+        federated = result.federated_result
+        assert federated.fallback_steps_by_device
+        assert flight.fallback_counts() == federated.fallback_steps_by_device
+        for device, steps in federated.fallback_steps_by_device.items():
+            denominator = federated.power_steps_by_device[device]
+            assert federated.fallback_rate(device) == steps / denominator
+
+
+class TestByzantineRatePlans:
+    def test_rate_plans_are_deterministic(self):
+        devices = list(ASSIGNMENTS)
+        a = FaultPlan.random(10, devices, seed=7, byzantine_rate=0.3)
+        b = FaultPlan.random(10, devices, seed=7, byzantine_rate=0.3)
+        assert a.events == b.events
+        assert any(e.kind == "byzantine" for e in a.events)
+
+    def test_rate_does_not_shift_other_kinds(self):
+        devices = list(ASSIGNMENTS)
+        base = FaultPlan.random(10, devices, seed=7, crash_rate=0.2)
+        mixed = FaultPlan.random(
+            10, devices, seed=7, crash_rate=0.2, byzantine_rate=0.3
+        )
+        crashes = [e for e in base.events if e.kind == "crash"]
+        assert [e for e in mixed.events if e.kind == "crash"] == crashes
+
+    def test_spec_value_with_dot_is_a_rate(self):
+        devices = list(ASSIGNMENTS)
+        plan = FaultPlan.from_spec(
+            "byzantine=0.3,seed=7", num_rounds=10, devices=devices
+        )
+        byzantine = [e for e in plan.events if e.kind == "byzantine"]
+        assert byzantine
+        # A rate draws per (round, device) — not every round for one device.
+        assert len({e.device for e in byzantine}) >= 2
+
+    def test_spec_integer_is_a_device_index(self):
+        devices = list(ASSIGNMENTS)
+        plan = FaultPlan.from_spec(
+            "byzantine=1", num_rounds=5, devices=devices
+        )
+        byzantine = [e for e in plan.events if e.kind == "byzantine"]
+        assert {e.device for e in byzantine} == {"device-1"}
+        assert len(byzantine) == 5
+
+
+class TestGuardComparisonAcceptance:
+    def test_guarded_run_beats_unguarded(self):
+        from dataclasses import replace
+
+        from repro.experiments.resilience import run_guard_comparison
+
+        config = FederatedPowerControlConfig(seed=2025).scaled(
+            rounds=12, steps_per_round=40
+        )
+        config = replace(config, eval_every_rounds=4, eval_steps_per_app=6)
+        result = run_guard_comparison(config)
+        assert result.unguarded.rounds_completed == 12
+        assert result.guarded.rounds_completed == 12
+        # The guardrails must strictly improve power-constraint
+        # compliance and catch at least one poisoned device.
+        assert result.guarded.violation_rate < result.unguarded.violation_rate
+        assert len(result.guarded.quarantined) >= 1
+        assert result.guarded.fallback_rate > 0.0
+        assert result.unguarded.fallback_rate == 0.0
+
+
+class TestCliGuardSurface:
+    def test_guard_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "fig3", "--guard", "--quarantine", "--churn"]
+        )
+        assert args.guard and args.quarantine
+        assert args.churn == "default"
+        args = build_parser().parse_args(
+            ["run", "fig3", "--churn", "leave=0.2,seed=3"]
+        )
+        assert not args.guard
+        assert args.churn == "leave=0.2,seed=3"
+
+    def test_exit_code_4_when_fully_degraded(self, capsys):
+        from repro.cli import _guard_exit_code
+
+        publish_guard_report(
+            GuardReport(
+                device_states={"device-0": "fallback", "device-1": "probation"},
+                trip_counts={"device-0": 3, "device-1": 1},
+            )
+        )
+        assert _guard_exit_code() == 4
+        assert "fully degraded" in capsys.readouterr().err
+        # The report is consumed: a second call sees a clean slate.
+        assert _guard_exit_code() == 0
+
+    def test_exit_code_0_when_recovered(self):
+        from repro.cli import _guard_exit_code
+
+        publish_guard_report(
+            GuardReport(
+                device_states={"device-0": "active"},
+                trip_counts={"device-0": 2},
+                quarantined_devices=("device-1",),
+            )
+        )
+        assert _guard_exit_code() == 0

@@ -1,0 +1,262 @@
+"""Unit tests for the update quarantine and the churn plans."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.guard.churn import DEFAULT_CHURN_SPEC, ChurnEvent, ChurnPlan
+from repro.guard.quarantine import QuarantineConfig, QuarantineManager
+
+DEVICES = ["device-0", "device-1", "device-2", "device-3"]
+
+
+def params(scale=1.0, shape=(4,), shift=0.0):
+    return [np.full(shape, scale, dtype=np.float64) + shift]
+
+
+def healthy_round(noise=0.01):
+    """Four mutually similar updates around the reference."""
+    reference = params(1.0)
+    rng = np.random.default_rng(0)
+    sets = [
+        [reference[0] + noise * rng.standard_normal(4)] for _ in DEVICES
+    ]
+    return reference, sets
+
+
+class TestQuarantineConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"z_threshold": 0.0},
+            {"norm_ratio_floor": 0.5},
+            {"cosine_threshold": -2.0},
+            {"reputation_alpha": 0.0},
+            {"quarantine_threshold": 1.5},
+            {"cooldown_rounds": 0},
+            {"min_updates": 1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QuarantineConfig(**kwargs)
+
+
+class TestScoring:
+    def test_healthy_fleet_passes(self):
+        manager = QuarantineManager()
+        reference, sets = healthy_round()
+        kept, kept_sets, excluded = manager.filter_round(
+            0, DEVICES, sets, reference
+        )
+        assert kept == DEVICES
+        assert excluded == []
+        assert len(kept_sets) == len(DEVICES)
+
+    def test_nonfinite_update_excluded(self):
+        manager = QuarantineManager()
+        reference, sets = healthy_round()
+        sets[1] = [np.full(4, np.nan)]
+        kept, _, excluded = manager.filter_round(0, DEVICES, sets, reference)
+        assert "device-1" in excluded
+        assert "device-1" not in kept
+
+    def test_scaled_outlier_excluded(self):
+        manager = QuarantineManager()
+        reference, sets = healthy_round()
+        sets[2] = [reference[0] * 50.0]  # byzantine 50x blow-up
+        kept, _, excluded = manager.filter_round(0, DEVICES, sets, reference)
+        assert excluded == ["device-2"]
+        assert manager.last_scores["device-2"]["z"] > 4.0
+
+    def test_norm_ratio_floor_suppresses_tight_fleets(self):
+        # Three close-but-unequal norms make the MAD tiny; without the
+        # ratio floor the largest would z-flag despite being healthy.
+        manager = QuarantineManager(QuarantineConfig(min_updates=3))
+        reference = params(0.0)
+        sets = [
+            params(0.100), params(0.101), params(0.115),
+        ]
+        kept, _, excluded = manager.filter_round(
+            0, DEVICES[:3], sets, reference
+        )
+        assert excluded == []
+        assert kept == DEVICES[:3]
+
+    def test_below_min_updates_no_statistics(self):
+        manager = QuarantineManager(QuarantineConfig(min_updates=3))
+        reference = params(0.0)
+        # Two updates, one wildly larger: too few for fleet statistics.
+        kept, _, excluded = manager.filter_round(
+            0, DEVICES[:2], [params(0.1), params(100.0)], reference
+        )
+        assert excluded == []
+        assert kept == DEVICES[:2]
+
+
+class TestReputationAndBans:
+    def test_repeat_offender_banned_for_cooldown(self):
+        config = QuarantineConfig(
+            reputation_alpha=0.5, quarantine_threshold=0.5, cooldown_rounds=2
+        )
+        manager = QuarantineManager(config)
+        reference, _ = healthy_round()
+
+        def offend(round_index):
+            _, sets = healthy_round()
+            sets[1] = [reference[0] * 50.0]
+            return manager.filter_round(round_index, DEVICES, sets, reference)
+
+        offend(0)  # rep 0 -> 0.5, flagged but prior rep < threshold
+        assert "device-1" not in manager.banned_until
+        offend(1)  # prior rep 0.5 >= threshold -> banned
+        assert manager.banned_until["device-1"] == 1 + 1 + 2
+        # While banned the device is excluded without scoring.
+        _, sets = healthy_round()
+        kept, _, excluded = manager.filter_round(2, DEVICES, sets, reference)
+        assert "device-1" in excluded
+        assert "device-1" not in kept
+        # After the ban expires a clean device is scored again and kept.
+        kept, _, excluded = manager.filter_round(4, DEVICES, sets, reference)
+        assert "device-1" in kept
+        assert excluded == []
+
+    def test_reputation_decays_back(self):
+        manager = QuarantineManager(QuarantineConfig(reputation_alpha=0.5))
+        reference, sets = healthy_round()
+        manager.reputation["device-0"] = 1.0
+        for round_index in range(4):
+            manager.filter_round(round_index, DEVICES, sets, reference)
+        assert manager.reputation["device-0"] == pytest.approx(1.0 / 16.0)
+
+    def test_state_round_trip(self):
+        manager = QuarantineManager()
+        reference, sets = healthy_round()
+        sets[3] = [np.full(4, np.inf)]
+        manager.filter_round(0, DEVICES, sets, reference)
+        state = manager.state()
+        clone = QuarantineManager(manager.config)
+        clone.restore_state(state)
+        assert clone.reputation == manager.reputation
+        assert clone.banned_until == manager.banned_until
+        assert clone.offenses == manager.offenses
+        assert clone.rounds_scored == manager.rounds_scored
+        assert clone.total_exclusions == manager.total_exclusions
+
+    def test_restore_rejects_garbage(self):
+        manager = QuarantineManager()
+        with pytest.raises(ConfigurationError):
+            manager.restore_state({"not": "a snapshot"})
+
+    def test_describe_mentions_counts(self):
+        manager = QuarantineManager()
+        reference, sets = healthy_round()
+        manager.filter_round(0, DEVICES, sets, reference)
+        assert "0 exclusions over 1 rounds" in manager.describe()
+
+
+class TestChurnEvents:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            ChurnEvent("explode", 0, "device-0")
+
+    def test_rejects_negative_round(self):
+        with pytest.raises(ConfigurationError):
+            ChurnEvent("join", -1, "device-0")
+
+
+class TestChurnPlan:
+    def test_membership_materialization(self):
+        events = [
+            ChurnEvent("leave", 2, "device-1"),
+            ChurnEvent("join", 4, "device-1"),
+        ]
+        plan = ChurnPlan(events, devices=DEVICES, num_rounds=6)
+        assert plan.active(0) == tuple(DEVICES)
+        assert "device-1" not in plan.active(2)
+        assert "device-1" not in plan.active(3)
+        assert plan.active(4) == tuple(DEVICES)
+        assert plan.leaves(2) == ("device-1",)
+        assert plan.joins(4) == ("device-1",)
+        assert plan.joins(0) == () and plan.leaves(0) == ()
+
+    def test_late_joiner_absent_until_join(self):
+        plan = ChurnPlan(
+            [ChurnEvent("join", 3, "device-3")],
+            devices=DEVICES,
+            num_rounds=5,
+            initial_absent=["device-3"],
+        )
+        assert "device-3" not in plan.active(0)
+        assert "device-3" in plan.active(3)
+        assert plan.ever_active == tuple(DEVICES)
+
+    def test_random_is_deterministic(self):
+        a = ChurnPlan.random(20, DEVICES, seed=11, leave_rate=0.2)
+        b = ChurnPlan.random(20, DEVICES, seed=11, leave_rate=0.2)
+        c = ChurnPlan.random(20, DEVICES, seed=12, leave_rate=0.2)
+        assert a == b
+        assert a != c
+
+    def test_random_never_empties_fleet(self):
+        plan = ChurnPlan.random(40, DEVICES, seed=3, leave_rate=0.9,
+                                rejoin_rate=0.05)
+        for round_index in range(40):
+            assert plan.active(round_index)
+
+    def test_from_spec_rates(self):
+        plan = ChurnPlan.from_spec(
+            "leave=0.2,rejoin=0.5,late=1,seed=7", num_rounds=10,
+            devices=DEVICES,
+        )
+        assert plan.seed == 7
+        assert plan.initial_absent == ("device-3",)
+        assert plan == ChurnPlan.random(
+            10, DEVICES, seed=7, leave_rate=0.2, rejoin_rate=0.5,
+            late_joiners=1,
+        )
+
+    def test_default_spec_parses(self):
+        plan = ChurnPlan.from_spec(
+            DEFAULT_CHURN_SPEC, num_rounds=10, devices=DEVICES
+        )
+        assert plan.num_rounds == 10
+
+    def test_from_spec_rejects_unknown_key(self):
+        with pytest.raises(ConfigurationError):
+            ChurnPlan.from_spec("warp=1", num_rounds=5, devices=DEVICES)
+
+    def test_json_round_trip(self, tmp_path):
+        plan = ChurnPlan.random(12, DEVICES, seed=5, leave_rate=0.3,
+                                late_joiners=1)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = ChurnPlan.load(path)
+        assert loaded == plan
+        # from_spec with a file path loads the explicit plan.
+        assert ChurnPlan.from_spec(
+            str(path), num_rounds=12, devices=DEVICES
+        ) == plan
+
+    def test_plan_file_must_match_run_shape(self, tmp_path):
+        plan = ChurnPlan.random(12, DEVICES, seed=5)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        with pytest.raises(ConfigurationError):
+            ChurnPlan.from_spec(str(path), num_rounds=10, devices=DEVICES)
+
+    def test_rejects_event_outside_schedule(self):
+        with pytest.raises(ConfigurationError):
+            ChurnPlan(
+                [ChurnEvent("leave", 9, "device-0")],
+                devices=DEVICES,
+                num_rounds=5,
+            )
+
+    def test_describe(self):
+        plan = ChurnPlan(
+            [ChurnEvent("leave", 1, "device-0")], devices=DEVICES,
+            num_rounds=3, seed=4,
+        )
+        assert "leave×1" in plan.describe()
+        assert "seed 4" in plan.describe()

@@ -1,0 +1,213 @@
+"""Unit tests for the device-side safety watchdog."""
+
+import numpy as np
+import pytest
+
+from repro.control.governors import PowerCapGovernor
+from repro.control.neural import build_neural_controller
+from repro.errors import ConfigurationError
+from repro.guard.watchdog import (
+    STATE_ACTIVE,
+    STATE_FALLBACK,
+    STATE_PROBATION,
+    GuardedController,
+    WatchdogConfig,
+    guard_controller,
+)
+from repro.sim import JETSON_NANO_OPP_TABLE
+from repro.sim.processor import ProcessorSnapshot
+
+
+def snapshot(frequency_index=7, power_w=0.5, ipc=0.9, mpki=3.0, ips=8e8):
+    return ProcessorSnapshot(
+        time_s=0.5,
+        frequency_index=frequency_index,
+        frequency_hz=JETSON_NANO_OPP_TABLE[frequency_index].frequency_hz,
+        power_w=power_w,
+        ipc=ipc,
+        mpki=mpki,
+        miss_rate=0.1,
+        ips=ips,
+        instructions=ips * 0.5,
+        application="fft",
+        phase="butterfly",
+        true_power_w=power_w,
+        true_ips=ips,
+    )
+
+
+def make_guarded(config=None, seed=0):
+    inner = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=seed)
+    return guard_controller(
+        inner,
+        JETSON_NANO_OPP_TABLE,
+        config=config,
+        device_name="dev",
+        power_limit_w=0.6,
+    )
+
+
+def corrupt(controller, value=float("nan")):
+    """Overwrite the inner agent's parameters with garbage."""
+    params = controller.agent.get_parameters()
+    bad = [np.full_like(p, value) for p in params]
+    controller.agent.set_parameters(bad, reset_optimizer=True)
+
+
+class TestWatchdogConfig:
+    def test_defaults_valid(self):
+        WatchdogConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"param_norm_limit": 0.0},
+            {"norm_ratio_limit": -1.0},
+            {"stuck_window": 0},
+            {"violation_window": 0},
+            {"violation_trip_fraction": 1.5},
+            {"fallback_steps": 0},
+            {"probation_steps": 0},
+            {"snapshot_every": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WatchdogConfig(**kwargs)
+
+    def test_requires_neural_interface(self):
+        governor = PowerCapGovernor(JETSON_NANO_OPP_TABLE, power_limit_w=0.6)
+        with pytest.raises(ConfigurationError):
+            GuardedController(governor, governor)
+
+
+class TestHealthyOperation:
+    def test_healthy_agent_never_trips(self):
+        guarded = make_guarded()
+        for _ in range(50):
+            action = guarded.select_action(snapshot())
+            reward = guarded.compute_reward(snapshot())
+            guarded.learn(snapshot(), action, reward)
+        assert guarded.state == STATE_ACTIVE
+        assert guarded.trip_count == 0
+        assert guarded.fallback_steps_total == 0
+        assert guarded.last_action_fallback is False
+
+    def test_matches_unguarded_actions(self):
+        # The wrapper must be transparent while healthy: same RNG
+        # stream, same actions as the bare controller.
+        bare = build_neural_controller(JETSON_NANO_OPP_TABLE, seed=3)
+        guarded = make_guarded(seed=3)
+        for _ in range(30):
+            snap = snapshot()
+            assert guarded.select_action(snap) == bare.select_action(snap)
+
+    def test_delegation(self):
+        guarded = make_guarded()
+        assert guarded.agent is guarded.inner.agent
+        assert guarded.reward is guarded.inner.reward
+        assert guarded.normalizer is guarded.inner.normalizer
+        assert guarded.on_fallback is False
+
+
+class TestTripsAndRecovery:
+    def test_nan_parameters_trip_and_restore(self):
+        guarded = make_guarded()
+        good = [p.copy() for p in guarded.agent.get_parameters()]
+        corrupt(guarded)
+        action = guarded.select_action(snapshot())
+        assert guarded.state == STATE_FALLBACK
+        assert guarded.trip_reasons == {"non_finite_parameters": 1}
+        assert guarded.last_action_fallback is True
+        assert 0 <= action < JETSON_NANO_OPP_TABLE.num_levels
+        # The known-good snapshot was restored.
+        for restored, expected in zip(guarded.agent.get_parameters(), good):
+            np.testing.assert_array_equal(restored, expected)
+
+    def test_parameter_explosion_trips(self):
+        guarded = make_guarded()
+        params = guarded.agent.get_parameters()
+        huge = [p * 1.0e9 for p in params]
+        guarded.agent.set_parameters(huge, reset_optimizer=True)
+        guarded.select_action(snapshot())
+        assert guarded.state == STATE_FALLBACK
+        assert guarded.trip_count == 1
+
+    def test_full_recovery_cycle(self):
+        config = WatchdogConfig(fallback_steps=3, probation_steps=2)
+        guarded = make_guarded(config=config)
+        corrupt(guarded)
+        # Trip + 3 fallback steps.
+        for _ in range(3):
+            guarded.select_action(snapshot())
+        assert guarded.state == STATE_PROBATION
+        # 2 clean shadow steps re-admit (params were restored on trip).
+        for _ in range(2):
+            guarded.select_action(snapshot())
+        assert guarded.state == STATE_ACTIVE
+        assert guarded.fallback_steps_total == 5
+        states = [t[2] for t in guarded.transitions]
+        assert states == [STATE_FALLBACK, STATE_PROBATION, STATE_ACTIVE]
+
+    def test_dirty_probation_trips_back(self):
+        config = WatchdogConfig(fallback_steps=1, probation_steps=5)
+        guarded = make_guarded(config=config)
+        corrupt(guarded)
+        guarded.select_action(snapshot())  # trip + last fallback step
+        assert guarded.state == STATE_PROBATION
+        corrupt(guarded)  # dirty again during probation
+        guarded.select_action(snapshot())
+        assert guarded.state == STATE_FALLBACK
+        assert guarded.trip_reasons.get("probation_failure") == 1
+
+    def test_stuck_action_detection(self):
+        config = WatchdogConfig(stuck_window=5)
+        guarded = make_guarded(config=config)
+
+        # Force the inner policy to emit a constant action.
+        guarded.inner.select_action = lambda snap, explore=True: 3
+        for _ in range(5):
+            guarded.select_action(snapshot())
+        assert guarded.state == STATE_FALLBACK
+        assert guarded.trip_reasons == {"stuck_action": 1}
+
+    def test_greedy_steps_do_not_count_as_stuck(self):
+        config = WatchdogConfig(stuck_window=5)
+        guarded = make_guarded(config=config)
+        guarded.inner.select_action = lambda snap, explore=True: 3
+        for _ in range(20):
+            guarded.select_action(snapshot(), explore=False)
+        assert guarded.state == STATE_ACTIVE
+
+    def test_sustained_power_violation_trips(self):
+        config = WatchdogConfig(
+            violation_window=5, violation_trip_fraction=0.8
+        )
+        guarded = make_guarded(config=config)
+        hot = snapshot(power_w=0.9)
+        for _ in range(5):
+            guarded.select_action(hot)
+            guarded.compute_reward(hot)
+        assert guarded.state == STATE_FALLBACK
+        assert guarded.trip_reasons == {"power_violation_window": 1}
+
+    def test_summary_shape(self):
+        guarded = make_guarded()
+        corrupt(guarded)
+        guarded.select_action(snapshot())
+        summary = guarded.summary()
+        assert summary["device"] == "dev"
+        assert summary["state"] == STATE_FALLBACK
+        assert summary["trips"] == 1
+        assert summary["steps"] == 1
+        assert summary["fallback_steps"] == 1
+
+    def test_picklable(self):
+        import pickle
+
+        guarded = make_guarded()
+        corrupt(guarded)
+        guarded.select_action(snapshot())
+        clone = pickle.loads(pickle.dumps(guarded))
+        assert clone.state == STATE_FALLBACK
+        assert clone.trip_count == 1
