@@ -23,6 +23,21 @@ report.md`` turns those artefacts into an offline Markdown run report
 (OPP dwell histograms, power-violation rates, convergence curves,
 straggler/drift summaries, device-vs-fleet divergence).
 
+Cross-run analytics: ``--events-out PATH`` streams the run's telemetry
+events (round spans, fault/guard/quarantine events, run summary) to a
+JSONL file as they happen; ``--store PATH`` registers the run in a
+persistent SQLite :class:`~repro.obs.store.RunStore` with its config,
+per-round series and final summary. ``repro-power obs-diff A B``
+compares two runs (metrics JSONL files, or ``--store`` run ids) with
+direction-aware regression detection — two same-seed runs must report
+zero deltas; ``--fail-on-regression`` exits 5 otherwise.
+``repro-power obs-history --store runs.db`` tabulates stored runs and
+flags the latest against its history via robust z-scores. ``bench``
+appends a schema-versioned entry to ``BENCH_history.jsonl`` on every
+invocation (``--no-history`` to skip) and ``--gate`` fails with exit 5
+when a key throughput metric drops more than ``--max-drop`` below the
+stored baseline median.
+
 Guardrail flags (``run`` and ``report``): ``--guard`` arms the
 device-side safety watchdog (fallback power-cap governor on anomaly),
 ``--quarantine`` arms the server-side update screen with EWMA
@@ -35,7 +50,8 @@ training run the experiment performs.
 Exit codes: ``0`` success, ``1`` configuration or runtime error,
 ``3`` injected server kill (resume with ``--checkpoint``/``--resume``),
 ``4`` the run completed but ended *fully degraded* — every guarded
-device finished on its fallback governor.
+device finished on its fallback governor, ``5`` a regression gate
+failed (``obs-diff --fail-on-regression`` or ``bench --gate``).
 """
 
 from __future__ import annotations
@@ -172,6 +188,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the process-backend comparison (serial timings only)",
     )
+    bench_parser.add_argument(
+        "--history",
+        type=str,
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help=(
+            "append a schema-versioned entry to this JSONL trajectory "
+            "(default: BENCH_history.jsonl)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append to the bench history trajectory",
+    )
+    bench_parser.add_argument(
+        "--gate",
+        action="store_true",
+        help=(
+            "fail (exit 5) when a key throughput metric drops more than "
+            "--max-drop below the median of the stored history baseline"
+        ),
+    )
+    bench_parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.3,
+        metavar="FRACTION",
+        help="largest tolerated relative throughput drop (default: 0.3)",
+    )
 
     obs_report = subparsers.add_parser(
         "obs-report",
@@ -208,6 +254,114 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default="Run report",
         help="report title (default: 'Run report')",
+    )
+
+    obs_diff = subparsers.add_parser(
+        "obs-diff",
+        help=(
+            "compare two runs (metrics JSONL files, or --store run ids) "
+            "with direction-aware regression detection"
+        ),
+    )
+    obs_diff.add_argument(
+        "run_a",
+        help="baseline run: metrics JSONL path, or run id with --store",
+    )
+    obs_diff.add_argument(
+        "run_b",
+        help="candidate run: metrics JSONL path, or run id with --store",
+    )
+    obs_diff.add_argument(
+        "--store",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="RunStore SQLite file; run_a/run_b are then store run ids",
+    )
+    obs_diff.add_argument(
+        "--flight-a",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="run A's flight JSONL (adds reward/violation comparison)",
+    )
+    obs_diff.add_argument(
+        "--flight-b",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="run B's flight JSONL (adds reward/violation comparison)",
+    )
+    obs_diff.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write the Markdown comparison here instead of stdout",
+    )
+    obs_diff.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 5 when run B regressed against run A",
+    )
+    obs_diff.add_argument(
+        "--flag-timing",
+        action="store_true",
+        help=(
+            "also flag wall-time/throughput regressions beyond 25%% "
+            "(off by default: wall-clock noise is not a finding)"
+        ),
+    )
+    obs_diff.add_argument(
+        "--title",
+        type=str,
+        default="Run diff",
+        help="comparison title (default: 'Run diff')",
+    )
+
+    obs_history = subparsers.add_parser(
+        "obs-history",
+        help=(
+            "tabulate stored runs (--store) or the bench trajectory "
+            "(--bench) and flag regressions against history"
+        ),
+    )
+    obs_history.add_argument(
+        "--store",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="RunStore SQLite file to read run history from",
+    )
+    obs_history.add_argument(
+        "--bench",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="BENCH_history.jsonl trajectory to summarise instead",
+    )
+    obs_history.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="show at most the last N entries (default: 20)",
+    )
+    obs_history.add_argument(
+        "--z-threshold",
+        type=float,
+        default=3.5,
+        metavar="Z",
+        help="robust z-score beyond which a metric is flagged (default: 3.5)",
+    )
+    obs_history.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write the Markdown history here instead of stdout",
     )
     return parser
 
@@ -266,6 +420,34 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
             "attach a hot-path scope profiler; prints the self/cumulative "
             "table to stderr and exports it into --metrics-out if given"
         ),
+    )
+    parser.add_argument(
+        "--events-out",
+        type=str,
+        default="",
+        metavar="PATH",
+        help=(
+            "stream telemetry events (round spans, fault/guard/quarantine "
+            "events, run summary) to PATH as JSONL while the run executes"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        type=str,
+        default="",
+        metavar="PATH",
+        help=(
+            "register this run in a persistent SQLite RunStore at PATH "
+            "(config, streamed events, per-round series, final summary) "
+            "for later obs-diff/obs-history comparison"
+        ),
+    )
+    parser.add_argument(
+        "--run-name",
+        type=str,
+        default="",
+        metavar="NAME",
+        help="run name recorded in --store (default: the experiment id)",
     )
 
 
@@ -482,6 +664,10 @@ def _dispatch(args) -> int:
         return 0
     if args.command == "obs-report":
         return _run_obs_report(args)
+    if args.command == "obs-diff":
+        return _run_obs_diff(args)
+    if args.command == "obs-history":
+        return _run_obs_history(args)
     if args.command == "bench":
         return _run_bench(args)
     _setup_logging_from_args(args)
@@ -494,12 +680,13 @@ def _dispatch(args) -> int:
             rounds=args.rounds or config.num_rounds,
             steps_per_round=args.steps or config.steps_per_round,
         )
-    sinks = _build_sinks(args)
+    sinks = _build_sinks(args, spec.experiment_id, config)
     with telemetry(
         metrics=sinks.metrics,
         tracer=sinks.tracer,
         flight=sinks.flight,
         profiler=sinks.profiler,
+        events=sinks.events,
     ), execution(args.backend, args.workers or None), _build_resilience_context(
         args
     ), _build_guard_context(args):
@@ -525,26 +712,115 @@ def _setup_logging_from_args(args) -> None:
 class _Sinks:
     """The telemetry sinks one CLI invocation attaches (any may be None)."""
 
-    def __init__(self, metrics, tracer, flight, profiler) -> None:
+    def __init__(
+        self,
+        metrics,
+        tracer,
+        flight,
+        profiler,
+        events=None,
+        store=None,
+        run_id=None,
+        header=None,
+    ) -> None:
         self.metrics = metrics
         self.tracer = tracer
         self.flight = flight
         self.profiler = profiler
+        self.events = events
+        self.store = store
+        self.run_id = run_id
+        self.header = header
 
 
-def _build_sinks(args) -> _Sinks:
+def _telemetry_header(args, experiment: str, config) -> dict:
+    """The provenance record stamped first into every telemetry file."""
+    from repro import __version__
+    from repro.faults.recovery import run_fingerprint
+    from repro.obs.sink import TELEMETRY_SCHEMA_VERSION
+
+    fingerprint = run_fingerprint(
+        experiment=experiment,
+        seed=args.seed,
+        backend=args.backend,
+        rounds=config.num_rounds,
+        steps_per_round=config.steps_per_round,
+    )
+    return {
+        "type": "header",
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "run_fingerprint": fingerprint,
+        "repro_version": __version__,
+        "seed": args.seed,
+        "backend": args.backend,
+        "experiment": experiment,
+    }
+
+
+def _build_sinks(args, experiment: str, config) -> _Sinks:
     metrics = tracer = flight = profiler = None
-    if args.metrics_out:
-        _require_parent_dir("--metrics-out", args.metrics_out)
+    events = store = run_id = None
+    events_out = getattr(args, "events_out", "")
+    store_path = getattr(args, "store", "")
+    want_events = bool(events_out or store_path)
+    # Events and the store need round spans (tracer), train-step counts
+    # (metrics) and reward curves (flight) to be useful — attach them
+    # implicitly, exactly as --metrics-out/--flight-out would.
+    if args.metrics_out or want_events:
+        if args.metrics_out:
+            _require_parent_dir("--metrics-out", args.metrics_out)
         metrics, tracer = MetricsRegistry(), RoundTracer()
-    if args.flight_out:
-        _require_parent_dir("--flight-out", args.flight_out)
+    if args.flight_out or store_path:
+        if args.flight_out:
+            _require_parent_dir("--flight-out", args.flight_out)
         flight = FlightRecorder(
             capacity=args.flight_capacity, sample_every=args.flight_sample
         )
     if args.profile:
         profiler = ScopeProfiler()
-    return _Sinks(metrics, tracer, flight, profiler)
+    header = None
+    if metrics is not None or flight is not None or want_events:
+        header = _telemetry_header(args, experiment, config)
+    if want_events:
+        from repro.obs.sink import EventPipeline, JsonlSink, SqliteSink
+
+        event_sinks = []
+        if events_out:
+            _require_parent_dir("--events-out", events_out)
+            jsonl_sink = JsonlSink(events_out)
+            jsonl_sink.emit(header)  # header is always the first line
+            event_sinks.append(jsonl_sink)
+        if store_path:
+            from repro.obs.store import RunStore
+
+            _require_parent_dir("--store", store_path)
+            store = RunStore(store_path)
+            run_id = store.register_run(
+                name=getattr(args, "run_name", "") or experiment,
+                fingerprint=header["run_fingerprint"],
+                seed=args.seed,
+                backend=args.backend,
+                repro_version=header["repro_version"],
+                config={
+                    "experiment": experiment,
+                    "seed": args.seed,
+                    "backend": args.backend,
+                    "rounds": config.num_rounds,
+                    "steps_per_round": config.steps_per_round,
+                },
+            )
+            event_sinks.append(SqliteSink(store, run_id))
+        events = EventPipeline(sinks=event_sinks)
+    return _Sinks(
+        metrics,
+        tracer,
+        flight,
+        profiler,
+        events=events,
+        store=store,
+        run_id=run_id,
+        header=header,
+    )
 
 
 def _require_parent_dir(flag: str, path: str) -> None:
@@ -561,42 +837,79 @@ def _write_sink_outputs(args, sinks: _Sinks) -> None:
             sinks.profiler.export_to(sinks.metrics)
         print(sinks.profiler.format_table(), file=sys.stderr)
     if args.metrics_out:
-        _write_metrics_jsonl(args.metrics_out, sinks.metrics, sinks.tracer)
+        _write_metrics_jsonl(
+            args.metrics_out, sinks.metrics, sinks.tracer, sinks.header
+        )
     if args.flight_out:
-        rows = sinks.flight.dump_jsonl(args.flight_out)
+        lines = sinks.flight.to_jsonl_lines()
+        with open(args.flight_out, "w") as handle:
+            if sinks.header is not None:
+                handle.write(json.dumps(sinks.header) + "\n")
+            if lines:
+                handle.write("\n".join(lines) + "\n")
         dropped = sinks.flight.records_dropped
         suffix = f" ({dropped} evicted)" if dropped else ""
         print(
-            f"[telemetry] {rows} flight records{suffix} -> {args.flight_out}",
+            f"[telemetry] {len(lines)} flight records{suffix}"
+            f" -> {args.flight_out}",
+            file=sys.stderr,
+        )
+    if sinks.events is not None:
+        sinks.events.close()
+        if getattr(args, "events_out", ""):
+            print(
+                f"[telemetry] {sinks.events.events_emitted} events"
+                f" -> {args.events_out}",
+                file=sys.stderr,
+            )
+    if sinks.store is not None:
+        summary = sinks.store.ingest_telemetry(
+            sinks.run_id,
+            tracer=sinks.tracer,
+            flight=sinks.flight,
+            metrics=sinks.metrics,
+        )
+        sinks.store.close()
+        print(
+            f"[store] run {sinks.run_id} finished in {args.store}"
+            f" ({len(summary)} summary metrics)",
             file=sys.stderr,
         )
 
 
 def _write_metrics_jsonl(
-    path: str, metrics: MetricsRegistry, tracer: RoundTracer
+    path: str,
+    metrics: MetricsRegistry,
+    tracer: RoundTracer,
+    header=None,
 ) -> None:
-    """One ``round_span`` line per round, then one ``metrics_snapshot``."""
+    """Header, one ``round_span`` line per round, one ``metrics_snapshot``."""
     lines = tracer.to_jsonl_lines()
     lines.append(
         json.dumps({"type": "metrics_snapshot", **metrics.snapshot()})
     )
+    if header is not None:
+        lines.insert(0, json.dumps(header))
     with open(path, "w") as handle:
         handle.write("\n".join(lines) + "\n")
     print(
-        f"[telemetry] {len(lines) - 1} round spans + metrics snapshot -> {path}",
+        f"[telemetry] {len(lines) - 2} round spans + metrics snapshot -> {path}",
         file=sys.stderr,
     )
 
 
 def _run_bench(args) -> int:
-    """Run the speed benchmark suite and write the JSON document."""
+    """Run the speed benchmark suite; write the document + history."""
     from repro.experiments.bench import (
         format_summary,
+        history_entry,
         run_speed_benchmark,
         write_benchmark,
     )
 
     _require_parent_dir("--output", args.output)
+    if not args.no_history:
+        _require_parent_dir("--history", args.history)
     backends = ("serial",) if args.no_process else ("serial", "process")
     document = run_speed_benchmark(
         seed=args.seed,
@@ -609,7 +922,38 @@ def _run_bench(args) -> int:
     path = write_benchmark(document, args.output)
     print(format_summary(document))
     print(f"[bench] -> {path}", file=sys.stderr)
-    return 0
+    if args.no_history:
+        return 0
+    from repro.obs.store import append_bench_history, load_bench_history
+
+    entry = history_entry(document)
+    prior = (
+        load_bench_history(args.history)
+        if os.path.isfile(args.history)
+        else []
+    )
+    code = 0
+    if args.gate:
+        from repro.obs.regress import check_bench_gate
+
+        gate = check_bench_gate(
+            prior, entry["key_metrics"], max_drop=args.max_drop
+        )
+        if gate.ok:
+            print(
+                f"[bench] gate OK ({gate.compared} metrics vs baseline)",
+                file=sys.stderr,
+            )
+        else:
+            for flag in gate.regressions:
+                print(f"[bench] GATE FAILED — {flag.describe()}", file=sys.stderr)
+            code = 5
+    append_bench_history(entry, args.history)
+    print(
+        f"[bench] history +1 -> {args.history} ({len(prior) + 1} entries)",
+        file=sys.stderr,
+    )
+    return code
 
 
 def _run_obs_report(args) -> int:
@@ -633,6 +977,145 @@ def _run_obs_report(args) -> int:
     return 0
 
 
+def _run_obs_diff(args) -> int:
+    """Compare two runs and render the Markdown diff; 5 on regression."""
+    from repro.obs.diff import (
+        diff_runs,
+        format_diff_markdown,
+        format_reward_curves,
+        run_metrics_from_files,
+        run_metrics_from_store,
+    )
+
+    if args.store:
+        from repro.obs.store import RunStore
+
+        if not os.path.isfile(args.store):
+            raise ConfigurationError(
+                f"run store does not exist: {args.store!r}"
+            )
+        try:
+            id_a, id_b = int(args.run_a), int(args.run_b)
+        except ValueError as error:
+            raise ConfigurationError(
+                "with --store, run_a and run_b must be store run ids"
+            ) from error
+        with RunStore(args.store) as store:
+            a = run_metrics_from_store(store, id_a)
+            b = run_metrics_from_store(store, id_b)
+    else:
+        for path in filter(
+            None, [args.run_a, args.run_b, args.flight_a, args.flight_b]
+        ):
+            if not os.path.isfile(path):
+                raise ConfigurationError(
+                    f"telemetry file does not exist: {path!r}"
+                )
+        a = run_metrics_from_files(
+            args.run_a, flight_path=args.flight_a or None
+        )
+        b = run_metrics_from_files(
+            args.run_b, flight_path=args.flight_b or None
+        )
+    diff = diff_runs(a, b, flag_timing=args.flag_timing)
+    text = format_diff_markdown(diff, title=args.title)
+    curves = format_reward_curves(a, b)
+    if curves:
+        text += "\n" + curves
+    if args.output:
+        _require_parent_dir("--output", args.output)
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"[obs-diff] comparison -> {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    for warning in diff.provenance_warnings:
+        print(f"[obs-diff] warning: {warning}", file=sys.stderr)
+    if args.fail_on_regression and diff.regressions:
+        for row in diff.regressions:
+            print(
+                f"[obs-diff] REGRESSION — {row.metric}: {row.a:.6g}"
+                f" -> {row.b:.6g} ({row.direction} is better)",
+                file=sys.stderr,
+            )
+        return 5
+    return 0
+
+
+def _run_obs_history(args) -> int:
+    """Tabulate stored runs (or the bench trajectory) + regression flags."""
+    if bool(args.store) == bool(args.bench):
+        raise ConfigurationError(
+            "obs-history needs exactly one of --store or --bench"
+        )
+    if args.store:
+        text = _history_from_store(args)
+    else:
+        text = _history_from_bench(args)
+    if args.output:
+        _require_parent_dir("--output", args.output)
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"[obs-history] -> {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _history_from_store(args) -> str:
+    from repro.obs.diff import format_history_markdown
+    from repro.obs.regress import detect_regressions
+    from repro.obs.store import RunStore
+
+    if not os.path.isfile(args.store):
+        raise ConfigurationError(f"run store does not exist: {args.store!r}")
+    with RunStore(args.store) as store:
+        runs = store.runs()[-args.limit :]
+    finished = [run for run in runs if run.get("summary")]
+    flags = []
+    if len(finished) >= 2:
+        flags = detect_regressions(
+            [run["summary"] for run in finished[:-1]],
+            finished[-1]["summary"],
+            z_threshold=args.z_threshold,
+        )
+    return format_history_markdown(
+        runs, flags, title=f"Run history ({args.store})"
+    )
+
+
+def _history_from_bench(args) -> str:
+    from repro.obs.store import load_bench_history
+
+    if not os.path.isfile(args.bench):
+        raise ConfigurationError(
+            f"bench history does not exist: {args.bench!r}"
+        )
+    entries = load_bench_history(args.bench)[-args.limit :]
+    lines = [f"# Bench history ({args.bench})", ""]
+    lines.append(f"- entries: {len(entries)}")
+    lines.append("")
+    if entries:
+        metrics = sorted(
+            {
+                metric
+                for entry in entries
+                for metric in (entry.get("key_metrics") or {})
+            }
+        )
+        lines.append("| # | " + " | ".join(metrics) + " |")
+        lines.append("| ---: |" + " ---: |" * len(metrics))
+        for index, entry in enumerate(entries):
+            key_metrics = entry.get("key_metrics") or {}
+            cells = [
+                f"{key_metrics[m]:.6g}" if m in key_metrics else "—"
+                for m in metrics
+            ]
+            lines.append(f"| {index} | " + " | ".join(cells) + " |")
+        lines.append("")
+    return "\n".join(lines)
+
+
 def _run_report(args) -> int:
     """Run the selected experiments, one output file per artefact."""
     import pathlib
@@ -645,12 +1128,13 @@ def _run_report(args) -> int:
     ]
     output_dir = pathlib.Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
-    sinks = _build_sinks(args)
+    sinks = _build_sinks(args, "report", config)
     with telemetry(
         metrics=sinks.metrics,
         tracer=sinks.tracer,
         flight=sinks.flight,
         profiler=sinks.profiler,
+        events=sinks.events,
     ), execution(args.backend, args.workers or None), _build_resilience_context(
         args
     ), _build_guard_context(args):

@@ -69,6 +69,7 @@ class ControlSession:
         flight: Optional[FlightRecorder] = None,
         profiler: Optional[ScopeProfiler] = None,
         power_limit_w: Optional[float] = None,
+        events=None,
     ) -> None:
         self.environment = environment
         self.controller = controller
@@ -76,6 +77,7 @@ class ControlSession:
         self.metrics = metrics
         self.flight = flight
         self.profiler = profiler
+        self.events = events
         self.power_limit_w = (
             power_limit_w
             if power_limit_w is not None
@@ -86,6 +88,11 @@ class ControlSession:
         self._decision_time_s = 0.0
         self._decision_count = 0
         self._violation_count = 0
+        # Guard transitions recorded before this session existed (e.g.
+        # a controller restored from a checkpoint) are not re-emitted.
+        self._transitions_emitted = getattr(
+            controller, "transitions_total", 0
+        )
 
     @property
     def started(self) -> bool:
@@ -147,6 +154,8 @@ class ControlSession:
                 "control.mean_step_reward",
                 sum(record.reward for record in records) / num_steps,
             )
+        if self.events is not None:
+            self._emit_guard_transitions(round_index)
         if _LOG.isEnabledFor(logging.DEBUG):
             _LOG.debug(
                 "ran control steps",
@@ -261,6 +270,39 @@ class ControlSession:
                 (self._decision_time_s - decision_time_before) / num_steps,
             )
         return records
+
+    def _emit_guard_transitions(self, round_index: int) -> None:
+        """Stream new watchdog state transitions as telemetry events.
+
+        Guarded controllers (:mod:`repro.guard.watchdog`) keep a
+        bounded transition log plus a lifetime counter; the session
+        drains the delta after each step batch and emits one
+        ``guard_transition`` event per entry. Draining here — instead
+        of handing the controller a sink — keeps guarded controllers
+        picklable for checkpoints and works identically inside parallel
+        worker actors.
+        """
+        total = getattr(self.controller, "transitions_total", None)
+        if total is None:
+            return
+        new = total - self._transitions_emitted
+        if new <= 0:
+            return
+        log = list(getattr(self.controller, "transitions", ()))
+        device_name = self.environment.device.name
+        for step, from_state, to_state, reason in log[-new:]:
+            self.events.emit(
+                {
+                    "type": "guard_transition",
+                    "device": device_name,
+                    "round": round_index,
+                    "step": step,
+                    "from_state": from_state,
+                    "to_state": to_state,
+                    "reason": reason,
+                }
+            )
+        self._transitions_emitted = total
 
     def mean_decision_latency_s(self) -> float:
         """Average controller compute time per interval (Section IV-C)."""

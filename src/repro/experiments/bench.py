@@ -221,6 +221,25 @@ def run_speed_benchmark(
     return document
 
 
+def history_entry(document: Dict[str, object]) -> Dict[str, object]:
+    """A compact, schema-versioned ``BENCH_history.jsonl`` entry.
+
+    The entry keeps the document's config and the dotted key metrics
+    the regression gate (:func:`repro.obs.regress.check_bench_gate`)
+    compares across runs — not the full document, so years of history
+    stay cheap to append and scan.
+    """
+    from repro.obs.regress import bench_key_metrics
+    from repro.obs.store import BENCH_HISTORY_SCHEMA_VERSION
+
+    return {
+        "history_schema": BENCH_HISTORY_SCHEMA_VERSION,
+        "schema_version": document.get("schema_version"),
+        "config": dict(document.get("config", {})),
+        "key_metrics": bench_key_metrics(document),
+    }
+
+
 def write_benchmark(document: Dict[str, object], path: str = DEFAULT_OUTPUT) -> str:
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

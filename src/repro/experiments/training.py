@@ -51,6 +51,7 @@ from repro.guard.quarantine import QuarantineConfig, QuarantineManager
 from repro.guard.watchdog import GuardedController, WatchdogConfig, guard_controller
 from repro.federated.transport import InMemoryTransport
 from repro.obs.context import (
+    active_events,
     active_flight,
     active_metrics,
     active_profiler,
@@ -441,6 +442,7 @@ def _wrap_transport(
     resilience: _ResolvedResilience,
     metrics: Optional[MetricsRegistry],
     tracer: Optional[RoundTracer],
+    events=None,
 ):
     """Wrap the wire in the fault injector when the plan needs it."""
     if resilience.plan is None or not resilience.plan.has_wire_faults:
@@ -451,6 +453,7 @@ def _wrap_transport(
         retry=resilience.retry,
         metrics=metrics,
         tracer=tracer,
+        events=events,
     )
 
 
@@ -682,6 +685,7 @@ def _worker_specs(
     profiler: Optional[ScopeProfiler],
     flight: Optional[FlightRecorder],
     extra_kwargs: Optional[Dict[str, object]] = None,
+    events=None,
 ) -> List[WorkerSpec]:
     """One :class:`WorkerSpec` per device for the parallel engine."""
     kwargs: Dict[str, object] = {
@@ -700,6 +704,7 @@ def _worker_specs(
             collect_profile=profiler is not None,
             flight_capacity=flight.capacity if flight is not None else None,
             flight_sample_every=flight.sample_every if flight is not None else 1,
+            collect_events=events is not None,
         )
         for device_name in assignments
     ]
@@ -736,6 +741,7 @@ def train_federated(
     guard=None,
     quarantine=None,
     churn=None,
+    events=None,
 ) -> TrainingResult:
     """Run the paper's federated power control (Algorithms 1 + 2).
 
@@ -804,6 +810,7 @@ def train_federated(
     tracer = active_tracer(tracer)
     flight = active_flight(flight)
     profiler = active_profiler(profiler)
+    events = active_events(events)
     eval_apps = tuple(eval_applications or evaluation_applications())
     watchdog_cfg, quarantine_mgr, churn_plan = _materialize_guard(
         guard, quarantine, churn, assignments, config
@@ -867,6 +874,7 @@ def train_federated(
             watchdog_cfg=watchdog_cfg,
             quarantine_mgr=quarantine_mgr,
             churn_plan=churn_plan,
+            events=events,
         )
     environments = _build_training_environments(
         assignments, config, metrics=metrics, profiler=profiler
@@ -895,6 +903,7 @@ def train_federated(
             metrics=metrics,
             flight=flight,
             profiler=profiler,
+            events=events,
         )
         for name in assignments
     }
@@ -903,7 +912,11 @@ def train_federated(
             restore_session_state(sessions[name], device_payloads[name]["session"])
 
     transport = _wrap_transport(
-        InMemoryTransport(metrics=metrics), resilience_cfg, metrics, tracer
+        InMemoryTransport(metrics=metrics),
+        resilience_cfg,
+        metrics,
+        tracer,
+        events=events,
     )
     clients = [
         FederatedClient(
@@ -1022,6 +1035,7 @@ def train_federated(
         churn_plan=churn_plan,
         resume=snapshot.progress if snapshot is not None else None,
         checkpoint_hook=checkpoint_hook if ckpt is not None else None,
+        events=events,
     )
 
     _account_power_violations(
@@ -1079,6 +1093,7 @@ def _train_federated_parallel(
     watchdog_cfg: Optional[WatchdogConfig] = None,
     quarantine_mgr: Optional[QuarantineManager] = None,
     churn_plan: Optional[ChurnPlan] = None,
+    events=None,
 ) -> TrainingResult:
     """The thread/process-backend body of :func:`train_federated`.
 
@@ -1113,6 +1128,7 @@ def _train_federated_parallel(
         profiler,
         flight,
         extra_kwargs={"fault_injector": fault_injector, "guard": watchdog_cfg},
+        events=events,
     )
     fleet = DeviceFleet(
         specs,
@@ -1122,6 +1138,7 @@ def _train_federated_parallel(
         metrics=metrics,
         flight=flight,
         profiler=profiler,
+        events=events,
     )
     try:
         snapshot = resilience_cfg.snapshot
@@ -1139,7 +1156,11 @@ def _train_federated_parallel(
             for index, name in enumerate(assignments)
         }
         transport = _wrap_transport(
-            InMemoryTransport(metrics=metrics), resilience_cfg, metrics, tracer
+            InMemoryTransport(metrics=metrics),
+            resilience_cfg,
+            metrics,
+            tracer,
+            events=events,
         )
         clients = [
             FederatedClient(
@@ -1234,6 +1255,7 @@ def _train_federated_parallel(
             churn_plan=churn_plan,
             resume=snapshot.progress if snapshot is not None else None,
             checkpoint_hook=checkpoint_hook if ckpt is not None else None,
+            events=events,
         )
         result.controllers = fleet.fetch_controllers()
         latency = fleet.mean_decision_latency_s()
@@ -1287,6 +1309,7 @@ def train_local_only(
     metrics = active_metrics()
     flight = active_flight()
     profiler = active_profiler()
+    events = active_events()
     _LOG.info(
         "local-only training starting",
         extra={
@@ -1306,6 +1329,7 @@ def train_local_only(
             metrics,
             profiler,
             flight,
+            events=events,
         )
         result = TrainingResult(
             name="local-only", assignments=dict(assignments), controllers={}
@@ -1318,6 +1342,7 @@ def train_local_only(
             metrics=metrics,
             flight=flight,
             profiler=profiler,
+            events=events,
         ) as fleet:
             device_names = list(assignments)
             for round_index in range(config.num_rounds):
@@ -1351,6 +1376,7 @@ def train_local_only(
             metrics=metrics,
             flight=flight,
             profiler=profiler,
+            events=events,
         )
         for name in assignments
     }
@@ -1400,6 +1426,7 @@ def train_collab_profit(
     metrics = active_metrics()
     flight = active_flight()
     profiler = active_profiler()
+    events = active_events()
     _LOG.info(
         "profit-collab training starting",
         extra={
@@ -1418,6 +1445,7 @@ def train_collab_profit(
             profiler=profiler,
             backend=backend,
             workers=workers,
+            events=events,
         )
     environments = _build_training_environments(
         assignments, config, metrics=metrics, profiler=profiler
@@ -1437,6 +1465,7 @@ def train_collab_profit(
             metrics=metrics,
             flight=flight,
             profiler=profiler,
+            events=events,
         )
         for name in assignments
     }
@@ -1486,6 +1515,7 @@ def _train_collab_profit_parallel(
     profiler: Optional[ScopeProfiler],
     backend: str,
     workers: Optional[int],
+    events=None,
 ) -> TrainingResult:
     """The thread/process-backend body of :func:`train_collab_profit`.
 
@@ -1504,6 +1534,7 @@ def _train_collab_profit_parallel(
         metrics,
         profiler,
         flight,
+        events=events,
     )
     collab_server = CollabPolicyServer()
     result = TrainingResult(
@@ -1518,6 +1549,7 @@ def _train_collab_profit_parallel(
         metrics=metrics,
         flight=flight,
         profiler=profiler,
+        events=events,
     ) as fleet:
         device_names = list(assignments)
         for round_index in range(config.num_rounds):

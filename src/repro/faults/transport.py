@@ -38,7 +38,7 @@ from repro.errors import TransportError, TransportTimeoutError
 from repro.faults.plan import FaultEvent, FaultPlan, stable_token
 from repro.faults.retry import PHASE_BROADCAST, PHASE_UPLOAD, RetryPolicy
 from repro.federated.transport import InMemoryTransport, Message
-from repro.obs.context import active_tracer
+from repro.obs.context import active_events, active_tracer
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import RoundTracer, STATUS_FAILED, STATUS_OK
@@ -80,12 +80,14 @@ class FaultInjectingTransport:
         retry: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[RoundTracer] = None,
+        events=None,
     ) -> None:
         self.inner = inner
         self.plan = plan
         self.retry = retry
         self.metrics = metrics if metrics is not None else inner.metrics
         self.tracer = tracer
+        self.events = events
         #: Send attempts per (round, sender, recipient, kind) — the
         #: counter that makes ``fail``/``delay`` events transient.
         self._attempts: Dict[Tuple[int, str, str, str], int] = {}
@@ -120,6 +122,18 @@ class FaultInjectingTransport:
                 client_id=_faulted_device(message),
                 duration_s=duration_s,
                 status=STATUS_FAILED if failed else STATUS_OK,
+            )
+        events = active_events(self.events)
+        if events is not None:
+            events.emit(
+                {
+                    "type": "fault",
+                    "kind": kind,
+                    "phase": phase_of(message),
+                    "device": _faulted_device(message),
+                    "round": message.round_index,
+                    "failed": failed,
+                }
             )
         _LOG.info(
             "injected fault",

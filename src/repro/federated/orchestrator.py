@@ -37,7 +37,12 @@ from repro.errors import (
 )
 from repro.federated.client import FederatedClient
 from repro.federated.server import FederatedServer
-from repro.obs.context import active_metrics, active_profiler, active_tracer
+from repro.obs.context import (
+    active_events,
+    active_metrics,
+    active_profiler,
+    active_tracer,
+)
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import ScopeProfiler, profile
@@ -178,6 +183,7 @@ def run_federated_training(
     churn_plan: Optional[object] = None,
     resume: Optional[object] = None,
     checkpoint_hook: Optional[CheckpointHook] = None,
+    events=None,
 ) -> FederatedRunResult:
     """Run ``num_rounds`` of federated averaging (Algorithm 2).
 
@@ -281,6 +287,7 @@ def run_federated_training(
     metrics = active_metrics(metrics)
     tracer = active_tracer(tracer)
     profiler = active_profiler(profiler)
+    events = active_events(events)
     transport = server.transport
 
     rng = as_generator(seed)
@@ -389,7 +396,9 @@ def run_federated_training(
                 quarantine_log.append([])
                 if tracer is not None:
                     tracer.start_round(round_index, [])
-                    tracer.end_round(aggregated=False)
+                    empty_span = tracer.end_round(aggregated=False)
+                    if events is not None:
+                        events.emit(empty_span.as_dict())
                 if metrics is not None:
                     metrics.inc("federated.rounds")
                     metrics.inc("federated.rounds_empty")
@@ -445,12 +454,22 @@ def run_federated_training(
             metrics.set_gauge("federated.last_round", round_index)
             if stragglers:
                 metrics.inc("federated.rounds_with_stragglers")
+        if events is not None and quarantined:
+            events.emit(
+                {
+                    "type": "quarantine",
+                    "round": round_index,
+                    "devices": list(quarantined),
+                }
+            )
         if tracer is not None:
             span = tracer.end_round(
                 stragglers=stragglers,
                 update_norm=update_norm,
                 aggregated=round_aggregated,
             )
+            if events is not None:
+                events.emit(span.as_dict())
             if metrics is not None and span.update_norm is not None:
                 metrics.observe("federated.update_norm", span.update_norm)
             _LOG.info(
@@ -509,6 +528,17 @@ def run_federated_training(
         metrics.inc("federated.bytes_total", result.total_bytes_communicated)
         metrics.inc("federated.messages_total", result.total_messages)
         metrics.inc("federated.aggregations", result.aggregations_completed)
+    if events is not None:
+        events.emit(
+            {
+                "type": "run_summary",
+                "rounds": result.rounds_completed,
+                "bytes": result.total_bytes_communicated,
+                "messages": result.total_messages,
+                "aggregations": result.aggregations_completed,
+                "straggler_rate": result.straggler_rate,
+            }
+        )
     _LOG.info(
         "federated run finished",
         extra={

@@ -179,6 +179,10 @@ class GuardedController(PowerController):
         self.fallback_steps_total = 0
         #: Bounded transition log: (step, from_state, to_state, reason).
         self.transitions: Deque[Tuple[int, str, str, str]] = deque(maxlen=64)
+        #: Lifetime transition count (never truncated, unlike the log);
+        #: lets a :class:`~repro.control.runtime.ControlSession` drain
+        #: only the *new* entries into the telemetry event stream.
+        self.transitions_total = 0
         self._fallback_remaining = 0
         self._probation_clean = 0
         self._recent_actions: Deque[int] = deque(maxlen=self.config.stuck_window)
@@ -247,6 +251,7 @@ class GuardedController(PowerController):
         self.transitions.append(
             (self.steps_total, self.state, to_state, reason)
         )
+        self.transitions_total += 1
         self.state = to_state
 
     def _trip(self, reason: str) -> None:

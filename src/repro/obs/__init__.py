@@ -1,7 +1,8 @@
 """Observability layer: logging, metrics, tracing, flight recording,
-profiling and offline run reports.
+profiling, offline run reports, streaming event sinks and cross-run
+regression analytics.
 
-Six pillars, all stdlib+numpy only:
+Nine pillars, all stdlib+numpy only:
 
 * :mod:`repro.obs.logging` — namespaced ``repro.*`` loggers with
   ``key=value`` or JSON formatting (:func:`setup_logging`,
@@ -21,7 +22,21 @@ Six pillars, all stdlib+numpy only:
   opt-in :func:`cprofile_capture` wrapper;
 * :mod:`repro.obs.report` — offline Markdown run reports generated
   from flight-recorder and metrics JSONL artefacts
-  (:func:`generate_report`, the ``obs-report`` CLI subcommand).
+  (:func:`generate_report`, the ``obs-report`` CLI subcommand);
+* :mod:`repro.obs.sink` — the streaming half: an :class:`EventPipeline`
+  of pluggable :class:`TelemetrySink` backends (:class:`JsonlSink`,
+  :class:`SqliteSink`, :class:`EventBuffer`, :class:`FanoutSink`)
+  carrying round spans, fault/guard/quarantine events and run
+  summaries out of a live run, merge-compatible with the parallel
+  engine's worker telemetry;
+* :mod:`repro.obs.store` — the persistent cross-run half: a
+  SQLite-backed :class:`RunStore` registering runs by fingerprint with
+  config, per-round series, events and final summaries, plus the
+  append-only ``BENCH_history.jsonl`` trajectory;
+* :mod:`repro.obs.diff` / :mod:`repro.obs.regress` — cross-run
+  comparison (:func:`diff_runs`, the ``obs-diff`` subcommand) and
+  regression detection over run history (robust z-scores,
+  :func:`detect_regressions`, the ``bench --gate`` throughput gate).
 
 Instrumentation contract: every instrumented call site holds an
 ``Optional`` sink and emits behind one ``is not None`` check, so a run
@@ -36,6 +51,7 @@ signatures.
 from repro.obs.context import (
     Telemetry,
     activate,
+    active_events,
     active_flight,
     active_metrics,
     active_profiler,
@@ -43,6 +59,17 @@ from repro.obs.context import (
     deactivate,
     get_active,
     telemetry,
+)
+from repro.obs.diff import (
+    RunDiff,
+    RunMetrics,
+    diff_runs,
+    format_diff_markdown,
+    format_history_markdown,
+    format_reward_curves,
+    run_metrics_from_files,
+    run_metrics_from_store,
+    run_scalars,
 )
 from repro.obs.flight import FlightRecord, FlightRecorder
 from repro.obs.logging import (
@@ -66,7 +93,38 @@ from repro.obs.profile import (
     cprofile_capture,
     profile,
 )
-from repro.obs.report import generate_report, load_metrics_jsonl, report_from_files
+from repro.obs.regress import (
+    BenchGateResult,
+    RegressionFlag,
+    bench_key_metrics,
+    check_bench_gate,
+    detect_regressions,
+    robust_z,
+)
+from repro.obs.report import (
+    generate_report,
+    load_metrics_jsonl,
+    load_telemetry_jsonl,
+    report_from_files,
+)
+from repro.obs.sink import (
+    TELEMETRY_SCHEMA_VERSION,
+    EventBuffer,
+    EventPipeline,
+    FanoutSink,
+    JsonlSink,
+    SqliteSink,
+    TelemetrySink,
+    iter_jsonl_rows,
+)
+from repro.obs.store import (
+    BENCH_HISTORY_SCHEMA_VERSION,
+    RUN_STORE_SCHEMA_VERSION,
+    RunStore,
+    append_bench_history,
+    ingest_training_result,
+    load_bench_history,
+)
 from repro.obs.tracing import (
     PHASE_AGGREGATE,
     PHASE_BROADCAST,
@@ -78,13 +136,19 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "BENCH_HISTORY_SCHEMA_VERSION",
+    "BenchGateResult",
     "CProfileReport",
     "Counter",
+    "EventBuffer",
+    "EventPipeline",
+    "FanoutSink",
     "FlightRecord",
     "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonFormatter",
+    "JsonlSink",
     "KeyValueFormatter",
     "MetricsRegistry",
     "PHASE_AGGREGATE",
@@ -92,25 +156,50 @@ __all__ = [
     "PHASE_LOCAL_TRAIN",
     "PHASE_UPLOAD",
     "PhaseSpan",
+    "RUN_STORE_SCHEMA_VERSION",
+    "RegressionFlag",
     "RoundSpan",
     "RoundTracer",
+    "RunDiff",
+    "RunMetrics",
+    "RunStore",
     "ScopeProfiler",
     "ScopeStats",
+    "SqliteSink",
+    "TELEMETRY_SCHEMA_VERSION",
     "Telemetry",
+    "TelemetrySink",
     "activate",
+    "active_events",
     "active_flight",
     "active_metrics",
     "active_profiler",
     "active_tracer",
+    "append_bench_history",
+    "bench_key_metrics",
+    "check_bench_gate",
     "cprofile_capture",
     "deactivate",
+    "detect_regressions",
+    "diff_runs",
+    "format_diff_markdown",
+    "format_history_markdown",
+    "format_reward_curves",
     "generate_report",
     "get_active",
     "get_logger",
+    "ingest_training_result",
+    "iter_jsonl_rows",
+    "load_bench_history",
     "load_metrics_jsonl",
+    "load_telemetry_jsonl",
     "profile",
     "report_from_files",
     "reset_logging",
+    "robust_z",
+    "run_metrics_from_files",
+    "run_metrics_from_store",
+    "run_scalars",
     "setup_logging",
     "telemetry",
     "timed",

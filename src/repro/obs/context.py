@@ -33,6 +33,7 @@ from repro.obs.tracing import RoundTracer
 if TYPE_CHECKING:  # imported lazily to avoid cycles (profile imports us)
     from repro.obs.flight import FlightRecorder
     from repro.obs.profile import ScopeProfiler
+    from repro.obs.sink import EventPipeline
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,7 @@ class Telemetry:
     tracer: Optional[RoundTracer] = None
     flight: Optional["FlightRecorder"] = None
     profiler: Optional["ScopeProfiler"] = None
+    events: Optional["EventPipeline"] = None
 
 
 class _ThreadLocalStack(threading.local):
@@ -60,10 +62,15 @@ def activate(
     tracer: Optional[RoundTracer] = None,
     flight: Optional["FlightRecorder"] = None,
     profiler: Optional["ScopeProfiler"] = None,
+    events: Optional["EventPipeline"] = None,
 ) -> Telemetry:
     """Push a telemetry bundle; pair every call with :func:`deactivate`."""
     bundle = Telemetry(
-        metrics=metrics, tracer=tracer, flight=flight, profiler=profiler
+        metrics=metrics,
+        tracer=tracer,
+        flight=flight,
+        profiler=profiler,
+        events=events,
     )
     _LOCAL.stack.append(bundle)
     return bundle
@@ -119,16 +126,31 @@ def active_profiler(
     return bundle.profiler if bundle is not None else None
 
 
+def active_events(
+    explicit: Optional["EventPipeline"] = None,
+) -> Optional["EventPipeline"]:
+    """``explicit`` if given, else the ambient event pipeline (if any)."""
+    if explicit is not None:
+        return explicit
+    bundle = get_active()
+    return bundle.events if bundle is not None else None
+
+
 @contextmanager
 def telemetry(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[RoundTracer] = None,
     flight: Optional["FlightRecorder"] = None,
     profiler: Optional["ScopeProfiler"] = None,
+    events: Optional["EventPipeline"] = None,
 ) -> Iterator[Telemetry]:
     """``with telemetry(registry, tracer): ...`` — balanced activation."""
     bundle = activate(
-        metrics=metrics, tracer=tracer, flight=flight, profiler=profiler
+        metrics=metrics,
+        tracer=tracer,
+        flight=flight,
+        profiler=profiler,
+        events=events,
     )
     try:
         yield bundle

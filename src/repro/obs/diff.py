@@ -1,0 +1,463 @@
+"""Cross-run comparison: load two runs, diff their metrics, render Markdown.
+
+The comparable surface of a run is a :class:`RunMetrics` — a small
+bundle of provenance (the header record stamped into every telemetry
+JSONL file), scalar metrics (wire bytes, violation rate, straggler
+rate, wall time, train-steps/s, ...) and per-round series (the reward
+curve). It loads from telemetry artefacts
+(:func:`run_metrics_from_files`) or from a persistent
+:class:`~repro.obs.store.RunStore` (:func:`run_metrics_from_store`),
+so ``repro-power obs-diff`` works on loose JSONL files and on stored
+run ids alike.
+
+:func:`diff_runs` is direction-aware and splits metrics into two
+kinds: *deterministic* metrics (rewards, violations, stragglers,
+bytes, step counts) where **any** worsening beyond floating-point
+tolerance is a regression — two same-seed serial runs must diff to
+zero — and *timing* metrics (wall time, train-steps/s) that are
+reported but never flagged by default, because wall-clock noise on a
+shared CI box is not a finding. :func:`format_diff_markdown` renders
+the result with the same table/ASCII-plot idioms as
+:mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.ascii_plot import line_plot
+
+#: Relative tolerance under which two float metrics count as equal.
+EXACT_REL_TOLERANCE = 1e-9
+
+#: Per-round series that carry wall-clock noise: reported in the series
+#: table but excluded from the bit-identical verdict, like the timing
+#: scalars.
+TIMING_SERIES = frozenset({"duration_s"})
+
+#: (metric, direction, kind); direction ∈ {higher, lower, neutral},
+#: kind ∈ {exact, timing}. Order is presentation order.
+METRIC_SPECS: Tuple[Tuple[str, str, str], ...] = (
+    ("reward_mean_final", "higher", "exact"),
+    ("violation_rate", "lower", "exact"),
+    ("straggler_rate", "lower", "exact"),
+    ("wire_bytes", "lower", "exact"),
+    ("rounds", "neutral", "exact"),
+    ("aggregations", "neutral", "exact"),
+    ("train_steps", "neutral", "exact"),
+    ("update_norm_final", "neutral", "exact"),
+    ("wall_time_s", "lower", "timing"),
+    ("train_steps_per_s", "higher", "timing"),
+)
+
+
+def run_scalars(
+    spans: Sequence[Mapping[str, object]],
+    snapshot: Optional[Mapping[str, Mapping[str, object]]] = None,
+    flight=None,
+) -> Dict[str, float]:
+    """The scalar comparison surface of one run.
+
+    ``spans`` are round-span dicts (from the tracer or a metrics JSONL
+    file), ``snapshot`` a :meth:`MetricsRegistry.snapshot` dict and
+    ``flight`` a rebuilt :class:`~repro.obs.flight.FlightRecorder`; any
+    may be absent, and only metrics that are actually derivable appear
+    in the result.
+    """
+    scalars: Dict[str, float] = {}
+    if spans:
+        scalars["rounds"] = float(len(spans))
+        scalars["aggregations"] = float(
+            sum(1 for span in spans if span.get("aggregated"))
+        )
+        scalars["wire_bytes"] = float(
+            sum(span.get("bytes", 0) for span in spans)
+        )
+        scalars["wall_time_s"] = float(
+            sum(span.get("duration_s", 0.0) for span in spans)
+        )
+        slots = sum(len(span.get("participants", ())) for span in spans)
+        lost = sum(len(span.get("stragglers", ())) for span in spans)
+        if slots:
+            scalars["straggler_rate"] = lost / slots
+        norms = [
+            span["update_norm"]
+            for span in spans
+            if span.get("update_norm") is not None
+        ]
+        if norms:
+            scalars["update_norm_final"] = float(norms[-1])
+    if snapshot is not None:
+        counters = snapshot.get("counters", {})
+        steps = counters.get("control.steps")
+        if steps is not None:
+            scalars["train_steps"] = float(steps)
+            local_train_s = sum(
+                phase.get("duration_s", 0.0)
+                for span in spans
+                for phase in span.get("phases", ())
+                if phase.get("name") == "local-train"
+            )
+            if local_train_s > 0:
+                scalars["train_steps_per_s"] = float(steps) / local_train_s
+    if flight is not None and flight.steps_seen:
+        scalars["violation_rate"] = flight.violation_rate()
+        rewards = flight.rewards_by_round()
+        if rewards:
+            scalars["reward_mean_final"] = rewards[max(rewards)]
+    return scalars
+
+
+@dataclass
+class RunMetrics:
+    """One run's comparable surface: provenance + scalars + series."""
+
+    label: str
+    header: Optional[Dict[str, object]] = None
+    scalars: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+
+def run_metrics_from_files(
+    metrics_path: str,
+    flight_path: Optional[str] = None,
+    label: Optional[str] = None,
+) -> RunMetrics:
+    """Build a :class:`RunMetrics` from ``--metrics-out``/``--flight-out``."""
+    # Imported here: report imports this module's sibling loaders.
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.report import load_telemetry_jsonl
+
+    header, spans, snapshot = load_telemetry_jsonl(metrics_path)
+    flight = None
+    if flight_path is not None:
+        flight = FlightRecorder.from_jsonl(flight_path)
+        if header is None:
+            header = _read_header(flight_path)
+    run = RunMetrics(
+        label=label or str(metrics_path),
+        header=header,
+        scalars=run_scalars(spans, snapshot=snapshot, flight=flight),
+    )
+    if flight is not None:
+        run.series["reward_mean"] = {
+            int(round_index): float(value)
+            for round_index, value in flight.rewards_by_round().items()
+        }
+        run.series["violations"] = {
+            int(round_index): float(value)
+            for round_index, value in flight.violations_by_round().items()
+        }
+    if spans:
+        run.series["bytes"] = {
+            int(span["round"]): float(span.get("bytes", 0)) for span in spans
+        }
+    return run
+
+
+def _read_header(path: str) -> Optional[Dict[str, object]]:
+    from repro.obs.sink import iter_jsonl_rows
+
+    for row in iter_jsonl_rows(path):
+        if row.get("type") == "header":
+            return row
+        return None
+    return None
+
+
+def run_metrics_from_store(store, run_id: int) -> RunMetrics:
+    """Build a :class:`RunMetrics` from a stored run's summary + series."""
+    row = store.run(run_id)
+    scalars = {
+        key: float(value)
+        for key, value in (row.get("summary") or {}).items()
+        if isinstance(value, (int, float))
+    }
+    series = {
+        metric: {round_index: value for round_index, value in points}
+        for metric, points in store.series(run_id).items()
+    }
+    header = {
+        "type": "header",
+        "schema_version": row.get("schema_version"),
+        "run_fingerprint": row.get("fingerprint"),
+        "repro_version": row.get("repro_version"),
+        "seed": row.get("seed"),
+        "backend": row.get("backend"),
+    }
+    return RunMetrics(
+        label=f"run {row['id']} ({row['name']})",
+        header=header,
+        scalars=scalars,
+        series=series,
+    )
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One metric compared across the two runs."""
+
+    metric: str
+    a: float
+    b: float
+    direction: str
+    kind: str
+    changed: bool
+    regression: bool
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def rel_delta(self) -> Optional[float]:
+        if self.a == 0.0:
+            return None
+        return (self.b - self.a) / abs(self.a)
+
+
+@dataclass
+class RunDiff:
+    """The full comparison of run B against run A."""
+
+    label_a: str
+    label_b: str
+    rows: List[DiffRow]
+    series_max_abs_delta: Dict[str, float]
+    provenance_warnings: List[str]
+
+    @property
+    def comparisons(self) -> int:
+        return len(self.rows) + len(self.series_max_abs_delta)
+
+    @property
+    def regressions(self) -> List[DiffRow]:
+        return [row for row in self.rows if row.regression]
+
+    @property
+    def identical(self) -> bool:
+        """True when every exact metric and series diffs to zero."""
+        return not any(
+            row.changed for row in self.rows if row.kind == "exact"
+        ) and not any(
+            delta > 0.0
+            for name, delta in self.series_max_abs_delta.items()
+            if name not in TIMING_SERIES
+        )
+
+
+def diff_runs(
+    a: RunMetrics,
+    b: RunMetrics,
+    rel_tolerance: float = EXACT_REL_TOLERANCE,
+    flag_timing: bool = False,
+    timing_tolerance: float = 0.25,
+) -> RunDiff:
+    """Compare run B against run A, direction-aware.
+
+    Exact metrics regress on any worsening beyond ``rel_tolerance``;
+    timing metrics only when ``flag_timing`` is set and the worsening
+    exceeds ``timing_tolerance`` (25% by default — wall-clock noise on
+    a busy machine must not fail a same-seed comparison).
+    """
+    rows: List[DiffRow] = []
+    for metric, direction, kind in METRIC_SPECS:
+        if metric not in a.scalars or metric not in b.scalars:
+            continue
+        value_a, value_b = a.scalars[metric], b.scalars[metric]
+        scale = max(abs(value_a), abs(value_b), 1e-12)
+        tolerance = rel_tolerance if kind == "exact" else timing_tolerance
+        changed = abs(value_b - value_a) > tolerance * scale
+        worsened = False
+        if changed and direction == "higher":
+            worsened = value_b < value_a
+        elif changed and direction == "lower":
+            worsened = value_b > value_a
+        regression = worsened and (kind == "exact" or flag_timing)
+        rows.append(
+            DiffRow(
+                metric=metric,
+                a=value_a,
+                b=value_b,
+                direction=direction,
+                kind=kind,
+                changed=changed,
+                regression=regression,
+            )
+        )
+    if not rows:
+        raise ConfigurationError(
+            f"runs {a.label!r} and {b.label!r} share no comparable metrics"
+        )
+    series_deltas: Dict[str, float] = {}
+    for name in sorted(set(a.series) & set(b.series)):
+        series_a, series_b = a.series[name], b.series[name]
+        shared = set(series_a) & set(series_b)
+        deltas = [abs(series_b[key] - series_a[key]) for key in shared]
+        missing = len(set(series_a) ^ set(series_b))
+        series_deltas[name] = max(deltas, default=0.0) + (
+            float("inf") if missing else 0.0
+        )
+    return RunDiff(
+        label_a=a.label,
+        label_b=b.label,
+        rows=rows,
+        series_max_abs_delta=series_deltas,
+        provenance_warnings=_provenance_warnings(a, b),
+    )
+
+
+def _provenance_warnings(a: RunMetrics, b: RunMetrics) -> List[str]:
+    if a.header is None or b.header is None:
+        missing = [
+            run.label for run in (a, b) if run.header is None
+        ]
+        return [
+            "no header record found for: "
+            + ", ".join(missing)
+            + " — provenance not validated"
+        ]
+    warnings = []
+    for key in ("schema_version", "repro_version", "seed", "backend"):
+        if a.header.get(key) != b.header.get(key):
+            warnings.append(
+                f"{key} differs: {a.header.get(key)!r} vs "
+                f"{b.header.get(key)!r}"
+            )
+    return warnings
+
+
+# -- rendering ---------------------------------------------------------
+
+
+def format_diff_markdown(diff: RunDiff, title: str = "Run diff") -> str:
+    """Render a :class:`RunDiff` as Markdown (report.py idioms)."""
+    lines = [f"# {title}", ""]
+    lines.append(f"- A: {diff.label_a}")
+    lines.append(f"- B: {diff.label_b}")
+    lines.append(f"- comparisons: {diff.comparisons}")
+    lines.append(f"- regressions: {len(diff.regressions)}")
+    if diff.identical:
+        lines.append(
+            "- verdict: bit-identical metrics (zero deltas on every "
+            "deterministic comparison)"
+        )
+    elif diff.regressions:
+        lines.append("- verdict: REGRESSIONS detected (B worse than A)")
+    else:
+        lines.append("- verdict: changes detected, none regressive")
+    lines.append("")
+    if diff.provenance_warnings:
+        lines.append("## Provenance warnings")
+        lines.append("")
+        for warning in diff.provenance_warnings:
+            lines.append(f"- {warning}")
+        lines.append("")
+    lines.append("## Scalar comparison")
+    lines.append("")
+    lines.append("| metric | A | B | Δ (B−A) | Δ% | better | flag |")
+    lines.append("| --- | ---: | ---: | ---: | ---: | --- | --- |")
+    for row in diff.rows:
+        rel = row.rel_delta
+        rel_text = f"{100.0 * rel:+.2f}%" if rel is not None else "n/a"
+        if row.regression:
+            flag = "REGRESSION"
+        elif not row.changed:
+            flag = "="
+        elif row.kind == "timing":
+            flag = "timing"
+        else:
+            flag = "changed"
+        lines.append(
+            f"| {row.metric} | {row.a:.6g} | {row.b:.6g} |"
+            f" {row.delta:+.6g} | {rel_text} | {row.direction} | {flag} |"
+        )
+    lines.append("")
+    if diff.series_max_abs_delta:
+        lines.append("## Series comparison")
+        lines.append("")
+        lines.append("| series | max |Δ| per round |")
+        lines.append("| --- | ---: |")
+        for name, delta in sorted(diff.series_max_abs_delta.items()):
+            delta_text = "rounds differ" if delta == float("inf") else (
+                f"{delta:.6g}"
+            )
+            lines.append(f"| {name} | {delta_text} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_reward_curves(a: RunMetrics, b: RunMetrics) -> str:
+    """ASCII plot of both runs' reward curves (when both have one)."""
+    series_a = a.series.get("reward_mean")
+    series_b = b.series.get("reward_mean")
+    if not series_a or not series_b:
+        return ""
+    curves = {
+        f"A {a.label}"[:24]: [
+            value for _, value in sorted(series_a.items())
+        ],
+        f"B {b.label}"[:24]: [
+            value for _, value in sorted(series_b.items())
+        ],
+    }
+    lines = ["## Reward curves", "", "```"]
+    lines.append(line_plot(curves, title="mean reward per round"))
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def format_history_markdown(
+    runs: Sequence[Mapping[str, object]],
+    flags: Sequence[object],
+    title: str = "Run history",
+) -> str:
+    """Render ``obs-history`` output: run table + regression flags."""
+    lines = [f"# {title}", ""]
+    lines.append(f"- runs: {len(runs)}")
+    lines.append(f"- regressions: {len(flags)}")
+    lines.append("")
+    if runs:
+        lines.append(
+            "| id | name | seed | backend | status | fingerprint |"
+            " reward_final | violation_rate | wire_bytes |"
+        )
+        lines.append(
+            "| ---: | --- | ---: | --- | --- | --- | ---: | ---: | ---: |"
+        )
+        for row in runs:
+            summary = row.get("summary") or {}
+            fingerprint = str(row.get("fingerprint", ""))[:12]
+            lines.append(
+                "| {id} | {name} | {seed} | {backend} | {status} |"
+                " {fp} | {reward} | {violations} | {bytes} |".format(
+                    id=row.get("id"),
+                    name=row.get("name"),
+                    seed=row.get("seed"),
+                    backend=row.get("backend"),
+                    status=row.get("status"),
+                    fp=fingerprint,
+                    reward=_cell(summary.get("reward_mean_final")),
+                    violations=_cell(summary.get("violation_rate")),
+                    bytes=_cell(summary.get("wire_bytes")),
+                )
+            )
+        lines.append("")
+    lines.append("## Latest run vs history (robust z)")
+    lines.append("")
+    if flags:
+        for flag in flags:
+            lines.append(f"- REGRESSION — {flag.describe()}")
+    else:
+        lines.append("- no regressions flagged")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:.6g}"
+    return "—"

@@ -348,17 +348,17 @@ class FlightRecorder:
     def from_jsonl(cls, path) -> "FlightRecorder":
         """Load a recorder back from a ``dump_jsonl`` file.
 
-        Non-record lines (e.g. round spans in a mixed stream) are
-        skipped, so the loader tolerates concatenated telemetry files.
+        Non-record lines (header records, round spans in a mixed
+        stream) are skipped, so the loader tolerates concatenated
+        telemetry files — and unparseable lines (the torn tail of a
+        killed run) are skipped with a warning rather than raising.
         """
+        # Imported here: sink imports nothing from flight.
+        from repro.obs.sink import iter_jsonl_rows
+
         rows: List[Dict[str, object]] = []
-        with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                row = json.loads(line)
-                if row.get("type", "flight_record") != "flight_record":
-                    continue
-                rows.append(row)
+        for row in iter_jsonl_rows(path):
+            if row.get("type", "flight_record") != "flight_record":
+                continue
+            rows.append(row)
         return cls.from_dicts(rows)

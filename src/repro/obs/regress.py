@@ -1,0 +1,225 @@
+"""Regression detection over run history: robust z-scores and gates.
+
+Comparing two runs (:mod:`repro.obs.diff`) answers "did B get worse
+than A"; this module answers "did the *latest* run get worse than its
+own history". Both questions use the same robust statistics as the
+update-quarantine layer (:mod:`repro.guard.quarantine`): a median/MAD
+z-score, so one historical outlier cannot shift the baseline the way a
+mean/stdev would.
+
+Two consumers:
+
+* :func:`detect_regressions` — scalar summaries of stored runs
+  (``repro-power obs-history``), flagging any direction-aware metric
+  whose latest value sits beyond a z threshold;
+* :func:`check_bench_gate` — the CI throughput gate over
+  ``BENCH_history.jsonl``: fail when a key train-steps/s metric drops
+  more than ``max_drop`` below the median of the stored baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Scale factor turning a MAD into a stdev-comparable sigma (same
+#: constant the quarantine layer uses).
+_MAD_SIGMA = 1.4826
+
+#: Direction of "good" for the run-summary metrics obs-history checks.
+SUMMARY_DIRECTIONS: Dict[str, str] = {
+    "reward_mean_final": "higher",
+    "violation_rate": "lower",
+    "straggler_rate": "lower",
+    "wire_bytes": "lower",
+    "wall_time_s": "lower",
+    "train_steps_per_s": "higher",
+}
+
+
+def robust_z(value: float, history: Sequence[float]) -> float:
+    """``(value - median) / (1.4826 * MAD)`` over ``history``.
+
+    With fewer than two points — or a zero MAD (constant history) —
+    the score is 0.0 when the value equals the median and ±inf
+    otherwise, so a deviation from a perfectly stable baseline is
+    still flagged.
+    """
+    values = [float(v) for v in history]
+    if not values:
+        return 0.0
+    center = median(values)
+    mad = median(abs(v - center) for v in values)
+    deviation = float(value) - center
+    if mad == 0.0:
+        if deviation == 0.0:
+            return 0.0
+        return float("inf") if deviation > 0 else float("-inf")
+    return deviation / (_MAD_SIGMA * mad)
+
+
+@dataclass(frozen=True)
+class RegressionFlag:
+    """One metric whose latest value regressed beyond the threshold."""
+
+    metric: str
+    value: float
+    baseline_median: float
+    z: float
+    direction: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric}: {self.value:.6g} vs baseline median "
+            f"{self.baseline_median:.6g} (robust z = {self.z:+.2f}, "
+            f"{self.direction} is better)"
+        )
+
+
+def detect_regressions(
+    history: Sequence[Mapping[str, object]],
+    latest: Mapping[str, object],
+    directions: Optional[Mapping[str, str]] = None,
+    z_threshold: float = 3.5,
+    min_history: int = 3,
+) -> List[RegressionFlag]:
+    """Flag direction-aware metrics of ``latest`` that left the baseline.
+
+    ``history`` holds the *prior* runs' scalar summaries (latest
+    excluded). Metrics with fewer than ``min_history`` baseline points
+    are skipped — a two-run store has no distribution to score
+    against. Only deviations in the *bad* direction count.
+    """
+    if z_threshold <= 0:
+        raise ConfigurationError(
+            f"z_threshold must be > 0, got {z_threshold}"
+        )
+    directions = dict(directions) if directions is not None else dict(
+        SUMMARY_DIRECTIONS
+    )
+    flags: List[RegressionFlag] = []
+    for metric in sorted(directions):
+        direction = directions[metric]
+        if direction not in ("higher", "lower"):
+            raise ConfigurationError(
+                f"direction for {metric!r} must be 'higher' or 'lower',"
+                f" got {direction!r}"
+            )
+        value = latest.get(metric)
+        if not isinstance(value, (int, float)):
+            continue
+        baseline = [
+            float(entry[metric])
+            for entry in history
+            if isinstance(entry.get(metric), (int, float))
+        ]
+        if len(baseline) < min_history:
+            continue
+        z = robust_z(float(value), baseline)
+        bad = z < -z_threshold if direction == "higher" else z > z_threshold
+        if bad:
+            flags.append(
+                RegressionFlag(
+                    metric=metric,
+                    value=float(value),
+                    baseline_median=median(baseline),
+                    z=z,
+                    direction=direction,
+                )
+            )
+    return flags
+
+
+# -- bench throughput gate ---------------------------------------------
+
+#: Dotted paths into a bench document whose drop the gate watches.
+BENCH_KEY_METRICS = (
+    "single_step.train_steps_per_s",
+    "drivers.federated.train_steps_per_s",
+    "drivers.local_only.train_steps_per_s",
+    "drivers.collab_profit.train_steps_per_s",
+)
+
+
+def bench_key_metrics(document: Mapping[str, object]) -> Dict[str, float]:
+    """Extract the gate's throughput numbers from one bench document."""
+    out: Dict[str, float] = {}
+    for path in BENCH_KEY_METRICS:
+        node: object = document
+        for part in path.split("."):
+            if not isinstance(node, Mapping) or part not in node:
+                node = None
+                break
+            node = node[part]
+        if isinstance(node, (int, float)):
+            out[path] = float(node)
+    return out
+
+
+@dataclass(frozen=True)
+class BenchGateResult:
+    """Outcome of one throughput-gate evaluation."""
+
+    regressions: List[RegressionFlag]
+    baselines: Dict[str, float]
+    compared: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def check_bench_gate(
+    history: Sequence[Mapping[str, object]],
+    latest: Mapping[str, float],
+    max_drop: float = 0.3,
+    baseline_window: int = 5,
+) -> BenchGateResult:
+    """Fail when a key metric drops > ``max_drop`` below its baseline.
+
+    ``history`` is the prior ``BENCH_history.jsonl`` entries (each with
+    a ``key_metrics`` mapping); the baseline per metric is the median
+    of its last ``baseline_window`` historical values. An empty history
+    passes trivially — the first bench run *creates* the baseline.
+    """
+    if not 0.0 < max_drop < 1.0:
+        raise ConfigurationError(
+            f"max_drop must be in (0, 1), got {max_drop}"
+        )
+    if baseline_window < 1:
+        raise ConfigurationError(
+            f"baseline_window must be >= 1, got {baseline_window}"
+        )
+    regressions: List[RegressionFlag] = []
+    baselines: Dict[str, float] = {}
+    compared = 0
+    for metric in sorted(latest):
+        values = [
+            float(entry["key_metrics"][metric])
+            for entry in history
+            if isinstance(entry.get("key_metrics"), Mapping)
+            and isinstance(entry["key_metrics"].get(metric), (int, float))
+        ]
+        if not values:
+            continue
+        baseline = median(values[-baseline_window:])
+        baselines[metric] = baseline
+        compared += 1
+        floor = (1.0 - max_drop) * baseline
+        value = float(latest[metric])
+        if value < floor:
+            regressions.append(
+                RegressionFlag(
+                    metric=metric,
+                    value=value,
+                    baseline_median=baseline,
+                    z=robust_z(value, values[-baseline_window:]),
+                    direction="higher",
+                )
+            )
+    return BenchGateResult(
+        regressions=regressions, baselines=baselines, compared=compared
+    )

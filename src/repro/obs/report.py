@@ -21,7 +21,6 @@ Exposed on the CLI as ``repro-power obs-report``.
 
 from __future__ import annotations
 
-import json
 from statistics import fmean
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,23 +33,43 @@ from repro.utils.ascii_plot import line_plot
 _MAX_PLOT_SERIES = 8
 
 
+def load_telemetry_jsonl(
+    path,
+) -> Tuple[
+    Optional[Dict[str, object]],
+    List[Dict[str, object]],
+    Optional[Dict[str, object]],
+]:
+    """Split a ``--metrics-out`` file into header, spans and snapshot.
+
+    Rows of unknown type are ignored, and unparseable lines — the torn
+    tail a kill-injected run leaves mid-write — are skipped with a
+    warning (:func:`repro.obs.sink.iter_jsonl_rows`) rather than
+    raising, so post-mortem reporting works on exactly the runs that
+    died uncleanly.
+    """
+    # Imported here: sink has no report dependency.
+    from repro.obs.sink import iter_jsonl_rows
+
+    header: Optional[Dict[str, object]] = None
+    spans: List[Dict[str, object]] = []
+    snapshot: Optional[Dict[str, object]] = None
+    for row in iter_jsonl_rows(path):
+        kind = row.get("type")
+        if kind == "header" and header is None:
+            header = row
+        elif kind == "round_span":
+            spans.append(row)
+        elif kind == "metrics_snapshot":
+            snapshot = row
+    return header, spans, snapshot
+
+
 def load_metrics_jsonl(
     path,
 ) -> Tuple[List[Dict[str, object]], Optional[Dict[str, object]]]:
     """Split a ``--metrics-out`` file into round spans and the snapshot."""
-    spans: List[Dict[str, object]] = []
-    snapshot: Optional[Dict[str, object]] = None
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            row = json.loads(line)
-            kind = row.get("type")
-            if kind == "round_span":
-                spans.append(row)
-            elif kind == "metrics_snapshot":
-                snapshot = row
+    _, spans, snapshot = load_telemetry_jsonl(path)
     return spans, snapshot
 
 

@@ -52,6 +52,7 @@ class DeviceFleet:
         metrics: Optional[MetricsRegistry] = None,
         flight: Optional[FlightRecorder] = None,
         profiler: Optional[ScopeProfiler] = None,
+        events=None,
     ) -> None:
         self.device_names: List[str] = [spec.device_name for spec in specs]
         self.backend_name = backend
@@ -59,6 +60,7 @@ class DeviceFleet:
         self.metrics = metrics
         self.flight = flight
         self.profiler = profiler
+        self.events = events
         self._latency_by_device: Dict[str, float] = {}
         self._backend = create_backend(backend, specs, workers=workers)
 
@@ -126,6 +128,11 @@ class DeviceFleet:
             self.metrics.merge_state(dump.metrics_state)
         if self.profiler is not None and dump.profile_rows:
             self.profiler.merge_rows(dump.profile_rows)
+        event_rows = getattr(dump, "event_rows", None)
+        if self.events is not None and event_rows:
+            # Replaying in device order re-stamps seq numbers, so the
+            # merged stream equals the serial interleaving exactly.
+            self.events.emit_many(event_rows)
 
     # -- evaluation ----------------------------------------------------
     def evaluate_round(

@@ -75,6 +75,9 @@ class WorkerSpec:
     collect_profile: bool = False
     flight_capacity: Optional[int] = None
     flight_sample_every: int = 1
+    #: Mirror of the driver's event pipeline: the actor records into a
+    #: private bounded buffer and drains it into every dump.
+    collect_events: bool = False
 
 
 @dataclass(frozen=True)
@@ -154,6 +157,10 @@ class TelemetryDump:
     flight_fallbacks: Dict[str, int] = field(default_factory=dict)
     metrics_state: Optional[Dict[str, Any]] = None
     profile_rows: Optional[List[tuple]] = None
+    #: Telemetry events (plain dicts) drained from the actor's private
+    #: buffer; the driver replays them through its pipeline in device
+    #: order, which re-stamps the sequence numbers.
+    event_rows: List[Dict[str, Any]] = field(default_factory=list)
 
 
 @dataclass

@@ -31,6 +31,7 @@ from repro.errors import SimulationError
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import ScopeProfiler
+from repro.obs.sink import EventBuffer
 from repro.parallel.payloads import (
     CallOutcome,
     CallTask,
@@ -68,6 +69,9 @@ class DeviceActor:
             if spec.flight_capacity is not None
             else None
         )
+        self.events: Optional[EventBuffer] = (
+            EventBuffer() if spec.collect_events else None
+        )
         parts = spec.builder(
             device_name=spec.device_name,
             metrics=self.metrics,
@@ -85,6 +89,7 @@ class DeviceActor:
             metrics=self.metrics,
             flight=self.flight,
             profiler=self.profiler,
+            events=self.events,
         )
 
     # -- dispatch ------------------------------------------------------
@@ -208,6 +213,7 @@ class DeviceActor:
                 metrics=self.metrics,
                 flight=self.flight,
                 profiler=self.profiler,
+                events=self.events,
             )
             restore_session_state(self.session, payload["session"])
             if (
@@ -223,7 +229,12 @@ class DeviceActor:
 
     # -- telemetry -----------------------------------------------------
     def _dump_telemetry(self) -> Optional[TelemetryDump]:
-        if self.metrics is None and self.profiler is None and self.flight is None:
+        if (
+            self.metrics is None
+            and self.profiler is None
+            and self.flight is None
+            and self.events is None
+        ):
             return None
         dump = TelemetryDump()
         if self.flight is not None:
@@ -238,6 +249,8 @@ class DeviceActor:
         if self.profiler is not None:
             dump.profile_rows = self.profiler.dump_rows()
             self.profiler.reset()
+        if self.events is not None:
+            dump.event_rows = self.events.drain()
         return dump
 
 

@@ -137,8 +137,13 @@ class TestCliFlightAndProfile:
             == 0
         )
         lines = [json.loads(l) for l in path.read_text().splitlines()]
-        assert lines and all(l["type"] == "flight_record" for l in lines)
-        assert {"device", "action_index", "reward", "violated"} <= set(lines[0])
+        assert lines[0]["type"] == "header"
+        assert lines[0]["run_fingerprint"]
+        records = lines[1:]
+        assert records and all(l["type"] == "flight_record" for l in records)
+        assert {"device", "action_index", "reward", "violated"} <= set(
+            records[0]
+        )
 
     def test_flight_capacity_bounds_retained_records(self, tmp_path, capsys):
         path = tmp_path / "flight.jsonl"
@@ -159,7 +164,9 @@ class TestCliFlightAndProfile:
             )
             == 0
         )
-        assert len(path.read_text().splitlines()) == 10
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert sum(l["type"] == "flight_record" for l in lines) == 10
 
     def test_flight_out_missing_directory_fails_before_run(self, tmp_path, capsys):
         path = tmp_path / "does-not-exist" / "flight.jsonl"

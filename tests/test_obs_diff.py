@@ -1,0 +1,374 @@
+"""Cross-run diffing and regression analytics.
+
+Exercises the pure layer (robust z-scores, :func:`detect_regressions`,
+the bench throughput gate, :func:`diff_runs` on identical and
+perturbed runs) and the CLI surface (``obs-diff`` in store mode with
+its regression exit code, ``obs-history`` over a store and over a
+bench trajectory).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.obs.diff import (
+    RunMetrics,
+    diff_runs,
+    format_diff_markdown,
+    format_history_markdown,
+    run_metrics_from_store,
+    run_scalars,
+)
+from repro.obs.regress import (
+    bench_key_metrics,
+    check_bench_gate,
+    detect_regressions,
+    robust_z,
+)
+from repro.obs.store import RunStore, append_bench_history
+
+
+def _run(label="a", **overrides):
+    scalars = {
+        "reward_mean_final": 0.8,
+        "violation_rate": 0.05,
+        "straggler_rate": 0.0,
+        "wire_bytes": 4096.0,
+        "rounds": 4.0,
+        "wall_time_s": 2.0,
+    }
+    scalars.update(overrides)
+    return RunMetrics(
+        label=label,
+        header={"type": "header", "seed": 1, "backend": "serial"},
+        scalars=scalars,
+        series={"reward_mean": {0: 0.5, 1: 0.8}},
+    )
+
+
+class TestRobustZ:
+    def test_zero_at_the_median(self):
+        assert robust_z(2.0, [1.0, 2.0, 3.0]) == 0.0
+
+    def test_sign_tracks_the_deviation(self):
+        history = [1.0, 1.1, 0.9, 1.05, 0.95]
+        assert robust_z(2.0, history) > 0
+        assert robust_z(0.1, history) < 0
+
+    def test_constant_history_flags_any_deviation(self):
+        assert robust_z(1.0, [1.0, 1.0, 1.0]) == 0.0
+        assert robust_z(2.0, [1.0, 1.0, 1.0]) == math.inf
+        assert robust_z(0.5, [1.0, 1.0, 1.0]) == -math.inf
+
+    def test_empty_history_scores_zero(self):
+        assert robust_z(1.0, []) == 0.0
+
+
+class TestDetectRegressions:
+    HISTORY = [
+        {"violation_rate": 0.05, "reward_mean_final": 0.8},
+        {"violation_rate": 0.06, "reward_mean_final": 0.82},
+        {"violation_rate": 0.05, "reward_mean_final": 0.79},
+        {"violation_rate": 0.055, "reward_mean_final": 0.81},
+    ]
+
+    def test_in_distribution_latest_is_clean(self):
+        flags = detect_regressions(
+            self.HISTORY, {"violation_rate": 0.055, "reward_mean_final": 0.8}
+        )
+        assert flags == []
+
+    def test_bad_direction_outlier_is_flagged(self):
+        flags = detect_regressions(
+            self.HISTORY, {"violation_rate": 0.5, "reward_mean_final": 0.8}
+        )
+        assert [flag.metric for flag in flags] == ["violation_rate"]
+        assert "violation_rate" in flags[0].describe()
+
+    def test_good_direction_outlier_is_not_flagged(self):
+        flags = detect_regressions(
+            self.HISTORY,
+            {"violation_rate": 0.0001, "reward_mean_final": 0.99},
+        )
+        assert flags == []
+
+    def test_short_history_is_skipped(self):
+        flags = detect_regressions(
+            self.HISTORY[:2], {"violation_rate": 0.5}
+        )
+        assert flags == []
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            detect_regressions([], {}, z_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            detect_regressions(
+                self.HISTORY,
+                {"violation_rate": 0.5},
+                directions={"violation_rate": "sideways"},
+            )
+
+
+class TestBenchGate:
+    @staticmethod
+    def _entry(steps_per_s):
+        return {
+            "history_schema": 1,
+            "key_metrics": {"single_step.train_steps_per_s": steps_per_s},
+        }
+
+    def test_empty_history_passes_trivially(self):
+        result = check_bench_gate(
+            [], {"single_step.train_steps_per_s": 100.0}
+        )
+        assert result.ok
+        assert result.compared == 0
+
+    def test_within_tolerance_passes(self):
+        history = [self._entry(v) for v in (100.0, 102.0, 98.0)]
+        result = check_bench_gate(
+            history, {"single_step.train_steps_per_s": 90.0}, max_drop=0.3
+        )
+        assert result.ok
+        assert result.compared == 1
+        assert result.baselines["single_step.train_steps_per_s"] == 100.0
+
+    def test_large_drop_fails(self):
+        history = [self._entry(v) for v in (100.0, 102.0, 98.0)]
+        result = check_bench_gate(
+            history, {"single_step.train_steps_per_s": 50.0}, max_drop=0.3
+        )
+        assert not result.ok
+        assert result.regressions[0].metric == (
+            "single_step.train_steps_per_s"
+        )
+
+    def test_baseline_window_ignores_ancient_entries(self):
+        history = [self._entry(1000.0)] + [
+            self._entry(v) for v in (100.0, 101.0, 99.0, 100.0, 100.0)
+        ]
+        result = check_bench_gate(
+            history,
+            {"single_step.train_steps_per_s": 90.0},
+            max_drop=0.3,
+            baseline_window=5,
+        )
+        assert result.ok
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            check_bench_gate([], {}, max_drop=1.5)
+        with pytest.raises(ConfigurationError):
+            check_bench_gate([], {}, baseline_window=0)
+
+    def test_key_metrics_extraction_skips_missing_paths(self):
+        document = {
+            "single_step": {"train_steps_per_s": 42.0},
+            "drivers": {"federated": {"train_steps_per_s": 7.0}},
+        }
+        metrics = bench_key_metrics(document)
+        assert metrics == {
+            "single_step.train_steps_per_s": 42.0,
+            "drivers.federated.train_steps_per_s": 7.0,
+        }
+
+
+class TestDiffRuns:
+    def test_identical_runs_diff_to_zero(self):
+        diff = diff_runs(_run("a"), _run("b"))
+        assert diff.identical
+        assert diff.regressions == []
+        assert diff.comparisons > 0
+        assert "bit-identical" in format_diff_markdown(diff)
+
+    def test_worsened_exact_metric_is_a_regression(self):
+        diff = diff_runs(_run("a"), _run("b", violation_rate=0.5))
+        assert not diff.identical
+        assert [row.metric for row in diff.regressions] == [
+            "violation_rate"
+        ]
+        assert "REGRESSION" in format_diff_markdown(diff)
+
+    def test_improvement_is_change_but_not_regression(self):
+        diff = diff_runs(_run("a"), _run("b", reward_mean_final=0.95))
+        assert not diff.identical
+        assert diff.regressions == []
+
+    def test_timing_noise_is_not_flagged_by_default(self):
+        diff = diff_runs(_run("a"), _run("b", wall_time_s=3.5))
+        assert diff.regressions == []
+        flagged = diff_runs(
+            _run("a"), _run("b", wall_time_s=3.5), flag_timing=True
+        )
+        assert [row.metric for row in flagged.regressions] == [
+            "wall_time_s"
+        ]
+
+    def test_series_divergence_breaks_identical(self):
+        perturbed = _run("b")
+        perturbed.series["reward_mean"] = {0: 0.5, 1: 0.7}
+        diff = diff_runs(_run("a"), perturbed)
+        assert not diff.identical
+        assert diff.series_max_abs_delta["reward_mean"] > 0
+
+    def test_provenance_mismatch_warns(self):
+        other = _run("b")
+        other.header = {"type": "header", "seed": 2, "backend": "serial"}
+        diff = diff_runs(_run("a"), other)
+        assert any("seed" in w for w in diff.provenance_warnings)
+
+    def test_no_shared_metrics_raises(self):
+        empty = RunMetrics(label="empty")
+        with pytest.raises(ConfigurationError):
+            diff_runs(_run("a"), empty)
+
+    def test_run_scalars_from_spans_and_flight(self):
+        spans = [
+            {
+                "round": 0,
+                "aggregated": True,
+                "bytes": 100,
+                "duration_s": 0.5,
+                "participants": ["a", "b"],
+                "stragglers": ["b"],
+                "update_norm": 1.5,
+            }
+        ]
+        scalars = run_scalars(spans)
+        assert scalars["rounds"] == 1.0
+        assert scalars["wire_bytes"] == 100.0
+        assert scalars["straggler_rate"] == 0.5
+        assert scalars["update_norm_final"] == 1.5
+
+
+def _store_with_runs(path, summaries):
+    store = RunStore(path)
+    for index, summary in enumerate(summaries):
+        run_id = store.register_run(
+            name=f"run{index}", fingerprint="f", seed=1, backend="serial"
+        )
+        store.record_series(run_id, "reward_mean", [(0, 0.5), (1, 0.8)])
+        store.finish_run(run_id, summary)
+    return store
+
+
+class TestCliObsDiff:
+    SUMMARY = {
+        "reward_mean_final": 0.8,
+        "violation_rate": 0.05,
+        "wire_bytes": 4096.0,
+        "rounds": 2.0,
+    }
+
+    def test_store_mode_identical_runs_exit_zero(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.sqlite"
+        _store_with_runs(store_path, [self.SUMMARY, dict(self.SUMMARY)]).close()
+        code = main(
+            ["obs-diff", "1", "2", "--store", str(store_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical" in out
+        assert "- regressions: 0" in out
+
+    def test_store_mode_regression_fails_when_asked(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.sqlite"
+        worse = dict(self.SUMMARY, violation_rate=0.4)
+        _store_with_runs(store_path, [self.SUMMARY, worse]).close()
+        code = main(
+            [
+                "obs-diff",
+                "1",
+                "2",
+                "--store",
+                str(store_path),
+                "--fail-on-regression",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 5
+        assert "violation_rate" in captured.out + captured.err
+
+    def test_store_mode_run_metrics_loader(self, tmp_path):
+        store_path = tmp_path / "runs.sqlite"
+        store = _store_with_runs(store_path, [self.SUMMARY])
+        run = run_metrics_from_store(store, 1)
+        store.close()
+        assert run.scalars["violation_rate"] == 0.05
+        assert run.series["reward_mean"] == {0: 0.5, 1: 0.8}
+        assert run.header["backend"] == "serial"
+
+
+class TestCliObsHistory:
+    def test_store_history_renders_table_and_flags(self, tmp_path, capsys):
+        summaries = [
+            {"violation_rate": 0.05, "reward_mean_final": 0.8},
+            {"violation_rate": 0.06, "reward_mean_final": 0.81},
+            {"violation_rate": 0.05, "reward_mean_final": 0.79},
+            {"violation_rate": 0.5, "reward_mean_final": 0.8},
+        ]
+        store_path = tmp_path / "runs.sqlite"
+        _store_with_runs(store_path, summaries).close()
+        assert main(["obs-history", "--store", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "| id | name |" in out
+        assert "REGRESSION" in out
+        assert "violation_rate" in out
+
+    def test_bench_history_renders_key_metrics(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_history.jsonl"
+        for value in (100.0, 101.0):
+            append_bench_history(
+                {
+                    "history_schema": 1,
+                    "key_metrics": {
+                        "single_step.train_steps_per_s": value
+                    },
+                },
+                path,
+            )
+        assert main(["obs-history", "--bench", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "single_step.train_steps_per_s" in out
+        assert "101" in out
+
+    def test_format_history_markdown_without_flags(self):
+        text = format_history_markdown(
+            [
+                {
+                    "id": 1,
+                    "name": "x",
+                    "seed": 1,
+                    "backend": "serial",
+                    "status": "finished",
+                    "fingerprint": "abcdef",
+                    "summary": {"reward_mean_final": 0.8},
+                }
+            ],
+            [],
+        )
+        assert "no regressions flagged" in text
+
+
+class TestBenchHistoryEntry:
+    def test_entry_is_schema_versioned_and_compact(self):
+        from repro.experiments.bench import history_entry
+
+        document = {
+            "schema_version": 1,
+            "config": {"seed": 2025},
+            "environment": {"cpu_count": 8},
+            "single_step": {"train_steps_per_s": 42.0},
+            "drivers": {
+                "federated": {"train_steps_per_s": 7.0, "wall_s": 2.0}
+            },
+        }
+        entry = history_entry(document)
+        assert entry["history_schema"] == 1
+        assert entry["config"] == {"seed": 2025}
+        assert entry["key_metrics"]["single_step.train_steps_per_s"] == 42.0
+        assert "environment" not in entry
+        json.dumps(entry)  # stays JSONL-serialisable

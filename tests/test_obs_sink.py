@@ -1,0 +1,168 @@
+"""Streaming telemetry sinks: pipeline, JSONL/SQLite backends, buffers.
+
+Covers the contract the instrumented call sites rely on: driver-side
+``seq`` stamping, bounded non-blocking buffering, sink errors silenced
+and counted, torn-trailing-line tolerance of the JSONL loader, and the
+worker :class:`EventBuffer` drain path the parallel engine merges.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.sink import (
+    EventBuffer,
+    EventPipeline,
+    FanoutSink,
+    JsonlSink,
+    SqliteSink,
+    TelemetrySink,
+    iter_jsonl_rows,
+)
+from repro.obs.store import RunStore
+
+
+class _ExplodingSink(TelemetrySink):
+    def emit(self, event):
+        raise RuntimeError("disk full")
+
+
+class TestEventPipeline:
+    def test_emit_stamps_monotonic_seq(self):
+        pipeline = EventPipeline()
+        rows = [pipeline.emit({"type": "fault"}) for _ in range(5)]
+        assert [row["seq"] for row in rows] == list(range(5))
+        assert pipeline.events_emitted == 5
+
+    def test_emit_copies_the_event(self):
+        pipeline = EventPipeline()
+        event = {"type": "fault"}
+        row = pipeline.emit(event)
+        assert "seq" not in event
+        assert row is not event
+
+    def test_bounded_pending_drops_oldest(self):
+        pipeline = EventPipeline(capacity=3)
+        for index in range(5):
+            pipeline.emit({"type": "t", "i": index})
+        assert pipeline.events_dropped == 2
+        assert [row["i"] for row in pipeline.rows()] == [2, 3, 4]
+
+    def test_emit_many_replays_in_order(self):
+        worker = EventBuffer()
+        worker.emit_many([{"type": "a"}, {"type": "b"}])
+        pipeline = EventPipeline()
+        pipeline.emit({"type": "driver"})
+        pipeline.emit_many(worker.drain())
+        assert [row["seq"] for row in pipeline.rows()] == [0, 1, 2]
+        assert [row["type"] for row in pipeline.rows()] == [
+            "driver",
+            "a",
+            "b",
+        ]
+
+    def test_sink_errors_are_counted_not_raised(self):
+        pipeline = EventPipeline(sinks=[_ExplodingSink()], flush_every=1)
+        pipeline.emit({"type": "t"})
+        pipeline.close()
+        assert pipeline.sink_errors >= 1
+        assert pipeline.events_emitted == 1
+
+    def test_close_delivers_pending_to_sinks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventPipeline(sinks=[JsonlSink(path)]) as pipeline:
+            pipeline.emit({"type": "run_summary"})
+        rows = list(iter_jsonl_rows(path))
+        assert rows == [{"type": "run_summary", "seq": 0}]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EventPipeline(capacity=0)
+        with pytest.raises(ConfigurationError):
+            EventPipeline(flush_every=0)
+
+
+class TestEventBuffer:
+    def test_bounded_with_drop_count(self):
+        buffer = EventBuffer(capacity=2)
+        buffer.emit_many([{"type": str(i)} for i in range(4)])
+        assert len(buffer) == 2
+        assert buffer.events_dropped == 2
+        assert [row["type"] for row in buffer.rows()] == ["2", "3"]
+
+    def test_drain_empties_the_buffer(self):
+        buffer = EventBuffer()
+        buffer.emit({"type": "a"})
+        assert buffer.drain() == [{"type": "a"}]
+        assert buffer.drain() == []
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EventBuffer(capacity=0)
+
+
+class TestJsonlSink:
+    def test_lazy_open_leaves_no_file_when_unused(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert not path.exists()
+
+    def test_streams_one_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path, flush_every=1) as sink:
+            sink.emit({"type": "a", "seq": 0})
+            sink.emit({"type": "b", "seq": 1})
+            assert sink.lines_written == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == ["a", "b"]
+
+
+class TestSqliteSink:
+    def test_batches_into_run_store(self, tmp_path):
+        store = RunStore(tmp_path / "runs.sqlite")
+        run_id = store.register_run(name="t", fingerprint="f")
+        sink = SqliteSink(store, run_id, flush_every=2)
+        sink.emit({"type": "a", "seq": 0})
+        assert store.events(run_id) == []  # below the batch threshold
+        sink.emit({"type": "b", "seq": 1})
+        assert len(store.events(run_id)) == 2
+        sink.close()
+        assert sink.events_stored == 2
+        assert [row["type"] for row in store.events(run_id)] == ["a", "b"]
+        store.close()
+
+
+class TestFanoutSink:
+    def test_forwards_to_every_child(self, tmp_path):
+        first, second = EventBuffer(), EventBuffer()
+        fanout = FanoutSink([first, second])
+        fanout.emit({"type": "t"})
+        fanout.close()
+        assert first.rows() == second.rows() == [{"type": "t"}]
+
+
+class TestIterJsonlRows:
+    def test_tolerates_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps({"type": "header"})
+            + "\n"
+            + json.dumps({"type": "a"})
+            + "\n"
+            + '{"type": "b", "trunc'  # killed mid-write
+        )
+        rows = list(iter_jsonl_rows(path))
+        assert [row["type"] for row in rows] == ["header", "a"]
+
+    def test_strict_mode_raises_on_torn_line(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"ok": 1}\n{"bad')
+        with pytest.raises(ConfigurationError):
+            list(iter_jsonl_rows(path, strict=True))
+
+    def test_skips_non_object_lines(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text('[1, 2]\n{"type": "a"}\n\n')
+        assert list(iter_jsonl_rows(path)) == [{"type": "a"}]

@@ -181,6 +181,49 @@ def test_straggler_abort_raises(config, backend):
         )
 
 
+def _event_stream(backend, config):
+    """Run guarded federated training and collect the emitted events."""
+    from repro.obs.sink import EventPipeline
+    from repro.obs.tracing import RoundTracer
+
+    pipeline = EventPipeline()
+    train_federated(
+        ASSIGNMENTS,
+        config,
+        eval_applications=EVAL_APPS,
+        backend=backend,
+        workers=2 if backend != "serial" else None,
+        tracer=RoundTracer(),
+        guard=True,
+        events=pipeline,
+    )
+    return [_strip_timing(row) for row in pipeline.rows()]
+
+
+def _strip_timing(row):
+    """Drop wall-clock fields; everything else must be bit-identical."""
+    if isinstance(row, dict):
+        return {
+            key: _strip_timing(value)
+            for key, value in row.items()
+            if key != "duration_s"
+        }
+    if isinstance(row, list):
+        return [_strip_timing(item) for item in row]
+    return row
+
+
+def test_event_stream_deterministic_across_backends(config):
+    serial = _event_stream("serial", config)
+    assert serial, "serial run emitted no events"
+    types = {row["type"] for row in serial}
+    assert "round_span" in types
+    assert "run_summary" in types
+    assert [row["seq"] for row in serial] == list(range(len(serial)))
+    for backend in BACKENDS:
+        assert _event_stream(backend, config) == serial, backend
+
+
 def test_ambient_execution_context_reaches_driver(config):
     from repro.parallel import execution
 

@@ -73,11 +73,15 @@ MODULES = [
     "repro.nn.network",
     "repro.nn.optimizers",
     "repro.obs.context",
+    "repro.obs.diff",
     "repro.obs.flight",
     "repro.obs.logging",
     "repro.obs.metrics",
     "repro.obs.profile",
+    "repro.obs.regress",
     "repro.obs.report",
+    "repro.obs.sink",
+    "repro.obs.store",
     "repro.obs.tracing",
     "repro.rl.agent",
     "repro.rl.discretize",
