@@ -235,6 +235,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="round-span/metrics JSONL written by `run --metrics-out`",
     )
     obs_report.add_argument(
+        "--events",
+        type=str,
+        default="",
+        metavar="PATH",
+        help=(
+            "events JSONL written by `run --events-out`; adds the fired "
+            "alerts section to the report"
+        ),
+    )
+    obs_report.add_argument(
         "-o",
         "--output",
         type=str,
@@ -363,6 +373,65 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the Markdown history here instead of stdout",
     )
+
+    obs_watch = subparsers.add_parser(
+        "obs-watch",
+        help=(
+            "live fleet dashboard: tail a run's events JSONL (or poll "
+            "a --store run) and re-render the rollup in place"
+        ),
+    )
+    obs_watch.add_argument(
+        "events",
+        nargs="?",
+        default="",
+        help="events JSONL being written by `run --events-out`",
+    )
+    obs_watch.add_argument(
+        "--store",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="poll a RunStore SQLite file instead of tailing a JSONL",
+    )
+    obs_watch.add_argument(
+        "--run",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="store run id to watch (required with --store)",
+    )
+    obs_watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll/re-render interval (default: 1.0)",
+    )
+    obs_watch.add_argument(
+        "--once",
+        action="store_true",
+        help=(
+            "render one snapshot of whatever is available and exit; "
+            "wall-clock fields are dropped so the output is identical "
+            "across execution backends (the scripting/CI mode)"
+        ),
+    )
+    obs_watch.add_argument(
+        "--max-wait",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="stop live watching after SECONDS (0 = until run_summary)",
+    )
+    obs_watch.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write the rendered snapshot here instead of stdout",
+    )
     return parser
 
 
@@ -448,6 +517,29 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
         default="",
         metavar="NAME",
         help="run name recorded in --store (default: the experiment id)",
+    )
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve /metrics (Prometheus text), /health and /rollup.json "
+            "on 127.0.0.1:PORT while the run executes (0 picks a free "
+            "port; implies a live events pipeline)"
+        ),
+    )
+    parser.add_argument(
+        "--alerts",
+        type=str,
+        default="",
+        metavar="SPEC",
+        help=(
+            "comma-separated alert rules ('metric>=threshold[@window]') "
+            "or a JSON rule file; triggered alerts flow through the "
+            "event stream and into obs-report (implies a live events "
+            "pipeline)"
+        ),
     )
 
 
@@ -668,6 +760,8 @@ def _dispatch(args) -> int:
         return _run_obs_diff(args)
     if args.command == "obs-history":
         return _run_obs_history(args)
+    if args.command == "obs-watch":
+        return _run_obs_watch(args)
     if args.command == "bench":
         return _run_bench(args)
     _setup_logging_from_args(args)
@@ -722,6 +816,8 @@ class _Sinks:
         store=None,
         run_id=None,
         header=None,
+        rollup=None,
+        server=None,
     ) -> None:
         self.metrics = metrics
         self.tracer = tracer
@@ -731,6 +827,8 @@ class _Sinks:
         self.store = store
         self.run_id = run_id
         self.header = header
+        self.rollup = rollup
+        self.server = server
 
 
 def _telemetry_header(args, experiment: str, config) -> dict:
@@ -759,10 +857,16 @@ def _telemetry_header(args, experiment: str, config) -> dict:
 
 def _build_sinks(args, experiment: str, config) -> _Sinks:
     metrics = tracer = flight = profiler = None
-    events = store = run_id = None
+    events = store = run_id = rollup = server = None
     events_out = getattr(args, "events_out", "")
     store_path = getattr(args, "store", "")
-    want_events = bool(events_out or store_path)
+    serve_port = getattr(args, "serve_metrics", None)
+    alerts_spec = getattr(args, "alerts", "")
+    # Serving live metrics or evaluating alert rules needs the event
+    # stream even when no file/store sink was asked for.
+    want_events = bool(
+        events_out or store_path or serve_port is not None or alerts_spec
+    )
     # Events and the store need round spans (tracer), train-step counts
     # (metrics) and reward curves (flight) to be useful — attach them
     # implicitly, exactly as --metrics-out/--flight-out would.
@@ -810,7 +914,26 @@ def _build_sinks(args, experiment: str, config) -> _Sinks:
                 },
             )
             event_sinks.append(SqliteSink(store, run_id))
+        from repro.obs.rollup import FleetRollup
+
+        alert_engine = None
+        if alerts_spec:
+            from repro.obs.alerts import AlertEngine, parse_alert_specs
+
+            alert_engine = AlertEngine(parse_alert_specs(alerts_spec))
+        rollup = FleetRollup(alerts=alert_engine)
+        rollup.emit(header)  # same first row the JSONL sink sees
+        event_sinks.append(rollup)
         events = EventPipeline(sinks=event_sinks)
+        rollup.bind(events)
+        if serve_port is not None:
+            from repro.obs.exposition import MetricsServer
+
+            server = MetricsServer(
+                metrics=metrics, rollup=rollup, port=serve_port
+            )
+            server.start()
+            print(f"[obs] serving metrics on {server.url}", file=sys.stderr)
     return _Sinks(
         metrics,
         tracer,
@@ -820,6 +943,8 @@ def _build_sinks(args, experiment: str, config) -> _Sinks:
         store=store,
         run_id=run_id,
         header=header,
+        rollup=rollup,
+        server=server,
     )
 
 
@@ -854,12 +979,26 @@ def _write_sink_outputs(args, sinks: _Sinks) -> None:
             f" -> {args.flight_out}",
             file=sys.stderr,
         )
+    if sinks.server is not None:
+        sinks.server.stop()
     if sinks.events is not None:
         sinks.events.close()
         if getattr(args, "events_out", ""):
             print(
                 f"[telemetry] {sinks.events.events_emitted} events"
                 f" -> {args.events_out}",
+                file=sys.stderr,
+            )
+    if sinks.rollup is not None:
+        if sinks.flight is not None:
+            sinks.rollup.ingest_flight(sinks.flight)
+        if sinks.metrics is not None:
+            sinks.rollup.ingest_metrics_state(sinks.metrics.dump_state())
+        if sinks.store is not None:
+            sinks.rollup.persist(sinks.store, sinks.run_id)
+        if sinks.rollup.alerts_total:
+            print(
+                f"[obs] {sinks.rollup.alerts_total} alert(s) fired",
                 file=sys.stderr,
             )
     if sinks.store is not None:
@@ -958,7 +1097,7 @@ def _run_bench(args) -> int:
 
 def _run_obs_report(args) -> int:
     """Render the offline run report from telemetry artefacts."""
-    for path in filter(None, [args.flight_jsonl, args.metrics]):
+    for path in filter(None, [args.flight_jsonl, args.metrics, args.events]):
         if not os.path.isfile(path):
             raise ConfigurationError(f"telemetry file does not exist: {path!r}")
     text = report_from_files(
@@ -966,6 +1105,7 @@ def _run_obs_report(args) -> int:
         metrics_path=args.metrics or None,
         power_limit_w=args.power_limit,
         title=args.title,
+        events_path=args.events or None,
     )
     if args.output:
         _require_parent_dir("--output", args.output)
@@ -974,6 +1114,52 @@ def _run_obs_report(args) -> int:
         print(f"[obs-report] report -> {args.output}", file=sys.stderr)
     else:
         print(text)
+    return 0
+
+
+def _run_obs_watch(args) -> int:
+    """Tail an events stream (file or store) and render the fleet rollup."""
+    from repro.obs.watch import watch
+
+    if bool(args.events) == bool(args.store):
+        raise ConfigurationError(
+            "obs-watch needs exactly one source: an events JSONL "
+            "or --store PATH --run ID"
+        )
+    handle = None
+    if args.output:
+        _require_parent_dir("--output", args.output)
+        handle = open(args.output, "w")
+    try:
+        kwargs = dict(
+            once=args.once,
+            interval_s=args.interval,
+            deterministic=args.once,
+            max_wait_s=args.max_wait or None,
+            out=handle,
+        )
+        if args.store:
+            if not os.path.isfile(args.store):
+                raise ConfigurationError(
+                    f"run store does not exist: {args.store!r}"
+                )
+            if args.run is None:
+                raise ConfigurationError("--store requires --run ID")
+            from repro.obs.store import RunStore
+
+            with RunStore(args.store) as store:
+                watch(store=store, run_id=args.run, **kwargs)
+        else:
+            if args.once and not os.path.isfile(args.events):
+                raise ConfigurationError(
+                    f"events file does not exist: {args.events!r}"
+                )
+            watch(events_path=args.events, **kwargs)
+    finally:
+        if handle is not None:
+            handle.close()
+    if args.output:
+        print(f"[obs-watch] snapshot -> {args.output}", file=sys.stderr)
     return 0
 
 

@@ -718,6 +718,25 @@ def _check_assignments(assignments: Dict[str, Tuple[str, ...]]) -> None:
             raise ConfigurationError(f"device {device!r} has no training apps")
 
 
+def _emit_evaluation(events, round_eval) -> None:
+    """Stream one round's evaluation summary as an ``evaluation`` event.
+
+    Evaluation rewards are seeded and backend-invariant, so this event
+    is part of the deterministic stream — it feeds the live fleet
+    rollup's reward curve without waiting for the end-of-run result.
+    """
+    if events is None:
+        return
+    events.emit(
+        {
+            "type": "evaluation",
+            "round": round_eval.round_index,
+            "reward_mean": round_eval.overall_mean("reward_mean"),
+            "devices": len({e.device for e in round_eval.evaluations}),
+        }
+    )
+
+
 def train_federated(
     assignments: Dict[str, Tuple[str, ...]],
     config: FederatedPowerControlConfig,
@@ -986,11 +1005,11 @@ def train_federated(
         if (round_index + 1) % config.eval_every_rounds != 0:
             return
         eval_controller.agent.set_parameters(fed_server.global_parameters)
-        result.round_evaluations.append(
-            evaluator.evaluate(
-                {name: eval_controller for name in assignments}, round_index
-            )
+        round_eval = evaluator.evaluate(
+            {name: eval_controller for name in assignments}, round_index
         )
+        result.round_evaluations.append(round_eval)
+        _emit_evaluation(events, round_eval)
 
     ckpt = resilience_cfg.checkpoint
 
@@ -1209,16 +1228,16 @@ def _train_federated_parallel(
         def on_round_end(round_index: int, fed_server: FederatedServer) -> None:
             if (round_index + 1) % config.eval_every_rounds != 0:
                 return
-            result.round_evaluations.append(
-                RoundEvaluation(
-                    round_index=round_index,
-                    evaluations=fleet.evaluate_round(
-                        round_index,
-                        list(assignments),
-                        parameters=fed_server.global_parameters,
-                    ),
-                )
+            round_eval = RoundEvaluation(
+                round_index=round_index,
+                evaluations=fleet.evaluate_round(
+                    round_index,
+                    list(assignments),
+                    parameters=fed_server.global_parameters,
+                ),
             )
+            result.round_evaluations.append(round_eval)
+            _emit_evaluation(events, round_eval)
 
         ckpt = resilience_cfg.checkpoint
 
@@ -1350,14 +1369,14 @@ def train_local_only(
                     round_index, device_names, config.steps_per_round, train=True
                 )
                 if (round_index + 1) % config.eval_every_rounds == 0:
-                    result.round_evaluations.append(
-                        RoundEvaluation(
-                            round_index=round_index,
-                            evaluations=fleet.evaluate_round(
-                                round_index, device_names
-                            ),
-                        )
+                    round_eval = RoundEvaluation(
+                        round_index=round_index,
+                        evaluations=fleet.evaluate_round(
+                            round_index, device_names
+                        ),
                     )
+                    result.round_evaluations.append(round_eval)
+                    _emit_evaluation(events, round_eval)
             result.controllers = fleet.fetch_controllers()
             result.mean_decision_latency_s = fleet.mean_decision_latency_s()
         result.train_trace = trace
@@ -1392,9 +1411,9 @@ def train_local_only(
                 config.steps_per_round, round_index=round_index, train=True
             )
         if (round_index + 1) % config.eval_every_rounds == 0:
-            result.round_evaluations.append(
-                evaluator.evaluate(dict(controllers), round_index)
-            )
+            round_eval = evaluator.evaluate(dict(controllers), round_index)
+            result.round_evaluations.append(round_eval)
+            _emit_evaluation(events, round_eval)
 
     result.train_trace = trace
     result.communication_bytes = 0
@@ -1494,9 +1513,9 @@ def train_collab_profit(
             controllers[name].install_global_table(global_table)
             communication_bytes += len(global_table) * _COLLAB_ENTRY_BYTES  # download
         if (round_index + 1) % config.eval_every_rounds == 0:
-            result.round_evaluations.append(
-                evaluator.evaluate(dict(controllers), round_index)
-            )
+            round_eval = evaluator.evaluate(dict(controllers), round_index)
+            result.round_evaluations.append(round_eval)
+            _emit_evaluation(events, round_eval)
 
     result.train_trace = trace
     result.communication_bytes = communication_bytes
@@ -1569,14 +1588,14 @@ def _train_collab_profit_parallel(
                 len(global_table) * _COLLAB_ENTRY_BYTES * len(device_names)
             )  # download
             if (round_index + 1) % config.eval_every_rounds == 0:
-                result.round_evaluations.append(
-                    RoundEvaluation(
-                        round_index=round_index,
-                        evaluations=fleet.evaluate_round(
-                            round_index, device_names
-                        ),
-                    )
+                round_eval = RoundEvaluation(
+                    round_index=round_index,
+                    evaluations=fleet.evaluate_round(
+                        round_index, device_names
+                    ),
                 )
+                result.round_evaluations.append(round_eval)
+                _emit_evaluation(events, round_eval)
         result.controllers = fleet.fetch_controllers()
         result.mean_decision_latency_s = fleet.mean_decision_latency_s()
     result.train_trace = trace

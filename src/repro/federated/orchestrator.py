@@ -376,6 +376,16 @@ def run_federated_training(
                 if left:
                     metrics.inc("federated.leaves", len(left))
             if joined or left:
+                if events is not None:
+                    events.emit(
+                        {
+                            "type": "churn",
+                            "round": round_index,
+                            "joined": sorted(joined),
+                            "left": sorted(left),
+                            "active": len(active),
+                        }
+                    )
                 _LOG.info(
                     "fleet churn",
                     extra={

@@ -1,8 +1,8 @@
 """Observability layer: logging, metrics, tracing, flight recording,
-profiling, offline run reports, streaming event sinks and cross-run
-regression analytics.
+profiling, offline run reports, streaming event sinks, cross-run
+regression analytics and live fleet monitoring.
 
-Nine pillars, all stdlib+numpy only:
+Eleven pillars, all stdlib+numpy only:
 
 * :mod:`repro.obs.logging` — namespaced ``repro.*`` loggers with
   ``key=value`` or JSON formatting (:func:`setup_logging`,
@@ -36,7 +36,20 @@ Nine pillars, all stdlib+numpy only:
 * :mod:`repro.obs.diff` / :mod:`repro.obs.regress` — cross-run
   comparison (:func:`diff_runs`, the ``obs-diff`` subcommand) and
   regression detection over run history (robust z-scores,
-  :func:`detect_regressions`, the ``bench --gate`` throughput gate).
+  :func:`detect_regressions`, the ``bench --gate`` throughput gate);
+* :mod:`repro.obs.sketch` / :mod:`repro.obs.rollup` — the live,
+  constant-memory half: mergeable bounded estimators
+  (:class:`QuantileDigest`, :class:`EwmaEstimator`,
+  :class:`ReservoirSampler`) backing the :class:`Histogram`, and a
+  streaming :class:`FleetRollup` turning the event stream into
+  per-round fleet aggregates in O(1) memory per device;
+* :mod:`repro.obs.alerts` / :mod:`repro.obs.exposition` /
+  :mod:`repro.obs.watch` — live delivery: spec-string threshold/trend
+  rules (:class:`AlertEngine`) emitting ``alert`` events, an opt-in
+  :class:`MetricsServer` exposing ``/metrics`` (Prometheus text),
+  ``/health`` and ``/rollup.json`` (``run --serve-metrics``), and the
+  ``obs-watch`` terminal dashboard (:func:`watch`) tailing an events
+  JSONL or polling a :class:`RunStore`.
 
 Instrumentation contract: every instrumented call site holds an
 ``Optional`` sink and emits behind one ``is not None`` check, so a run
@@ -48,6 +61,12 @@ lets the CLI attach sinks to runners without changing their
 signatures.
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    format_alerts_markdown,
+    parse_alert_specs,
+)
 from repro.obs.context import (
     Telemetry,
     activate,
@@ -71,6 +90,7 @@ from repro.obs.diff import (
     run_metrics_from_store,
     run_scalars,
 )
+from repro.obs.exposition import MetricsServer, prometheus_text
 from repro.obs.flight import FlightRecord, FlightRecorder
 from repro.obs.logging import (
     JsonFormatter,
@@ -107,6 +127,7 @@ from repro.obs.report import (
     load_telemetry_jsonl,
     report_from_files,
 )
+from repro.obs.rollup import ROLLUP_SERIES, FleetRollup
 from repro.obs.sink import (
     TELEMETRY_SCHEMA_VERSION,
     EventBuffer,
@@ -117,6 +138,7 @@ from repro.obs.sink import (
     TelemetrySink,
     iter_jsonl_rows,
 )
+from repro.obs.sketch import EwmaEstimator, QuantileDigest, ReservoirSampler
 from repro.obs.store import (
     BENCH_HISTORY_SCHEMA_VERSION,
     RUN_STORE_SCHEMA_VERSION,
@@ -134,30 +156,40 @@ from repro.obs.tracing import (
     RoundSpan,
     RoundTracer,
 )
+from repro.obs.watch import JsonlFollower, StoreFollower, watch
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "BENCH_HISTORY_SCHEMA_VERSION",
     "BenchGateResult",
     "CProfileReport",
     "Counter",
     "EventBuffer",
     "EventPipeline",
+    "EwmaEstimator",
     "FanoutSink",
+    "FleetRollup",
     "FlightRecord",
     "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonFormatter",
+    "JsonlFollower",
     "JsonlSink",
     "KeyValueFormatter",
     "MetricsRegistry",
+    "MetricsServer",
     "PHASE_AGGREGATE",
     "PHASE_BROADCAST",
     "PHASE_LOCAL_TRAIN",
     "PHASE_UPLOAD",
     "PhaseSpan",
+    "QuantileDigest",
+    "ROLLUP_SERIES",
     "RUN_STORE_SCHEMA_VERSION",
     "RegressionFlag",
+    "ReservoirSampler",
     "RoundSpan",
     "RoundTracer",
     "RunDiff",
@@ -166,6 +198,7 @@ __all__ = [
     "ScopeProfiler",
     "ScopeStats",
     "SqliteSink",
+    "StoreFollower",
     "TELEMETRY_SCHEMA_VERSION",
     "Telemetry",
     "TelemetrySink",
@@ -182,6 +215,7 @@ __all__ = [
     "deactivate",
     "detect_regressions",
     "diff_runs",
+    "format_alerts_markdown",
     "format_diff_markdown",
     "format_history_markdown",
     "format_reward_curves",
@@ -193,7 +227,9 @@ __all__ = [
     "load_bench_history",
     "load_metrics_jsonl",
     "load_telemetry_jsonl",
+    "parse_alert_specs",
     "profile",
+    "prometheus_text",
     "report_from_files",
     "reset_logging",
     "robust_z",
@@ -203,4 +239,5 @@ __all__ = [
     "setup_logging",
     "telemetry",
     "timed",
+    "watch",
 ]

@@ -1,0 +1,240 @@
+"""Threshold and trend alert rules over the live fleet rollup.
+
+Rules are declared as compact spec strings in the ``FaultPlan``/
+``ChurnPlan`` idiom — the CLI's ``--alerts`` flag takes either a
+comma-separated rule list or a path to a JSON rule file::
+
+    --alerts "straggler_rate>0.25@3,reward_mean<-1.0"
+    --alerts alerts.json     # [{"metric": ..., "op": ..., ...}, ...]
+
+One rule reads ``metric OP threshold`` with an optional ``@window``
+suffix: the comparison must hold for ``window`` *consecutive* evaluated
+rounds before the alert fires (a trend guard against one-round blips).
+A fired rule re-arms once the condition clears, so a persistent breach
+raises one alert per excursion, not one per round.
+
+The :class:`AlertEngine` is evaluated by the
+:class:`~repro.obs.rollup.FleetRollup` against each completed round
+row; triggered alerts become ``alert`` events in the run's pipeline —
+they stream to JSONL/SQLite sinks like any native event and are
+summarised into the run report. Alert decisions read only
+deterministic row fields (rewards, rates, counts — never wall-clock
+durations, unless a user explicitly writes a rule against one), so the
+event stream stays bit-identical across execution backends.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ALERT_OPS",
+    "AlertEngine",
+    "AlertRule",
+    "format_alerts_markdown",
+    "parse_alert_specs",
+]
+
+#: Comparison operators a rule may use, longest first for parsing.
+ALERT_OPS = (">=", "<=", ">", "<")
+
+_OP_FUNCS = {
+    ">": lambda value, threshold: value > threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold/trend rule (immutable; engine state lives outside)."""
+
+    metric: str
+    op: str
+    threshold: float
+    window: int = 1
+    severity: str = "warn"
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ConfigurationError("alert rule needs a metric name")
+        if self.op not in _OP_FUNCS:
+            raise ConfigurationError(
+                f"alert op must be one of {', '.join(ALERT_OPS)}, "
+                f"got {self.op!r}"
+            )
+        if self.window < 1:
+            raise ConfigurationError(
+                f"alert window must be >= 1, got {self.window}"
+            )
+
+    def breached(self, value: float) -> bool:
+        return _OP_FUNCS[self.op](float(value), self.threshold)
+
+    def describe(self) -> str:
+        spec = f"{self.metric}{self.op}{self.threshold:g}"
+        if self.window > 1:
+            spec += f"@{self.window}"
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: str, severity: str = "warn") -> "AlertRule":
+        """Parse one ``metric OP threshold[@window]`` spec string."""
+        text = spec.strip()
+        if not text:
+            raise ConfigurationError("empty alert rule spec")
+        window = 1
+        if "@" in text:
+            text, _, window_text = text.rpartition("@")
+            try:
+                window = int(window_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"alert window must be an integer, got {window_text!r} "
+                    f"in {spec!r}"
+                ) from None
+        for op in ALERT_OPS:
+            if op in text:
+                metric, _, threshold_text = text.partition(op)
+                try:
+                    threshold = float(threshold_text)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"alert threshold must be a number, got "
+                        f"{threshold_text!r} in {spec!r}"
+                    ) from None
+                return cls(
+                    metric=metric.strip(),
+                    op=op,
+                    threshold=threshold,
+                    window=window,
+                    severity=severity,
+                )
+        raise ConfigurationError(
+            f"alert rule {spec!r} has no comparison operator "
+            f"({', '.join(ALERT_OPS)})"
+        )
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "AlertRule":
+        unknown = set(doc) - {"metric", "op", "threshold", "window", "severity"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown alert rule keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            metric=str(doc.get("metric", "")),
+            op=str(doc.get("op", ">")),
+            threshold=float(doc.get("threshold", 0.0)),
+            window=int(doc.get("window", 1)),
+            severity=str(doc.get("severity", "warn")),
+        )
+
+
+def parse_alert_specs(spec: str) -> List[AlertRule]:
+    """Parse a CLI ``--alerts`` value: rule list or JSON file path."""
+    text = spec.strip()
+    if not text:
+        raise ConfigurationError("--alerts given an empty spec")
+    path = pathlib.Path(text)
+    if text.endswith(".json") or path.is_file():
+        try:
+            docs = json.loads(path.read_text())
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read alert rule file {text!r}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"alert rule file {text!r} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(docs, list):
+            raise ConfigurationError(
+                f"alert rule file {text!r} must hold a JSON list of rules"
+            )
+        return [AlertRule.from_dict(doc) for doc in docs]
+    return [
+        AlertRule.from_spec(part)
+        for part in text.split(",")
+        if part.strip()
+    ]
+
+
+class AlertEngine:
+    """Evaluates a rule set against streaming round rows.
+
+    Tracks one consecutive-breach counter per rule; when a counter
+    reaches the rule's window the alert fires (edge-triggered) and the
+    rule stays latched until the condition clears. :attr:`fired` keeps
+    every alert event raised, for the run report.
+    """
+
+    def __init__(self, rules: Sequence[AlertRule]) -> None:
+        self.rules = list(rules)
+        self.fired: List[Dict[str, object]] = []
+        self._streaks = [0 for _ in self.rules]
+
+    def evaluate(self, row: Dict[str, object]) -> List[Dict[str, object]]:
+        """Check one round row; return the alert events it triggers."""
+        alerts: List[Dict[str, object]] = []
+        for index, rule in enumerate(self.rules):
+            value = row.get(rule.metric)
+            if value is None:
+                continue
+            if rule.breached(float(value)):
+                self._streaks[index] += 1
+                if self._streaks[index] == rule.window:
+                    alert = {
+                        "type": "alert",
+                        "rule": rule.describe(),
+                        "metric": rule.metric,
+                        "value": float(value),
+                        "threshold": rule.threshold,
+                        "op": rule.op,
+                        "window": rule.window,
+                        "severity": rule.severity,
+                        "round": row.get("round"),
+                    }
+                    self.fired.append(alert)
+                    alerts.append(alert)
+            else:
+                self._streaks[index] = 0
+        return alerts
+
+    @property
+    def alerts_fired(self) -> int:
+        return len(self.fired)
+
+
+def format_alerts_markdown(
+    alerts: Sequence[Dict[str, object]],
+    rules: Optional[Sequence[AlertRule]] = None,
+) -> str:
+    """Render fired alert events as the run report's ``## Alerts`` section."""
+    lines = ["## Alerts", ""]
+    if rules:
+        lines.append(
+            "Rules: " + ", ".join(f"`{rule.describe()}`" for rule in rules)
+        )
+        lines.append("")
+    if not alerts:
+        lines.append("_no alerts fired_")
+        return "\n".join(lines)
+    lines.append("| round | severity | rule | value |")
+    lines.append("|------:|----------|------|------:|")
+    for alert in alerts:
+        round_cell = alert.get("round")
+        value = alert.get("value")
+        lines.append(
+            f"| {round_cell if round_cell is not None else '-'} "
+            f"| {alert.get('severity', 'warn')} "
+            f"| `{alert.get('rule', '?')}` "
+            f"| {f'{float(value):.6g}' if value is not None else '-'} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Opt-in HTTP metrics exposition for a live run.
+
+``repro-power run --serve-metrics PORT`` starts a
+:class:`MetricsServer` — a stdlib ``http.server`` daemon thread — next
+to the training loop, serving:
+
+* ``/metrics`` — Prometheus text exposition (version 0.0.4) rendered
+  from the run's :class:`~repro.obs.metrics.MetricsRegistry` and
+  :class:`~repro.obs.rollup.FleetRollup`;
+* ``/health`` — a tiny JSON liveness document (status, rounds seen);
+* ``/rollup.json`` — the full fleet rollup snapshot.
+
+The server is read-only and lock-free by design: handlers snapshot the
+live registry/rollup on each request, and because the training thread
+mutates them concurrently, the snapshot is retried a few times on the
+rare mid-mutation ``RuntimeError`` instead of taking a lock on the hot
+training path — the exposition side pays the cost, never the run.
+Binding to port 0 picks a free port (tests); :attr:`MetricsServer.port`
+reports the bound port after :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import get_logger
+
+__all__ = ["MetricsServer", "prometheus_text"]
+
+_LOG = get_logger("obs.http")
+
+#: How many times a handler re-tries a snapshot torn by the run thread.
+_SNAPSHOT_RETRIES = 5
+
+#: Histogram summary fields exported as Prometheus quantile samples.
+_QUANTILE_FIELDS = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"))
+
+
+def _sanitize(name: str) -> str:
+    """A Prometheus-legal metric name from a dotted repro metric name."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def prometheus_text(
+    snapshot: Optional[Dict[str, object]] = None,
+    rollup: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render a registry snapshot + rollup snapshot as Prometheus text.
+
+    Pure function of its inputs so the format is directly testable; the
+    HTTP handler only adds the snapshotting and transport around it.
+    """
+    lines = []
+    snapshot = snapshot or {}
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        metric = f"repro_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {float(value):g}")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        metric = f"repro_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {float(value):g}")
+    for name, summary in sorted((snapshot.get("histograms") or {}).items()):
+        if not isinstance(summary, dict) or not summary.get("count"):
+            continue
+        metric = f"repro_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        for field, quantile in _QUANTILE_FIELDS:
+            if field in summary:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} '
+                    f"{float(summary[field]):g}"
+                )
+        lines.append(f"{metric}_sum {float(summary.get('sum', 0.0)):g}")
+        lines.append(f"{metric}_count {int(summary.get('count', 0))}")
+    if rollup:
+        fleet_gauges = (
+            ("rounds", "repro_fleet_rounds_total"),
+            ("rounds_aggregated", "repro_fleet_rounds_aggregated_total"),
+            ("participants_total", "repro_fleet_participants_total"),
+            ("stragglers_total", "repro_fleet_stragglers_total"),
+            ("straggler_rate", "repro_fleet_straggler_rate"),
+            ("bytes_total", "repro_fleet_bytes_total"),
+            ("quarantined_total", "repro_fleet_quarantined_total"),
+            ("guard_transitions", "repro_fleet_guard_transitions_total"),
+            ("alerts_total", "repro_fleet_alerts_total"),
+            ("joins_total", "repro_fleet_joins_total"),
+            ("leaves_total", "repro_fleet_leaves_total"),
+        )
+        for key, metric in fleet_gauges:
+            value = rollup.get(key)
+            if value is None:
+                continue
+            kind = "counter" if metric.endswith("_total") else "gauge"
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {float(value):g}")
+        reward = rollup.get("reward_ewma")
+        if reward is not None:
+            lines.append("# TYPE repro_fleet_reward_ewma gauge")
+            lines.append(f"repro_fleet_reward_ewma {float(reward):g}")
+        throughput = rollup.get("rounds_per_s")
+        if throughput is not None:
+            lines.append("# TYPE repro_fleet_rounds_per_s gauge")
+            lines.append(f"repro_fleet_rounds_per_s {float(throughput):g}")
+        for kind, count in sorted(
+            (rollup.get("fault_counts") or {}).items()
+        ):
+            lines.append(
+                f'repro_fleet_faults_total{{kind="{kind}"}} {int(count)}'
+            )
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """A daemon-thread HTTP server exposing live run telemetry."""
+
+    def __init__(
+        self,
+        metrics=None,
+        rollup=None,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if not 0 <= port <= 65535:
+            raise ConfigurationError(
+                f"--serve-metrics port must be in 0..65535, got {port}"
+            )
+        self.metrics = metrics
+        self.rollup = rollup
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- snapshotting (concurrent with the training thread) -------------
+    def _snapshot_metrics(self) -> Optional[Dict[str, object]]:
+        if self.metrics is None:
+            return None
+        for _ in range(_SNAPSHOT_RETRIES):
+            try:
+                return self.metrics.snapshot()
+            except RuntimeError:  # dict mutated mid-iteration; retry
+                continue
+        return None
+
+    def _snapshot_rollup(self) -> Optional[Dict[str, object]]:
+        if self.rollup is None:
+            return None
+        for _ in range(_SNAPSHOT_RETRIES):
+            try:
+                return self.rollup.snapshot()
+            except RuntimeError:
+                continue
+        return None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.port
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = prometheus_text(
+                        server._snapshot_metrics(),
+                        server._snapshot_rollup(),
+                    ).encode()
+                    content_type = "text/plain; version=0.0.4"
+                elif path == "/health":
+                    rollup = server._snapshot_rollup() or {}
+                    body = json.dumps(
+                        {
+                            "status": "ok",
+                            "rounds": rollup.get("rounds", 0),
+                            "events_seen": rollup.get("events_seen", 0),
+                        }
+                    ).encode()
+                    content_type = "application/json"
+                elif path == "/rollup.json":
+                    body = json.dumps(
+                        server._snapshot_rollup() or {}, sort_keys=True
+                    ).encode()
+                    content_type = "application/json"
+                else:
+                    self.send_error(404, "unknown path")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):  # noqa: A002
+                _LOG.debug("http %s", format % args)
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.info(
+            "metrics server listening",
+            extra={"host": self.host, "port": self.port},
+        )
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

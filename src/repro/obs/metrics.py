@@ -26,9 +26,8 @@ import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional
 
-import numpy as np
-
 from repro.errors import ConfigurationError
+from repro.obs.sketch import QuantileDigest
 
 #: Quantiles reported in histogram summaries (median, tail, far tail).
 SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
@@ -77,47 +76,69 @@ class Gauge:
 
 
 class Histogram:
-    """A stream of observations with on-demand quantile summaries."""
+    """A stream of observations with on-demand quantile summaries.
 
-    __slots__ = ("name", "_values")
+    Backed by a :class:`~repro.obs.sketch.QuantileDigest`, so memory is
+    bounded regardless of how many observations arrive: small streams
+    stay verbatim (quantiles exact), long streams compress into a fixed
+    number of logarithmic cells while count/sum/min/max stay exact.
+    """
+
+    __slots__ = ("name", "_digest")
 
     def __init__(self, name: str) -> None:
         self.name = _require_name(name)
-        self._values: List[float] = []
+        self._digest = QuantileDigest()
 
     def observe(self, value: float) -> None:
-        self._values.append(float(value))
+        self._digest.add(float(value))
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._digest.count
 
     @property
     def total(self) -> float:
-        return float(sum(self._values))
+        return float(self._digest.total)
+
+    def state_cells(self) -> int:
+        """Retained state entries — bounded, unlike the observation count."""
+        return self._digest.state_cells()
 
     def quantile(self, q: float) -> float:
-        if not self._values:
+        if self._digest.count == 0:
             raise ConfigurationError(f"histogram {self.name!r} has no observations")
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
-        return float(np.quantile(self._values, q))
+        return self._digest.quantile(q)
 
     def summary(self) -> Dict[str, float]:
         """count/sum/min/max/mean plus the :data:`SUMMARY_QUANTILES`."""
-        if not self._values:
+        digest = self._digest
+        if digest.count == 0:
             return {"count": 0, "sum": 0.0}
-        values = np.asarray(self._values)
         out: Dict[str, float] = {
-            "count": len(self._values),
-            "sum": float(values.sum()),
-            "min": float(values.min()),
-            "max": float(values.max()),
-            "mean": float(values.mean()),
+            "count": digest.count,
+            "sum": float(digest.total),
+            "min": float(digest.minimum),
+            "max": float(digest.maximum),
+            "mean": float(digest.mean()),
         }
         for q in SUMMARY_QUANTILES:
-            out[f"p{int(q * 100)}"] = float(np.quantile(values, q))
+            out[f"p{int(q * 100)}"] = digest.quantile(q)
         return out
+
+    def dump_state(self) -> Dict[str, object]:
+        """The backing digest's canonical state (bounded, picklable)."""
+        return self._digest.state()
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold a digest state (or a legacy raw sample list) in."""
+        if isinstance(state, dict):
+            self._digest.merge(QuantileDigest.from_state(state))
+        else:
+            for value in state:
+                self._digest.add(float(value))
 
 
 class MetricsRegistry:
@@ -201,17 +222,21 @@ class MetricsRegistry:
 
     # -- worker merge --------------------------------------------------
     def dump_state(self) -> Dict[str, Dict[str, object]]:
-        """The registry's raw contents as one picklable dict.
+        """The registry's mergeable contents as one picklable dict.
 
-        Unlike :meth:`snapshot`, histograms keep their *raw observation
-        streams* (not quantile summaries), so a parent registry merging
-        a worker's dump via :meth:`merge_state` ends up with exactly
-        the observations a single-process run would have recorded.
+        Unlike :meth:`snapshot`, histograms ship their *digest state*
+        (not quantile summaries), so a parent registry merging a
+        worker's dump via :meth:`merge_state` ends up with the same
+        sketch a single-process run would hold. Digest states are
+        bounded, so the payload crossing the worker pipe RPC stays
+        O(metrics) instead of O(observations).
         """
         return {
             "counters": {n: c.value for n, c in self._counters.items()},
             "gauges": {n: g.value for n, g in self._gauges.items()},
-            "histograms": {n: list(h._values) for n, h in self._histograms.items()},
+            "histograms": {
+                n: h.dump_state() for n, h in self._histograms.items()
+            },
         }
 
     def merge_state(self, state: Dict[str, Dict[str, object]]) -> None:
@@ -219,18 +244,17 @@ class MetricsRegistry:
 
         Counters add, gauges take the incoming value (last write wins,
         matching what sequential emission would leave behind) and
-        histogram observations extend in recorded order. Used by the
-        parallel execution backends to merge per-worker telemetry back
-        into the run's ambient registry.
+        histograms merge digest states (legacy raw sample lists are
+        still accepted). Used by the parallel execution backends to
+        merge per-worker telemetry back into the run's ambient
+        registry, always in deterministic device order.
         """
         for name, value in state.get("counters", {}).items():
             self.counter(name).inc(float(value))
         for name, value in state.get("gauges", {}).items():
             self.gauge(name).set(float(value))
-        for name, values in state.get("histograms", {}).items():
-            histogram = self.histogram(name)
-            for value in values:
-                histogram.observe(value)
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(name).merge_state(hist_state)
 
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, object]]:

@@ -79,14 +79,25 @@ def generate_report(
     snapshot: Optional[Dict[str, object]] = None,
     power_limit_w: Optional[float] = None,
     title: str = "Run report",
+    alerts: Optional[Sequence[Dict[str, object]]] = None,
 ) -> str:
-    """Render the full Markdown report from loaded artefacts."""
+    """Render the full Markdown report from loaded artefacts.
+
+    ``alerts`` takes the ``alert`` event rows a live run's alert rules
+    emitted (see :mod:`repro.obs.alerts`); when given — even empty — an
+    ``## Alerts`` section summarises them.
+    """
     sections = [_overview(flight, spans, power_limit_w, title)]
     sections.append(_dwell_section(flight))
     sections.append(_violation_section(flight))
     sections.append(_reward_section(flight))
     if spans:
         sections.append(_rounds_section(spans))
+    if alerts is not None:
+        # Imported here: alerts has no report dependency.
+        from repro.obs.alerts import format_alerts_markdown
+
+        sections.append(format_alerts_markdown(alerts))
     sections.append(_divergence_section(flight))
     if snapshot is not None:
         profiler = _profiler_section(snapshot)
@@ -393,13 +404,27 @@ def report_from_files(
     metrics_path=None,
     power_limit_w: Optional[float] = None,
     title: str = "Run report",
+    events_path=None,
 ) -> str:
-    """Load artefacts from disk and render the report (CLI entry point)."""
+    """Load artefacts from disk and render the report (CLI entry point).
+
+    ``events_path`` points at a ``--events-out`` JSONL; its ``alert``
+    rows (if any) feed the report's alerts section.
+    """
+    from repro.obs.sink import iter_jsonl_rows
+
     flight = FlightRecorder.from_jsonl(flight_path)
     spans: Optional[List[Dict[str, object]]] = None
     snapshot: Optional[Dict[str, object]] = None
+    alerts: Optional[List[Dict[str, object]]] = None
     if metrics_path:
         spans, snapshot = load_metrics_jsonl(metrics_path)
+    if events_path:
+        alerts = [
+            row
+            for row in iter_jsonl_rows(events_path)
+            if row.get("type") == "alert"
+        ]
     if len(flight) == 0 and not spans:
         raise ConfigurationError(
             f"no flight records in {flight_path!r} and no round spans to "
@@ -411,4 +436,5 @@ def report_from_files(
         snapshot=snapshot,
         power_limit_w=power_limit_w,
         title=title,
+        alerts=alerts,
     )

@@ -237,15 +237,26 @@ class RunStore:
         return out
 
     def events(
-        self, run_id: int, event_type: Optional[str] = None
+        self,
+        run_id: int,
+        event_type: Optional[str] = None,
+        after_seq: Optional[int] = None,
     ) -> List[Dict[str, object]]:
-        """The stored event rows of one run, in sequence order."""
+        """The stored event rows of one run, in sequence order.
+
+        ``after_seq`` returns only rows with a strictly greater
+        sequence number — the incremental query ``obs-watch`` polls a
+        live store with.
+        """
         self._require_run(run_id)
         query = "SELECT payload_json FROM events WHERE run_id = ?"
         params: List[object] = [run_id]
         if event_type is not None:
             query += " AND type = ?"
             params.append(event_type)
+        if after_seq is not None:
+            query += " AND seq > ?"
+            params.append(int(after_seq))
         query += " ORDER BY seq"
         return [
             json.loads(row["payload_json"])

@@ -1,0 +1,215 @@
+"""The ``obs-watch`` live monitor: tail telemetry, render fleet rollups.
+
+Two sources feed the same :class:`~repro.obs.rollup.FleetRollup`:
+
+* a streaming events JSONL (``run --events-out events.jsonl`` in one
+  terminal, ``obs-watch events.jsonl`` in another), tailed by
+  :class:`JsonlFollower` — tolerant of the torn trailing line a live
+  writer leaves mid-append and of the file being rotated or truncated
+  under the reader;
+* a :class:`~repro.obs.store.RunStore` (``obs-watch --store runs.sqlite
+  --run ID``), polled incrementally by sequence number.
+
+``--once`` reads whatever is available, renders one snapshot and
+exits — the scripting/CI mode. The snapshot excludes every wall-clock
+field, so a same-seed run renders byte-identically no matter which
+execution backend produced the stream (the cross-backend contract the
+parallel engine maintains for the events themselves). Live mode
+re-renders in place every ``--interval`` seconds until the stream's
+``run_summary`` arrives or the user interrupts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import get_logger
+from repro.obs.rollup import FleetRollup
+
+__all__ = ["JsonlFollower", "StoreFollower", "watch"]
+
+_LOG = get_logger("obs.watch")
+
+#: ANSI: clear screen and home the cursor (live re-render).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+class JsonlFollower:
+    """Incrementally read new JSONL rows from a file being written.
+
+    Keeps a byte offset plus a partial-line carry buffer between
+    :meth:`poll` calls. A trailing line without a newline is held back
+    until its newline arrives (the writer may still be mid-append); a
+    held-back line that *still* fails to parse once complete is skipped
+    with a warning, matching :func:`repro.obs.sink.iter_jsonl_rows`.
+    If the file shrinks or is replaced (rotation/truncation), the
+    follower resets to the start and re-reads — the header row simply
+    flows through again, and downstream consumers treat it as the new
+    run's identity.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self.rows_read = 0
+        self.rows_skipped = 0
+        self.resets = 0
+        self._offset = 0
+        self._carry = b""
+
+    def poll(self) -> List[Dict[str, object]]:
+        """All complete, parseable rows appended since the last poll."""
+        try:
+            size = os.stat(self.path).st_size
+        except OSError:
+            return []
+        if size < self._offset:
+            # The file shrank under us: rotated or truncated. Start over.
+            _LOG.warning(
+                "telemetry file shrank; re-reading from the start",
+                extra={"path": self.path, "size": size},
+            )
+            self._offset = 0
+            self._carry = b""
+            self.resets += 1
+        if size == self._offset and not self._carry:
+            return []
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        self._offset += len(chunk)
+        data = self._carry + chunk
+        lines = data.split(b"\n")
+        # The final piece has no newline yet — carry it to the next poll.
+        self._carry = lines.pop()
+        rows: List[Dict[str, object]] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                self.rows_skipped += 1
+                _LOG.warning(
+                    "skipping unparseable telemetry line",
+                    extra={"path": self.path},
+                )
+                continue
+            if not isinstance(row, dict):
+                self.rows_skipped += 1
+                continue
+            rows.append(row)
+            self.rows_read += 1
+        return rows
+
+
+class StoreFollower:
+    """Poll a RunStore's event table incrementally by sequence number.
+
+    The store's event table does not carry the header row (run identity
+    lives in the ``runs`` table instead), so the first poll synthesizes
+    one from the run's metadata — the rollup then renders the same
+    title/fingerprint line it would from the JSONL stream.
+    """
+
+    def __init__(self, store, run_id: int) -> None:
+        self.store = store
+        self.run_id = int(run_id)
+        self.rows_read = 0
+        self._after_seq = -1
+        self._header_sent = False
+
+    def poll(self) -> List[Dict[str, object]]:
+        rows = self.store.events(self.run_id, after_seq=self._after_seq)
+        if not self._header_sent:
+            self._header_sent = True
+            run = self.store.run(self.run_id)
+            rows.insert(
+                0,
+                {
+                    "type": "header",
+                    "experiment": run.get("name"),
+                    "run_fingerprint": run.get("fingerprint"),
+                },
+            )
+        if rows:
+            self._after_seq = max(
+                int(row.get("seq", self._after_seq)) for row in rows
+            )
+            self.rows_read += len(rows)
+        return rows
+
+
+def _drain_into(rollup: FleetRollup, follower) -> int:
+    rows = follower.poll()
+    for row in rows:
+        rollup.emit(row)
+    return len(rows)
+
+
+def watch(
+    events_path=None,
+    store=None,
+    run_id: Optional[int] = None,
+    once: bool = False,
+    interval_s: float = 1.0,
+    deterministic: bool = False,
+    max_wait_s: Optional[float] = None,
+    out=None,
+) -> FleetRollup:
+    """Run the monitor loop; returns the final rollup.
+
+    ``once`` renders a single snapshot from everything currently
+    available. ``deterministic`` additionally drops wall-clock fields
+    from the rendering (``--once`` turns this on by default at the CLI,
+    so scripted snapshots are reproducible). ``max_wait_s`` bounds live
+    watching for tests/CI.
+    """
+    if (events_path is None) == (store is None):
+        raise ConfigurationError(
+            "watch needs exactly one source: an events JSONL or a store"
+        )
+    if store is not None and run_id is None:
+        raise ConfigurationError("watching a store needs a run id")
+    if interval_s <= 0:
+        raise ConfigurationError(
+            f"watch interval must be > 0, got {interval_s}"
+        )
+    follower = (
+        JsonlFollower(events_path)
+        if events_path is not None
+        else StoreFollower(store, run_id)
+    )
+    rollup = FleetRollup()
+    out = out if out is not None else sys.stdout
+    _drain_into(rollup, follower)
+    if once:
+        out.write(rollup.render(deterministic=deterministic) + "\n")
+        return rollup
+    started = time.monotonic()
+    try:
+        while True:
+            out.write(
+                _CLEAR + rollup.render(deterministic=deterministic) + "\n"
+            )
+            out.flush()
+            if rollup.run_summary is not None:
+                break
+            if (
+                max_wait_s is not None
+                and time.monotonic() - started >= max_wait_s
+            ):
+                break
+            time.sleep(interval_s)
+            _drain_into(rollup, follower)
+    except KeyboardInterrupt:
+        out.write("\n")
+    return rollup

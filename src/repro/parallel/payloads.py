@@ -148,7 +148,10 @@ class TelemetryDump:
     per-device totals (authoritative — each device lives in exactly one
     worker). ``metrics_state`` and ``profile_rows`` are drained on
     every dump, so they hold per-task deltas that the driver merges
-    additively.
+    additively. Histogram entries inside ``metrics_state`` ship as
+    bounded digest cells rather than raw samples, so a dump's pickled
+    size is O(1) in the number of steps the task observed (guarded by
+    ``test_worker_metrics_payload_is_bounded``).
     """
 
     flight_rows: List[Any] = field(default_factory=list)

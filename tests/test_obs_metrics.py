@@ -53,6 +53,32 @@ class TestHistogram:
         with pytest.raises(ConfigurationError):
             Histogram("empty").quantile(0.5)
 
+    def test_state_bounded_independent_of_observation_count(self):
+        # The digest-backed histogram must hold O(1) state no matter
+        # how many steps a run observes.
+        histogram = Histogram("h")
+        for step in range(10_000):
+            histogram.observe(0.5 + (step % 1000) / 250.0)
+        assert histogram.count == 10_000
+        assert histogram.state_cells() <= 512 + 1
+        state = histogram.dump_state()
+        assert len(state.get("cells", {})) <= 512
+        assert "exact" not in state
+
+    def test_dump_merge_round_trip_preserves_summary(self):
+        source = Histogram("h")
+        for step in range(3000):
+            source.observe(float(step % 37))
+        target = Histogram("h")
+        target.merge_state(source.dump_state())
+        assert target.summary() == source.summary()
+
+    def test_merge_state_accepts_legacy_raw_samples(self):
+        histogram = Histogram("h")
+        histogram.merge_state([1.0, 2.0, 3.0])
+        assert histogram.count == 3
+        assert histogram.summary()["p50"] == 2.0
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instance(self):

@@ -1,0 +1,217 @@
+"""The obs-watch live monitor: tailing, rotation, snapshots, CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.obs.store import RunStore
+from repro.obs.watch import JsonlFollower, StoreFollower, watch
+
+HEADER = {"type": "header", "experiment": "fig3", "run_fingerprint": "cafe01"}
+SPAN = {
+    "type": "round_span",
+    "round": 0,
+    "participants": ["A", "B"],
+    "stragglers": [],
+    "bytes": 512,
+    "aggregated": True,
+    "duration_s": 0.1,
+    "seq": 1,
+}
+SUMMARY = {"type": "run_summary", "rounds": 1, "seq": 2}
+
+
+def _write_lines(path, rows, mode="w"):
+    with open(path, mode) as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+
+
+class TestJsonlFollower:
+    def test_incremental_polling(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_lines(path, [HEADER])
+        follower = JsonlFollower(path)
+        assert [row["type"] for row in follower.poll()] == ["header"]
+        assert follower.poll() == []
+        _write_lines(path, [SPAN, SUMMARY], mode="a")
+        assert [row["type"] for row in follower.poll()] == [
+            "round_span",
+            "run_summary",
+        ]
+        assert follower.rows_read == 3
+
+    def test_missing_file_is_quietly_empty(self, tmp_path):
+        follower = JsonlFollower(tmp_path / "nope.jsonl")
+        assert follower.poll() == []
+
+    def test_torn_trailing_line_held_back(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        full = json.dumps(SPAN)
+        with open(path, "w") as handle:
+            handle.write(json.dumps(HEADER) + "\n")
+            handle.write(full[: len(full) // 2])  # writer mid-append
+        follower = JsonlFollower(path)
+        assert [row["type"] for row in follower.poll()] == ["header"]
+        with open(path, "a") as handle:
+            handle.write(full[len(full) // 2 :] + "\n")
+        (row,) = follower.poll()
+        assert row == SPAN
+        assert follower.rows_skipped == 0
+
+    def test_rotation_resets_and_rereads_header(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_lines(path, [HEADER, SPAN])
+        follower = JsonlFollower(path)
+        assert len(follower.poll()) == 2
+        # A new run truncates the file and writes a fresh header.
+        new_header = dict(HEADER, run_fingerprint="beef02")
+        _write_lines(path, [new_header])
+        rows = follower.poll()
+        assert rows == [new_header]
+        assert follower.resets == 1
+
+    def test_unparseable_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps(HEADER) + "\n")
+            handle.write("{not json}\n")
+            handle.write("[1, 2]\n")  # parseable but not a dict
+            handle.write(json.dumps(SPAN) + "\n")
+        follower = JsonlFollower(path)
+        rows = follower.poll()
+        assert [row["type"] for row in rows] == ["header", "round_span"]
+        assert follower.rows_skipped == 2
+
+
+class TestStoreFollower:
+    def _store_with_run(self, tmp_path):
+        store = RunStore(tmp_path / "runs.sqlite")
+        run_id = store.register_run(
+            name="fig3", fingerprint="cafe01", seed=7, backend="serial"
+        )
+        return store, run_id
+
+    def test_synthesizes_header_then_polls_incrementally(self, tmp_path):
+        store, run_id = self._store_with_run(tmp_path)
+        store.record_events(run_id, [dict(SPAN)])
+        follower = StoreFollower(store, run_id)
+        rows = follower.poll()
+        assert rows[0]["type"] == "header"
+        assert rows[0]["experiment"] == "fig3"
+        assert rows[0]["run_fingerprint"] == "cafe01"
+        assert [row["type"] for row in rows[1:]] == ["round_span"]
+        assert follower.poll() == []
+        store.record_events(run_id, [dict(SUMMARY)])
+        assert [row["type"] for row in follower.poll()] == ["run_summary"]
+        store.close()
+
+
+class TestWatch:
+    def test_needs_exactly_one_source(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            watch()
+        with pytest.raises(ConfigurationError):
+            watch(events_path="x", store=object())
+        with pytest.raises(ConfigurationError):
+            watch(store=object())  # no run id
+        with pytest.raises(ConfigurationError):
+            watch(events_path="x", interval_s=0.0)
+
+    def test_once_renders_single_snapshot(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_lines(path, [HEADER, SPAN, SUMMARY])
+        out = io.StringIO()
+        rollup = watch(
+            events_path=path, once=True, deterministic=True, out=out
+        )
+        text = out.getvalue()
+        assert text.count("fleet rollup — fig3") == 1
+        assert "\x1b" not in text  # no ANSI clearing in snapshot mode
+        assert "run finished:" in text
+        assert rollup.rounds == 1
+
+    def test_live_mode_stops_on_run_summary(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_lines(path, [HEADER, SPAN, SUMMARY])
+        out = io.StringIO()
+        rollup = watch(
+            events_path=path,
+            interval_s=0.01,
+            max_wait_s=5.0,
+            deterministic=True,
+            out=out,
+        )
+        assert rollup.run_summary is not None
+        assert "\x1b[2J" in out.getvalue()  # live mode clears the screen
+
+
+class TestObsWatchCli:
+    def _events_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_lines(path, [HEADER, SPAN, SUMMARY])
+        return path
+
+    def test_once_snapshot_to_file(self, tmp_path, capsys):
+        events = self._events_file(tmp_path)
+        out_path = tmp_path / "snapshot.txt"
+        code = main(
+            ["obs-watch", str(events), "--once", "-o", str(out_path)]
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert "fleet rollup — fig3" in text
+        assert "run finished:" in text
+
+    def test_once_against_store(self, tmp_path, capsys):
+        store_path = tmp_path / "runs.sqlite"
+        with RunStore(store_path) as store:
+            run_id = store.register_run(
+                name="fig3", fingerprint="cafe01", seed=7, backend="serial"
+            )
+            store.record_events(run_id, [dict(SPAN), dict(SUMMARY)])
+        code = main(
+            [
+                "obs-watch",
+                "--store",
+                str(store_path),
+                "--run",
+                str(run_id),
+                "--once",
+            ]
+        )
+        assert code == 0
+        assert "fleet rollup — fig3" in capsys.readouterr().out
+
+    def test_source_validation(self, tmp_path, capsys):
+        assert main(["obs-watch"]) == 1
+        assert main(["obs-watch", "--store", "x.sqlite"]) == 1  # no --run
+        assert main(["obs-watch", str(tmp_path / "gone.jsonl"), "--once"]) == 1
+
+    def test_file_and_store_snapshots_identical(self, tmp_path, capsys):
+        events = self._events_file(tmp_path)
+        assert main(["obs-watch", str(events), "--once"]) == 0
+        from_file = capsys.readouterr().out
+        store_path = tmp_path / "runs.sqlite"
+        with RunStore(store_path) as store:
+            run_id = store.register_run(
+                name="fig3", fingerprint="cafe01", seed=7, backend="serial"
+            )
+            store.record_events(run_id, [dict(SPAN), dict(SUMMARY)])
+        assert (
+            main(
+                [
+                    "obs-watch",
+                    "--store",
+                    str(store_path),
+                    "--run",
+                    str(run_id),
+                    "--once",
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == from_file

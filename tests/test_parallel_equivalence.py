@@ -181,8 +181,8 @@ def test_straggler_abort_raises(config, backend):
         )
 
 
-def _event_stream(backend, config):
-    """Run guarded federated training and collect the emitted events."""
+def _raw_event_rows(backend, config):
+    """Run guarded federated training; return the raw emitted events."""
     from repro.obs.sink import EventPipeline
     from repro.obs.tracing import RoundTracer
 
@@ -197,7 +197,12 @@ def _event_stream(backend, config):
         guard=True,
         events=pipeline,
     )
-    return [_strip_timing(row) for row in pipeline.rows()]
+    return pipeline.rows()
+
+
+def _event_stream(backend, config):
+    """The event stream minus wall-clock fields (the bit-identity view)."""
+    return [_strip_timing(row) for row in _raw_event_rows(backend, config)]
 
 
 def _strip_timing(row):
@@ -222,6 +227,48 @@ def test_event_stream_deterministic_across_backends(config):
     assert [row["seq"] for row in serial] == list(range(len(serial)))
     for backend in BACKENDS:
         assert _event_stream(backend, config) == serial, backend
+
+
+def test_obs_watch_snapshot_identical_across_backends(config, tmp_path):
+    """`obs-watch --once` renders byte-identically for any backend."""
+    import io
+    import json
+
+    from repro.obs.watch import watch
+
+    snapshots = {}
+    for backend in ("serial",) + BACKENDS:
+        rows = _raw_event_rows(backend, config)
+        path = tmp_path / f"{backend}.jsonl"
+        path.write_text(
+            "".join(json.dumps(row) + "\n" for row in rows)
+        )
+        out = io.StringIO()
+        watch(events_path=path, once=True, deterministic=True, out=out)
+        snapshots[backend] = out.getvalue()
+    assert "| round |" in snapshots["serial"]
+    for backend in BACKENDS:
+        assert snapshots[backend] == snapshots["serial"], backend
+
+
+def test_worker_metrics_payload_is_bounded(config):
+    """The histogram state shipped over the worker pipe must not grow
+    with step count — digests replace raw per-step sample lists."""
+    import pickle
+
+    from repro.obs.metrics import MetricsRegistry
+
+    def payload_size(steps):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("device.decision_latency_s")
+        for step in range(steps):
+            histogram.observe(1e-4 + (step % 97) * 1e-6)
+        return len(pickle.dumps(registry.dump_state()))
+
+    small, large = payload_size(500), payload_size(50_000)
+    # 100x the observations must not even double the payload (a raw
+    # sample list would grow it ~100x).
+    assert large <= 2 * small
 
 
 def test_ambient_execution_context_reaches_driver(config):
