@@ -1,18 +1,24 @@
 """Benchmark: the machine-readable speed suite (``repro-power bench``).
 
 Runs the same suite the CLI's ``bench`` subcommand runs, saves the JSON
-document under ``benchmarks/results/``, and asserts the throughput
-floors this reproduction relies on (a control decision must be orders
-of magnitude faster than the 500 ms control interval, for one).
+document under ``benchmarks/results/`` (mirrored to the repo root for
+the ``BENCH_*`` trajectory tooling), and asserts the throughput floors
+this reproduction relies on (a control decision must be orders of
+magnitude faster than the 500 ms control interval, for one).
 
 The parallel-speedup assertion is gated on the host's CPU budget: on a
 multi-core machine four process workers must beat serial local training
 by a wide margin, while single-core CI containers only check that the
 engine completes and stays bit-identical (covered by the tier-1 tests).
+The batched backend's fleet floors are *not* CPU-gated — stacking wins
+come from vectorisation, not cores — but they are set conservatively
+below the typically observed speedups (~7-9x at D=256 on a single
+Haswell core) so scheduler noise does not flake the suite.
 """
 
 import json
 import pathlib
+import time
 
 from repro.experiments.bench import (
     available_cpus,
@@ -24,11 +30,78 @@ from repro.experiments.bench import (
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def _wave_run_tasks(backend, tasks):
+    """The pre-pipelining process dispatch: waves with a barrier."""
+    names = list(tasks)
+    outcomes = {}
+    window = backend._max_inflight
+    for start in range(0, len(names), window):
+        wave = names[start : start + window]
+        for name in wave:
+            backend._connections[name].send(tasks[name])
+        for name in wave:
+            outcomes[name] = backend._connections[name].recv()
+    return outcomes
+
+
+def _dispatch_overhead_summary(repeats: int = 60) -> str:
+    """Wave-barrier vs pipelined process dispatch, interleaved.
+
+    Times tiny (1-step) rounds where pipe round-trips dominate, so the
+    number isolates dispatch overhead — the thing the pipelined window
+    in ``ProcessBackend.run_tasks`` reduces.
+    """
+    from repro.experiments.bench import bench_assignments, bench_config
+    from repro.experiments.training import _local_actor_parts, _worker_specs
+    from repro.parallel.engine import DeviceFleet
+    from repro.parallel.payloads import StepsTask
+
+    assignments = bench_assignments(8)
+    config = bench_config(rounds=1, steps_per_round=50)
+    specs = _worker_specs(
+        _local_actor_parts, assignments, config, ("fft",), None, None, None
+    )
+    names = list(assignments)
+    wave_s = pipe_s = 0.0
+    with DeviceFleet(specs, backend="process", workers=2) as fleet:
+        fleet.run_round(0, names, 1)
+        backend = fleet._backend
+        round_index = 1
+        for _ in range(repeats):
+            tasks = {
+                n: StepsTask(round_index=round_index, num_steps=1, train=True)
+                for n in names
+            }
+            round_index += 1
+            start = time.perf_counter()
+            _wave_run_tasks(backend, tasks)
+            wave_s += time.perf_counter() - start
+            tasks = {
+                n: StepsTask(round_index=round_index, num_steps=1, train=True)
+                for n in names
+            }
+            round_index += 1
+            start = time.perf_counter()
+            backend.run_tasks(tasks)
+            pipe_s += time.perf_counter() - start
+    return (
+        "process dispatch overhead (8 devices, workers=2, 1-step rounds):\n"
+        "  wave-barrier (before): %.2f ms/round\n"
+        "  pipelined    (after) : %.2f ms/round (%.2fx)"
+        % (wave_s / repeats * 1e3, pipe_s / repeats * 1e3, wave_s / pipe_s)
+    )
+
+
 def test_speed_benchmark_suite(save_result):
     document = run_speed_benchmark(rounds=4, steps_per_round=100, num_devices=4)
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = write_benchmark(document, str(RESULTS_DIR / "BENCH_speed.json"))
-    save_result("bench_speed", format_summary(document))
+    path = write_benchmark(
+        document, str(RESULTS_DIR / "BENCH_speed.json"), mirror_root=True
+    )
+    dispatch_summary = _dispatch_overhead_summary()
+    save_result(
+        "bench_speed", format_summary(document) + "\n" + dispatch_summary
+    )
     print(f"[saved to {path}]")
 
     single = document["single_step"]
@@ -44,7 +117,8 @@ def test_speed_benchmark_suite(save_result):
     assert parallel["serial"]["local_train_s"] > 0.0
     assert parallel["process"]["local_train_s"] > 0.0
 
-    # Real speedup needs real cores; don't assert it on starved hosts.
+    # Real process speedup needs real cores; don't assert it on starved
+    # hosts (where schema v2 omits the speedup keys entirely).
     if available_cpus() >= 4:
         assert parallel["speedup_local_train_process"] >= 1.8, json.dumps(
             parallel, indent=2
@@ -53,3 +127,22 @@ def test_speed_benchmark_suite(save_result):
         assert parallel["speedup_local_train_process"] >= 1.1, json.dumps(
             parallel, indent=2
         )
+    else:
+        assert "note" in parallel
+
+    # Batched-backend fleet floors: vectorisation wins that hold on a
+    # single core. Floors sit well under the observed speedups so the
+    # suite flags real regressions, not scheduler jitter.
+    fleet = document["fleet"]
+    per_scale = fleet["per_scale"]
+    assert set(per_scale) == {"4", "32", "256"}
+    assert per_scale["32"]["speedup_train_batched"] >= 3.0, json.dumps(
+        per_scale["32"], indent=2
+    )
+    assert per_scale["256"]["speedup_train_batched"] >= 4.0, json.dumps(
+        per_scale["256"], indent=2
+    )
+    # Even against the real simulator the batched loop must not lose.
+    assert per_scale["256"]["speedup_control_batched"] >= 1.5, json.dumps(
+        per_scale["256"], indent=2
+    )

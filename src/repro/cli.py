@@ -189,6 +189,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the process-backend comparison (serial timings only)",
     )
     bench_parser.add_argument(
+        "--backend",
+        type=str,
+        default="batched",
+        choices=sorted(BACKEND_NAMES),
+        help=(
+            "backend the fleet section compares against serial "
+            "(default: batched)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--fleet-devices",
+        type=str,
+        default="4,32,256",
+        metavar="CSV",
+        help=(
+            "comma-separated fleet sizes for the per-scale throughput "
+            "section; empty or 0 skips it (default: 4,32,256)"
+        ),
+    )
+    bench_parser.add_argument(
         "--history",
         type=str,
         default="BENCH_history.jsonl",
@@ -1050,6 +1070,19 @@ def _run_bench(args) -> int:
     if not args.no_history:
         _require_parent_dir("--history", args.history)
     backends = ("serial",) if args.no_process else ("serial", "process")
+    try:
+        fleet_scales = tuple(
+            int(part)
+            for part in args.fleet_devices.split(",")
+            if part.strip() and int(part) > 0
+        )
+    except ValueError:
+        print(
+            f"error: --fleet-devices must be a comma-separated list of "
+            f"integers, got {args.fleet_devices!r}",
+            file=sys.stderr,
+        )
+        return 2
     document = run_speed_benchmark(
         seed=args.seed,
         rounds=args.rounds,
@@ -1057,8 +1090,10 @@ def _run_bench(args) -> int:
         num_devices=args.devices,
         workers=args.workers or None,
         backends=backends,
+        fleet_backend=args.backend,
+        fleet_scales=fleet_scales,
     )
-    path = write_benchmark(document, args.output)
+    path = write_benchmark(document, args.output, mirror_root=True)
     print(format_summary(document))
     print(f"[bench] -> {path}", file=sys.stderr)
     if args.no_history:

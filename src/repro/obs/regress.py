@@ -141,6 +141,8 @@ BENCH_KEY_METRICS = (
     "drivers.federated.train_steps_per_s",
     "drivers.local_only.train_steps_per_s",
     "drivers.collab_profit.train_steps_per_s",
+    "fleet.per_scale.32.batched.train_steps_per_s",
+    "fleet.per_scale.256.batched.train_steps_per_s",
 )
 
 

@@ -2,8 +2,9 @@
 
 Public surface of the pluggable execution layer: worker payloads
 (:mod:`~repro.parallel.payloads`), the device actor
-(:mod:`~repro.parallel.worker`), the three backends
-(:mod:`~repro.parallel.backend`), the fleet engine
+(:mod:`~repro.parallel.worker`), the four backends
+(:mod:`~repro.parallel.backend` and :mod:`~repro.parallel.batched`),
+the fleet engine
 (:mod:`~repro.parallel.engine`) and the ambient ``--backend/--workers``
 context (:mod:`~repro.parallel.context`).
 """
@@ -15,6 +16,7 @@ from repro.parallel.backend import (
     ThreadBackend,
     create_backend,
 )
+from repro.parallel.batched import BatchedFleet
 from repro.parallel.context import (
     DEFAULT_BACKEND,
     ExecutionConfig,
@@ -40,6 +42,7 @@ from repro.parallel.worker import DeviceActor
 __all__ = [
     "ActorParts",
     "BACKEND_NAMES",
+    "BatchedFleet",
     "CallOutcome",
     "CallTask",
     "DEFAULT_BACKEND",

@@ -1,6 +1,6 @@
 """Pluggable execution backends for the device fleet.
 
-Three interchangeable implementations of one tiny contract — build the
+Four interchangeable implementations of one tiny contract — build the
 per-device actors from :class:`~repro.parallel.payloads.WorkerSpec`
 records, then ``run_tasks`` a ``{device_name: task}`` batch and return
 ``{device_name: outcome}``:
@@ -16,9 +16,14 @@ records, then ``run_tasks`` a ``{device_name: task}`` batch and return
   the boundary after start-up, so per-round traffic is model
   parameters plus result summaries. This is the backend that turns
   multi-core machines into real local-train speedup.
+* ``batched`` — actors in-process, but every eligible device's network,
+  optimizer and replay stacked along a device axis so the whole fleet
+  trains in single numpy calls (:mod:`~repro.parallel.batched`). The
+  throughput backend for large ``D``; still bit-identical to serial.
 
 ``workers`` caps concurrency: the thread-pool size, or the number of
-simultaneously in-flight process tasks (dispatch happens in waves).
+simultaneously in-flight process tasks (dispatch is pipelined through
+a sliding window of that size).
 """
 
 from __future__ import annotations
@@ -29,13 +34,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, ExecutionError
 from repro.obs.logging import get_logger
+from repro.parallel.batched import BatchedFleet
 from repro.parallel.payloads import CallOutcome, WorkerSpec
 from repro.parallel.worker import WORKER_READY, DeviceActor, process_worker_main
 
 _LOG = get_logger("parallel")
 
 #: Recognised backend names, in documentation order.
-BACKEND_NAMES = ("serial", "thread", "process")
+BACKEND_NAMES = ("serial", "thread", "process", "batched")
 
 #: Seconds to wait for a worker process to exit before terminating it.
 _SHUTDOWN_TIMEOUT_S = 10.0
@@ -95,7 +101,10 @@ class ProcessBackend:
     Uses the ``fork`` start method so specs (and any closure-free
     builder kwargs) transfer cheaply and test-defined fault injectors
     resolve without re-imports. Each worker answers exactly one outcome
-    per task; dispatch happens in waves of at most ``workers`` devices.
+    per task; dispatch keeps at most ``workers`` tasks in flight, but
+    pipelines through the window (each completed reply immediately
+    funds the next submission) instead of running send-all/recv-all
+    waves with a barrier between them.
     """
 
     name = "process"
@@ -148,18 +157,25 @@ class ProcessBackend:
     def run_tasks(self, tasks: Dict[str, object]) -> Dict[str, object]:
         names = list(tasks)
         outcomes: Dict[str, object] = {}
-        for offset in range(0, len(names), self._max_inflight):
-            wave = names[offset : offset + self._max_inflight]
-            for name in wave:
-                self._connections[name].send(tasks[name])
-            for name in wave:
-                try:
-                    outcomes[name] = self._connections[name].recv()
-                except EOFError:
-                    raise ExecutionError(
-                        f"worker process for device {name!r} died "
-                        f"(exit code {self._processes[name].exitcode})"
-                    ) from None
+        # Prime the window: one upfront pipe write per worker, no
+        # per-task round-trips. Replies are collected in task order and
+        # each one immediately releases the next pending submission, so
+        # a slow device never stalls dispatch behind a wave barrier.
+        next_to_send = min(self._max_inflight, len(names))
+        for name in names[:next_to_send]:
+            self._connections[name].send(tasks[name])
+        for name in names:
+            try:
+                outcomes[name] = self._connections[name].recv()
+            except EOFError:
+                raise ExecutionError(
+                    f"worker process for device {name!r} died "
+                    f"(exit code {self._processes[name].exitcode})"
+                ) from None
+            if next_to_send < len(names):
+                pending = names[next_to_send]
+                self._connections[pending].send(tasks[pending])
+                next_to_send += 1
         return outcomes
 
     def close(self) -> None:
@@ -182,7 +198,7 @@ class ProcessBackend:
 def create_backend(
     backend: str, specs: Sequence[WorkerSpec], workers: Optional[int] = None
 ):
-    """Instantiate a backend by name (``serial``/``thread``/``process``)."""
+    """Instantiate a backend by name (serial/thread/process/batched)."""
     if workers is not None and workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if backend == "serial":
@@ -191,6 +207,8 @@ def create_backend(
         return ThreadBackend(specs, workers=workers)
     if backend == "process":
         return ProcessBackend(specs, workers=workers)
+    if backend == "batched":
+        return BatchedFleet(specs, workers=workers)
     raise ConfigurationError(
         f"unknown execution backend {backend!r}; "
         f"available: {', '.join(BACKEND_NAMES)}"

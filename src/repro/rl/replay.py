@@ -11,7 +11,7 @@ overhead figure (Section IV-C).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -129,3 +129,169 @@ class ReplayBuffer:
         """Drop all stored transitions."""
         self._size = 0
         self._next_slot = 0
+
+
+class StackedReplayStore:
+    """Columnar replay storage for a whole fleet: ``(D, capacity, F)``.
+
+    The batched execution backend keeps every eligible device's replay
+    contents in one array stack so a control step appends all devices'
+    transitions with a handful of fancy-index writes, and an update
+    step gathers every device's sample batch in one indexing call per
+    column. Ring semantics per row are identical to
+    :class:`ReplayBuffer` — fill slots ``0..capacity-1`` first, then
+    evict round-robin from ``next_slot`` — and sampling *indices* are
+    drawn from each device's own buffer RNG with the exact argument
+    pattern ``ReplayBuffer.sample`` uses, so a batched run consumes
+    every RNG stream bit-identically to serial.
+
+    Devices whose buffers are not plain :class:`ReplayBuffer` (e.g.
+    prioritized replay) never enter a stack; the backend falls back to
+    per-device sampling for them.
+    """
+
+    def __init__(self, num_devices: int, capacity: int, features: int) -> None:
+        if num_devices <= 0:
+            raise ConfigurationError(
+                f"num_devices must be positive, got {num_devices}"
+            )
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if features <= 0:
+            raise ConfigurationError(f"features must be positive, got {features}")
+        self.num_devices = int(num_devices)
+        self.capacity = int(capacity)
+        self.features = int(features)
+        self.states = np.zeros(
+            (num_devices, capacity, features), dtype=np.float64
+        )
+        self.actions = np.zeros((num_devices, capacity), dtype=np.int64)
+        self.rewards = np.zeros((num_devices, capacity), dtype=np.float64)
+        self.sizes = np.zeros(num_devices, dtype=np.int64)
+        self.next_slots = np.zeros(num_devices, dtype=np.int64)
+        # Reused gather outputs for sample_rows (multi-megabyte at
+        # fleet scale; fresh allocations per update cost more than the
+        # gathers themselves).
+        self._scratch: dict = {}
+
+    def _buf(self, key: str, shape, dtype) -> np.ndarray:
+        buffer = self._scratch.get(key)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.empty(shape, dtype=dtype)
+            self._scratch[key] = buffer
+        return buffer
+
+    # -- row <-> per-device buffer transfer ----------------------------
+    def adopt_row(self, row: int, buffer: ReplayBuffer) -> None:
+        """Copy one device buffer's live contents into stack row ``row``."""
+        if buffer.capacity != self.capacity:
+            raise ConfigurationError(
+                f"buffer capacity {buffer.capacity} != stack capacity "
+                f"{self.capacity}"
+            )
+        size = buffer._size
+        if size > 0:
+            if buffer._states.shape[1] != self.features:
+                raise ConfigurationError(
+                    f"buffer stores {buffer._states.shape[1]} features, "
+                    f"stack expects {self.features}"
+                )
+            self.states[row, :size] = buffer._states[:size]
+            self.actions[row, :size] = buffer._actions[:size]
+            self.rewards[row, :size] = buffer._rewards[:size]
+        self.sizes[row] = size
+        self.next_slots[row] = buffer._next_slot
+
+    def export_row(self, row: int, buffer: ReplayBuffer) -> None:
+        """Write stack row ``row`` back into a per-device buffer."""
+        size = int(self.sizes[row])
+        if size > 0 and buffer._states.shape[1] == 0:
+            # Mirror the buffer's lazy state-matrix allocation.
+            buffer._states = np.empty(
+                (buffer.capacity, self.features), dtype=np.float64
+            )
+        if size > 0:
+            buffer._states[:size] = self.states[row, :size]
+            buffer._actions[:size] = self.actions[row, :size]
+            buffer._rewards[:size] = self.rewards[row, :size]
+        buffer._size = size
+        buffer._next_slot = int(self.next_slots[row])
+
+    # -- stacked operations --------------------------------------------
+    def append_rows(
+        self,
+        rows: np.ndarray,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+    ) -> None:
+        """Append one transition per device in ``rows`` (vectorised).
+
+        Equivalent to calling ``ReplayBuffer.add`` once per device:
+        rows still filling write to slot ``size``; full rows overwrite
+        slot ``next_slot`` and advance it modulo capacity.
+        """
+        sizes = self.sizes[rows]
+        at_capacity = sizes >= self.capacity
+        slots = np.where(at_capacity, self.next_slots[rows], sizes)
+        self.states[rows, slots] = states
+        self.actions[rows, slots] = actions
+        self.rewards[rows, slots] = rewards
+        self.sizes[rows] = np.where(at_capacity, sizes, sizes + 1)
+        self.next_slots[rows] = np.where(
+            at_capacity,
+            (self.next_slots[rows] + 1) % self.capacity,
+            self.next_slots[rows],
+        )
+
+    def sample_rows(
+        self, rows: Sequence[int], rngs: Sequence[np.random.Generator],
+        batch_size: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample a batch per device; gather all batches in one pass.
+
+        ``rngs[i]`` must be device ``rows[i]``'s *own* buffer RNG — the
+        index draw per device is exactly ``ReplayBuffer.sample``'s
+        (``choice`` with replacement only while under-filled), so the
+        stream advances as serial would. Returns stacked
+        ``(states, actions, rewards)`` of shapes ``(E, B, F)``,
+        ``(E, B)``, ``(E, B)``.
+        """
+        if batch_size <= 0:
+            raise PolicyError(f"batch_size must be positive, got {batch_size}")
+        index_matrix = np.empty((len(rows), batch_size), dtype=np.int64)
+        for position, (row, rng) in enumerate(zip(rows, rngs)):
+            size = int(self.sizes[row])
+            if size == 0:
+                raise PolicyError("cannot sample from an empty replay buffer")
+            replace = size < batch_size
+            index_matrix[position] = rng.choice(
+                size, size=batch_size, replace=replace
+            )
+        # One flat take per column beats a broadcasting double fancy
+        # index ~2.6x; the gathered values are identical either way.
+        offsets = np.asarray(rows, dtype=np.int64)[:, None] * self.capacity
+        flat_index = (offsets + index_matrix).ravel()
+        shape = (len(rows), batch_size)
+        flat = len(flat_index)
+        states = np.take(
+            self.states.reshape(-1, self.features),
+            flat_index,
+            axis=0,
+            out=self._buf("states", (flat, self.features), np.float64),
+        )
+        actions = np.take(
+            self.actions.ravel(),
+            flat_index,
+            out=self._buf("actions", (flat,), np.int64),
+        )
+        rewards = np.take(
+            self.rewards.ravel(),
+            flat_index,
+            out=self._buf("rewards", (flat,), np.float64),
+        )
+        return (
+            states.reshape(*shape, self.features),
+            actions.reshape(shape),
+            rewards.reshape(shape),
+        )

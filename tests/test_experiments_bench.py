@@ -7,6 +7,7 @@ import pytest
 from repro.experiments.bench import (
     DEFAULT_OUTPUT,
     SCHEMA_VERSION,
+    available_cpus,
     bench_assignments,
     bench_config,
     format_summary,
@@ -22,12 +23,19 @@ SINGLE_STEP_KEYS = {
     "greedy_steps_per_s",
     "predict_single_latency_s",
 }
+FLEET_BACKEND_KEYS = {"control_steps_per_s", "train_steps_per_s"}
 
 
 @pytest.fixture(scope="module")
 def document():
     return run_speed_benchmark(
-        seed=3, rounds=2, steps_per_round=10, num_devices=2, workers=2
+        seed=3,
+        rounds=2,
+        steps_per_round=10,
+        num_devices=2,
+        workers=2,
+        fleet_scales=(2, 3),
+        fleet_steps=25,
     )
 
 
@@ -38,6 +46,15 @@ def test_bench_assignments_cover_requested_devices():
     # Round-robin split: no app assigned twice.
     flat = [app for apps in assignments.values() for app in apps]
     assert len(flat) == len(set(flat))
+
+
+def test_bench_assignments_scale_past_the_alphabet():
+    assignments = bench_assignments(40)
+    assert len(assignments) == 40
+    # Names stay unique and sortable at fleet scale...
+    assert list(assignments) == sorted(assignments)
+    # ...and every device still has at least one application.
+    assert all(apps for apps in assignments.values())
 
 
 def test_bench_config_preserves_exploration_horizon():
@@ -68,8 +85,64 @@ def test_document_schema(document):
     for backend in ("serial", "process"):
         assert parallel[backend]["wall_s"] > 0.0
         assert parallel[backend]["local_train_s"] > 0.0
-    assert parallel["speedup_wall_process"] > 0.0
-    assert parallel["speedup_local_train_process"] > 0.0
+    if available_cpus() > 1:
+        assert parallel["speedup_wall_process"] > 0.0
+        assert parallel["speedup_local_train_process"] > 0.0
+    else:
+        # Single-CPU honesty: pool "speedups" are omitted, not reported
+        # as sub-1x regressions; the raw timings stay.
+        assert not any(key.startswith("speedup_") for key in parallel)
+        assert "single CPU" in parallel["note"]
+
+
+def test_fleet_section_schema(document):
+    fleet = document["fleet"]
+    assert fleet["backend"] == "batched"
+    assert fleet["scales"] == [2, 3]
+    assert set(fleet["per_scale"]) == {"2", "3"}
+    for entry in fleet["per_scale"].values():
+        assert set(entry) == {
+            "serial",
+            "batched",
+            "speedup_train_batched",
+            "speedup_control_batched",
+        }
+        for backend in ("serial", "batched"):
+            assert set(entry[backend]) == FLEET_BACKEND_KEYS
+            assert all(value > 0.0 for value in entry[backend].values())
+        assert entry["speedup_train_batched"] > 0.0
+        assert entry["speedup_control_batched"] > 0.0
+
+
+def test_fleet_metrics_feed_the_regression_gate():
+    from repro.obs.regress import BENCH_KEY_METRICS, bench_key_metrics
+
+    assert "fleet.per_scale.32.batched.train_steps_per_s" in BENCH_KEY_METRICS
+    assert "fleet.per_scale.256.batched.train_steps_per_s" in BENCH_KEY_METRICS
+    # Missing scales are skipped, not errors — small smoke documents and
+    # old histories stay valid.
+    stub = {
+        "fleet": {
+            "per_scale": {
+                "32": {"batched": {"train_steps_per_s": 123.0}},
+            }
+        }
+    }
+    metrics = bench_key_metrics(stub)
+    assert metrics["fleet.per_scale.32.batched.train_steps_per_s"] == 123.0
+    assert "fleet.per_scale.256.batched.train_steps_per_s" not in metrics
+
+
+def test_fleet_section_skippable():
+    document = run_speed_benchmark(
+        seed=3,
+        rounds=2,
+        steps_per_round=10,
+        num_devices=2,
+        backends=("serial",),
+        fleet_scales=(),
+    )
+    assert "fleet" not in document
 
 
 def test_document_round_trips_through_json(tmp_path, document):
@@ -79,6 +152,26 @@ def test_document_round_trips_through_json(tmp_path, document):
     assert loaded == json.loads(json.dumps(document))
 
 
+def test_write_benchmark_mirrors_to_root(tmp_path, document, monkeypatch):
+    results_dir = tmp_path / "results"
+    results_dir.mkdir()
+    monkeypatch.chdir(tmp_path)
+    path = write_benchmark(
+        document, str(results_dir / DEFAULT_OUTPUT), mirror_root=True
+    )
+    with open(path) as handle:
+        written = handle.read()
+    root_copy = tmp_path / DEFAULT_OUTPUT
+    assert root_copy.is_file()
+    assert root_copy.read_text() == written
+
+
+def test_write_benchmark_mirror_is_noop_at_root(tmp_path, document, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    write_benchmark(document, DEFAULT_OUTPUT, mirror_root=True)
+    assert (tmp_path / DEFAULT_OUTPUT).is_file()
+
+
 def test_serial_only_document_omits_speedups():
     document = run_speed_benchmark(
         seed=3,
@@ -86,6 +179,7 @@ def test_serial_only_document_omits_speedups():
         steps_per_round=10,
         num_devices=2,
         backends=("serial",),
+        fleet_scales=(),
     )
     parallel = document["parallel"]
     assert "process" not in parallel
@@ -96,4 +190,9 @@ def test_format_summary_mentions_key_numbers(document):
     text = format_summary(document)
     assert "schema v%d" % SCHEMA_VERSION in text
     assert "federated" in text
-    assert "speedup_local_train_process" in text
+    assert "fleet D=2" in text
+    assert "train steps/s" in text
+    if available_cpus() > 1:
+        assert "speedup_local_train_process" in text
+    else:
+        assert "single CPU" in text

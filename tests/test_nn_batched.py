@@ -1,0 +1,161 @@
+"""StackedMLP/StackedAdam vs per-device MLP/Adam equivalence.
+
+The stacking contract: with the bit-exactness probe green (single
+matmuls over a device axis produce the same doubles as per-device 2-D
+calls — true on every mainstream BLAS we have met), stacked forward,
+backward and Adam steps reproduce each device's serial doubles
+*exactly*. Where the probe fails the backend falls back to serial, so
+these tests assert exact equality when the probe passes and a tight
+float tolerance otherwise — the documented-divergence contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.batched import StackedAdam, StackedMLP, stacked_ops_bitexact
+from repro.nn.network import MLP
+from repro.nn.optimizers import Adam
+
+LAYERS = (5, 32, 15)
+DEVICES = 6
+BITEXACT = stacked_ops_bitexact()
+
+
+def assert_matches(stacked, serial):
+    if BITEXACT:
+        assert (np.asarray(stacked) == np.asarray(serial)).all()
+    else:
+        np.testing.assert_allclose(stacked, serial, rtol=1e-12, atol=1e-15)
+
+
+@pytest.fixture()
+def networks():
+    return [MLP(LAYERS, seed=100 + i) for i in range(DEVICES)]
+
+
+@pytest.fixture()
+def stacked(networks):
+    return StackedMLP.from_networks(networks)
+
+
+def test_probe_returns_bool():
+    assert isinstance(BITEXACT, bool)
+
+
+def test_predict_matches_predict_single(networks, stacked):
+    rng = np.random.default_rng(0)
+    states = rng.normal(size=(DEVICES, LAYERS[0]))
+    out = stacked.predict(states)
+    for row, network in enumerate(networks):
+        assert_matches(out[row], network.predict_single(states[row]))
+
+
+def test_predict_row_subset_matches_full(networks, stacked):
+    rng = np.random.default_rng(1)
+    states = rng.normal(size=(3, LAYERS[0]))
+    rows = np.asarray([4, 0, 2])
+    out = stacked.predict(states.copy(), rows)
+    for position, row in enumerate(rows):
+        assert_matches(out[position], networks[row].predict_single(states[position]))
+
+
+def test_forward_backward_match_serial(networks, stacked):
+    rng = np.random.default_rng(2)
+    batch = 16
+    inputs = rng.normal(size=(DEVICES, batch, LAYERS[0]))
+    grad_out = rng.normal(size=(DEVICES, batch, LAYERS[-1]))
+    out, caches = stacked.forward(inputs, None)
+    grads = stacked.backward(grad_out.copy(), caches, None)
+    for row, network in enumerate(networks):
+        serial_out = network.forward(inputs[row])
+        assert_matches(out[row], serial_out)
+        network.zero_gradients()
+        network.backward(grad_out[row])
+        for index, serial_grad in enumerate(network.gradients):
+            assert_matches(grads[index][row], serial_grad)
+
+
+def test_adam_steps_match_serial(networks, stacked):
+    optimizers = [Adam(learning_rate=0.005) for _ in range(DEVICES)]
+    stacked_opt = StackedAdam.from_optimizers(
+        optimizers, networks[0].parameter_shapes()
+    )
+    param_stacks = [
+        array
+        for pair in zip(stacked.weights, stacked.biases)
+        for array in pair
+    ]
+    rng = np.random.default_rng(3)
+    batch = 8
+    for cycle in range(5):
+        inputs = rng.normal(size=(DEVICES, batch, LAYERS[0]))
+        grad_out = rng.normal(size=(DEVICES, batch, LAYERS[-1])) * 0.01
+        _, caches = stacked.forward(inputs, None)
+        grads = stacked.backward(grad_out.copy(), caches, None)
+        # Serial reference first (stacked scratch reuse must not matter).
+        for row, network in enumerate(networks):
+            network.forward(inputs[row])
+            network.zero_gradients()
+            network.backward(grad_out[row])
+            optimizers[row].step(network.parameters, network.gradients)
+        stacked_opt.step_rows(None, param_stacks, grads)
+    for row, network in enumerate(networks):
+        for index, serial_param in enumerate(network.parameters):
+            assert_matches(param_stacks[index][row], serial_param)
+
+
+def test_adam_row_subset_matches_full_rows_path():
+    shapes = [(4, 3), (3,)]
+    full = StackedAdam(shapes, 3, learning_rate=0.01)
+    subset = StackedAdam(shapes, 3, learning_rate=0.01)
+    rng = np.random.default_rng(4)
+    params_full = [rng.normal(size=(3, *shape)) for shape in shapes]
+    params_subset = [array.copy() for array in params_full]
+    grads = [rng.normal(size=(3, *shape)) for shape in shapes]
+    full.step_rows(None, params_full, grads)
+    subset.step_rows(np.asarray([0, 1, 2]), params_subset, grads)
+    for a, b in zip(params_full, params_subset):
+        assert_matches(b, a)
+
+
+def test_store_row_round_trips_network_and_optimizer(networks, stacked):
+    restored = MLP(LAYERS, seed=999)
+    stacked.store_row(3, restored)
+    for a, b in zip(restored.parameters, networks[3].parameters):
+        assert (a == b).all()
+
+    optimizer = Adam()
+    stacked_opt = StackedAdam.from_optimizers(
+        [Adam() for _ in range(DEVICES)], networks[0].parameter_shapes()
+    )
+    # A never-stepped row restores Adam's lazy (empty-moment) state.
+    stacked_opt.store_row(0, optimizer)
+    assert optimizer.step_count == 0
+    assert optimizer._first_moment == []
+
+
+def test_reset_rows_matches_adam_reset():
+    shapes = [(2, 2)]
+    stacked_opt = StackedAdam(shapes, 2)
+    params = [np.ones((2, 2, 2))]
+    grads = [np.full((2, 2, 2), 0.1)]
+    stacked_opt.step_rows(None, params, grads)
+    assert (stacked_opt.step_counts == 1).all()
+    stacked_opt.reset_rows([1])
+    assert stacked_opt.step_counts[0] == 1
+    assert stacked_opt.step_counts[1] == 0
+    assert (stacked_opt._first_moment[0][1] == 0.0).all()
+    assert (stacked_opt._second_moment[0][1] == 0.0).all()
+
+
+def test_forward_outputs_are_scratch_views(stacked):
+    """Documented contract: returned arrays live in reused scratch
+    buffers and are overwritten by the next call — callers must copy
+    anything they keep across calls."""
+    rng = np.random.default_rng(5)
+    first_inputs = rng.normal(size=(DEVICES, 4, LAYERS[0]))
+    first, _ = stacked.forward(first_inputs, None)
+    kept = first.copy()
+    second, _ = stacked.forward(first_inputs * 2.0, None)
+    assert second.base is first.base  # same storage...
+    assert not (first == kept).all()  # ...so the old view was clobbered

@@ -1,0 +1,210 @@
+"""BatchedFleet grouping, fallback and resync behaviour.
+
+Bit-identical equivalence against serial across whole training drivers
+(including stragglers, guard, events and obs artefacts) lives in
+``test_parallel_equivalence.py``. This module exercises the backend's
+*own* mechanics at fleet level: which actors join the stacked group,
+how ineligible or incompatible devices fall back to the exact serial
+path, and how non-training tasks force a state resync.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.training import _local_actor_parts, _worker_specs
+from repro.parallel.engine import DeviceFleet
+from repro.rl.prioritized_replay import PrioritizedReplayBuffer
+
+ASSIGNMENTS = {
+    "BENCH_000": ("fft",),
+    "BENCH_001": ("lu",),
+    "BENCH_002": ("radix",),
+}
+EVAL_APPS = ("fft",)
+
+
+def _config():
+    return FederatedPowerControlConfig(
+        num_rounds=3, steps_per_round=30, seed=11
+    )
+
+
+def _prioritized_builder(
+    device_name, metrics, profiler, assignments, config, eval_apps
+):
+    """BENCH_001 runs prioritized replay; the rest are stock."""
+    parts = _local_actor_parts(
+        device_name, metrics, profiler, assignments, config, eval_apps
+    )
+    if device_name == "BENCH_001":
+        agent = parts.controller.agent
+        agent.replay = PrioritizedReplayBuffer(
+            capacity=agent.replay.capacity, seed=101
+        )
+    return parts
+
+
+def _odd_interval_builder(
+    device_name, metrics, profiler, assignments, config, eval_apps
+):
+    """BENCH_001 updates on a different cadence (incompatible, not
+    ineligible — same component types, different hyperparameter)."""
+    parts = _local_actor_parts(
+        device_name, metrics, profiler, assignments, config, eval_apps
+    )
+    if device_name == "BENCH_001":
+        parts.controller.agent.update_interval = 7
+    return parts
+
+
+def _all_odd_builder(
+    device_name, metrics, profiler, assignments, config, eval_apps
+):
+    """Every device differs from every other — nothing can group."""
+    parts = _local_actor_parts(
+        device_name, metrics, profiler, assignments, config, eval_apps
+    )
+    index = int(device_name[-1])
+    parts.controller.agent.update_interval = 13 + index
+    return parts
+
+
+def _run_rounds(builder, backend, rounds=2, assignments=ASSIGNMENTS):
+    """Run ``rounds`` training rounds; return (records, fleet) pairs."""
+    config = _config()
+    specs = _worker_specs(
+        builder, assignments, config, EVAL_APPS, None, None, None
+    )
+    names = list(assignments)
+    records = {}
+    with DeviceFleet(specs, backend=backend) as fleet:
+        for round_index in range(rounds):
+            outcomes = fleet.run_round(
+                round_index, names, config.steps_per_round
+            )
+            for name, outcome in outcomes.items():
+                records.setdefault(name, []).extend(outcome.records)
+        parameters = {
+            name: controller.agent.get_parameters()
+            for name, controller in fleet.fetch_controllers().items()
+        }
+    return records, parameters
+
+
+def _assert_same_run(builder):
+    serial_records, serial_params = _run_rounds(builder, "serial")
+    batched_records, batched_params = _run_rounds(builder, "batched")
+    assert batched_records == serial_records
+    for name in serial_params:
+        for a, b in zip(serial_params[name], batched_params[name]):
+            assert (a == b).all()
+
+
+def _batched_group(builder, assignments=ASSIGNMENTS):
+    """Run one round on a batched fleet; return its (group, fleet)."""
+    config = _config()
+    specs = _worker_specs(
+        builder, assignments, config, EVAL_APPS, None, None, None
+    )
+    fleet = DeviceFleet(specs, backend="batched")
+    fleet.run_round(0, list(assignments), config.steps_per_round)
+    return fleet._backend._group, fleet
+
+
+def test_homogeneous_fleet_forms_full_group():
+    group, fleet = _batched_group(_local_actor_parts)
+    try:
+        assert group is not None
+        assert set(group.rows) == set(ASSIGNMENTS)
+    finally:
+        fleet.close()
+
+
+def test_prioritized_replay_device_excluded_from_group():
+    group, fleet = _batched_group(_prioritized_builder)
+    try:
+        assert group is not None
+        assert set(group.rows) == {"BENCH_000", "BENCH_002"}
+    finally:
+        fleet.close()
+
+
+def test_prioritized_replay_fallback_matches_serial():
+    """The excluded device samples per-device (serial path) while the
+    rest run stacked — the combined run still equals serial exactly."""
+    _assert_same_run(_prioritized_builder)
+
+
+def test_incompatible_cadence_excluded_from_group():
+    group, fleet = _batched_group(_odd_interval_builder)
+    try:
+        assert group is not None
+        assert set(group.rows) == {"BENCH_000", "BENCH_002"}
+    finally:
+        fleet.close()
+
+
+def test_incompatible_cadence_matches_serial():
+    _assert_same_run(_odd_interval_builder)
+
+
+def test_no_group_when_fewer_than_two_match():
+    group, fleet = _batched_group(_all_odd_builder)
+    try:
+        assert group is None
+    finally:
+        fleet.close()
+
+
+def test_ungrouped_fleet_matches_serial():
+    _assert_same_run(_all_odd_builder)
+
+
+def test_non_training_tasks_resync_stacked_state():
+    """A controller fetch between rounds must observe the stacked
+    training and the following round must resume from resynced state —
+    same doubles as a serial fleet doing the same interleaving."""
+    config = _config()
+    results = {}
+    for backend in ("serial", "batched"):
+        specs = _worker_specs(
+            _local_actor_parts, ASSIGNMENTS, config, EVAL_APPS, None, None, None
+        )
+        names = list(ASSIGNMENTS)
+        with DeviceFleet(specs, backend=backend) as fleet:
+            fleet.run_round(0, names, config.steps_per_round)
+            mid = {
+                name: [p.copy() for p in controller.agent.get_parameters()]
+                for name, controller in fleet.fetch_controllers().items()
+            }
+            outcomes = fleet.run_round(1, names, config.steps_per_round)
+            results[backend] = (
+                mid,
+                {name: outcomes[name].records for name in names},
+            )
+    serial_mid, serial_records = results["serial"]
+    batched_mid, batched_records = results["batched"]
+    for name in ASSIGNMENTS:
+        for a, b in zip(serial_mid[name], batched_mid[name]):
+            assert (a == b).all()
+    assert batched_records == serial_records
+
+
+def test_greedy_rounds_group_too():
+    """train=False rounds run through the same lockstep loop (they
+    consume the same softmax draws as serial greedy evaluation)."""
+    config = _config()
+    runs = {}
+    for backend in ("serial", "batched"):
+        specs = _worker_specs(
+            _local_actor_parts, ASSIGNMENTS, config, EVAL_APPS, None, None, None
+        )
+        names = list(ASSIGNMENTS)
+        with DeviceFleet(specs, backend=backend) as fleet:
+            fleet.run_round(0, names, config.steps_per_round, train=True)
+            outcomes = fleet.run_round(
+                1, names, config.steps_per_round, train=False
+            )
+            runs[backend] = {name: outcomes[name].records for name in names}
+    assert runs["batched"] == runs["serial"]

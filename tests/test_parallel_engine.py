@@ -98,7 +98,7 @@ class TestExecutionContext:
 
 class TestBackendFactory:
     def test_backend_names(self):
-        assert BACKEND_NAMES == ("serial", "thread", "process")
+        assert BACKEND_NAMES == ("serial", "thread", "process", "batched")
 
     def test_unknown_backend(self):
         with pytest.raises(ConfigurationError):

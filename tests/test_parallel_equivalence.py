@@ -20,7 +20,7 @@ from repro.experiments.training import (
 
 ASSIGNMENTS = {"DEVICE_A": ("fft", "lu"), "DEVICE_B": ("radix",)}
 EVAL_APPS = ("fft", "radix")
-BACKENDS = ("thread", "process")
+BACKENDS = ("thread", "process", "batched")
 
 
 @pytest.fixture(scope="module")
