@@ -128,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_flags(run_parser)
     _add_resilience_flags(run_parser)
     _add_guard_flags(run_parser)
+    _add_hier_flags(run_parser)
 
     report_parser = subparsers.add_parser(
         "report",
@@ -152,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_flags(report_parser)
     _add_resilience_flags(report_parser)
     _add_guard_flags(report_parser)
+    _add_hier_flags(report_parser)
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -205,7 +207,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CSV",
         help=(
             "comma-separated fleet sizes for the per-scale throughput "
-            "section; empty or 0 skips it (default: 4,32,256)"
+            "section, deduped and sorted; empty skips it "
+            "(default: 4,32,256)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--hier-devices",
+        type=str,
+        default="1000,10000",
+        metavar="CSV",
+        help=(
+            "comma-separated device counts for the hierarchical-vs-flat "
+            "aggregation section, deduped and sorted; empty skips it "
+            "(default: 1000,10000)"
         ),
     )
     bench_parser.add_argument(
@@ -675,6 +689,47 @@ def _add_guard_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_hier_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        type=str,
+        default="",
+        metavar="SPEC",
+        help=(
+            "run the federation over a multi-tier aggregation tree: "
+            "'flat', key=value pairs like 'edges=4,regions=2,seed=7' or "
+            "the path of a saved topology JSON "
+            "(see repro.hier.FleetTopology.from_spec)"
+        ),
+    )
+    parser.add_argument(
+        "--selection",
+        type=str,
+        default="",
+        metavar="SPEC",
+        help=(
+            "client-selection policy for partial participation: "
+            "'uniform[:FRACTION]', 'pareto[:FRACTION[:ALPHA]]' or "
+            "'stratified[:FRACTION]' (stratified needs --topology; see "
+            "repro.hier.build_selection_policy)"
+        ),
+    )
+
+
+def _build_hier_context(args):
+    """The ambient hierarchy context for this invocation (or a no-op)."""
+    topology_spec = getattr(args, "topology", "")
+    selection_spec = getattr(args, "selection", "")
+    if not (topology_spec or selection_spec):
+        return nullcontext()
+    from repro.hier import hier
+
+    return hier(
+        topology=topology_spec or None,
+        selection=selection_spec or None,
+    )
+
+
 def _build_guard_context(args):
     """The ambient guard context for this invocation (or a no-op)."""
     guard_on = getattr(args, "guard", False)
@@ -803,7 +858,7 @@ def _dispatch(args) -> int:
         events=sinks.events,
     ), execution(args.backend, args.workers or None), _build_resilience_context(
         args
-    ), _build_guard_context(args):
+    ), _build_guard_context(args), _build_hier_context(args):
         output = spec.runner(config)
     print(output)
     if args.output:
@@ -1057,6 +1112,34 @@ def _write_metrics_jsonl(
     )
 
 
+def _parse_scales(flag: str, raw: str) -> Optional[tuple]:
+    """Parse a CSV device-count flag: dedupe, sort, reject counts < 1.
+
+    Returns the validated tuple (empty input → empty tuple, which skips
+    the section), or ``None`` after printing a clear error — the caller
+    exits 2, the CLI's bad-arguments code.
+    """
+    parts = [part.strip() for part in raw.split(",") if part.strip()]
+    try:
+        values = [int(part) for part in parts]
+    except ValueError:
+        print(
+            f"error: {flag} must be a comma-separated list of integers, "
+            f"got {raw!r}",
+            file=sys.stderr,
+        )
+        return None
+    invalid = sorted({value for value in values if value < 1})
+    if invalid:
+        print(
+            f"error: {flag} device counts must be >= 1, got "
+            f"{', '.join(str(value) for value in invalid)}",
+            file=sys.stderr,
+        )
+        return None
+    return tuple(sorted(set(values)))
+
+
 def _run_bench(args) -> int:
     """Run the speed benchmark suite; write the document + history."""
     from repro.experiments.bench import (
@@ -1070,18 +1153,11 @@ def _run_bench(args) -> int:
     if not args.no_history:
         _require_parent_dir("--history", args.history)
     backends = ("serial",) if args.no_process else ("serial", "process")
-    try:
-        fleet_scales = tuple(
-            int(part)
-            for part in args.fleet_devices.split(",")
-            if part.strip() and int(part) > 0
-        )
-    except ValueError:
-        print(
-            f"error: --fleet-devices must be a comma-separated list of "
-            f"integers, got {args.fleet_devices!r}",
-            file=sys.stderr,
-        )
+    fleet_scales = _parse_scales("--fleet-devices", args.fleet_devices)
+    if fleet_scales is None:
+        return 2
+    hier_scales = _parse_scales("--hier-devices", args.hier_devices)
+    if hier_scales is None:
         return 2
     document = run_speed_benchmark(
         seed=args.seed,
@@ -1092,6 +1168,7 @@ def _run_bench(args) -> int:
         backends=backends,
         fleet_backend=args.backend,
         fleet_scales=fleet_scales,
+        hier_scales=hier_scales,
     )
     path = write_benchmark(document, args.output, mirror_root=True)
     print(format_summary(document))
@@ -1358,7 +1435,7 @@ def _run_report(args) -> int:
         events=sinks.events,
     ), execution(args.backend, args.workers or None), _build_resilience_context(
         args
-    ), _build_guard_context(args):
+    ), _build_guard_context(args), _build_hier_context(args):
         for experiment_id in experiment_ids:
             spec = get_experiment(experiment_id)
             print(f"running {experiment_id} ({spec.paper_artifact}) ...")

@@ -70,6 +70,9 @@ DEFAULT_FLEET_SCALES: Tuple[int, ...] = (4, 32, 256)
 #: Backend the fleet section compares against serial by default.
 DEFAULT_FLEET_BACKEND = "batched"
 
+#: Device counts the hierarchical-aggregation section measures.
+DEFAULT_HIER_SCALES: Tuple[int, ...] = (1000, 10000)
+
 
 def bench_assignments(num_devices: int = 4) -> Dict[str, Tuple[str, ...]]:
     """``num_devices`` devices over the six-app split, round-robin.
@@ -374,6 +377,51 @@ def _bench_fleet(
     return section
 
 
+def _bench_hier(
+    seed: int, scales: Sequence[int], rounds: int = 1
+) -> Dict[str, object]:
+    """Server-side aggregation cost: tier tree vs flat FedAvg.
+
+    For each device count ``D`` in ``scales``,
+    :func:`repro.hier.scale.simulate_fleet_round` pushes one round of
+    seeded synthetic updates through both arms — the √D-edge hierarchy
+    (streaming mean, one resident update per node) and the flat
+    single-server baseline (all D decoded before averaging) — over the
+    real transport/codec machinery. Reported per scale: wall time and
+    total bytes per arm, the peak number of simultaneously resident
+    decoded updates (the memory story: O(1) hier vs O(D) flat), the
+    root fan-in and the parameter-server traffic cut.
+    """
+    from repro.hier.scale import simulate_fleet_round
+
+    section: Dict[str, object] = {
+        "scales": [int(scale) for scale in scales],
+        "rounds": rounds,
+        "per_scale": {},
+    }
+    for num_devices in scales:
+        report = simulate_fleet_round(
+            int(num_devices), rounds=rounds, seed=seed, include_flat=True
+        )
+        entry: Dict[str, object] = {
+            "hier_wall_s": report.hier_wall_s,
+            "flat_wall_s": report.flat_wall_s,
+            "hier_peak_resident_updates": report.hier_peak_resident_updates,
+            "flat_peak_resident_updates": report.flat_peak_resident_updates,
+            "hier_bytes": report.hier_bytes,
+            "flat_bytes": report.flat_bytes,
+            "root_fan_in": report.hier_root_fan_in,
+            "ps_traffic_cut": report.ps_traffic_cut,
+            "max_drift": report.max_drift,
+        }
+        if report.hier_wall_s > 0:
+            entry["speedup_wall_hier"] = (
+                report.flat_wall_s / report.hier_wall_s
+            )
+        section["per_scale"][str(int(num_devices))] = entry
+    return section
+
+
 def run_speed_benchmark(
     seed: int = 2025,
     rounds: int = 4,
@@ -384,11 +432,14 @@ def run_speed_benchmark(
     fleet_backend: str = DEFAULT_FLEET_BACKEND,
     fleet_scales: Sequence[int] = DEFAULT_FLEET_SCALES,
     fleet_steps: Optional[int] = None,
+    hier_scales: Sequence[int] = DEFAULT_HIER_SCALES,
 ) -> Dict[str, object]:
     """Run every section and return the machine-readable document.
 
     ``fleet_scales=()`` skips the fleet section entirely (useful for
-    smoke runs); ``fleet_steps`` defaults to ``steps_per_round``.
+    smoke runs); ``fleet_steps`` defaults to ``steps_per_round``;
+    ``hier_scales=()`` likewise skips the hierarchical-aggregation
+    section.
     """
     config = bench_config(seed=seed, rounds=rounds, steps_per_round=steps_per_round)
     assignments = bench_assignments(num_devices)
@@ -419,6 +470,8 @@ def run_speed_benchmark(
             tuple(fleet_scales),
             fleet_backend,
         )
+    if hier_scales:
+        document["hier"] = _bench_hier(seed, tuple(hier_scales))
     return document
 
 
@@ -506,6 +559,24 @@ def format_summary(document: Dict[str, object]) -> str:
             if speedup is not None:
                 line += " (%.2fx train)" % speedup
             lines.append(line)
+    hier = document.get("hier")
+    if hier:
+        for scale, entry in sorted(
+            hier["per_scale"].items(), key=lambda item: int(item[0])
+        ):
+            lines.append(
+                "  hier D=%-5s: %.3fs vs flat %.3fs (%.2fx), "
+                "resident %d vs %d, ps cut %.1f%%"
+                % (
+                    scale,
+                    entry["hier_wall_s"],
+                    entry["flat_wall_s"],
+                    entry.get("speedup_wall_hier", 0.0),
+                    entry["hier_peak_resident_updates"],
+                    entry["flat_peak_resident_updates"],
+                    entry["ps_traffic_cut"] * 100.0,
+                )
+            )
     lines.append(
         "  cpus        : %d available"
         % document["environment"]["available_cpus"]

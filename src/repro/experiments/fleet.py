@@ -1,0 +1,105 @@
+"""The ``fleet-scale`` experiment: hierarchy vs flat at 1k/10k devices.
+
+Runs :func:`repro.hier.scale.simulate_fleet_round` at each requested
+fleet size and prints the per-scale reports — server-side wall time,
+per-tier traffic, peak resident updates (the O(model) memory claim) and
+the parameter-server traffic cut, with the flat single-server baseline
+alongside.
+
+Environment overrides (used by the CI ``fleet-smoke`` job):
+
+* ``REPRO_FLEET_SCALES`` — comma-separated device counts replacing the
+  default ``1000,10000``;
+* ``REPRO_FLEET_FLAT=0`` — skip the flat baseline arm (its O(D) decoded
+  updates would dominate a peak-RSS assertion);
+* ``REPRO_FLEET_ROUNDS`` — aggregation rounds per scale (default 1).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.hier.scale import FleetScaleReport, simulate_fleet_round
+
+#: Default fleet sizes: the paper roster grown by 2-3 orders of magnitude.
+DEFAULT_FLEET_SCALES: Tuple[int, ...] = (1000, 10000)
+
+FLEET_SCALES_ENV = "REPRO_FLEET_SCALES"
+FLEET_FLAT_ENV = "REPRO_FLEET_FLAT"
+FLEET_ROUNDS_ENV = "REPRO_FLEET_ROUNDS"
+
+
+def _scales_from_env() -> Tuple[int, ...]:
+    raw = os.environ.get(FLEET_SCALES_ENV)
+    if not raw:
+        return DEFAULT_FLEET_SCALES
+    try:
+        scales = sorted(
+            {int(part) for part in raw.split(",") if part.strip()}
+        )
+    except ValueError as error:
+        raise ConfigurationError(
+            f"invalid {FLEET_SCALES_ENV} value {raw!r}: {error}"
+        ) from None
+    if not scales or any(scale < 1 for scale in scales):
+        raise ConfigurationError(
+            f"{FLEET_SCALES_ENV} must list device counts >= 1, got {raw!r}"
+        )
+    return tuple(scales)
+
+
+@dataclass
+class FleetScaleResult:
+    """All scale points of one ``fleet-scale`` invocation."""
+
+    reports: List[FleetScaleReport]
+
+    def by_devices(self) -> Dict[int, FleetScaleReport]:
+        return {report.num_devices: report for report in self.reports}
+
+    def format(self) -> str:
+        lines: List[str] = [
+            "fleet-scale: hierarchical vs flat aggregation "
+            "(synthetic updates, real transport/codec/tier machinery)",
+            "",
+        ]
+        for report in self.reports:
+            lines.extend(report.summary_lines())
+            lines.append("")
+        peaks = {
+            report.hier_peak_resident_updates for report in self.reports
+        }
+        if len(self.reports) > 1 and len(peaks) == 1:
+            lines.append(
+                f"aggregator memory: peak_resident_updates="
+                f"{peaks.pop()} at every scale "
+                f"(independent of device count)"
+            )
+        return "\n".join(lines).rstrip()
+
+
+def run_fleet_scale(config: FederatedPowerControlConfig) -> FleetScaleResult:
+    """Measure hierarchical aggregation at the configured fleet sizes.
+
+    Device training is synthesised (seeded updates, no simulators) —
+    the experiment isolates the *server side* of scale, which is what
+    changes when the roster grows from the paper's 4 devices to 10k.
+    Deterministic in ``config.seed`` except for the ``wall_s`` timings.
+    """
+    scales = _scales_from_env()
+    include_flat = os.environ.get(FLEET_FLAT_ENV, "1") != "0"
+    rounds = int(os.environ.get(FLEET_ROUNDS_ENV, "1"))
+    reports = [
+        simulate_fleet_round(
+            num_devices,
+            rounds=rounds,
+            seed=config.seed,
+            include_flat=include_flat,
+        )
+        for num_devices in scales
+    ]
+    return FleetScaleResult(reports=reports)

@@ -31,6 +31,7 @@ from repro.experiments.ablations import (
     run_weighted_averaging,
 )
 from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.fleet import run_fleet_scale
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
@@ -276,6 +277,12 @@ _SPECS: List[ExperimentSpec] = [
         "Float32 vs int8-quantised model exchange",
         "extension",
         lambda config: run_compression(config).format(),
+    ),
+    ExperimentSpec(
+        "fleet-scale",
+        "Hierarchical vs flat aggregation at 1k/10k devices",
+        "extension",
+        lambda config: run_fleet_scale(config).format(),
     ),
     ExperimentSpec(
         "ablation_thermal",

@@ -47,6 +47,10 @@ from repro.federated.orchestrator import FederatedRunResult, run_federated_train
 from repro.federated.server import FederatedServer
 from repro.guard.churn import ChurnPlan
 from repro.guard.context import GuardReport, publish_guard_report, resolve_guard
+from repro.hier.context import resolve_hier
+from repro.hier.selection import SelectionPolicy, build_selection_policy
+from repro.hier.shard import HierarchicalFederation
+from repro.hier.topology import FleetTopology
 from repro.guard.quarantine import QuarantineConfig, QuarantineManager
 from repro.guard.watchdog import GuardedController, WatchdogConfig, guard_controller
 from repro.federated.transport import InMemoryTransport
@@ -371,6 +375,87 @@ def _materialize_guard(
             f"{type(churn_plan).__name__}"
         )
     return watchdog_cfg, quarantine_mgr, churn_plan
+
+
+def _materialize_hier(
+    topology,
+    selection,
+    assignments: Dict[str, Tuple[str, ...]],
+    config: FederatedPowerControlConfig,
+) -> Tuple[Optional[FleetTopology], Optional[SelectionPolicy]]:
+    """Resolve explicit/ambient hierarchy settings into live objects.
+
+    ``topology`` may be a :class:`~repro.hier.topology.FleetTopology`
+    (validated against this run's roster) or a spec string resolved
+    against it (``"flat"``, ``"edges=4"``, a saved-topology path);
+    ``selection`` a :class:`~repro.hier.selection.SelectionPolicy` or
+    registry spec (``"uniform:0.5"``, ``"pareto:0.5:1.5"``,
+    ``"stratified:0.5"``). ``None`` for both (the default) leaves the
+    run on the flat single-server path, bit-identical to previous
+    releases.
+    """
+    resolved = resolve_hier(topology=topology, selection=selection)
+    topo = resolved.topology
+    if topo is not None:
+        if not isinstance(topo, (FleetTopology, str)):
+            raise ConfigurationError(
+                f"topology must be a FleetTopology or spec string, got "
+                f"{type(topo).__name__}"
+            )
+        topo = FleetTopology.from_spec(
+            topo, devices=list(assignments), seed=config.seed
+        )
+    policy = resolved.selection
+    if isinstance(policy, str):
+        policy = build_selection_policy(
+            policy, topology=topo, seed=config.seed
+        )
+    elif policy is not None and not isinstance(policy, SelectionPolicy):
+        raise ConfigurationError(
+            f"selection must be a SelectionPolicy or spec string, got "
+            f"{type(policy).__name__}"
+        )
+    return topo, policy
+
+
+def _build_federated_server(
+    initial_parameters,
+    assignments: Dict[str, Tuple[str, ...]],
+    transport,
+    codec,
+    metrics: Optional[MetricsRegistry],
+    resilience_cfg: "_ResolvedResilience",
+    quarantine_mgr: Optional[QuarantineManager],
+    topology_obj: Optional[FleetTopology],
+):
+    """The run's aggregation endpoint: flat server or tier tree.
+
+    With a topology the whole tree (one :class:`FederatedServer` per
+    node) stands in for the flat server — it exposes the same
+    broadcast/aggregate surface, so the orchestrator drives either
+    without branching.
+    """
+    if topology_obj is not None:
+        return HierarchicalFederation(
+            initial_parameters,
+            topology_obj,
+            transport,
+            codec=codec,
+            metrics=metrics,
+            aggregator=resilience_cfg.aggregator,
+            retry=resilience_cfg.retry,
+            quarantine=quarantine_mgr,
+        )
+    return FederatedServer(
+        initial_parameters,
+        list(assignments),
+        transport,
+        codec=codec,
+        metrics=metrics,
+        aggregator=resilience_cfg.aggregator,
+        retry=resilience_cfg.retry,
+        quarantine=quarantine_mgr,
+    )
 
 
 def _wrap_guarded_controllers(
@@ -761,6 +846,8 @@ def train_federated(
     quarantine=None,
     churn=None,
     events=None,
+    topology=None,
+    selection=None,
 ) -> TrainingResult:
     """Run the paper's federated power control (Algorithms 1 + 2).
 
@@ -822,6 +909,18 @@ def train_federated(
     with all three off the run is bit-identical to an unguarded one.
     A guarded run publishes a :class:`~repro.guard.context.GuardReport`
     for the CLI to consume.
+
+    Hierarchy (:mod:`repro.hier`): ``topology`` arranges the fleet into
+    a multi-tier aggregation tree (a
+    :class:`~repro.hier.topology.FleetTopology` or spec string such as
+    ``"edges=4"``) — devices upload to edge aggregators that stream-fold
+    their updates and forward one weighted aggregate up the tree;
+    ``selection`` replaces uniform participant sampling with a
+    :class:`~repro.hier.selection.SelectionPolicy` or registry spec
+    (``"pareto:0.5"``, ``"stratified:0.5"``). Both default to the
+    ambient :func:`repro.hier.context.hier` configuration, then to off;
+    a depth-1 (``"flat"``) topology is bit-identical to the plain
+    single-server path on every backend.
     """
     _check_assignments(assignments)
     backend, workers = resolve_execution(backend, workers)
@@ -834,6 +933,9 @@ def train_federated(
     watchdog_cfg, quarantine_mgr, churn_plan = _materialize_guard(
         guard, quarantine, churn, assignments, config
     )
+    topology_obj, selection_policy = _materialize_hier(
+        topology, selection, assignments, config
+    )
     guard_parts: Dict[str, object] = {}
     if watchdog_cfg is not None:
         guard_parts["watchdog"] = watchdog_cfg
@@ -841,6 +943,13 @@ def train_federated(
         guard_parts["quarantine"] = quarantine_mgr.config
     if churn_plan is not None:
         guard_parts["churn"] = churn_plan.to_json()
+    # Hierarchy changes the wire path and the participant draw; absent
+    # keys keep flat-run fingerprints byte-identical to previous
+    # releases.
+    if topology_obj is not None:
+        guard_parts["topology"] = topology_obj.to_json()
+    if selection_policy is not None:
+        guard_parts["selection"] = selection_policy.describe()
     resilience_cfg = _resolve_run_resilience(
         faults,
         aggregator,
@@ -894,6 +1003,8 @@ def train_federated(
             quarantine_mgr=quarantine_mgr,
             churn_plan=churn_plan,
             events=events,
+            topology_obj=topology_obj,
+            selection_policy=selection_policy,
         )
     environments = _build_training_environments(
         assignments, config, metrics=metrics, profiler=profiler
@@ -942,6 +1053,13 @@ def train_federated(
             name,
             controllers[name].agent,
             transport,
+            # Under a hierarchy each device talks to its edge node, not
+            # the root; the flat topology's root keeps the default id.
+            server_id=(
+                topology_obj.parent_of(name)
+                if topology_obj is not None
+                else "server"
+            ),
             codec=client_codec if client_codec is not None else codec,
             metrics=metrics,
             retry=resilience_cfg.retry,
@@ -955,15 +1073,15 @@ def train_federated(
         hidden_layers=config.hidden_layers,
         seed=generator_from_root(config.seed, 3),
     )
-    server = FederatedServer(
+    server = _build_federated_server(
         global_init.agent.get_parameters(),
-        list(assignments),
+        assignments,
         transport,
         codec=codec,
         metrics=metrics,
-        aggregator=resilience_cfg.aggregator,
-        retry=resilience_cfg.retry,
-        quarantine=quarantine_mgr,
+        resilience_cfg=resilience_cfg,
+        quarantine_mgr=quarantine_mgr,
+        topology_obj=topology_obj,
     )
     if snapshot is not None:
         server.restore(snapshot.global_parameters, snapshot.rounds_aggregated)
@@ -1055,6 +1173,7 @@ def train_federated(
         resume=snapshot.progress if snapshot is not None else None,
         checkpoint_hook=checkpoint_hook if ckpt is not None else None,
         events=events,
+        selection_policy=selection_policy,
     )
 
     _account_power_violations(
@@ -1113,6 +1232,8 @@ def _train_federated_parallel(
     quarantine_mgr: Optional[QuarantineManager] = None,
     churn_plan: Optional[ChurnPlan] = None,
     events=None,
+    topology_obj: Optional[FleetTopology] = None,
+    selection_policy: Optional[SelectionPolicy] = None,
 ) -> TrainingResult:
     """The thread/process-backend body of :func:`train_federated`.
 
@@ -1186,6 +1307,11 @@ def _train_federated_parallel(
                 name,
                 mirrors[name].agent,
                 transport,
+                server_id=(
+                    topology_obj.parent_of(name)
+                    if topology_obj is not None
+                    else "server"
+                ),
                 codec=client_codec if client_codec is not None else codec,
                 metrics=metrics,
                 retry=resilience_cfg.retry,
@@ -1197,15 +1323,15 @@ def _train_federated_parallel(
             hidden_layers=config.hidden_layers,
             seed=generator_from_root(config.seed, 3),
         )
-        server = FederatedServer(
+        server = _build_federated_server(
             global_init.agent.get_parameters(),
-            list(assignments),
+            assignments,
             transport,
             codec=codec,
             metrics=metrics,
-            aggregator=resilience_cfg.aggregator,
-            retry=resilience_cfg.retry,
-            quarantine=quarantine_mgr,
+            resilience_cfg=resilience_cfg,
+            quarantine_mgr=quarantine_mgr,
+            topology_obj=topology_obj,
         )
         if snapshot is not None:
             server.restore(snapshot.global_parameters, snapshot.rounds_aggregated)
@@ -1275,6 +1401,7 @@ def _train_federated_parallel(
             resume=snapshot.progress if snapshot is not None else None,
             checkpoint_hook=checkpoint_hook if ckpt is not None else None,
             events=events,
+            selection_policy=selection_policy,
         )
         result.controllers = fleet.fetch_controllers()
         latency = fleet.mean_decision_latency_s()

@@ -218,6 +218,8 @@ def run_async_federated_training(
     trainers: Dict[str, object],
     local_rounds_per_client: Dict[str, int],
     round_duration_s: Dict[str, float],
+    events=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, int]:
     """Event-driven async schedule.
 
@@ -226,7 +228,19 @@ def run_async_federated_training(
     completion-time order. Returns the number of pushes per client.
     The simulated clock only orders events — device environments
     advance by control steps exactly as in the synchronous driver.
+
+    ``events``/``metrics`` default to the ambient
+    :mod:`repro.obs.context` bundle, so async runs stream into the same
+    pipeline the synchronous orchestrator feeds: one ``round_span``
+    event per push (``mode: "async"``, its one participant, the push's
+    transport bytes and the client's modelled round duration) and a
+    final ``run_summary`` — which is what ``obs-watch`` and the event
+    sinks consume.
     """
+    from repro.obs.context import active_events, active_metrics
+
+    events = active_events(events)
+    metrics = active_metrics(metrics)
     if not clients:
         raise FederationError("need at least one async client")
     clients_by_id = {client.client_id: client for client in clients}
@@ -248,6 +262,11 @@ def run_async_federated_training(
     in_flight: List[tuple] = []
     clock = 0.0
     round_counter = {client_id: 0 for client_id in clients_by_id}
+    transport = server.transport
+    bytes_before = transport.total_bytes
+    messages_before = transport.total_messages
+    merges_before = server.merges_applied
+    push_index = 0
 
     for client_id, client in clients_by_id.items():
         if remaining.get(client_id, 0) > 0:
@@ -259,14 +278,53 @@ def run_async_federated_training(
         in_flight.sort()
         clock, client_id = in_flight.pop(0)
         client = clients_by_id[client_id]
+        push_bytes_before = transport.total_bytes
         trainers[client_id](round_counter[client_id])
         round_counter[client_id] += 1
         client.push()
-        server.absorb_pending()
+        merged = server.absorb_pending()
         pushes[client_id] += 1
         remaining[client_id] -= 1
         if remaining[client_id] > 0:
             server.dispatch(client_id)
             client.pull()
             in_flight.append((clock + round_duration_s[client_id], client_id))
+        if events is not None:
+            # One round_span per push, shaped like the synchronous
+            # tracer's export so obs-watch and the sinks need no
+            # async-specific handling.
+            events.emit(
+                {
+                    "type": "round_span",
+                    "round": push_index,
+                    "participants": [client_id],
+                    "stragglers": [],
+                    "duration_s": round_duration_s[client_id],
+                    "bytes": transport.total_bytes - push_bytes_before,
+                    "update_norm": None,
+                    "aggregated": merged > 0,
+                    "status": "ok",
+                    "phases": [],
+                    "mode": "async",
+                }
+            )
+        push_index += 1
+
+    total_bytes = transport.total_bytes - bytes_before
+    total_messages = transport.total_messages - messages_before
+    merges = server.merges_applied - merges_before
+    if metrics is not None:
+        metrics.inc("federated.bytes_total", total_bytes)
+        metrics.inc("federated.messages_total", total_messages)
+    if events is not None:
+        events.emit(
+            {
+                "type": "run_summary",
+                "rounds": push_index,
+                "bytes": total_bytes,
+                "messages": total_messages,
+                "aggregations": merges,
+                "straggler_rate": 0.0,
+            }
+        )
     return pushes

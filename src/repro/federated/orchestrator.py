@@ -184,6 +184,7 @@ def run_federated_training(
     resume: Optional[object] = None,
     checkpoint_hook: Optional[CheckpointHook] = None,
     events=None,
+    selection_policy: Optional[object] = None,
 ) -> FederatedRunResult:
     """Run ``num_rounds`` of federated averaging (Algorithm 2).
 
@@ -260,6 +261,13 @@ def run_federated_training(
         with ``(round_index, progress)`` — the driver decides whether
         the round is due and persists the full
         :class:`~repro.faults.recovery.RunSnapshot`.
+    selection_policy:
+        Optional :class:`repro.hier.selection.SelectionPolicy` (duck-
+        typed: ``select(round_index, roster, rng)`` returning a
+        non-empty roster-ordered subset). When given it replaces the
+        uniform ``participation_fraction`` draw — the churn-filtered
+        roster still applies first, so policies only ever see live
+        devices. ``None`` keeps the status-quo draw bit-identical.
     """
     if straggler_policy not in ("abort", "skip"):
         raise ConfigurationError(
@@ -422,9 +430,19 @@ def run_federated_training(
                 if checkpoint_hook is not None:
                     checkpoint_hook(round_index, _progress(round_index + 1))
                 continue
-        participating = _draw_participants(
-            roster, participation_fraction, rng
-        )
+        if selection_policy is not None:
+            participating = list(
+                selection_policy.select(round_index, roster, rng)
+            )
+            if not participating:
+                raise FederationError(
+                    f"selection policy picked no client in round "
+                    f"{round_index} from roster of {len(roster)}"
+                )
+        else:
+            participating = _draw_participants(
+                roster, participation_fraction, rng
+            )
         participation_log.append(list(participating))
         setattr(server, "last_aggregation_quarantined", [])
         if tracer is not None:
@@ -446,11 +464,13 @@ def run_federated_training(
             )
         except Exception:
             if tracer is not None and tracer.current_round is not None:
+                _attach_tier_phases(server, tracer)
                 tracer.end_round(aggregated=False, status=STATUS_FAILED)
             _LOG.error(
                 "federated round failed", extra={"round": round_index}
             )
             raise
+        _attach_tier_phases(server, tracer)
         straggler_log.append(stragglers)
         quarantined = list(
             getattr(server, "last_aggregation_quarantined", [])
@@ -799,6 +819,35 @@ def _run_one_round(
                 "federated.stragglers", len(server.last_aggregation_missing)
             )
     return stragglers, update_norm, True
+
+
+def _attach_tier_phases(
+    server: FederatedServer, tracer: Optional[RoundTracer]
+) -> None:
+    """Move a hierarchical server's per-node phase records into the trace.
+
+    Multi-tier servers (:class:`repro.hier.shard.HierarchicalFederation`)
+    time each tier node's broadcast/aggregate work themselves; the
+    records are drained every round regardless (so an untraced run
+    doesn't accumulate them) and appended to the open round span as
+    ``tier``-tagged phases when a tracer is attached. Flat servers have
+    no ``drain_tier_phases`` and are untouched.
+    """
+    drain = getattr(server, "drain_tier_phases", None)
+    if drain is None:
+        return
+    records = drain()
+    if tracer is None or tracer.current_round is None:
+        return
+    for record in records:
+        tracer.add_phase(
+            str(record["name"]),
+            client_id=str(record["node_id"]),
+            duration_s=float(record["duration_s"]),
+            bytes_transferred=int(record["bytes"]),
+            status=str(record["status"]),
+            tier=str(record["tier"]),
+        )
 
 
 def _draw_participants(

@@ -1,0 +1,84 @@
+"""Ambient hierarchy configuration.
+
+Experiment runners share the uniform ``runner(config) -> str``
+signature, so the CLI cannot thread ``--topology``/``--selection``
+through every figure module — the same problem the telemetry sinks
+(:mod:`repro.obs.context`), execution backend
+(:mod:`repro.parallel.context`) and resilience settings
+(:mod:`repro.faults.context`) have, solved the same way: the CLI
+*activates* a :class:`HierConfig` here and
+:func:`repro.experiments.training.train_federated` picks it up as its
+default when no explicit ``topology``/``selection`` arguments are
+passed. Explicit arguments always win; the empty stack resolves to
+"flat server, status-quo uniform draw" — existing callers see zero
+behaviour change.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+
+@dataclass(frozen=True)
+class HierConfig:
+    """One activated hierarchy preference bundle.
+
+    ``topology`` may be a materialised
+    :class:`~repro.hier.topology.FleetTopology` or a spec string
+    (resolved against the run's device roster by the training driver);
+    ``selection`` a :class:`~repro.hier.selection.SelectionPolicy`
+    instance or spec string.
+    """
+
+    topology: Optional[Union[object, str]] = None
+    selection: Optional[Union[object, str]] = None
+
+
+class _ThreadLocalStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[HierConfig] = []
+
+
+_LOCAL = _ThreadLocalStack()
+
+
+def get_active_hier() -> Optional[HierConfig]:
+    """The innermost config activated on this thread, or ``None``."""
+    stack = _LOCAL.stack
+    return stack[-1] if stack else None
+
+
+def resolve_hier(
+    topology: Optional[Union[object, str]] = None,
+    selection: Optional[Union[object, str]] = None,
+) -> HierConfig:
+    """Effective hierarchy settings for a driver call.
+
+    Explicit arguments win field-by-field; otherwise the ambient
+    config applies; otherwise both stay ``None`` (flat server,
+    status-quo participation draw).
+    """
+    ambient = get_active_hier()
+    if ambient is not None:
+        if topology is None:
+            topology = ambient.topology
+        if selection is None:
+            selection = ambient.selection
+    return HierConfig(topology=topology, selection=selection)
+
+
+@contextmanager
+def hier(
+    topology: Optional[Union[object, str]] = None,
+    selection: Optional[Union[object, str]] = None,
+) -> Iterator[HierConfig]:
+    """Activate a hierarchy config for the enclosed block."""
+    config = HierConfig(topology=topology, selection=selection)
+    _LOCAL.stack.append(config)
+    try:
+        yield config
+    finally:
+        _LOCAL.stack.pop()

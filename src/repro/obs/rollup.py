@@ -99,6 +99,9 @@ class FleetRollup(TelemetrySink):
         self.fallback_entries = 0
         self.alerts_total = 0
         self.fault_counts: Dict[str, int] = {}
+        # Bytes per hierarchy tier (hierarchical runs only; stays
+        # empty — and invisible in snapshots — on flat runs).
+        self.tier_bytes_total: Dict[str, int] = {}
         self.events_seen = 0
         self.run_summary: Optional[Dict[str, object]] = None
         # Streaming estimators — bounded by construction.
@@ -193,6 +196,11 @@ class FleetRollup(TelemetrySink):
             self._device(name).participated += 1
         for name in stragglers:
             self._device(name).straggled += 1
+        tiers = event.get("tiers") or {}
+        for tier, tier_bytes in tiers.items():
+            self.tier_bytes_total[str(tier)] = (
+                self.tier_bytes_total.get(str(tier), 0) + int(tier_bytes)
+            )
         round_index = int(event.get("round") or 0)
         row: Dict[str, object] = {
             "round": round_index,
@@ -337,6 +345,8 @@ class FleetRollup(TelemetrySink):
             },
             "rounds_detail": [dict(row) for row in self.round_rows],
         }
+        if self.tier_bytes_total:
+            out["tier_bytes_total"] = dict(sorted(self.tier_bytes_total.items()))
         if self.active_devices is not None:
             out["active_devices"] = self.active_devices
         if self.run_summary is not None:
@@ -378,6 +388,12 @@ class FleetRollup(TelemetrySink):
                 for kind, count in sorted(self.fault_counts.items())
             )
             lines.append(f"faults: {faults}")
+        if self.tier_bytes_total:
+            tiers = ", ".join(
+                f"{tier}={count}"
+                for tier, count in sorted(self.tier_bytes_total.items())
+            )
+            lines.append(f"tier bytes: {tiers}")
         if not deterministic:
             throughput = self.rounds_per_s
             if throughput is not None:

@@ -38,13 +38,20 @@ STATUS_FAILED = "failed"
 
 @dataclass
 class PhaseSpan:
-    """One timed phase of one round (optionally client-scoped)."""
+    """One timed phase of one round (optionally client-scoped).
+
+    ``tier`` marks phases executed by a hierarchical-federation tier
+    node (``"edge"``/``"region"``/``"global"``); it stays ``None`` on
+    flat runs and is then omitted from the export, keeping flat event
+    streams byte-identical to pre-hierarchy output.
+    """
 
     name: str
     client_id: Optional[str] = None
     duration_s: float = 0.0
     bytes_transferred: int = 0
     status: str = STATUS_OK
+    tier: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -55,6 +62,8 @@ class PhaseSpan:
         }
         if self.client_id is not None:
             out["client_id"] = self.client_id
+        if self.tier is not None:
+            out["tier"] = self.tier
         return out
 
 
@@ -73,7 +82,14 @@ class RoundSpan:
 
     @property
     def bytes_transferred(self) -> int:
-        return sum(phase.bytes_transferred for phase in self.phases)
+        # Tier-tagged phases are a per-node *breakdown* of the same
+        # traffic the protocol-level phases already measured; counting
+        # them here would double the round's byte total.
+        return sum(
+            phase.bytes_transferred
+            for phase in self.phases
+            if phase.tier is None
+        )
 
     def phase_bytes(self, name: str) -> int:
         return sum(
@@ -86,8 +102,18 @@ class RoundSpan:
     def failed_phases(self) -> List[PhaseSpan]:
         return [p for p in self.phases if p.status == STATUS_FAILED]
 
+    def tier_bytes(self) -> Dict[str, int]:
+        """Bytes moved per hierarchy tier (empty for flat rounds)."""
+        totals: Dict[str, int] = {}
+        for phase in self.phases:
+            if phase.tier is not None:
+                totals[phase.tier] = (
+                    totals.get(phase.tier, 0) + phase.bytes_transferred
+                )
+        return totals
+
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "type": "round_span",
             "round": self.round_index,
             "participants": list(self.participants),
@@ -99,6 +125,10 @@ class RoundSpan:
             "status": self.status,
             "phases": [phase.as_dict() for phase in self.phases],
         }
+        tiers = self.tier_bytes()
+        if tiers:
+            out["tiers"] = tiers
+        return out
 
 
 class RoundTracer:
@@ -155,6 +185,7 @@ class RoundTracer:
         duration_s: float = 0.0,
         bytes_transferred: int = 0,
         status: str = STATUS_OK,
+        tier: Optional[str] = None,
     ) -> PhaseSpan:
         """Append an externally timed phase to the open round.
 
@@ -170,6 +201,7 @@ class RoundTracer:
             duration_s=duration_s,
             bytes_transferred=bytes_transferred,
             status=status,
+            tier=tier,
         )
         self._require_open().phases.append(span)
         return span

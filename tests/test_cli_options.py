@@ -262,3 +262,56 @@ class TestCliObsReport:
     def test_obs_report_missing_file_fails(self, tmp_path, capsys):
         assert main(["obs-report", str(tmp_path / "nope.jsonl")]) == 1
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestHierCliFlags:
+    def test_fleet_devices_rejects_nonpositive_counts(self, capsys):
+        assert main(["bench", "--fleet-devices", "4,0,2"]) == 2
+        err = capsys.readouterr().err
+        assert "--fleet-devices" in err
+        assert ">= 1" in err
+
+    def test_fleet_devices_rejects_non_integers(self, capsys):
+        assert main(["bench", "--fleet-devices", "4,x"]) == 2
+        err = capsys.readouterr().err
+        assert "comma-separated list of integers" in err
+        assert "'4,x'" in err
+
+    def test_hier_devices_validated_the_same_way(self, capsys):
+        assert main(["bench", "--hier-devices", "-5"]) == 2
+        assert "--hier-devices" in capsys.readouterr().err
+
+    def test_parse_scales_dedupes_and_sorts(self):
+        from repro.cli import _parse_scales
+
+        assert _parse_scales("--x", "8,2,2,4") == (2, 4, 8)
+        assert _parse_scales("--x", " 3 , 1 ") == (1, 3)
+        # Empty means "skip this bench section", not an error.
+        assert _parse_scales("--x", "") == ()
+
+    def test_topology_and_selection_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "run",
+                "table1",
+                "--topology",
+                "edges=2,cluster=contiguous",
+                "--selection",
+                "uniform:0.5",
+            ]
+        )
+        assert args.topology == "edges=2,cluster=contiguous"
+        assert args.selection == "uniform:0.5"
+        # Defaults stay empty so flat runs keep the legacy code path.
+        bare = parser.parse_args(["run", "table1"])
+        assert bare.topology == ""
+        assert bare.selection == ""
+
+    def test_run_accepts_flat_topology(self, capsys):
+        assert main(["run", "table1", "--topology", "flat"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fleet_scale_experiment_registered(self, capsys):
+        assert main(["list"]) == 0
+        assert "fleet-scale" in capsys.readouterr().out

@@ -198,3 +198,88 @@ class TestAsyncScheduler:
         probe = NeuralBanditAgent(num_actions=15, seed=9)
         probe.set_parameters(server.global_parameters)
         assert abs(probe.act_greedy(np.full(5, 0.5)) - 7) <= 2
+
+
+class TestAsyncEvents:
+    """Async runs feed the same event pipeline as the sync orchestrator."""
+
+    def _run(self, events=None, metrics=None):
+        _, server, clients = make_system()
+        pushes = run_async_federated_training(
+            server,
+            clients,
+            trainers={c.client_id: (lambda r: None) for c in clients},
+            local_rounds_per_client={"d0": 2, "d1": 1},
+            round_duration_s={"d0": 1.0, "d1": 2.5},
+            events=events,
+            metrics=metrics,
+        )
+        return server, pushes
+
+    def test_one_round_span_per_push_then_run_summary(self):
+        from repro.obs.sink import EventPipeline
+
+        pipeline = EventPipeline()
+        server, pushes = self._run(events=pipeline)
+        rows = pipeline.rows()
+        spans = [row for row in rows if row["type"] == "round_span"]
+        assert len(spans) == sum(pushes.values()) == 3
+        assert [span["round"] for span in spans] == [0, 1, 2]
+        for span in spans:
+            assert span["mode"] == "async"
+            assert len(span["participants"]) == 1
+            assert span["stragglers"] == []
+            assert span["status"] == "ok"
+            assert span["bytes"] > 0
+            assert span["duration_s"] > 0
+            assert span["aggregated"] is True
+        participants = {span["participants"][0] for span in spans}
+        assert participants == {"d0", "d1"}
+
+    def test_run_summary_matches_server_accounting(self):
+        from repro.obs.sink import EventPipeline
+
+        pipeline = EventPipeline()
+        server, pushes = self._run(events=pipeline)
+        summaries = [
+            row for row in pipeline.rows() if row["type"] == "run_summary"
+        ]
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert pipeline.rows()[-1] is summary  # emitted last
+        assert summary["rounds"] == sum(pushes.values())
+        assert summary["aggregations"] == server.merges_applied
+        assert summary["bytes"] == server.transport.total_bytes
+        assert summary["messages"] == server.transport.total_messages
+        assert summary["straggler_rate"] == 0.0
+
+    def test_metrics_counters_incremented(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        server, _ = self._run(metrics=registry)
+        assert (
+            registry.counter("federated.bytes_total").value
+            == server.transport.total_bytes
+        )
+        assert (
+            registry.counter("federated.messages_total").value
+            == server.transport.total_messages
+        )
+
+    def test_ambient_context_is_picked_up(self):
+        from repro.obs.context import telemetry
+        from repro.obs.sink import EventPipeline
+
+        pipeline = EventPipeline()
+        with telemetry(events=pipeline):
+            self._run()
+        types = [row["type"] for row in pipeline.rows()]
+        assert "round_span" in types
+        assert "run_summary" in types
+
+    def test_no_events_sink_means_no_emission(self):
+        # Outside any telemetry context the default stays None and the
+        # run must not fail trying to emit.
+        server, pushes = self._run()
+        assert sum(pushes.values()) == 3

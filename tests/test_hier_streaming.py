@@ -1,0 +1,253 @@
+"""Streaming aggregation exactness vs the batch aggregators.
+
+The load-bearing property: folding client updates one at a time (any
+arrival order) produces the *bit-identical* result of handing that
+same ordered list to the batch path. Float addition is not
+commutative, so the contract is per-order: a streaming fold of a
+permutation is compared against ``federated_average`` of the SAME
+permuted list, never against the unpermuted one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AggregationError, ConfigurationError
+from repro.faults.aggregation import (
+    MedianAggregator,
+    NormClipAggregator,
+    TrimmedMeanAggregator,
+)
+from repro.federated.averaging import federated_average
+from repro.hier.streaming import (
+    STREAMING_NAMES,
+    StreamingBufferedAggregator,
+    StreamingMean,
+    StreamingNormClip,
+    build_streaming_aggregator,
+)
+
+SHAPES = ((5, 3), (3,), (3, 4), (4,))
+
+
+def make_updates(num_clients, seed, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return [
+        [rng.normal(scale=scale, size=shape) for shape in SHAPES]
+        for _ in range(num_clients)
+    ]
+
+
+def fold_all(aggregator, updates, weights=None):
+    aggregator.begin(len(updates), weights)
+    for update in updates:
+        aggregator.fold(update)
+    return aggregator.finalize()
+
+
+def assert_bit_identical(streamed, batch):
+    assert len(streamed) == len(batch)
+    for array_streamed, array_batch in zip(streamed, batch):
+        assert array_streamed.dtype == array_batch.dtype
+        assert np.array_equal(array_streamed, array_batch)
+
+
+# -- StreamingMean == federated_average, any fold order -----------------
+
+
+@pytest.mark.parametrize("num_clients", (1, 2, 7))
+@pytest.mark.parametrize("case_seed", (0, 1, 2, 3))
+def test_streaming_mean_matches_batch_under_permuted_order(
+    num_clients, case_seed
+):
+    updates = make_updates(num_clients, seed=case_seed)
+    permutation = np.random.default_rng(100 + case_seed).permutation(
+        num_clients
+    )
+    permuted = [updates[i] for i in permutation]
+    streamed = fold_all(StreamingMean(), permuted)
+    assert_bit_identical(streamed, federated_average(permuted))
+
+
+@pytest.mark.parametrize("case_seed", (0, 1, 2))
+def test_streaming_mean_weighted_matches_batch_under_permuted_order(
+    case_seed,
+):
+    num_clients = 6
+    updates = make_updates(num_clients, seed=10 + case_seed)
+    weights = list(
+        np.random.default_rng(200 + case_seed).uniform(0.1, 5.0, num_clients)
+    )
+    permutation = np.random.default_rng(300 + case_seed).permutation(
+        num_clients
+    )
+    permuted = [updates[i] for i in permutation]
+    permuted_weights = [weights[i] for i in permutation]
+    streamed = fold_all(StreamingMean(), permuted, permuted_weights)
+    assert_bit_identical(
+        streamed, federated_average(permuted, permuted_weights)
+    )
+
+
+def test_streaming_mean_is_order_sensitive_like_the_batch_path():
+    # Sanity check on the property statement itself: the comparison
+    # must be against the SAME order, because different orders are
+    # allowed to differ in the last ulp.
+    updates = make_updates(5, seed=42, scale=1e3)
+    forward = fold_all(StreamingMean(), updates)
+    assert_bit_identical(forward, federated_average(updates))
+    reversed_updates = list(reversed(updates))
+    backward = fold_all(StreamingMean(), reversed_updates)
+    assert_bit_identical(backward, federated_average(reversed_updates))
+    # Both orders agree to tolerance even if not necessarily bitwise.
+    for a, b in zip(forward, backward):
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+
+def test_streaming_mean_never_buffers():
+    aggregator = StreamingMean()
+    fold_all(aggregator, make_updates(16, seed=5))
+    assert aggregator.streaming is True
+    assert aggregator.max_buffered == 0
+
+
+def test_streaming_mean_is_reusable_across_rounds():
+    aggregator = StreamingMean()
+    first = make_updates(4, seed=6)
+    second = make_updates(3, seed=7)
+    assert_bit_identical(
+        fold_all(aggregator, first), federated_average(first)
+    )
+    assert_bit_identical(
+        fold_all(aggregator, second), federated_average(second)
+    )
+
+
+# -- StreamingNormClip == NormClipAggregator (fixed bound) --------------
+
+
+@pytest.mark.parametrize("case_seed", (0, 1, 2))
+def test_streaming_norm_clip_matches_batch_fixed_bound(case_seed):
+    num_clients = 5
+    updates = make_updates(num_clients, seed=20 + case_seed, scale=3.0)
+    weights = list(
+        np.random.default_rng(400 + case_seed).uniform(0.5, 2.0, num_clients)
+    )
+    bound = 4.0
+    streamed = fold_all(StreamingNormClip(bound), updates, weights)
+    batch = NormClipAggregator(clip_norm=bound).aggregate(updates, weights)
+    assert len(streamed) == len(batch)
+    # The stream defers weight normalisation to finalize (sum(w·x)/sum(w)
+    # instead of sum((w/W)·x)) — equal in value, reassociated in floats.
+    for a, b in zip(streamed, batch):
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-15)
+
+
+def test_streaming_norm_clip_drops_non_finite_updates():
+    updates = make_updates(4, seed=30)
+    updates[2][1][0] = np.nan
+    aggregator = StreamingNormClip(5.0)
+    result = fold_all(aggregator, updates)
+    assert aggregator.last_rejected_indices == (2,)
+    survivors = [u for i, u in enumerate(updates) if i != 2]
+    batch = NormClipAggregator(clip_norm=5.0).aggregate(survivors)
+    for a, b in zip(result, batch):
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-15)
+
+
+def test_streaming_norm_clip_requires_a_fixed_bound():
+    with pytest.raises(ConfigurationError):
+        StreamingNormClip(None)
+    with pytest.raises(ConfigurationError):
+        StreamingNormClip(-1.0)
+    with pytest.raises(ConfigurationError):
+        build_streaming_aggregator("norm_clip")
+
+
+def test_streaming_norm_clip_all_rejected_raises():
+    updates = make_updates(2, seed=31)
+    for update in updates:
+        update[0][0, 0] = np.inf
+    aggregator = StreamingNormClip(5.0)
+    aggregator.begin(len(updates))
+    for update in updates:
+        aggregator.fold(update)
+    with pytest.raises(AggregationError):
+        aggregator.finalize()
+
+
+# -- Buffered fallbacks for order statistics ----------------------------
+
+
+@pytest.mark.parametrize(
+    "spec,batch",
+    (
+        ("median", MedianAggregator()),
+        ("trimmed_mean:0.25", TrimmedMeanAggregator(trim_fraction=0.25)),
+    ),
+)
+def test_buffered_fallback_matches_batch_aggregator(spec, batch):
+    updates = make_updates(9, seed=40)
+    aggregator = build_streaming_aggregator(spec)
+    assert isinstance(aggregator, StreamingBufferedAggregator)
+    assert aggregator.streaming is False
+    streamed = fold_all(aggregator, updates)
+    assert_bit_identical(streamed, batch.aggregate(updates))
+    # Memory bound is the fan-in, reported via the high-water mark.
+    assert aggregator.max_buffered == len(updates)
+
+
+# -- Lifecycle and spec errors ------------------------------------------
+
+
+def test_fold_before_begin_raises():
+    with pytest.raises(AggregationError):
+        StreamingMean().fold(make_updates(1, seed=0)[0])
+
+
+def test_fold_overflow_raises():
+    updates = make_updates(2, seed=1)
+    aggregator = StreamingMean()
+    aggregator.begin(1)
+    aggregator.fold(updates[0])
+    with pytest.raises(AggregationError):
+        aggregator.fold(updates[1])
+
+
+def test_finalize_with_missing_folds_raises():
+    aggregator = StreamingMean()
+    aggregator.begin(2)
+    aggregator.fold(make_updates(1, seed=2)[0])
+    with pytest.raises(AggregationError):
+        aggregator.finalize()
+
+
+def test_begin_with_zero_expected_raises():
+    with pytest.raises(AggregationError):
+        StreamingMean().begin(0)
+
+
+def test_streaming_mean_rejects_non_finite():
+    updates = make_updates(2, seed=3)
+    updates[1][0][0, 0] = np.nan
+    aggregator = StreamingMean()
+    aggregator.begin(2)
+    aggregator.fold(updates[0])
+    with pytest.raises(AggregationError):
+        aggregator.fold(updates[1])
+
+
+def test_streaming_mean_rejects_shape_mismatch():
+    updates = make_updates(2, seed=4)
+    updates[1][0] = updates[1][0][:2]
+    aggregator = StreamingMean()
+    aggregator.begin(2)
+    aggregator.fold(updates[0])
+    with pytest.raises(AggregationError):
+        aggregator.fold(updates[1])
+
+
+def test_unknown_streaming_spec_lists_names():
+    with pytest.raises(ConfigurationError) as excinfo:
+        build_streaming_aggregator("krum")
+    for name in STREAMING_NAMES:
+        assert name in str(excinfo.value)

@@ -1,0 +1,184 @@
+"""FleetTopology construction, spec parsing and structure queries."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hier.topology import (
+    ROOT_ID,
+    TIER_EDGE,
+    TIER_GLOBAL,
+    TIER_REGION,
+    FleetTopology,
+    TopologyNode,
+    default_device_features,
+)
+
+DEVICES = [f"dev_{i:02d}" for i in range(12)]
+
+
+def test_flat_topology_is_identity():
+    topology = FleetTopology.flat(DEVICES)
+    assert topology.is_flat
+    assert topology.depth == 1
+    assert topology.root.node_id == ROOT_ID
+    assert topology.root.children == tuple(DEVICES)
+    assert topology.leaves_under(ROOT_ID) == tuple(DEVICES)
+    for device in DEVICES:
+        assert topology.parent_of(device) == ROOT_ID
+
+
+def test_clustered_two_tier_structure():
+    topology = FleetTopology.clustered(DEVICES, edges=3, seed=5)
+    assert not topology.is_flat
+    assert topology.depth == 2
+    counts = topology.counts_by_tier()
+    assert counts[TIER_GLOBAL] == 1
+    assert counts[TIER_EDGE] == 3
+    # Every device owned exactly once, clusters partition the roster.
+    clusters = topology.device_clusters()
+    owned = [d for members in clusters.values() for d in members]
+    assert sorted(owned) == sorted(DEVICES)
+    for node_id in clusters:
+        assert topology.parent_of(node_id) == ROOT_ID
+
+
+def test_clustered_three_tier_structure():
+    topology = FleetTopology.clustered(DEVICES, edges=4, regions=2, seed=5)
+    assert topology.depth == 3
+    counts = topology.counts_by_tier()
+    assert counts == {TIER_GLOBAL: 1, TIER_REGION: 2, TIER_EDGE: 4}
+    for region in topology.nodes_at_tier(TIER_REGION):
+        assert region.parent == ROOT_ID
+        for edge_id in region.children:
+            assert topology.parent_of(edge_id) == region.node_id
+    # leaves_under the root covers the whole roster.
+    assert sorted(topology.leaves_under(ROOT_ID)) == sorted(DEVICES)
+
+
+@pytest.mark.parametrize("method", ("kmeans", "contiguous"))
+def test_clustering_is_deterministic_in_the_seed(method):
+    first = FleetTopology.clustered(DEVICES, edges=3, seed=9, method=method)
+    second = FleetTopology.clustered(DEVICES, edges=3, seed=9, method=method)
+    assert first == second
+    assert first.to_json() == second.to_json()
+
+
+def test_contiguous_clusters_preserve_roster_order():
+    topology = FleetTopology.clustered(
+        DEVICES, edges=3, method="contiguous"
+    )
+    flattened = [
+        device
+        for node in topology.nodes_at_tier(TIER_EDGE)
+        for device in node.children
+    ]
+    assert flattened == DEVICES
+
+
+def test_from_spec_variants():
+    assert FleetTopology.from_spec(None, DEVICES).is_flat
+    assert FleetTopology.from_spec("", DEVICES).is_flat
+    assert FleetTopology.from_spec("flat", DEVICES).is_flat
+    assert FleetTopology.from_spec("edges=0", DEVICES).is_flat
+    csv = FleetTopology.from_spec(
+        "edges=3,cluster=contiguous,seed=4", DEVICES
+    )
+    assert csv.counts_by_tier()[TIER_EDGE] == 3
+    # The ambient seed only applies when the spec names none.
+    seeded = FleetTopology.from_spec("edges=3", DEVICES, seed=4)
+    assert seeded == FleetTopology.from_spec("edges=3,seed=4", DEVICES)
+
+
+def test_from_spec_instance_roster_validation():
+    topology = FleetTopology.clustered(DEVICES, edges=2)
+    assert FleetTopology.from_spec(topology, DEVICES) is topology
+    with pytest.raises(ConfigurationError):
+        FleetTopology.from_spec(topology, DEVICES[:4])
+
+
+def test_from_spec_errors():
+    with pytest.raises(ConfigurationError):
+        FleetTopology.from_spec("edges", DEVICES)  # not key=value
+    with pytest.raises(ConfigurationError):
+        FleetTopology.from_spec("edges=x", DEVICES)
+    with pytest.raises(ConfigurationError):
+        FleetTopology.from_spec("depth=3", DEVICES)  # unknown key
+    with pytest.raises(ConfigurationError):
+        FleetTopology.from_spec("regions=2", DEVICES)  # regions w/o edges
+    with pytest.raises(ConfigurationError):
+        FleetTopology.clustered(DEVICES, edges=2, method="dbscan")
+
+
+def test_json_roundtrip_and_save_load(tmp_path):
+    topology = FleetTopology.clustered(DEVICES, edges=3, regions=2, seed=1)
+    assert FleetTopology.from_json(topology.to_json()) == topology
+    path = tmp_path / "topology.json"
+    topology.save(path)
+    assert FleetTopology.load(path) == topology
+    assert FleetTopology.from_spec(str(path), DEVICES) == topology
+    with pytest.raises(ConfigurationError):
+        FleetTopology.from_spec(str(path), DEVICES[:3])
+
+
+def test_structure_validation_errors():
+    with pytest.raises(ConfigurationError):
+        FleetTopology([], [])  # no devices
+    with pytest.raises(ConfigurationError):
+        FleetTopology.flat(["a", "a"])  # duplicate roster entries
+    root = TopologyNode(ROOT_ID, TIER_GLOBAL, None, ("a", "b"))
+    with pytest.raises(ConfigurationError):
+        FleetTopology(["a", "b", "c"], [root])  # c unowned
+    with pytest.raises(ConfigurationError):
+        # Two parents for one device.
+        FleetTopology(
+            ["a", "b"],
+            [
+                TopologyNode(
+                    ROOT_ID, TIER_GLOBAL, None, ("e0", "e1")
+                ),
+                TopologyNode("e0", TIER_EDGE, ROOT_ID, ("a", "b")),
+                TopologyNode("e1", TIER_EDGE, ROOT_ID, ("b",)),
+            ],
+        )
+    with pytest.raises(ConfigurationError):
+        # Node id colliding with a device name.
+        FleetTopology(
+            ["a", ROOT_ID],
+            [TopologyNode(ROOT_ID, TIER_GLOBAL, None, ("a", ROOT_ID))],
+        )
+    with pytest.raises(ConfigurationError):
+        TopologyNode("empty", TIER_EDGE, ROOT_ID, ())
+    with pytest.raises(ConfigurationError):
+        TopologyNode("r2", TIER_GLOBAL, "parent", ("a",))
+
+
+def test_parent_of_unknown_name_raises():
+    topology = FleetTopology.flat(DEVICES)
+    with pytest.raises(ConfigurationError):
+        topology.parent_of("ghost")
+    with pytest.raises(ConfigurationError):
+        topology.node("ghost")
+
+
+def test_max_fan_in_and_describe():
+    topology = FleetTopology.clustered(
+        DEVICES, edges=3, method="contiguous"
+    )
+    assert topology.max_fan_in() == 4  # 12 devices / 3 edges
+    text = topology.describe()
+    assert "devices=12" in text
+    assert "max_fan_in=4" in text
+
+
+def test_default_device_features_order_independent():
+    features_all = default_device_features(DEVICES, seed=3)
+    features_some = default_device_features(DEVICES[5:], seed=3)
+    for name in DEVICES[5:]:
+        assert features_all[name] == features_some[name]
+    assert all(len(vector) == 5 for vector in features_all.values())
+
+
+def test_edges_capped_at_roster_size():
+    topology = FleetTopology.clustered(DEVICES[:2], edges=50)
+    assert len(topology.device_clusters()) <= 2
+    assert sorted(topology.leaves_under(ROOT_ID)) == sorted(DEVICES[:2])
