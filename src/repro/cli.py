@@ -47,11 +47,23 @@ join/leave/rejoin membership schedule (default spec:
 :func:`repro.guard.guard` context, picked up by every federated
 training run the experiment performs.
 
+Control-plane flags (``run`` and ``report``): ``--async`` reroutes
+federated training through the event-driven async control plane
+(:mod:`repro.controlplane`) — device registry with seeded heartbeats,
+bounded upload buffer with backpressure, deadline-bounded staleness-
+weighted aggregation, graceful degradation by live fraction.
+``--heartbeat-interval`` sets the modelled beat period,
+``--upload-buffer capacity:policy[:deadline]`` the buffer
+(policies: ``reject``, ``drop-oldest``, ``block-with-deadline``), and
+``--quorum`` the live-fraction floor below which merging stops.
+
 Exit codes: ``0`` success, ``1`` configuration or runtime error,
 ``3`` injected server kill (resume with ``--checkpoint``/``--resume``),
 ``4`` the run completed but ended *fully degraded* — every guarded
 device finished on its fallback governor, ``5`` a regression gate
-failed (``obs-diff --fail-on-regression`` or ``bench --gate``).
+failed (``obs-diff --fail-on-regression`` or ``bench --gate``),
+``6`` the async control plane halted below quorum after writing a
+resumable checkpoint (``--async`` with ``--checkpoint``).
 """
 
 from __future__ import annotations
@@ -64,7 +76,12 @@ from typing import List, Optional
 
 from contextlib import nullcontext
 
-from repro.errors import ConfigurationError, ReproError, RunKilledError
+from repro.errors import (
+    ConfigurationError,
+    DegradedHaltError,
+    ReproError,
+    RunKilledError,
+)
 from repro.experiments.registry import (
     EXPERIMENTS,
     get_experiment,
@@ -129,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(run_parser)
     _add_guard_flags(run_parser)
     _add_hier_flags(run_parser)
+    _add_controlplane_flags(run_parser)
 
     report_parser = subparsers.add_parser(
         "report",
@@ -154,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(report_parser)
     _add_guard_flags(report_parser)
     _add_hier_flags(report_parser)
+    _add_controlplane_flags(report_parser)
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -730,6 +749,63 @@ def _build_hier_context(args):
     )
 
 
+def _add_controlplane_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--async",
+        dest="async_mode",
+        action="store_true",
+        help=(
+            "run federated training through the event-driven async "
+            "control plane (device registry, heartbeats, bounded upload "
+            "buffer, graceful degradation; see repro.controlplane)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="modelled heartbeat period for the device registry (default 1.0)",
+    )
+    parser.add_argument(
+        "--upload-buffer",
+        type=str,
+        default="32:drop-oldest",
+        metavar="SPEC",
+        help=(
+            "bounded upload buffer as 'capacity:policy[:deadline_s]'; "
+            "policies: reject, drop-oldest, block-with-deadline "
+            "(default 32:drop-oldest)"
+        ),
+    )
+    parser.add_argument(
+        "--quorum",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help=(
+            "live-fraction floor for the degradation ladder's quorum "
+            "mode; below it the plane stops merging and may halt with "
+            "exit code 6 (default 0.5)"
+        ),
+    )
+
+
+def _build_controlplane_context(args):
+    """The ambient control-plane context for this invocation (or a no-op)."""
+    if not getattr(args, "async_mode", False):
+        return nullcontext()
+    from repro.controlplane import controlplane, parse_buffer_spec
+
+    buffer_parts = parse_buffer_spec(args.upload_buffer)
+    return controlplane(
+        enabled=True,
+        heartbeat_interval_s=args.heartbeat_interval,
+        quorum=args.quorum,
+        **buffer_parts,
+    )
+
+
 def _build_guard_context(args):
     """The ambient guard context for this invocation (or a no-op)."""
     guard_on = getattr(args, "guard", False)
@@ -820,6 +896,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         # follow up with --resume.
         print(f"run killed: {error}", file=sys.stderr)
         return 3
+    except DegradedHaltError as error:
+        # The async control plane fell below quorum and halted after
+        # writing a checkpoint; scripts can acknowledge the dead
+        # devices and follow up with --resume.
+        print(f"halt-degraded: {error}", file=sys.stderr)
+        if error.checkpoint_path:
+            print(
+                f"resumable checkpoint: {error.checkpoint_path}",
+                file=sys.stderr,
+            )
+        return 6
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -858,7 +945,9 @@ def _dispatch(args) -> int:
         events=sinks.events,
     ), execution(args.backend, args.workers or None), _build_resilience_context(
         args
-    ), _build_guard_context(args), _build_hier_context(args):
+    ), _build_guard_context(args), _build_hier_context(
+        args
+    ), _build_controlplane_context(args):
         output = spec.runner(config)
     print(output)
     if args.output:
@@ -1435,7 +1524,9 @@ def _run_report(args) -> int:
         events=sinks.events,
     ), execution(args.backend, args.workers or None), _build_resilience_context(
         args
-    ), _build_guard_context(args), _build_hier_context(args):
+    ), _build_guard_context(args), _build_hier_context(
+        args
+    ), _build_controlplane_context(args):
         for experiment_id in experiment_ids:
             spec = get_experiment(experiment_id)
             print(f"running {experiment_id} ({spec.paper_artifact}) ...")

@@ -1,0 +1,159 @@
+"""Graceful-degradation ladder driven by registry live fraction.
+
+The control plane never blocks on a dead device; instead it *degrades*
+in named, observable steps as the fleet shrinks:
+
+``full``
+    live fraction ≥ ``full_floor`` — every tick drains and merges.
+``quorum``
+    live fraction ≥ ``quorum_floor`` — still merging, but uploads from
+    devices the registry has declared DEAD are discarded (they may be
+    in-flight zombies) and the mode change is surfaced.
+``stale-serve``
+    live fraction ≥ ``stale_floor`` — the server stops merging and
+    keeps serving the last good global model; uploads park in the
+    bounded buffer (backpressure engages). Recoverable: if devices
+    rejoin, the ladder climbs back up and parked uploads merge.
+``halt``
+    live fraction below ``stale_floor`` for ``halt_grace_ticks``
+    consecutive ticks — checkpoint and raise
+    :class:`~repro.errors.DegradedHaltError` (CLI exit code 6).
+
+Each mode change appends to :attr:`DegradationLadder.history` and
+emits a ``controlplane_mode`` event so ``obs-watch`` shows the ladder
+position live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import get_logger
+
+MODE_FULL = "full"
+MODE_QUORUM = "quorum"
+MODE_STALE = "stale-serve"
+MODE_HALT = "halt"
+DEGRADATION_MODES = (MODE_FULL, MODE_QUORUM, MODE_STALE, MODE_HALT)
+
+_LOG = get_logger("controlplane.degrade")
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Thresholds for the ladder, as live-fraction floors."""
+
+    full_floor: float = 0.9
+    quorum_floor: float = 0.5
+    stale_floor: float = 0.25
+    halt_grace_ticks: int = 3
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("full_floor", self.full_floor),
+            ("quorum_floor", self.quorum_floor),
+            ("stale_floor", self.stale_floor),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if not self.full_floor >= self.quorum_floor >= self.stale_floor:
+            raise ConfigurationError(
+                "degradation floors must be ordered full >= quorum >= stale, "
+                f"got {self.full_floor} / {self.quorum_floor} / "
+                f"{self.stale_floor}"
+            )
+        if self.halt_grace_ticks < 1:
+            raise ConfigurationError(
+                f"halt_grace_ticks must be >= 1, got {self.halt_grace_ticks}"
+            )
+
+    def mode_for(self, live_fraction: float) -> str:
+        if live_fraction >= self.full_floor:
+            return MODE_FULL
+        if live_fraction >= self.quorum_floor:
+            return MODE_QUORUM
+        if live_fraction >= self.stale_floor:
+            return MODE_STALE
+        return MODE_HALT
+
+
+class DegradationLadder:
+    """Stateful ladder: tracks the mode, its history, and halt grace."""
+
+    def __init__(
+        self, policy: DegradationPolicy = None, metrics=None, events=None
+    ) -> None:
+        self.policy = policy if policy is not None else DegradationPolicy()
+        self.metrics = metrics
+        self.events = events
+        self.mode = MODE_FULL
+        #: ``(time_s, from_mode, to_mode, live_fraction)`` per change.
+        self.history: List[Tuple[float, str, str, float]] = []
+        self._halt_streak = 0
+
+    def update(self, live_fraction: float, now_s: float) -> str:
+        """Re-evaluate the mode; returns the (possibly new) mode.
+
+        HALT only takes effect after ``halt_grace_ticks`` consecutive
+        halt-band evaluations — a single sweep that momentarily sees
+        too few devices (e.g. mid-rejoin) must not kill the run.
+        """
+        target = self.policy.mode_for(live_fraction)
+        if target == MODE_HALT:
+            self._halt_streak += 1
+            if self._halt_streak < self.policy.halt_grace_ticks:
+                target = MODE_STALE  # grace: degrade but keep serving
+        else:
+            self._halt_streak = 0
+        if target != self.mode:
+            self.history.append((now_s, self.mode, target, live_fraction))
+            if self.metrics is not None:
+                self.metrics.inc("controlplane.mode_changes")
+            if self.events is not None:
+                self.events.emit(
+                    {
+                        "type": "controlplane_mode",
+                        "from_mode": self.mode,
+                        "to_mode": target,
+                        "live_fraction": live_fraction,
+                        "time_s": now_s,
+                    }
+                )
+            _LOG.info(
+                "degradation mode change",
+                extra={
+                    "from_mode": self.mode,
+                    "to_mode": target,
+                    "live_fraction": live_fraction,
+                },
+            )
+            self.mode = target
+        if self.metrics is not None:
+            self.metrics.set_gauge(
+                "controlplane.mode_index", DEGRADATION_MODES.index(self.mode)
+            )
+        return self.mode
+
+    @property
+    def should_halt(self) -> bool:
+        return self.mode == MODE_HALT
+
+    @property
+    def merging_allowed(self) -> bool:
+        return self.mode in (MODE_FULL, MODE_QUORUM)
+
+    def snapshot(self) -> dict:
+        return {
+            "mode": self.mode,
+            "mode_changes": len(self.history),
+            "halt_streak": self._halt_streak,
+            "floors": {
+                "full": self.policy.full_floor,
+                "quorum": self.policy.quorum_floor,
+                "stale": self.policy.stale_floor,
+            },
+        }

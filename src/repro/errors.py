@@ -96,6 +96,22 @@ class RunKilledError(ReproError, RuntimeError):
     """
 
 
+class DegradedHaltError(ReproError, RuntimeError):
+    """The async control plane halted because the fleet fell below quorum.
+
+    Raised by :class:`repro.controlplane.AsyncControlPlane` when the
+    live fraction of the device registry stays under the degradation
+    ladder's halt floor for the configured grace period. A checkpoint
+    is written first (``checkpoint_path``), so the run can be resumed
+    once the operator acknowledges the dead devices; the CLI maps this
+    to exit code 6.
+    """
+
+    def __init__(self, message: str, checkpoint_path: str = "") -> None:
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint artefact is unreadable, truncated or corrupted.
 

@@ -21,6 +21,12 @@ phase the batched backend vectorises and the metric the CI trajectory
 gate tracks. Each cell is the best of ``timed_rounds`` rounds after a
 warmup round, which damps scheduler noise on shared runners.
 
+Schema v3 adds a ``controlplane`` section: modelled tail latency
+(p50/p95/p99 time-to-version-N) of the async control plane against the
+synchronous orchestrator's analytic schedule under a skewed device
+speed profile. The clock is the simulation's, not the host's, so the
+section is bit-deterministic and directly comparable across machines.
+
 The parallel section reports the local-training speedup of the process
 backend over serial, taken from the profiler's
 ``federated.local_train`` scope so protocol overhead (broadcast,
@@ -59,7 +65,7 @@ from repro.parallel.engine import DeviceFleet
 from repro.utils.rng import generator_from_root
 
 #: Bump when the JSON document's shape changes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Default output file name.
 DEFAULT_OUTPUT = "BENCH_speed.json"
@@ -422,6 +428,103 @@ def _bench_hier(
     return section
 
 
+def _percentile_time(times: Sequence[float], quantile: float) -> float:
+    """Time by which ``quantile`` of the versions exist (nearest-rank)."""
+    ordered = sorted(times)
+    index = max(1, int(np.ceil(quantile * len(ordered))))
+    return float(ordered[index - 1])
+
+
+def _bench_controlplane(
+    seed: int,
+    num_devices: int = 8,
+    rounds_per_device: int = 12,
+    slow_factor: float = 4.0,
+    tick_interval_s: float = 1.0,
+) -> Dict[str, object]:
+    """Tail latency of async vs sync aggregation, on the modelled clock.
+
+    Both arms process the same work: ``num_devices`` devices, each
+    contributing ``rounds_per_device`` local rounds, device speeds
+    skewed linearly from 1.0 to ``slow_factor`` seconds per round. The
+    async arm runs the real control plane (registry, buffer, ticks)
+    with no-op trainers, so the distribution of time-to-version-N is
+    exactly the control plane's scheduling behaviour; the sync arm is
+    analytic — the orchestrator gates every round on the slowest
+    device, so version ``v`` exists at ``ceil(v / D) * slowest``.
+    Nothing here reads the host clock: the section is deterministic.
+    """
+    from repro.controlplane.buffer import BoundedUploadBuffer
+    from repro.controlplane.degrade import DegradationLadder
+    from repro.controlplane.driver import skewed_round_durations
+    from repro.controlplane.loop import AsyncControlPlane
+    from repro.controlplane.registry import DeviceRegistry
+    from repro.federated.async_server import (
+        AsynchronousFederatedClient,
+        AsynchronousFederatedServer,
+    )
+    from repro.federated.transport import InMemoryTransport
+    from repro.rl.agent import NeuralBanditAgent
+
+    names = [f"CP_{index:02d}" for index in range(num_devices)]
+    transport = InMemoryTransport()
+    clients = {
+        name: AsynchronousFederatedClient(
+            name,
+            NeuralBanditAgent(num_actions=15, seed=seed + index),
+            transport,
+        )
+        for index, name in enumerate(names)
+    }
+    server = AsynchronousFederatedServer(
+        NeuralBanditAgent(num_actions=15, seed=seed).get_parameters(),
+        transport,
+    )
+    durations = skewed_round_durations(names, slow_factor=slow_factor)
+    loop = AsyncControlPlane(
+        server,
+        clients,
+        {name: (lambda round_index: None) for name in names},
+        {name: rounds_per_device for name in names},
+        durations,
+        DeviceRegistry(
+            heartbeat_interval_s=tick_interval_s, seed=seed
+        ),
+        BoundedUploadBuffer(capacity=max(32, num_devices * 2)),
+        DegradationLadder(),
+        tick_interval_s=tick_interval_s,
+    )
+    loop.run()
+    async_times = [time_s for _version, time_s in loop.time_to_version]
+    total_versions = len(async_times)
+    slowest = max(durations.values())
+    sync_times = [
+        float(np.ceil(version / num_devices)) * slowest
+        for version in range(1, total_versions + 1)
+    ]
+    section: Dict[str, object] = {
+        "devices": num_devices,
+        "rounds_per_device": rounds_per_device,
+        "slow_factor": slow_factor,
+        "tick_interval_s": tick_interval_s,
+        "versions": total_versions,
+        "late_merges": loop.late_merges,
+    }
+    for arm, times in (("async", async_times), ("sync", sync_times)):
+        section[arm] = {
+            "p50_time_to_version_s": _percentile_time(times, 0.50),
+            "p95_time_to_version_s": _percentile_time(times, 0.95),
+            "p99_time_to_version_s": _percentile_time(times, 0.99),
+            "total_s": max(times) if times else 0.0,
+        }
+    async_p95 = section["async"]["p95_time_to_version_s"]
+    if async_p95 > 0:
+        section["speedup_p95"] = (
+            section["sync"]["p95_time_to_version_s"] / async_p95
+        )
+    return section
+
+
 def run_speed_benchmark(
     seed: int = 2025,
     rounds: int = 4,
@@ -472,6 +575,7 @@ def run_speed_benchmark(
         )
     if hier_scales:
         document["hier"] = _bench_hier(seed, tuple(hier_scales))
+    document["controlplane"] = _bench_controlplane(seed)
     return document
 
 
@@ -577,6 +681,21 @@ def format_summary(document: Dict[str, object]) -> str:
                     entry["ps_traffic_cut"] * 100.0,
                 )
             )
+    controlplane = document.get("controlplane")
+    if controlplane:
+        lines.append(
+            "  controlplane: time-to-version p95 async %.1fs vs sync %.1fs "
+            "(%.2fx), p99 %.1fs vs %.1fs [modelled clock, D=%d skew 1:%g]"
+            % (
+                controlplane["async"]["p95_time_to_version_s"],
+                controlplane["sync"]["p95_time_to_version_s"],
+                controlplane.get("speedup_p95", 0.0),
+                controlplane["async"]["p99_time_to_version_s"],
+                controlplane["sync"]["p99_time_to_version_s"],
+                controlplane["devices"],
+                controlplane["slow_factor"],
+            )
+        )
     lines.append(
         "  cpus        : %d available"
         % document["environment"]["available_cpus"]

@@ -1,0 +1,97 @@
+"""Control-plane liveness experiment (extension).
+
+Runs federated training through the async control plane with a fault
+plan that permanently kills 30% of the fleet mid-run and drops 5% of
+heartbeats, under the skewed speed profile — the exact scenario the
+synchronous orchestrator cannot survive without stalling. The output
+table shows that training *completes* in quorum mode: the registry's
+liveness accounting, the degradation ladder's final position and the
+staleness-weighted merge statistics are all deterministic for a fixed
+seed, so this doubles as the CI smoke artefact.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.scenarios import evaluation_applications
+from repro.faults.plan import FaultPlan
+from repro.sim.workload import SPLASH2_APPLICATION_NAMES
+from repro.utils.tables import format_table
+
+#: Fleet shape for the experiment: enough devices that a 30% cull is
+#: three whole machines, small enough for the smoke schedule.
+NUM_DEVICES = 10
+DEAD_FRACTION = 0.3
+HB_LOSS_RATE = 0.05
+
+#: Environment override for the killed fraction (CI uses 0.8 to push
+#: the fleet below the stale floor and assert the halt/exit-6 path).
+DEAD_FRACTION_ENV = "REPRO_CP_DEAD"
+
+
+def controlplane_assignments(num_devices: int = NUM_DEVICES):
+    """Round-robin SPLASH-2 assignment over a synthetic fleet."""
+    apps = list(SPLASH2_APPLICATION_NAMES)
+    return {
+        f"cp-{index:02d}": (apps[index % len(apps)],)
+        for index in range(num_devices)
+    }
+
+
+def run_controlplane(config: FederatedPowerControlConfig) -> str:
+    """Async control plane under 30% permanent device death."""
+    from repro.controlplane import train_async_federated
+
+    assignments = controlplane_assignments()
+    dead_fraction = float(
+        os.environ.get(DEAD_FRACTION_ENV, DEAD_FRACTION)
+    )
+    plan = FaultPlan.random(
+        num_rounds=config.num_rounds,
+        devices=list(assignments),
+        seed=config.seed,
+        dead_fraction=dead_fraction,
+        hb_loss_rate=HB_LOSS_RATE,
+    )
+    result = train_async_federated(
+        assignments,
+        config,
+        eval_applications=evaluation_applications(),
+        faults=plan,
+    )
+    cp = result.controlplane
+    counts = cp["registry"]["counts"]
+    final_reward = (
+        result.round_evaluations[-1].overall_mean("reward_mean")
+        if result.round_evaluations
+        else float("nan")
+    )
+    rows = [
+        ["devices", str(len(assignments))],
+        ["permanently dead (plan)", ", ".join(plan.dead_devices)],
+        ["final mode", str(cp["mode"])],
+        ["live fraction", f"{cp['registry']['live_fraction']:.2f}"],
+        [
+            "registry counts",
+            ", ".join(f"{state}={n}" for state, n in sorted(counts.items())),
+        ],
+        ["liveness transitions", str(cp["registry"]["transitions"])],
+        ["merges applied", str(cp["merges"])],
+        ["late merges", str(cp["late_merges"])],
+        ["rounds lost to death", str(cp["discarded_rounds"])],
+        ["zombie uploads refused", str(cp["zombie_uploads"])],
+        ["buffer peak depth", str(cp["buffer"]["peak_depth"])],
+        ["straggler rate", f"{result.federated_result.straggler_rate:.4f}"],
+        ["evaluations", str(len(result.round_evaluations))],
+        ["final reward mean", f"{final_reward:.4f}"],
+    ]
+    return format_table(
+        ["Quantity", "Value"],
+        rows,
+        title=(
+            "Control plane — async training under "
+            f"{int(dead_fraction * 100)}% permanent device death"
+        ),
+    )

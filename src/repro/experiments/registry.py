@@ -31,6 +31,7 @@ from repro.experiments.ablations import (
     run_weighted_averaging,
 )
 from repro.experiments.config import FederatedPowerControlConfig
+from repro.experiments.controlplane_exp import run_controlplane
 from repro.experiments.fleet import run_fleet_scale
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
@@ -283,6 +284,12 @@ _SPECS: List[ExperimentSpec] = [
         "Hierarchical vs flat aggregation at 1k/10k devices",
         "extension",
         lambda config: run_fleet_scale(config).format(),
+    ),
+    ExperimentSpec(
+        "controlplane",
+        "Async control plane under 30% permanent device death",
+        "extension",
+        run_controlplane,
     ),
     ExperimentSpec(
         "ablation_thermal",

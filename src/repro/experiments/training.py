@@ -923,6 +923,29 @@ def train_federated(
     single-server path on every backend.
     """
     _check_assignments(assignments)
+    # An ambient control-plane activation (CLI --async) reroutes the
+    # whole run through the event-driven async driver; the import is
+    # lazy because repro.controlplane.driver imports this module's
+    # helpers.
+    from repro.controlplane.context import get_active_controlplane
+
+    controlplane_cfg = get_active_controlplane()
+    if controlplane_cfg is not None and controlplane_cfg.enabled:
+        from repro.controlplane.driver import train_async_federated
+
+        return train_async_federated(
+            assignments,
+            config,
+            eval_applications=eval_applications,
+            controlplane_config=controlplane_cfg,
+            metrics=metrics,
+            events=events,
+            profiler=profiler,
+            faults=faults,
+            aggregator=aggregator,
+            retry=retry,
+            checkpoint=checkpoint,
+        )
     backend, workers = resolve_execution(backend, workers)
     metrics = active_metrics(metrics)
     tracer = active_tracer(tracer)

@@ -36,10 +36,17 @@ FAULT_KINDS = (
     "fail",       # transient send failure for `repeats` attempts
     "byzantine",  # upload parameters scaled by `scale` (poisoning)
     "kill",       # the whole run is killed at round `round_index`
+    "hb_loss",    # one heartbeat from `device` is lost (liveness noise)
+    "dead",       # `device` dies permanently at beat `round_index`
 )
 
 #: Kinds intercepted on the wire by the fault-injecting transport.
 WIRE_KINDS = ("drop", "duplicate", "corrupt", "delay", "fail", "byzantine")
+
+#: Kinds consumed by the async control plane's liveness machinery
+#: (:mod:`repro.controlplane`); ``round_index`` counts *heartbeats*,
+#: not federated rounds, for these.
+CONTROL_KINDS = ("hb_loss", "dead")
 
 #: How a ``corrupt`` event mangles the float32 payload.
 CORRUPT_MODES = ("nan", "inf", "noise", "zeros")
@@ -111,12 +118,20 @@ class FaultPlan:
         self.kill_round: Optional[int] = kills[0].round_index if kills else None
         self._crashes: Dict[Tuple[int, str], FaultEvent] = {}
         self._wire: Dict[Tuple[int, str], List[FaultEvent]] = {}
+        self._hb_loss: set = set()
+        self._death: Dict[str, int] = {}
         for event in self.events:
             if event.kind == "crash":
                 self._crashes[(event.round_index, event.device)] = event
             elif event.kind in WIRE_KINDS:
                 key = (event.round_index, event.device)
                 self._wire.setdefault(key, []).append(event)
+            elif event.kind == "hb_loss":
+                self._hb_loss.add((event.round_index, event.device))
+            elif event.kind == "dead":
+                prior = self._death.get(event.device)
+                if prior is None or event.round_index < prior:
+                    self._death[event.device] = event.round_index
 
     def __len__(self) -> int:
         return len(self.events)
@@ -139,6 +154,23 @@ class FaultPlan:
     @property
     def has_wire_faults(self) -> bool:
         return bool(self._wire)
+
+    def loses_heartbeat(self, beat_index: int, device: str) -> bool:
+        """Whether ``device``'s ``beat_index``-th heartbeat is lost."""
+        return (beat_index, device) in self._hb_loss
+
+    def death_beat(self, device: str) -> Optional[int]:
+        """Heartbeat index at which ``device`` dies for good, or ``None``."""
+        return self._death.get(device)
+
+    @property
+    def dead_devices(self) -> Tuple[str, ...]:
+        """Devices scheduled for permanent death, sorted by name."""
+        return tuple(sorted(self._death))
+
+    @property
+    def has_control_faults(self) -> bool:
+        return bool(self._hb_loss or self._death)
 
     def without_kill(self) -> "FaultPlan":
         """A copy of this plan with the kill event removed.
@@ -230,6 +262,8 @@ class FaultPlan:
         byzantine_scale: float = 50.0,
         byzantine_mode: str = "scale",
         kill_at: Optional[int] = None,
+        hb_loss_rate: float = 0.0,
+        dead_fraction: float = 0.0,
     ) -> "FaultPlan":
         """Seeded rate-based plan over a ``rounds × devices`` grid.
 
@@ -239,6 +273,13 @@ class FaultPlan:
         identical seeds always produce identical schedules.
         ``byzantine_rate`` draws from its own seed path (child 12), so
         turning poisoning on never perturbs the other kinds' schedules.
+        The control-plane kinds likewise draw from their own paths:
+        ``hb_loss_rate`` (per heartbeat × device, child 13) and
+        ``dead_fraction`` (child 14) — the latter picks exactly
+        ``round(dead_fraction × len(devices))`` devices without
+        replacement and schedules each one's permanent death at a
+        uniform heartbeat in ``[1, num_rounds)``, so "kill 30% of the
+        fleet mid-run" is an exact, seed-stable statement.
         """
         if num_rounds <= 0:
             raise ConfigurationError(f"num_rounds must be positive, got {num_rounds}")
@@ -260,6 +301,14 @@ class FaultPlan:
         if not 0.0 <= byzantine_rate <= 1.0:
             raise ConfigurationError(
                 f"byzantine rate must be in [0, 1], got {byzantine_rate}"
+            )
+        if not 0.0 <= hb_loss_rate <= 1.0:
+            raise ConfigurationError(
+                f"hb_loss rate must be in [0, 1], got {hb_loss_rate}"
+            )
+        if not 0.0 <= dead_fraction <= 1.0:
+            raise ConfigurationError(
+                f"dead fraction must be in [0, 1], got {dead_fraction}"
             )
         byzantine_names = []
         for entry in byzantine_devices:
@@ -328,6 +377,29 @@ class FaultPlan:
                                 scale=byzantine_scale,
                             )
                         )
+        if hb_loss_rate > 0.0:
+            hb_rng = generator_from_root(seed, 13)
+            for beat_index in range(num_rounds):
+                for device in devices:
+                    if hb_rng.random() < hb_loss_rate:
+                        events.append(
+                            FaultEvent("hb_loss", beat_index, device)
+                        )
+        if dead_fraction > 0.0:
+            dead_rng = generator_from_root(seed, 14)
+            victims = int(round(dead_fraction * len(devices)))
+            picked = dead_rng.choice(
+                len(devices), size=min(victims, len(devices)), replace=False
+            )
+            for device_index in sorted(int(i) for i in picked):
+                beat = (
+                    1 + int(dead_rng.integers(num_rounds - 1))
+                    if num_rounds > 1
+                    else 0
+                )
+                events.append(
+                    FaultEvent("dead", beat, devices[device_index])
+                )
         if kill_at is not None:
             events.append(FaultEvent("kill", kill_at))
         return cls(events, seed=seed)
@@ -344,14 +416,17 @@ class FaultPlan:
 
             crash=0.1,drop=0.05,corrupt=0.02,corrupt_mode=nan,
             delay=0.1,delay_s=0.25,fail=0.05,fail_repeats=2,
-            byzantine=0,byzantine_scale=50,kill=5,seed=7
+            byzantine=0,byzantine_scale=50,kill=5,seed=7,
+            hb_loss=0.1,dead=0.3
 
         Rate keys (``crash``/``drop``/``duplicate``/``corrupt``/
         ``delay``/``fail``) are per-(round, device) probabilities fed to
         :meth:`random`; ``byzantine`` takes a device index (or name) —
         or, when the value contains a ``.``, a per-(round, device)
         poisoning probability (``byzantine=0.3``); ``kill`` a round
-        index.
+        index. The control-plane kinds: ``hb_loss`` is a per-heartbeat
+        loss probability, ``dead`` the exact fraction of the fleet
+        scheduled for permanent death mid-run.
         """
         spec = spec.strip()
         path = pathlib.Path(spec)
@@ -403,6 +478,10 @@ class FaultPlan:
                     kwargs["byzantine_mode"] = value
                 elif key == "kill":
                     kwargs["kill_at"] = int(value)
+                elif key == "hb_loss":
+                    kwargs["hb_loss_rate"] = float(value)
+                elif key == "dead":
+                    kwargs["dead_fraction"] = float(value)
                 elif key == "seed":
                     kwargs["seed"] = int(value)
                 else:

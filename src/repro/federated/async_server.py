@@ -68,6 +68,7 @@ class AsynchronousFederatedServer:
         self._shapes = [p.shape for p in self._global]
         self._version = 0
         self._merges = 0
+        self._stale_merges = 0
 
     @property
     def version(self) -> int:
@@ -79,8 +80,26 @@ class AsynchronousFederatedServer:
         return self._merges
 
     @property
+    def stale_merges(self) -> int:
+        """Merges whose upload was at least one version behind."""
+        return self._stale_merges
+
+    @property
     def global_parameters(self) -> List[np.ndarray]:
         return [p.copy() for p in self._global]
+
+    def restore(self, parameters: Sequence[np.ndarray], version: int) -> None:
+        """Install checkpointed global state (control-plane resume)."""
+        if version < 0:
+            raise FederationError(f"version must be >= 0, got {version}")
+        restored = [np.array(p, dtype=np.float64, copy=True) for p in parameters]
+        if [p.shape for p in restored] != self._shapes:
+            raise FederationError(
+                "restored parameters do not match the server's shapes"
+            )
+        self._global = restored
+        self._version = int(version)
+        self._merges = int(version)
 
     def mixing_for_staleness(self, staleness: int) -> float:
         """The effective mixing rate for a model ``staleness`` versions old."""
@@ -133,6 +152,8 @@ class AsynchronousFederatedServer:
                 global_array += alpha * local_array
             self._version += 1
             self._merges += 1
+            if staleness > 0:
+                self._stale_merges += 1
             merged += 1
             if self.metrics is not None:
                 self.metrics.inc("async.merges")
@@ -161,12 +182,14 @@ class AsynchronousFederatedClient:
         transport: InMemoryTransport,
         server_id: str = "server",
         codec=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.client_id = client_id
         self.agent = agent
         self.transport = transport
         self.server_id = server_id
         self.codec = codec if codec is not None else Float32Codec()
+        self.metrics = metrics
         self._base_version: Optional[int] = None
 
     @property
@@ -175,12 +198,30 @@ class AsynchronousFederatedClient:
         return self._base_version
 
     def pull(self) -> int:
-        """Install the latest dispatched global model."""
-        messages = [
-            m
-            for m in self.transport.receive_all(self.client_id)
-            if m.kind == ASYNC_GLOBAL_KIND
-        ]
+        """Install the latest dispatched global model.
+
+        Superseded global models are consumed (only the latest is
+        installed), but messages of any *other* kind are not this
+        method's to eat: they are re-enqueued in arrival order for
+        whoever does consume them, and counted in
+        ``async.pull_requeued`` — a ``receive_all`` that silently
+        discarded them would lose protocol messages without trace.
+        """
+        inbox = self.transport.receive_all(self.client_id)
+        messages = [m for m in inbox if m.kind == ASYNC_GLOBAL_KIND]
+        foreign = [m for m in inbox if m.kind != ASYNC_GLOBAL_KIND]
+        for message in foreign:
+            self.transport.deliver(message)  # already accounted on send
+        if foreign:
+            if self.metrics is not None:
+                self.metrics.inc("async.pull_requeued", len(foreign))
+            _LOG.warning(
+                "re-enqueued non-global messages during pull",
+                extra={
+                    "client_id": self.client_id,
+                    "kinds": sorted({m.kind for m in foreign}),
+                },
+            )
         if not messages:
             raise FederationError(
                 f"client {self.client_id!r} has no pending global model"
@@ -244,6 +285,15 @@ def run_async_federated_training(
     if not clients:
         raise FederationError("need at least one async client")
     clients_by_id = {client.client_id: client for client in clients}
+    orphans = sorted(
+        (set(local_rounds_per_client) | set(round_duration_s))
+        - set(clients_by_id)
+    )
+    if orphans:
+        raise FederationError(
+            "round budgets/durations name unknown client ids: "
+            + ", ".join(repr(orphan) for orphan in orphans)
+        )
     for client_id in clients_by_id:
         if client_id not in trainers:
             raise FederationError(f"no trainer for client {client_id!r}")
@@ -266,6 +316,7 @@ def run_async_federated_training(
     bytes_before = transport.total_bytes
     messages_before = transport.total_messages
     merges_before = server.merges_applied
+    stale_before = server.stale_merges
     push_index = 0
 
     for client_id, client in clients_by_id.items():
@@ -313,6 +364,7 @@ def run_async_federated_training(
     total_bytes = transport.total_bytes - bytes_before
     total_messages = transport.total_messages - messages_before
     merges = server.merges_applied - merges_before
+    stale = server.stale_merges - stale_before
     if metrics is not None:
         metrics.inc("federated.bytes_total", total_bytes)
         metrics.inc("federated.messages_total", total_messages)
@@ -324,7 +376,11 @@ def run_async_federated_training(
                 "bytes": total_bytes,
                 "messages": total_messages,
                 "aggregations": merges,
-                "straggler_rate": 0.0,
+                # The async analogue of the sync straggler rate: the
+                # fraction of merges whose upload trained on an
+                # already-superseded global model, so obs-diff
+                # comparisons against sync runs are honest.
+                "straggler_rate": stale / merges if merges else 0.0,
             }
         )
     return pushes

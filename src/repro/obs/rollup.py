@@ -102,6 +102,14 @@ class FleetRollup(TelemetrySink):
         # Bytes per hierarchy tier (hierarchical runs only; stays
         # empty — and invisible in snapshots — on flat runs).
         self.tier_bytes_total: Dict[str, int] = {}
+        # Control-plane liveness (async runs only; stays empty — and
+        # invisible in snapshots — on synchronous runs).
+        self.device_states: Dict[str, str] = {}
+        self.device_transitions = 0
+        self.deaths_total = 0
+        self.rejoins_total = 0
+        self.controlplane_mode: Optional[str] = None
+        self.mode_changes = 0
         self.events_seen = 0
         self.run_summary: Optional[Dict[str, object]] = None
         # Streaming estimators — bounded by construction.
@@ -152,6 +160,18 @@ class FleetRollup(TelemetrySink):
             self.guard_transitions += 1
             if str(event.get("to_state", "")).lower() == "fallback":
                 self.fallback_entries += 1
+        elif kind == "device_state":
+            device = str(event.get("device", ""))
+            to_state = str(event.get("to_state", ""))
+            self.device_states[device] = to_state
+            self.device_transitions += 1
+            if to_state == "dead":
+                self.deaths_total += 1
+            elif to_state == "rejoined":
+                self.rejoins_total += 1
+        elif kind == "controlplane_mode":
+            self.controlplane_mode = str(event.get("to_mode", ""))
+            self.mode_changes += 1
         elif kind == "evaluation":
             self._on_evaluation(event)
         elif kind == "alert":
@@ -347,6 +367,19 @@ class FleetRollup(TelemetrySink):
         }
         if self.tier_bytes_total:
             out["tier_bytes_total"] = dict(sorted(self.tier_bytes_total.items()))
+        if self.device_states or self.controlplane_mode is not None:
+            state_counts: Dict[str, int] = {}
+            for state in self.device_states.values():
+                state_counts[state] = state_counts.get(state, 0) + 1
+            out["controlplane"] = {
+                "mode": self.controlplane_mode,
+                "mode_changes": self.mode_changes,
+                "device_states": dict(sorted(self.device_states.items())),
+                "state_counts": dict(sorted(state_counts.items())),
+                "transitions": self.device_transitions,
+                "deaths": self.deaths_total,
+                "rejoins": self.rejoins_total,
+            }
         if self.active_devices is not None:
             out["active_devices"] = self.active_devices
         if self.run_summary is not None:
@@ -394,6 +427,20 @@ class FleetRollup(TelemetrySink):
                 for tier, count in sorted(self.tier_bytes_total.items())
             )
             lines.append(f"tier bytes: {tiers}")
+        if self.device_states or self.controlplane_mode is not None:
+            state_counts: Dict[str, int] = {}
+            for state in self.device_states.values():
+                state_counts[state] = state_counts.get(state, 0) + 1
+            states = ", ".join(
+                f"{state}={count}"
+                for state, count in sorted(state_counts.items())
+            )
+            lines.append(
+                f"control plane: mode={self.controlplane_mode or 'n/a'} "
+                f"({self.mode_changes} changes)   "
+                f"liveness: {states or 'n/a'}   "
+                f"deaths: {self.deaths_total}   rejoins: {self.rejoins_total}"
+            )
         if not deterministic:
             throughput = self.rounds_per_s
             if throughput is not None:

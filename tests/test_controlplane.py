@@ -1,0 +1,723 @@
+"""Tests for the async control plane (registry, buffer, ladder, loop)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.controlplane.buffer import (
+    POLICY_BLOCK,
+    POLICY_DROP_OLDEST,
+    POLICY_REJECT,
+    BoundedUploadBuffer,
+)
+from repro.controlplane.context import (
+    ControlPlaneConfig,
+    controlplane,
+    get_active_controlplane,
+    parse_buffer_spec,
+)
+from repro.controlplane.degrade import (
+    MODE_FULL,
+    MODE_HALT,
+    MODE_QUORUM,
+    MODE_STALE,
+    DegradationLadder,
+    DegradationPolicy,
+)
+from repro.controlplane.driver import (
+    CONTROLPLANE_BLOB_KEY,
+    skewed_round_durations,
+    train_async_federated,
+)
+from repro.controlplane.loop import AsyncControlPlane
+from repro.controlplane.registry import (
+    ALIVE,
+    DEAD,
+    REJOINED,
+    SUSPECT,
+    DeviceRegistry,
+)
+from repro.errors import (
+    ConfigurationError,
+    DegradedHaltError,
+    FederationError,
+)
+from repro.experiments.config import FederatedPowerControlConfig
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import CheckpointConfig, load_snapshot
+from repro.federated.async_server import (
+    AsynchronousFederatedClient,
+    AsynchronousFederatedServer,
+)
+from repro.federated.transport import InMemoryTransport
+from repro.rl.agent import NeuralBanditAgent
+
+
+class ListPipeline:
+    """Minimal event sink capturing emitted dicts."""
+
+    def __init__(self):
+        self.rows = []
+
+    def emit(self, event):
+        self.rows.append(dict(event))
+
+    def of_type(self, kind):
+        return [row for row in self.rows if row.get("type") == kind]
+
+
+class StubPlan:
+    """Duck-typed fault plan for targeted loop tests."""
+
+    def __init__(self, deaths=None, lost=()):
+        self._deaths = dict(deaths or {})
+        self._lost = set(lost)
+
+    def death_beat(self, device):
+        return self._deaths.get(device)
+
+    def loses_heartbeat(self, beat_index, device):
+        return (beat_index, device) in self._lost
+
+
+class TestRegistry:
+    def make(self, **kwargs):
+        kwargs.setdefault("heartbeat_interval_s", 1.0)
+        kwargs.setdefault("suspect_after_missed", 2)
+        kwargs.setdefault("dead_after_missed", 4)
+        kwargs.setdefault("seed", 7)
+        return DeviceRegistry(**kwargs)
+
+    def test_full_liveness_walk(self):
+        events = ListPipeline()
+        registry = self.make(events=events)
+        registry.register("d0")
+        assert registry.state("d0") == ALIVE
+        registry.record_heartbeat("d0", 0.5)
+        registry.sweep(1.0)
+        assert registry.state("d0") == ALIVE
+        # Two whole intervals of silence: suspect.
+        registry.sweep(2.6)
+        assert registry.state("d0") == SUSPECT
+        # A beat brings it straight back.
+        registry.record_heartbeat("d0", 2.7)
+        assert registry.state("d0") == ALIVE
+        # Four intervals of silence in one sweep: suspect then dead.
+        registry.sweep(7.0)
+        assert registry.state("d0") == DEAD
+        assert registry.live_fraction() == 0.0
+        # A returning beat walks DEAD -> REJOINED -> ALIVE.
+        registry.record_heartbeat("d0", 7.5)
+        assert registry.state("d0") == REJOINED
+        registry.record_heartbeat("d0", 8.5)
+        assert registry.state("d0") == ALIVE
+        reasons = [t.reason for t in registry.transitions]
+        assert reasons == [
+            "heartbeats-missed",
+            "heartbeat-resumed",
+            "heartbeats-missed",
+            "silence",
+            "rejoin",
+            "stabilised",
+        ]
+        emitted = events.of_type("device_state")
+        assert [e["to_state"] for e in emitted] == [
+            SUSPECT, ALIVE, SUSPECT, DEAD, REJOINED, ALIVE,
+        ]
+
+    def test_permanent_death_refuses_rejoin(self):
+        registry = self.make()
+        registry.register("d0")
+        registry.register("d1")
+        registry.mark_dead("d0", 3.0, permanent=True)
+        assert registry.is_permanently_dead("d0")
+        assert registry.is_dead("d0")
+        with pytest.raises(FederationError, match="permanently dead"):
+            registry.record_heartbeat("d0", 4.0)
+        assert registry.live_fraction() == pytest.approx(0.5)
+        assert registry.live_devices() == ("d1",)
+
+    def test_membership_validation(self):
+        registry = self.make()
+        registry.register("d0")
+        with pytest.raises(FederationError, match="already registered"):
+            registry.register("d0")
+        with pytest.raises(FederationError, match="not registered"):
+            registry.state("ghost")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make(heartbeat_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(suspect_after_missed=0)
+        with pytest.raises(ConfigurationError):
+            self.make(dead_after_missed=2, suspect_after_missed=2)
+
+    def test_heartbeat_phase_independent_of_registration_order(self):
+        forward = self.make(seed=5)
+        backward = self.make(seed=5)
+        names = [f"cp-{i}" for i in range(6)]
+        for name in names:
+            forward.register(name)
+        for name in reversed(names):
+            backward.register(name)
+        for name in names:
+            assert forward.next_heartbeat_due(name) == pytest.approx(
+                backward.next_heartbeat_due(name)
+            )
+        # A different seed shifts at least one phase.
+        other = self.make(seed=6)
+        for name in names:
+            other.register(name)
+        assert any(
+            abs(other.next_heartbeat_due(n) - forward.next_heartbeat_due(n))
+            > 1e-12
+            for n in names
+        )
+
+    def test_snapshot_shape(self):
+        registry = self.make()
+        registry.register("d0")
+        registry.mark_dead("d0", 1.0, permanent=True)
+        snap = registry.snapshot()
+        assert snap["counts"][DEAD] == 1
+        assert snap["devices"]["d0"]["permanently_dead"] is True
+        assert snap["transitions"] == 1
+
+
+class TestBuffer:
+    def test_reject_policy(self):
+        buffer = BoundedUploadBuffer(capacity=2, policy=POLICY_REJECT)
+        assert buffer.offer("m0", "d0", 0.0).accepted
+        assert buffer.offer("m1", "d1", 0.1).accepted
+        outcome = buffer.offer("m2", "d2", 0.2)
+        assert not outcome.accepted
+        assert buffer.rejected == 1
+        assert [e.message for e in buffer.drain(1.0)] == ["m0", "m1"]
+
+    def test_drop_oldest_policy(self):
+        buffer = BoundedUploadBuffer(capacity=2, policy=POLICY_DROP_OLDEST)
+        buffer.offer("m0", "d0", 0.0)
+        buffer.offer("m1", "d1", 0.1)
+        outcome = buffer.offer("m2", "d2", 0.2)
+        assert outcome.accepted
+        assert outcome.evicted_device == "d0"
+        assert buffer.dropped == 1
+        assert [e.message for e in buffer.drain(1.0)] == ["m1", "m2"]
+
+    def test_block_with_deadline_delays_visibility(self):
+        buffer = BoundedUploadBuffer(
+            capacity=1, policy=POLICY_BLOCK, block_deadline_s=5.0
+        )
+        buffer.offer("m0", "d0", 0.0)
+        outcome = buffer.offer("m1", "d1", 0.5, next_drain_s=2.0)
+        assert outcome.accepted
+        assert outcome.blocked_delay_s == pytest.approx(1.5)
+        # Only the immediately-visible entry drains early.
+        assert [e.message for e in buffer.drain(1.0)] == ["m0"]
+        assert len(buffer) == 1
+        assert [e.message for e in buffer.drain(2.0)] == ["m1"]
+
+    def test_block_deadline_exceeded_rejects(self):
+        buffer = BoundedUploadBuffer(
+            capacity=1, policy=POLICY_BLOCK, block_deadline_s=1.0
+        )
+        buffer.offer("m0", "d0", 0.0)
+        assert not buffer.offer("m1", "d1", 0.0, next_drain_s=3.0).accepted
+        # Without a known drain time, blocking is impossible: reject.
+        assert not buffer.offer("m2", "d2", 0.0).accepted
+        assert buffer.rejected == 2
+
+    def test_peak_depth_and_counters(self):
+        buffer = BoundedUploadBuffer(capacity=4)
+        for i in range(3):
+            buffer.offer(f"m{i}", f"d{i}", float(i))
+        assert buffer.peak_depth == 3
+        buffer.drain(10.0)
+        assert buffer.depth == 0
+        assert buffer.peak_depth == 3
+        snap = buffer.snapshot()
+        assert snap["offered"] == 3
+        assert snap["accepted"] == 3
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            BoundedUploadBuffer(capacity=0)
+        with pytest.raises(ConfigurationError):
+            BoundedUploadBuffer(policy="lifo")
+        with pytest.raises(ConfigurationError):
+            BoundedUploadBuffer(policy=POLICY_BLOCK, block_deadline_s=0.0)
+
+
+class TestDegradationLadder:
+    def test_mode_thresholds(self):
+        policy = DegradationPolicy()
+        assert policy.mode_for(1.0) == MODE_FULL
+        assert policy.mode_for(0.9) == MODE_FULL
+        assert policy.mode_for(0.89) == MODE_QUORUM
+        assert policy.mode_for(0.5) == MODE_QUORUM
+        assert policy.mode_for(0.49) == MODE_STALE
+        assert policy.mode_for(0.25) == MODE_STALE
+        assert policy.mode_for(0.24) == MODE_HALT
+
+    def test_halt_needs_grace_streak(self):
+        events = ListPipeline()
+        ladder = DegradationLadder(
+            DegradationPolicy(halt_grace_ticks=3), events=events
+        )
+        assert ladder.update(0.1, 1.0) == MODE_STALE
+        assert ladder.update(0.1, 2.0) == MODE_STALE
+        assert not ladder.should_halt
+        assert ladder.update(0.1, 3.0) == MODE_HALT
+        assert ladder.should_halt
+        assert not ladder.merging_allowed
+        modes = [e["to_mode"] for e in events.of_type("controlplane_mode")]
+        assert modes == [MODE_STALE, MODE_HALT]
+
+    def test_recovery_resets_grace_streak(self):
+        ladder = DegradationLadder(DegradationPolicy(halt_grace_ticks=2))
+        ladder.update(0.1, 1.0)
+        ladder.update(0.6, 2.0)  # devices rejoined
+        assert ladder.mode == MODE_QUORUM
+        assert ladder.merging_allowed
+        ladder.update(0.1, 3.0)
+        assert ladder.mode == MODE_STALE  # streak restarted
+        ladder.update(0.1, 4.0)
+        assert ladder.should_halt
+
+    def test_history_records_changes(self):
+        ladder = DegradationLadder()
+        ladder.update(1.0, 1.0)  # no change: full -> full
+        ladder.update(0.7, 2.0)
+        ladder.update(0.7, 3.0)  # no change
+        ladder.update(1.0, 4.0)
+        assert [(f, t) for _, f, t, _ in ladder.history] == [
+            (MODE_FULL, MODE_QUORUM),
+            (MODE_QUORUM, MODE_FULL),
+        ]
+
+    def test_floor_ordering_validation(self):
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(full_floor=0.5, quorum_floor=0.8)
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(quorum_floor=1.5)
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(halt_grace_ticks=0)
+
+
+class TestConfigAndContext:
+    def test_parse_buffer_spec(self):
+        assert parse_buffer_spec("32:drop-oldest") == {
+            "buffer_capacity": 32,
+            "buffer_policy": POLICY_DROP_OLDEST,
+        }
+        assert parse_buffer_spec("16:block-with-deadline:2.5") == {
+            "buffer_capacity": 16,
+            "buffer_policy": POLICY_BLOCK,
+            "buffer_block_deadline_s": 2.5,
+        }
+        for bad in ("32", "x:reject", "8:lifo", "8:reject:soon", "1:2:3:4"):
+            with pytest.raises(ConfigurationError):
+                parse_buffer_spec(bad)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ControlPlaneConfig(heartbeat_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ControlPlaneConfig(buffer_capacity=0)
+        with pytest.raises(ConfigurationError):
+            ControlPlaneConfig(quorum=0.0)
+
+    def test_ambient_stack(self):
+        assert get_active_controlplane() is None
+        with controlplane(quorum=0.6) as outer:
+            assert get_active_controlplane() is outer
+            with controlplane(quorum=0.4) as inner:
+                assert get_active_controlplane() is inner
+            assert get_active_controlplane() is outer
+        assert get_active_controlplane() is None
+
+
+class TestFaultPlanControlKinds:
+    def test_random_dead_fraction_is_exact_and_seeded(self):
+        devices = [f"cp-{i:02d}" for i in range(10)]
+        plan_a = FaultPlan.random(
+            num_rounds=6, devices=devices, seed=7, dead_fraction=0.3
+        )
+        plan_b = FaultPlan.random(
+            num_rounds=6, devices=devices, seed=7, dead_fraction=0.3
+        )
+        assert plan_a == plan_b
+        assert len(plan_a.dead_devices) == 3
+        assert plan_a.has_control_faults
+        for device in plan_a.dead_devices:
+            beat = plan_a.death_beat(device)
+            assert beat is not None and 1 <= beat < 6
+        survivors = set(devices) - set(plan_a.dead_devices)
+        assert all(plan_a.death_beat(d) is None for d in survivors)
+
+    def test_hb_loss_schedule_seeded(self):
+        devices = ["d0", "d1", "d2"]
+        plan = FaultPlan.random(
+            num_rounds=20, devices=devices, seed=3, hb_loss_rate=0.3
+        )
+        lost = [
+            (beat, device)
+            for beat in range(20)
+            for device in devices
+            if plan.loses_heartbeat(beat, device)
+        ]
+        assert lost  # 0.3 over a 20x3 grid practically always hits
+        again = FaultPlan.random(
+            num_rounds=20, devices=devices, seed=3, hb_loss_rate=0.3
+        )
+        assert [
+            (b, d)
+            for b in range(20)
+            for d in devices
+            if again.loses_heartbeat(b, d)
+        ] == lost
+
+    def test_from_spec_control_kinds(self):
+        plan = FaultPlan.from_spec(
+            "dead=0.5,hb_loss=0.1,seed=9",
+            num_rounds=4,
+            devices=["a", "b", "c", "d"],
+        )
+        assert len(plan.dead_devices) == 2
+        assert plan.has_control_faults
+
+
+def make_loop(
+    num_devices=3,
+    budgets=2,
+    durations=None,
+    plan=None,
+    policy=None,
+    tick=1.0,
+    events=None,
+    checkpoint_callback=None,
+    registry_seed=7,
+):
+    transport = InMemoryTransport()
+    names = [f"d{i}" for i in range(num_devices)]
+    agents = {
+        name: NeuralBanditAgent(num_actions=15, seed=i)
+        for i, name in enumerate(names)
+    }
+    clients = {
+        name: AsynchronousFederatedClient(name, agents[name], transport)
+        for name in names
+    }
+    server = AsynchronousFederatedServer(
+        agents[names[0]].get_parameters(), transport
+    )
+    registry = DeviceRegistry(seed=registry_seed, events=events)
+    buffer = BoundedUploadBuffer(capacity=64)
+    ladder = DegradationLadder(policy, events=events)
+    if durations is None:
+        durations = {name: 1.0 + 0.5 * i for i, name in enumerate(names)}
+    loop = AsyncControlPlane(
+        server,
+        clients,
+        {name: (lambda r: None) for name in names},
+        {name: budgets for name in names},
+        durations,
+        registry,
+        buffer,
+        ladder,
+        plan=plan,
+        tick_interval_s=tick,
+        events=events,
+        checkpoint_callback=checkpoint_callback,
+    )
+    return loop
+
+
+class TestAsyncControlPlaneLoop:
+    def test_completes_all_rounds_without_faults(self):
+        events = ListPipeline()
+        loop = make_loop(num_devices=3, budgets=2, events=events)
+        pushes = loop.run()
+        assert pushes == {"d0": 2, "d1": 2, "d2": 2}
+        assert loop.server.merges_applied == 6
+        assert loop.ladder.mode == MODE_FULL
+        assert [v for v, _ in loop.time_to_version] == list(range(1, 7))
+        spans = events.of_type("round_span")
+        assert len(spans) == 6
+        assert all(span["mode"] == "async" for span in spans)
+        summary = events.of_type("run_summary")
+        assert len(summary) == 1
+        assert summary[0]["aggregations"] == 6
+
+    def test_permanent_death_discards_inflight_round(self):
+        loop = make_loop(
+            num_devices=4,
+            budgets=2,
+            durations={"d0": 1.0, "d1": 1.0, "d2": 1.0, "d3": 2.0},
+            plan=StubPlan(deaths={"d3": 0}),
+        )
+        pushes = loop.run()
+        assert pushes["d3"] == 0
+        assert loop.discarded_rounds == 1
+        assert loop.registry.is_permanently_dead("d3")
+        # 3 of 4 alive: the ladder sits in quorum mode.
+        assert loop.ladder.mode == MODE_QUORUM
+        assert sum(pushes.values()) == 6
+        assert loop.server.merges_applied == 6
+
+    def test_heartbeat_loss_walks_suspect_then_recovers(self):
+        events = ListPipeline()
+        loop = make_loop(
+            num_devices=2,
+            budgets=6,
+            durations={"d0": 1.0, "d1": 1.0},
+            plan=StubPlan(lost={(0, "d0"), (1, "d0"), (2, "d0")}),
+            events=events,
+        )
+        loop.run()
+        reasons = [t.reason for t in loop.registry.transitions]
+        assert "heartbeats-missed" in reasons
+        assert "heartbeat-resumed" in reasons
+        assert loop.registry.state("d0") == ALIVE
+        assert loop.ladder.mode == MODE_FULL  # SUSPECT still counts live
+
+    def test_halt_checkpoints_then_raises(self):
+        calls = []
+
+        def checkpointer(active_loop):
+            calls.append(active_loop.state_blob())
+            return "halt.ckpt"
+
+        loop = make_loop(
+            num_devices=5,
+            budgets=12,
+            durations={f"d{i}": 1.0 for i in range(5)},
+            plan=StubPlan(deaths={f"d{i}": 0 for i in range(1, 5)}),
+            checkpoint_callback=checkpointer,
+        )
+        with pytest.raises(DegradedHaltError) as err:
+            loop.run()
+        assert err.value.checkpoint_path == "halt.ckpt"
+        assert loop.ladder.mode == MODE_HALT
+        assert len(calls) == 1
+        blob = calls[0]
+        assert blob["registry"]["counts"][DEAD] == 4
+        # The blob round-trips through pickle (checkpointability).
+        assert pickle.loads(pickle.dumps(blob)) == blob
+
+    def test_stale_serve_parks_then_final_flush_merges_late(self):
+        events = ListPipeline()
+        loop = make_loop(
+            num_devices=4,
+            budgets=4,
+            durations={f"d{i}": 1.0 for i in range(4)},
+            plan=StubPlan(deaths={"d1": 0, "d2": 0, "d3": 0}),
+            events=events,
+        )
+        pushes = loop.run()
+        # Live fraction 0.25 pins stale-serve: no mid-run merging, but
+        # the final flush merges every parked upload rather than
+        # abandoning it.
+        assert loop.ladder.mode == MODE_STALE
+        assert pushes["d0"] == 4
+        assert loop.server.merges_applied == 4
+        assert loop.late_merges >= 1
+        summary = events.of_type("run_summary")[0]
+        assert summary["straggler_rate"] > 0.0
+
+    def test_quorum_mode_refuses_zombie_uploads(self):
+        loop = make_loop(num_devices=2)
+        registry = loop.registry
+        registry.register("d0")
+        registry.register("d1")
+        loop.server.dispatch("d1")
+        loop.clients["d1"].pull()
+        loop.clients["d1"].push()
+        for message in loop.server.transport.receive_all("server"):
+            loop.buffer.offer(message, message.sender, 0.5)
+        registry.mark_dead("d1", 0.9, permanent=True)
+        merged = loop._drain_and_merge(1.0, quorum_filter=True)
+        assert merged == 0
+        assert loop.zombie_uploads == 1
+        assert loop.server.version == 0
+
+
+def tiny_config(seed=11, rounds=2, steps=5):
+    return FederatedPowerControlConfig(seed=seed).scaled(
+        rounds=rounds, steps_per_round=steps
+    )
+
+
+def tiny_assignments(num_devices=4):
+    apps = ("fft", "lu", "radix", "ocean")
+    return {
+        f"cp-{i:02d}": (apps[i % len(apps)],) for i in range(num_devices)
+    }
+
+
+class TestDriver:
+    def test_skewed_round_durations(self):
+        durations = skewed_round_durations(["a", "b", "c"], slow_factor=4.0)
+        assert durations == {"a": 1.0, "b": 2.5, "c": 4.0}
+        assert skewed_round_durations(["solo"]) == {"solo": 1.0}
+        with pytest.raises(ConfigurationError):
+            skewed_round_durations(["a"], slow_factor=0.5)
+
+    def test_registry_transitions_identical_across_backends(self):
+        from repro.parallel.context import execution
+
+        assignments = tiny_assignments(4)
+        config = tiny_config()
+        plan = FaultPlan.random(
+            num_rounds=config.num_rounds,
+            devices=list(assignments),
+            seed=config.seed,
+            dead_fraction=0.25,
+            hb_loss_rate=0.1,
+        )
+
+        def run_once():
+            result = train_async_federated(
+                assignments, config, eval_applications=("fft",), faults=plan
+            )
+            return result.controlplane
+
+        baseline = run_once()
+        with execution("thread", workers=2):
+            threaded = run_once()
+        with execution("process", workers=2):
+            processed = run_once()
+        for other in (threaded, processed):
+            assert other["registry"] == baseline["registry"]
+            assert other["merges"] == baseline["merges"]
+            assert other["mode"] == baseline["mode"]
+            assert other["time_to_version"] == baseline["time_to_version"]
+        assert baseline["registry"]["counts"][DEAD] == 1
+
+    def test_halt_writes_resumable_checkpoint(self, tmp_path):
+        assignments = tiny_assignments(5)
+        config = tiny_config(seed=3, rounds=6, steps=5)
+        plan = FaultPlan.random(
+            num_rounds=config.num_rounds,
+            devices=list(assignments),
+            seed=config.seed,
+            dead_fraction=0.8,
+        )
+        path = tmp_path / "halt.ckpt"
+        with pytest.raises(DegradedHaltError) as err:
+            train_async_federated(
+                assignments,
+                config,
+                eval_applications=("fft",),
+                faults=plan,
+                checkpoint=CheckpointConfig(path=str(path)),
+            )
+        assert err.value.checkpoint_path == str(path)
+        assert path.exists()
+        snapshot = load_snapshot(str(path))
+        blob = pickle.loads(snapshot.device_blobs[CONTROLPLANE_BLOB_KEY])
+        dead = [
+            name
+            for name, record in blob["registry"]["devices"].items()
+            if record["permanently_dead"]
+        ]
+        assert len(dead) == 4
+
+        # Resume: the permanently dead devices are acknowledged and the
+        # run completes on the lone survivor in full mode.
+        result = train_async_federated(
+            assignments,
+            config,
+            eval_applications=("fft",),
+            faults=plan,
+            checkpoint=CheckpointConfig(path=str(path), resume=True),
+        )
+        cp = result.controlplane
+        assert cp["mode"] == MODE_FULL
+        assert cp["registry"]["counts"][ALIVE] == 1
+        assert cp["merges"] > 0
+
+    def test_sync_entrypoint_delegates_under_ambient_context(self):
+        from repro.experiments.training import train_federated
+
+        assignments = tiny_assignments(2)
+        config = tiny_config(rounds=2, steps=5)
+        with controlplane(enabled=True):
+            result = train_federated(
+                assignments, config, eval_applications=("fft",)
+            )
+        assert result.name == "async_federated"
+        assert hasattr(result, "controlplane")
+        assert result.controlplane["merges"] == 2 * config.num_rounds
+
+
+class TestBenchControlplane:
+    def test_async_p95_strictly_beats_sync(self):
+        from repro.experiments.bench import _bench_controlplane
+
+        section = _bench_controlplane(
+            seed=2025, num_devices=4, rounds_per_device=8
+        )
+        assert section["async"]["p95_time_to_version_s"] < (
+            section["sync"]["p95_time_to_version_s"]
+        )
+        assert section["speedup_p95"] > 1.0
+        assert section["versions"] == 32
+        again = _bench_controlplane(
+            seed=2025, num_devices=4, rounds_per_device=8
+        )
+        assert again == section
+
+
+class TestRollupControlPlane:
+    def test_rollup_tracks_device_state_and_mode(self):
+        from repro.obs.rollup import FleetRollup
+
+        rollup = FleetRollup()
+        rollup.emit(
+            {
+                "type": "device_state",
+                "device": "d0",
+                "from_state": ALIVE,
+                "to_state": SUSPECT,
+                "reason": "heartbeats-missed",
+                "time_s": 2.0,
+            }
+        )
+        rollup.emit(
+            {
+                "type": "device_state",
+                "device": "d0",
+                "from_state": SUSPECT,
+                "to_state": DEAD,
+                "reason": "silence",
+                "time_s": 4.0,
+            }
+        )
+        rollup.emit(
+            {
+                "type": "controlplane_mode",
+                "from_mode": MODE_FULL,
+                "to_mode": MODE_QUORUM,
+                "live_fraction": 0.6,
+                "time_s": 4.0,
+            }
+        )
+        snap = rollup.snapshot(deterministic=True)
+        section = snap["controlplane"]
+        assert section["mode"] == MODE_QUORUM
+        assert section["device_states"] == {"d0": DEAD}
+        assert section["deaths"] == 1
+        assert section["transitions"] == 2
+        assert "control plane: mode=quorum" in rollup.render(
+            deterministic=True
+        )
+
+    def test_rollup_hides_section_on_sync_runs(self):
+        from repro.obs.rollup import FleetRollup
+
+        rollup = FleetRollup()
+        assert "controlplane" not in rollup.snapshot(deterministic=True)
+        assert "control plane:" not in rollup.render(deterministic=True)

@@ -251,7 +251,10 @@ class TestAsyncEvents:
         assert summary["aggregations"] == server.merges_applied
         assert summary["bytes"] == server.transport.total_bytes
         assert summary["messages"] == server.transport.total_messages
-        assert summary["straggler_rate"] == 0.0
+        # d1's single push trained on version 0 but lands after d0's two
+        # merges, so one of the three merges is stale.
+        assert summary["straggler_rate"] == pytest.approx(1.0 / 3.0)
+        assert server.stale_merges == 1
 
     def test_metrics_counters_incremented(self):
         from repro.obs.metrics import MetricsRegistry
@@ -283,3 +286,144 @@ class TestAsyncEvents:
         # run must not fail trying to emit.
         server, pushes = self._run()
         assert sum(pushes.values()) == 3
+
+
+class TestMixingEdgeCases:
+    def test_mixing_monotonically_decreases_with_staleness(self):
+        _, server, _ = make_system(mixing_rate=0.6, staleness_exponent=0.5)
+        alphas = [server.mixing_for_staleness(s) for s in range(0, 50)]
+        assert all(a > b for a, b in zip(alphas, alphas[1:]))
+        assert all(0.0 < alpha <= 0.6 for alpha in alphas)
+
+    def test_extreme_staleness_stays_finite_and_positive(self):
+        _, server, _ = make_system(mixing_rate=0.6, staleness_exponent=1.0)
+        alpha = server.mixing_for_staleness(10**6)
+        assert 0.0 < alpha < 1e-5
+        assert np.isfinite(alpha)
+
+    def test_full_mixing_rate_replaces_global(self):
+        # mixing_rate=1.0, staleness 0: the merge must install the
+        # upload verbatim.
+        _, server, clients = make_system(
+            mixing_rate=1.0, staleness_exponent=0.0
+        )
+        server.dispatch("d0")
+        clients[0].pull()
+        target = [p + 2.0 for p in clients[0].agent.get_parameters()]
+        clients[0].agent.set_parameters(target)
+        clients[0].push()
+        server.absorb_pending()
+        for merged, expected in zip(server.global_parameters, target):
+            assert np.allclose(merged, expected, atol=1e-5)
+
+
+class TestPullRequeueAndSanitizer:
+    """Satellite coverage: the silent-loss and rejection paths."""
+
+    def test_pull_requeues_foreign_kinds(self):
+        from repro.federated.transport import Message
+        from repro.obs.metrics import MetricsRegistry
+
+        transport, server, _ = make_system()
+        registry = MetricsRegistry()
+        agent = NeuralBanditAgent(num_actions=15, seed=5)
+        client = AsynchronousFederatedClient(
+            "d0", agent, transport, metrics=registry
+        )
+        foreign = Message(
+            sender="server",
+            recipient="d0",
+            kind="hb_probe",
+            payload=b"x",
+            round_index=0,
+        )
+        transport.send(foreign)
+        server.dispatch("d0")
+        assert client.pull() == 0
+        assert registry.counter("async.pull_requeued").value == 1
+        # The foreign message survives for its real consumer, in order.
+        leftover = transport.receive_all("d0")
+        assert [m.kind for m in leftover] == ["hb_probe"]
+        # Re-enqueueing must not double-count transport accounting.
+        assert transport.total_messages == 2
+
+    def test_pull_consumes_only_latest_global(self):
+        transport, server, clients = make_system()
+        server.dispatch("d0")
+        server.dispatch("d0")
+        clients[0].pull()
+        assert transport.receive_all("d0") == []
+
+    def test_orphan_round_budget_rejected(self):
+        _, server, clients = make_system()
+        with pytest.raises(FederationError, match="unknown client ids"):
+            run_async_federated_training(
+                server,
+                clients,
+                trainers={c.client_id: (lambda r: None) for c in clients},
+                local_rounds_per_client={"d0": 1, "d1": 1, "ghost": 2},
+                round_duration_s={"d0": 1.0, "d1": 1.0},
+            )
+        with pytest.raises(FederationError, match="unknown client ids"):
+            run_async_federated_training(
+                server,
+                clients,
+                trainers={c.client_id: (lambda r: None) for c in clients},
+                local_rounds_per_client={"d0": 1, "d1": 1},
+                round_duration_s={"d0": 1.0, "d1": 1.0, "phantom": 2.0},
+            )
+
+    def test_sanitizer_rejects_non_finite_upload(self):
+        from repro.faults.aggregation import MeanAggregator
+        from repro.obs.metrics import MetricsRegistry
+
+        transport = InMemoryTransport()
+        agents = [NeuralBanditAgent(num_actions=15, seed=i) for i in range(2)]
+        registry = MetricsRegistry()
+        server = AsynchronousFederatedServer(
+            agents[0].get_parameters(),
+            transport,
+            aggregator=MeanAggregator(),
+            metrics=registry,
+        )
+        clients = [
+            AsynchronousFederatedClient(f"d{i}", agent, transport)
+            for i, agent in enumerate(agents)
+        ]
+        before = server.global_parameters
+        server.dispatch("d0")
+        clients[0].pull()
+        poisoned = [
+            np.full_like(p, np.nan) for p in clients[0].agent.get_parameters()
+        ]
+        clients[0].agent.set_parameters(poisoned)
+        clients[0].push()
+        assert server.absorb_pending() == 0  # rejected, not merged
+        assert registry.counter("async.rejected").value == 1
+        assert server.version == 0
+        for current, original in zip(server.global_parameters, before):
+            assert np.allclose(current, original, atol=0)
+        # A healthy upload afterwards still merges.
+        server.dispatch("d1")
+        clients[1].pull()
+        clients[1].push()
+        assert server.absorb_pending() == 1
+        assert server.version == 1
+
+
+class TestRestore:
+    def test_restore_installs_version_and_parameters(self):
+        _, server, clients = make_system()
+        target = [p + 1.0 for p in server.global_parameters]
+        server.restore(target, version=7)
+        assert server.version == 7
+        assert server.merges_applied == 7
+        for installed, expected in zip(server.global_parameters, target):
+            assert np.allclose(installed, expected, atol=0)
+
+    def test_restore_validates_shapes_and_version(self):
+        _, server, _ = make_system()
+        with pytest.raises(FederationError, match="shapes"):
+            server.restore([np.zeros(3)], version=1)
+        with pytest.raises(FederationError, match="version"):
+            server.restore(server.global_parameters, version=-1)
